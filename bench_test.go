@@ -1,0 +1,640 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation (§4), plus
+// ablation benchmarks for the design choices listed in DESIGN.md §5 and
+// microbenchmarks of the individual substrates. cmd/solerobench runs the
+// same experiments with the paper's 5×best-of-5 protocol and renders the
+// tables/figures; these testing.B entry points regenerate each artifact's
+// underlying measurements under `go test -bench`.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dacapo"
+	"repro/internal/jbb"
+	"repro/internal/jit"
+	"repro/internal/jit/codegen"
+	"repro/internal/jit/interp"
+	"repro/internal/jthread"
+	"repro/internal/lockword"
+	"repro/internal/memmodel"
+	"repro/internal/rwlock"
+	"repro/internal/seqlock"
+	"repro/internal/simcoherence"
+	"repro/internal/vmlock"
+	"repro/internal/workload"
+	"repro/solero/rmap"
+)
+
+// benchThreads splits b.N operations across the given number of goroutines,
+// each attached to a fresh VM thread.
+func benchThreads(b *testing.B, vm *jthread.VM, threads int, op func(g int, th *jthread.Thread)) {
+	b.Helper()
+	per := b.N/threads + 1
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := vm.Attach("bench")
+			defer th.Detach()
+			for j := 0; j < per; j++ {
+				op(g, th)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+var benchSink atomic.Uint64
+
+// sweepThreads are the per-figure thread counts; scaled down from the
+// paper's 1..16 because real sweeps on this harness share physical cores.
+var sweepThreads = []int{1, 2, 4}
+
+// --- Table 1 ---
+
+// BenchmarkTable1LockStats measures the instrumented lock-operation mix of
+// the HashMap 5%-writes benchmark and reports the read-only share — the
+// Table 1 statistic (cmd/solerobench -exp table1 prints the full table).
+func BenchmarkTable1LockStats(b *testing.B) {
+	wl := workload.NewMapBench(workload.Hash, workload.ImplSolero, "none", 5, 1024, 1)
+	vm := jthread.NewVM()
+	r := uint64(12345)
+	benchThreads(b, vm, 1, func(g int, th *jthread.Thread) {
+		r = r*6364136223846793005 + 1
+		k := int64(r % 1024)
+		if r>>32%100 < 5 {
+			wl.Guards()[0].Write(th, func() {})
+		}
+		wl.Guards()[0].Read(th, func() { benchSink.Add(uint64(k)) })
+	})
+	total, ro := wl.LockOps()
+	if total > 0 {
+		b.ReportMetric(100*float64(ro)/float64(total), "readonly_%")
+	}
+}
+
+// --- Figure 10 ---
+
+// BenchmarkFig10Empty measures the empty synchronized block under all five
+// configurations with the Power6 cost model — the lock-overhead comparison.
+func BenchmarkFig10Empty(b *testing.B) {
+	for _, impl := range workload.Fig10Impls {
+		b.Run(impl.String(), func(b *testing.B) {
+			e := workload.NewEmpty(impl, "power")
+			vm := jthread.NewVM()
+			benchThreads(b, vm, 1, func(g int, th *jthread.Thread) {
+				e.G.Read(th, func() {})
+			})
+		})
+	}
+}
+
+// --- Figure 11 ---
+
+// BenchmarkFig11SingleThread measures each benchmark single-threaded under
+// each implementation; relative performance is the ratio of the per-op
+// times.
+func BenchmarkFig11SingleThread(b *testing.B) {
+	cases := []struct {
+		name string
+		mk   func(workload.Impl) func(*jthread.Thread)
+	}{
+		{"HashMap0", mapOp(workload.Hash, 0)},
+		{"HashMap5", mapOp(workload.Hash, 5)},
+		{"TreeMap0", mapOp(workload.Tree, 0)},
+		{"TreeMap5", mapOp(workload.Tree, 5)},
+		{"SPECjbb", jbbOp()},
+	}
+	for _, c := range cases {
+		for _, impl := range workload.PaperImpls {
+			b.Run(c.name+"/"+impl.String(), func(b *testing.B) {
+				op := c.mk(impl)
+				vm := jthread.NewVM()
+				benchThreads(b, vm, 1, func(g int, th *jthread.Thread) { op(th) })
+			})
+		}
+	}
+}
+
+func mapOp(kind workload.MapKind, writePct int) func(workload.Impl) func(*jthread.Thread) {
+	return func(impl workload.Impl) func(*jthread.Thread) {
+		wl := workload.NewMapBench(kind, impl, "power", writePct, 1024, 1)
+		var r uint64 = 99
+		return func(th *jthread.Thread) {
+			r = r*6364136223846793005 + 1
+			wl.Op(th, r)
+		}
+	}
+}
+
+func jbbOp() func(workload.Impl) func(*jthread.Thread) {
+	return func(impl workload.Impl) func(*jthread.Thread) {
+		bench := jbb.New(impl, "power", 1)
+		var r uint64 = 7
+		return func(th *jthread.Thread) {
+			r = r*6364136223846793005 + 1
+			bench.Op(th, 0, r)
+		}
+	}
+}
+
+// --- Figures 12–14 (real execution) ---
+
+// BenchmarkFig12HashMap sweeps the HashMap benchmark: (a) 0% writes,
+// (b) 5% writes, (c) 5% fine-grained (shards == threads).
+func BenchmarkFig12HashMap(b *testing.B) {
+	for _, variant := range []struct {
+		name     string
+		writePct int
+		fine     bool
+	}{{"writes0", 0, false}, {"writes5", 5, false}, {"writes5fine", 5, true}} {
+		for _, impl := range workload.PaperImpls {
+			for _, n := range sweepThreads {
+				b.Run(fmt.Sprintf("%s/%s/t%d", variant.name, impl, n), func(b *testing.B) {
+					shards := 1
+					if variant.fine {
+						shards = n
+					}
+					wl := workload.NewMapBench(workload.Hash, impl, "power", variant.writePct, 1024, shards)
+					vm := jthread.NewVM()
+					seeds := make([]uint64, n)
+					benchThreads(b, vm, n, func(g int, th *jthread.Thread) {
+						seeds[g] = seeds[g]*6364136223846793005 + uint64(g) + 1
+						wl.Op(th, seeds[g])
+					})
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig13TreeMap sweeps the TreeMap benchmark at 0% and 5% writes.
+func BenchmarkFig13TreeMap(b *testing.B) {
+	for _, writePct := range []int{0, 5} {
+		for _, impl := range workload.PaperImpls {
+			for _, n := range sweepThreads {
+				b.Run(fmt.Sprintf("writes%d/%s/t%d", writePct, impl, n), func(b *testing.B) {
+					wl := workload.NewMapBench(workload.Tree, impl, "power", writePct, 1024, 1)
+					vm := jthread.NewVM()
+					seeds := make([]uint64, n)
+					benchThreads(b, vm, n, func(g int, th *jthread.Thread) {
+						seeds[g] = seeds[g]*6364136223846793005 + uint64(g) + 1
+						wl.Op(th, seeds[g])
+					})
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig14Jbb sweeps the SPECjbb substitute (one warehouse per
+// thread).
+func BenchmarkFig14Jbb(b *testing.B) {
+	for _, impl := range workload.PaperImpls {
+		for _, n := range sweepThreads {
+			b.Run(fmt.Sprintf("%s/t%d", impl, n), func(b *testing.B) {
+				bench := jbb.New(impl, "power", n)
+				vm := jthread.NewVM()
+				seeds := make([]uint64, n)
+				benchThreads(b, vm, n, func(g int, th *jthread.Thread) {
+					seeds[g] = seeds[g]*6364136223846793005 + uint64(g) + 1
+					bench.Op(th, g, seeds[g])
+				})
+			})
+		}
+	}
+}
+
+// --- Figures 12–14 on the 16-way coherence model ---
+
+// BenchmarkFig12to14Simulated regenerates the 16-core scalability shapes
+// on the coherence simulator and reports normalized throughput and failure
+// ratio per point.
+func BenchmarkFig12to14Simulated(b *testing.B) {
+	curves := []struct {
+		name      string
+		writePct  int
+		bodyReads int
+		fine      bool
+	}{
+		{"HashMap0", 0, 6, false},
+		{"HashMap5", 5, 6, false},
+		{"HashMap5fine", 5, 6, true},
+		{"TreeMap0", 0, 20, false},
+		{"TreeMap5", 5, 20, false},
+		{"SPECjbb", 100 - jbb.ReadOnlyPct, 10, true},
+	}
+	for _, c := range curves {
+		for _, proto := range []simcoherence.Protocol{simcoherence.ProtoMutex, simcoherence.ProtoRW, simcoherence.ProtoSolero} {
+			for _, cores := range []int{1, 16} {
+				b.Run(fmt.Sprintf("%s/%s/c%d", c.name, proto, cores), func(b *testing.B) {
+					cfg := simcoherence.DefaultConfig()
+					cfg.Protocol = proto
+					cfg.WritePct = c.writePct
+					cfg.BodyReads = c.bodyReads
+					cfg.Cores = cores
+					if c.fine {
+						cfg.Shards = cores
+						if cfg.DataLines < cfg.Shards {
+							cfg.DataLines = cfg.Shards
+						}
+					}
+					cfg.Duration = 200_000
+					var last simcoherence.Result
+					for i := 0; i < b.N; i++ {
+						r, err := simcoherence.Run(cfg)
+						if err != nil {
+							b.Fatal(err)
+						}
+						last = r
+					}
+					b.ReportMetric(last.OpsPerKCycle, "ops/kcycle")
+					b.ReportMetric(last.FailureRatio(), "failure_%")
+				})
+			}
+		}
+	}
+}
+
+// --- Figure 15 ---
+
+// BenchmarkFig15FailureRatio runs the SOLERO configurations of Figure 15
+// and reports the speculation failure ratio as a metric.
+func BenchmarkFig15FailureRatio(b *testing.B) {
+	cases := []struct {
+		name string
+		make func(n int) (op func(g int, th *jthread.Thread), ratio func() float64)
+	}{
+		{"HashMap5", func(n int) (func(int, *jthread.Thread), func() float64) {
+			wl := workload.NewMapBench(workload.Hash, workload.ImplSolero, "none", 5, 1024, 1)
+			seeds := make([]uint64, n)
+			return func(g int, th *jthread.Thread) {
+				seeds[g] = seeds[g]*6364136223846793005 + uint64(g) + 1
+				wl.Op(th, seeds[g])
+			}, wl.FailureRatio
+		}},
+		{"TreeMap5", func(n int) (func(int, *jthread.Thread), func() float64) {
+			wl := workload.NewMapBench(workload.Tree, workload.ImplSolero, "none", 5, 1024, 1)
+			seeds := make([]uint64, n)
+			return func(g int, th *jthread.Thread) {
+				seeds[g] = seeds[g]*6364136223846793005 + uint64(g) + 1
+				wl.Op(th, seeds[g])
+			}, wl.FailureRatio
+		}},
+		{"SPECjbb", func(n int) (func(int, *jthread.Thread), func() float64) {
+			bench := jbb.New(workload.ImplSolero, "none", n)
+			seeds := make([]uint64, n)
+			return func(g int, th *jthread.Thread) {
+				seeds[g] = seeds[g]*6364136223846793005 + uint64(g) + 1
+				bench.Op(th, g, seeds[g])
+			}, bench.FailureRatio
+		}},
+	}
+	for _, c := range cases {
+		for _, n := range sweepThreads {
+			b.Run(fmt.Sprintf("%s/t%d", c.name, n), func(b *testing.B) {
+				op, ratio := c.make(n)
+				vm := jthread.NewVM()
+				benchThreads(b, vm, n, op)
+				b.ReportMetric(ratio(), "failure_%")
+			})
+		}
+	}
+}
+
+// --- Figure 16 ---
+
+// BenchmarkFig16Dacapo runs the DaCapo profiles under Lock and SOLERO.
+func BenchmarkFig16Dacapo(b *testing.B) {
+	for _, p := range dacapo.Profiles {
+		for _, impl := range []workload.Impl{workload.ImplLock, workload.ImplSolero} {
+			b.Run(p.Name+"/"+impl.String(), func(b *testing.B) {
+				bench := dacapo.New(p, impl, "power")
+				vm := jthread.NewVM()
+				seeds := make([]uint64, 2)
+				benchThreads(b, vm, 2, func(g int, th *jthread.Thread) {
+					seeds[g] = seeds[g]*6364136223846793005 + uint64(g) + 1
+					bench.Op(th, seeds[g])
+				})
+			})
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationFallback varies the elision retry budget before
+// fallback (paper: 1) under a contended 5%-writes map.
+func BenchmarkAblationFallback(b *testing.B) {
+	for _, maxFailures := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("retries%d", maxFailures), func(b *testing.B) {
+			cfg := *core.DefaultConfig
+			cfg.MaxElisionFailures = maxFailures
+			lock := core.New(&cfg)
+			var a, c atomic.Uint64
+			vm := jthread.NewVM()
+			seeds := make([]uint64, 4)
+			benchThreads(b, vm, 4, func(g int, th *jthread.Thread) {
+				seeds[g] = seeds[g]*6364136223846793005 + uint64(g) + 1
+				if seeds[g]%100 < 5 {
+					lock.Sync(th, func() { a.Add(1); c.Add(1) })
+				} else {
+					lock.ReadOnly(th, func() { benchSink.Add(a.Load() - c.Load()) })
+				}
+			})
+			b.ReportMetric(lock.Stats().FailureRatio(), "failure_%")
+			b.ReportMetric(float64(lock.Stats().Fallbacks.Load()), "fallbacks")
+		})
+	}
+}
+
+// BenchmarkAblationFence compares fence plans for elided read sections.
+func BenchmarkAblationFence(b *testing.B) {
+	plans := []struct {
+		name  string
+		model *memmodel.Model
+		plan  memmodel.Plan
+	}{
+		{"none", nil, memmodel.NoFences},
+		{"power", memmodel.Power, memmodel.SoleroPower},
+		{"power-weak", memmodel.Power, memmodel.SoleroWeakBarrier},
+		{"tso", memmodel.TSO, memmodel.SoleroTSO},
+	}
+	for _, p := range plans {
+		b.Run(p.name, func(b *testing.B) {
+			cfg := *core.DefaultConfig
+			cfg.Model = p.model
+			cfg.Plan = p.plan
+			lock := core.New(&cfg)
+			vm := jthread.NewVM()
+			benchThreads(b, vm, 1, func(g int, th *jthread.Thread) {
+				lock.ReadOnly(th, func() {})
+			})
+		})
+	}
+}
+
+// BenchmarkAblationReadMostly compares the §5 upgrade protocol against
+// always-locking for a section that writes 5% of the time.
+func BenchmarkAblationReadMostly(b *testing.B) {
+	for _, useExt := range []bool{true, false} {
+		name := "extension"
+		if !useExt {
+			name = "alwaysLock"
+		}
+		b.Run(name, func(b *testing.B) {
+			lock := core.New(nil)
+			var v atomic.Uint64
+			vm := jthread.NewVM()
+			seeds := make([]uint64, 2)
+			benchThreads(b, vm, 2, func(g int, th *jthread.Thread) {
+				seeds[g] = seeds[g]*6364136223846793005 + uint64(g) + 1
+				write := seeds[g]%100 < 5
+				if useExt {
+					lock.ReadMostly(th, func(s *core.Section) {
+						if write {
+							s.BeforeWrite()
+							v.Add(1)
+							return
+						}
+						benchSink.Add(v.Load())
+					})
+				} else {
+					lock.Sync(th, func() {
+						if write {
+							v.Add(1)
+							return
+						}
+						benchSink.Add(v.Load())
+					})
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkAblationAdaptive compares adaptive elision on/off for a
+// write-heavy phase (where speculation mostly fails and adaptive mode
+// routes readers straight to the lock) followed by a read-only phase
+// (where it must get out of the way).
+func BenchmarkAblationAdaptive(b *testing.B) {
+	for _, adaptive := range []bool{false, true} {
+		name := "off"
+		if adaptive {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := *core.DefaultConfig
+			cfg.Adaptive = adaptive
+			cfg.AdaptiveWindow = 64
+			cfg.AdaptiveBackoffOps = 256
+			lock := core.New(&cfg)
+			var v atomic.Uint64
+			vm := jthread.NewVM()
+			seeds := make([]uint64, 2)
+			benchThreads(b, vm, 2, func(g int, th *jthread.Thread) {
+				seeds[g] = seeds[g]*6364136223846793005 + uint64(g) + 1
+				// Alternate phases every 512 ops: write-heavy, then
+				// read-only.
+				writeHeavy := seeds[g]>>16%1024 < 512
+				if writeHeavy && seeds[g]%2 == 0 {
+					lock.Sync(th, func() { v.Add(1) })
+					return
+				}
+				lock.ReadOnly(th, func() { benchSink.Add(v.Load()) })
+			})
+			b.ReportMetric(float64(lock.Stats().AdaptiveTrips.Load()), "trips")
+			b.ReportMetric(float64(lock.Stats().AdaptiveSkips.Load()), "skips")
+			b.ReportMetric(lock.Stats().FailureRatio(), "failure_%")
+		})
+	}
+}
+
+// BenchmarkAblationCheckpoint varies the forced checkpoint validation
+// period inside a loop-heavy elided section.
+func BenchmarkAblationCheckpoint(b *testing.B) {
+	for _, every := range []uint64{0, 64, 1024} {
+		b.Run(fmt.Sprintf("every%d", every), func(b *testing.B) {
+			lock := core.New(nil)
+			vm := jthread.NewVM()
+			benchThreads(b, vm, 1, func(g int, th *jthread.Thread) {
+				th.SetForceValidateEvery(every)
+				lock.ReadOnly(th, func() {
+					for i := 0; i < 32; i++ {
+						th.Checkpoint()
+					}
+				})
+			})
+		})
+	}
+}
+
+// BenchmarkAblationSpinTiers varies the three-tier contention parameters
+// under a contended writing workload.
+func BenchmarkAblationSpinTiers(b *testing.B) {
+	tiers := []struct {
+		name                string
+		tier1, tier2, tier3 int
+	}{{"small", 4, 2, 1}, {"default", 32, 16, 4}, {"large", 128, 64, 8}}
+	for _, tc := range tiers {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := *core.DefaultConfig
+			cfg.Tier1, cfg.Tier2, cfg.Tier3 = tc.tier1, tc.tier2, tc.tier3
+			lock := core.New(&cfg)
+			var x int
+			vm := jthread.NewVM()
+			benchThreads(b, vm, 4, func(g int, th *jthread.Thread) {
+				lock.Sync(th, func() { x++ })
+			})
+			b.ReportMetric(float64(lock.Stats().Inflations.Load()), "inflations")
+		})
+	}
+}
+
+// BenchmarkRmap measures the public read-mostly map: elided gets, locked
+// puts, and the GetOrCompute hit path.
+func BenchmarkRmap(b *testing.B) {
+	b.Run("Get", func(b *testing.B) {
+		vm := jthread.NewVM()
+		th := vm.Attach("bench")
+		m := rmap.New[int64](16, nil)
+		for k := int64(0); k < 1024; k++ {
+			m.Put(th, k, k)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v, _ := m.Get(th, int64(i)%1024)
+			benchSink.Add(uint64(v))
+		}
+	})
+	b.Run("Put", func(b *testing.B) {
+		vm := jthread.NewVM()
+		th := vm.Attach("bench")
+		m := rmap.New[int64](16, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Put(th, int64(i)%1024, int64(i))
+		}
+	})
+	b.Run("GetOrComputeHit", func(b *testing.B) {
+		vm := jthread.NewVM()
+		th := vm.Attach("bench")
+		m := rmap.New[int64](16, nil)
+		compute := func() int64 { return 7 }
+		m.GetOrCompute(th, 5, compute)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchSink.Add(uint64(m.GetOrCompute(th, 5, compute)))
+		}
+	})
+}
+
+// --- Substrate microbenchmarks ---
+
+// BenchmarkMicroLocks measures the raw per-operation cost of each lock
+// primitive, uncontended, with no fence model.
+func BenchmarkMicroLocks(b *testing.B) {
+	vm := jthread.NewVM()
+	th := vm.Attach("bench")
+	defer th.Detach()
+
+	b.Run("SoleroReadOnly", func(b *testing.B) {
+		l := core.New(nil)
+		for i := 0; i < b.N; i++ {
+			l.ReadOnly(th, func() {})
+		}
+	})
+	b.Run("SoleroWrite", func(b *testing.B) {
+		l := core.New(nil)
+		for i := 0; i < b.N; i++ {
+			l.Lock(th)
+			l.Unlock(th)
+		}
+	})
+	b.Run("SoleroReadMostlyNoWrite", func(b *testing.B) {
+		l := core.New(nil)
+		for i := 0; i < b.N; i++ {
+			l.ReadMostly(th, func(*core.Section) {})
+		}
+	})
+	b.Run("ConventionalLock", func(b *testing.B) {
+		l := vmlock.New(nil)
+		for i := 0; i < b.N; i++ {
+			l.Lock(th)
+			l.Unlock(th)
+		}
+	})
+	b.Run("RWLockRead", func(b *testing.B) {
+		var l rwlock.RWLock
+		for i := 0; i < b.N; i++ {
+			l.RLock(th)
+			l.RUnlock(th)
+		}
+	})
+	b.Run("SeqLockRead", func(b *testing.B) {
+		var l seqlock.SeqLock
+		for i := 0; i < b.N; i++ {
+			l.Read(func() {})
+		}
+	})
+	b.Run("SoleroReentrantWrite", func(b *testing.B) {
+		l := core.New(nil)
+		l.Lock(th)
+		for i := 0; i < b.N; i++ {
+			l.Lock(th)
+			l.Unlock(th)
+		}
+		l.Unlock(th)
+		if lockword.SoleroCounter(l.Word()) != 1 {
+			b.Fatalf("counter advanced by reentrant sections")
+		}
+	})
+}
+
+// BenchmarkMicroInterp measures the JIT substrate: method dispatch and
+// elided synchronized execution through the interpreter.
+func BenchmarkMicroInterp(b *testing.B) {
+	prog := jit.MustBuild(`
+class C {
+	int x;
+	int get() { synchronized (this) { return x; } }
+	void set(int v) { synchronized (this) { x = v; } }
+	static int add(int a, int bb) { return a + bb; }
+}`, codegen.DefaultOptions)
+
+	b.Run("StaticCall", func(b *testing.B) {
+		vm := jthread.NewVM()
+		m := interp.NewMachine(prog, vm, interp.Options{})
+		th := vm.Attach("bench")
+		for i := 0; i < b.N; i++ {
+			m.MustCall(th, "C", "add", interp.IntVal(1), interp.IntVal(2))
+		}
+	})
+	b.Run("ElidedGet", func(b *testing.B) {
+		vm := jthread.NewVM()
+		m := interp.NewMachine(prog, vm, interp.Options{Protocol: interp.ProtoSolero})
+		th := vm.Attach("bench")
+		obj, _ := m.NewInstance("C")
+		recv := interp.ObjVal(obj)
+		for i := 0; i < b.N; i++ {
+			m.MustCall(th, "C", "get", recv)
+		}
+	})
+	b.Run("LockedSet", func(b *testing.B) {
+		vm := jthread.NewVM()
+		m := interp.NewMachine(prog, vm, interp.Options{Protocol: interp.ProtoSolero})
+		th := vm.Attach("bench")
+		obj, _ := m.NewInstance("C")
+		recv := interp.ObjVal(obj)
+		for i := 0; i < b.N; i++ {
+			m.MustCall(th, "C", "set", recv, interp.IntVal(int64(i)))
+		}
+	})
+}

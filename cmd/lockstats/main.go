@@ -1,0 +1,104 @@
+// Command lockstats runs one microbenchmark under SOLERO and dumps the
+// full protocol counter block — elisions, failures, fallbacks, inflations,
+// recovery events — the instrumentation behind Table 1 and Figure 15.
+//
+// Usage:
+//
+//	lockstats [-bench hashmap|treemap|empty|jbb] [-threads N] [-writes PCT]
+//	          [-duration D]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/jbb"
+	"repro/internal/jthread"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "hashmap", "benchmark: empty|hashmap|treemap|jbb")
+	threads := flag.Int("threads", 4, "software threads")
+	writes := flag.Int("writes", 5, "write percentage (map benchmarks)")
+	entries := flag.Int("entries", 1024, "map entries")
+	shards := flag.Int("shards", 1, "locks (fine-grained variant when > 1)")
+	duration := flag.Duration("duration", 200*time.Millisecond, "measurement window")
+	traceN := flag.Int("trace", 0, "record and print the last N protocol events")
+	flag.Parse()
+
+	var ring *trace.Ring
+	lockCfg := *core.DefaultConfig
+	if *traceN > 0 {
+		ring = trace.New(*traceN)
+		lockCfg.Tracer = ring
+	}
+
+	vm := jthread.NewVM()
+	opts := harness.Options{
+		Threads: *threads, Duration: *duration, Runs: 1, InnerMeasures: 1,
+		AsyncEventInterval: 2 * time.Millisecond,
+	}
+
+	var worker harness.Worker
+	var snap func() (map[string]uint64, float64)
+	switch *bench {
+	case "empty":
+		b := workload.NewEmptyWithConfig(&lockCfg)
+		worker = b.Worker()
+		snap = func() (map[string]uint64, float64) {
+			st := b.G.SoleroStats()
+			return st.Snapshot(), st.FailureRatio()
+		}
+	case "hashmap", "treemap":
+		kind := workload.Hash
+		if *bench == "treemap" {
+			kind = workload.Tree
+		}
+		b := workload.NewMapBench(kind, workload.ImplSolero, "none", *writes, *entries, *shards)
+		worker = b.Worker()
+		snap = func() (map[string]uint64, float64) {
+			agg := map[string]uint64{}
+			total, ro := b.LockOps()
+			agg["lockOpsTotal"], agg["lockOpsReadOnly"] = total, ro
+			return agg, b.FailureRatio()
+		}
+	case "jbb":
+		b := jbb.New(workload.ImplSolero, "none", *threads)
+		worker = b.Worker()
+		snap = func() (map[string]uint64, float64) {
+			agg := map[string]uint64{}
+			total, ro := b.LockOps()
+			agg["lockOpsTotal"], agg["lockOpsReadOnly"] = total, ro
+			return agg, b.FailureRatio()
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "lockstats: unknown benchmark %q\n", *bench)
+		os.Exit(1)
+	}
+
+	res := harness.Measure(vm, opts, worker)
+	counters, failureRatio := snap()
+
+	if ring != nil {
+		fmt.Printf("last protocol events:\n%s\n", ring.Dump())
+	}
+
+	fmt.Printf("benchmark:      %s (threads=%d writes=%d%% shards=%d)\n", *bench, *threads, *writes, *shards)
+	fmt.Printf("throughput:     %.0f ops/s\n", res.OpsPerSec)
+	fmt.Printf("failure ratio:  %.2f%%\n", failureRatio)
+	keys := make([]string, 0, len(counters))
+	for k := range counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%-18s %d\n", k+":", counters[k])
+	}
+}

@@ -1,0 +1,9 @@
+// Package repro is a Go reproduction of "Lock Elision for Read-Only
+// Critical Sections in Java" (Nakaike & Michael, PLDI 2010).
+//
+// The public API lives in repro/solero; the system inventory is documented
+// in DESIGN.md, the per-experiment results in EXPERIMENTS.md. The root
+// package carries the benchmark harness (bench_test.go): one benchmark per
+// table and figure of the paper's evaluation, plus ablations of the design
+// choices called out in DESIGN.md §5.
+package repro

@@ -1,0 +1,191 @@
+// Package hashmap implements a java.util.HashMap-like chained hash table,
+// the data structure of the paper's HashMap benchmark (a single map guarded
+// by one lock, 1K entries).
+//
+// The map itself is NOT synchronized — callers guard it with one of the
+// lock implementations, exactly as the benchmark wraps java.util.HashMap in
+// synchronized blocks. What the package does guarantee is *speculation
+// safety*: all mutable cells (bucket heads, chain links, values, the table
+// pointer, the size) are sync/atomic values, so a SOLERO reader racing with
+// a locked writer performs defined single-word reads. Such a reader can
+// still observe a mutually inconsistent picture (e.g. a key in the old and
+// the new table during a resize); the SOLERO validation protocol is what
+// discards those executions. This mirrors the JVM setting, where racy field
+// reads are defined (if unordered) under the Java memory model.
+package hashmap
+
+import "sync/atomic"
+
+// DefaultCapacity matches java.util.HashMap's default table size.
+const DefaultCapacity = 16
+
+// loadFactorNum/Den encode java.util.HashMap's 0.75 load factor.
+const (
+	loadFactorNum = 3
+	loadFactorDen = 4
+)
+
+// Map is a chained hash table from int64 keys to values of type V.
+type Map[V any] struct {
+	table atomic.Pointer[table[V]]
+	size  atomic.Int64
+}
+
+type table[V any] struct {
+	buckets []atomic.Pointer[entry[V]]
+	mask    uint64
+}
+
+type entry[V any] struct {
+	key  int64
+	hash uint64
+	val  atomic.Pointer[V]
+	next atomic.Pointer[entry[V]]
+}
+
+// New creates a map with at least the given capacity (rounded up to a power
+// of two; 0 means DefaultCapacity).
+func New[V any](capacity int) *Map[V] {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	m := &Map[V]{}
+	m.table.Store(newTable[V](n))
+	return m
+}
+
+func newTable[V any](n int) *table[V] {
+	return &table[V]{buckets: make([]atomic.Pointer[entry[V]], n), mask: uint64(n - 1)}
+}
+
+// spread is java.util.HashMap's supplemental hash: XOR the high half down so
+// power-of-two masking sees the full key.
+func spread(k int64) uint64 {
+	h := uint64(k) * 0x9e3779b97f4a7c15
+	return h ^ h>>32
+}
+
+// Len returns the number of entries.
+func (m *Map[V]) Len() int { return int(m.size.Load()) }
+
+// Get returns the value for key, if present. It performs only loads, making
+// it legal inside a read-only critical section.
+func (m *Map[V]) Get(key int64) (V, bool) {
+	h := spread(key)
+	tab := m.table.Load()
+	for e := tab.buckets[h&tab.mask].Load(); e != nil; e = e.next.Load() {
+		if e.hash == h && e.key == key {
+			if p := e.val.Load(); p != nil {
+				return *p, true
+			}
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// ContainsKey reports whether key is present (load-only).
+func (m *Map[V]) ContainsKey(key int64) bool {
+	_, ok := m.Get(key)
+	return ok
+}
+
+// Put inserts or replaces the value for key, returning the previous value
+// if any. Callers must hold the guarding lock in write mode.
+func (m *Map[V]) Put(key int64, val V) (V, bool) {
+	h := spread(key)
+	tab := m.table.Load()
+	head := &tab.buckets[h&tab.mask]
+	for e := head.Load(); e != nil; e = e.next.Load() {
+		if e.hash == h && e.key == key {
+			old := e.val.Swap(&val)
+			if old != nil {
+				return *old, true
+			}
+			var zero V
+			return zero, false
+		}
+	}
+	e := &entry[V]{key: key, hash: h}
+	e.val.Store(&val)
+	e.next.Store(head.Load())
+	head.Store(e)
+	if m.size.Add(1)*loadFactorDen > int64(len(tab.buckets))*loadFactorNum {
+		m.resize(tab)
+	}
+	var zero V
+	return zero, false
+}
+
+// Remove deletes key, returning the removed value if it was present.
+// Callers must hold the guarding lock in write mode.
+func (m *Map[V]) Remove(key int64) (V, bool) {
+	h := spread(key)
+	tab := m.table.Load()
+	head := &tab.buckets[h&tab.mask]
+	var prev *entry[V]
+	for e := head.Load(); e != nil; e = e.next.Load() {
+		if e.hash == h && e.key == key {
+			next := e.next.Load()
+			if prev == nil {
+				head.Store(next)
+			} else {
+				prev.next.Store(next)
+			}
+			m.size.Add(-1)
+			if p := e.val.Load(); p != nil {
+				return *p, true
+			}
+			break
+		}
+		prev = e
+	}
+	var zero V
+	return zero, false
+}
+
+// resize doubles the table, rehashing every chain. New entry nodes are
+// allocated so concurrent speculative readers traversing the old table see
+// intact (if stale) chains — their validation then fails and they retry.
+func (m *Map[V]) resize(old *table[V]) {
+	next := newTable[V](len(old.buckets) * 2)
+	for i := range old.buckets {
+		for e := old.buckets[i].Load(); e != nil; e = e.next.Load() {
+			ne := &entry[V]{key: e.key, hash: e.hash}
+			ne.val.Store(e.val.Load())
+			head := &next.buckets[e.hash&next.mask]
+			ne.next.Store(head.Load())
+			head.Store(ne)
+		}
+	}
+	m.table.Store(next)
+}
+
+// Range calls fn for every entry until fn returns false (load-only; the
+// iteration order is unspecified). Legal inside read-only sections.
+func (m *Map[V]) Range(fn func(key int64, val V) bool) {
+	tab := m.table.Load()
+	for i := range tab.buckets {
+		for e := tab.buckets[i].Load(); e != nil; e = e.next.Load() {
+			if p := e.val.Load(); p != nil {
+				if !fn(e.key, *p) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Keys returns all keys (unspecified order).
+func (m *Map[V]) Keys() []int64 {
+	out := make([]int64, 0, m.Len())
+	m.Range(func(k int64, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,163 @@
+package hashmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetBasic(t *testing.T) {
+	m := New[string](0)
+	if _, ok := m.Get(1); ok {
+		t.Fatalf("empty map returned a value")
+	}
+	if _, had := m.Put(1, "one"); had {
+		t.Fatalf("fresh Put reported replacement")
+	}
+	got, ok := m.Get(1)
+	if !ok || got != "one" {
+		t.Fatalf("Get = %q,%v", got, ok)
+	}
+	old, had := m.Put(1, "uno")
+	if !had || old != "one" {
+		t.Fatalf("replace returned %q,%v", old, had)
+	}
+	if got, _ := m.Get(1); got != "uno" {
+		t.Fatalf("value not replaced: %q", got)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	m := New[int](0)
+	for i := int64(0); i < 10; i++ {
+		m.Put(i, int(i)*10)
+	}
+	got, ok := m.Remove(4)
+	if !ok || got != 40 {
+		t.Fatalf("Remove = %d,%v", got, ok)
+	}
+	if m.ContainsKey(4) {
+		t.Fatalf("key present after Remove")
+	}
+	if _, ok := m.Remove(4); ok {
+		t.Fatalf("double Remove succeeded")
+	}
+	if m.Len() != 9 {
+		t.Fatalf("Len = %d, want 9", m.Len())
+	}
+	// Remove a mid-chain and a head-of-chain entry for chain surgery
+	// coverage: insert colliding keys (same bucket after masking is not
+	// directly controllable, so just remove everything).
+	for i := int64(0); i < 10; i++ {
+		m.Remove(i)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after removing all", m.Len())
+	}
+}
+
+func TestResizeKeepsAllEntries(t *testing.T) {
+	m := New[int64](4)
+	const n = 1000
+	for i := int64(0); i < n; i++ {
+		m.Put(i, i*i)
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	for i := int64(0); i < n; i++ {
+		got, ok := m.Get(i)
+		if !ok || got != i*i {
+			t.Fatalf("lost entry %d after resizes: %d,%v", i, got, ok)
+		}
+	}
+}
+
+func TestRangeVisitsAll(t *testing.T) {
+	m := New[int](0)
+	for i := int64(0); i < 100; i++ {
+		m.Put(i, 1)
+	}
+	seen := make(map[int64]bool)
+	m.Range(func(k int64, v int) bool {
+		seen[k] = true
+		return true
+	})
+	if len(seen) != 100 {
+		t.Fatalf("Range visited %d keys, want 100", len(seen))
+	}
+	count := 0
+	m.Range(func(int64, int) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early-exit Range visited %d", count)
+	}
+	if got := len(m.Keys()); got != 100 {
+		t.Fatalf("Keys len = %d", got)
+	}
+}
+
+func TestNegativeAndExtremeKeys(t *testing.T) {
+	m := New[int](0)
+	keys := []int64{-1, 0, 1, -1 << 62, 1<<62 - 1, 42, -42}
+	for i, k := range keys {
+		m.Put(k, i)
+	}
+	for i, k := range keys {
+		got, ok := m.Get(k)
+		if !ok || got != i {
+			t.Fatalf("key %d: got %d,%v want %d", k, got, ok, i)
+		}
+	}
+}
+
+// Property: a Map agrees with Go's built-in map under a random operation
+// sequence.
+func TestQuickAgainstReferenceMap(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  int8 // small key space to force collisions and replacements
+		Val  int32
+	}
+	f := func(ops []op) bool {
+		m := New[int32](1)
+		ref := make(map[int64]int32)
+		for _, o := range ops {
+			k := int64(o.Key)
+			switch o.Kind % 3 {
+			case 0:
+				m.Put(k, o.Val)
+				ref[k] = o.Val
+			case 1:
+				got, ok := m.Get(k)
+				want, wok := ref[k]
+				if ok != wok || (ok && got != want) {
+					return false
+				}
+			case 2:
+				got, ok := m.Remove(k)
+				want, wok := ref[k]
+				delete(ref, k)
+				if ok != wok || (ok && got != want) {
+					return false
+				}
+			}
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		for k, want := range ref {
+			if got, ok := m.Get(k); !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

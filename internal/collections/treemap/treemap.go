@@ -1,0 +1,508 @@
+// Package treemap implements a java.util.TreeMap-like red-black tree, the
+// data structure of the paper's TreeMap benchmark (a single map guarded by
+// one lock, 1K entries).
+//
+// Like internal/collections/hashmap, the tree is unsynchronized — callers
+// guard it with a lock — but speculation-safe: every mutable cell (links,
+// colors, keys, values, root, size) is a sync/atomic value, so SOLERO
+// readers racing with a locked writer perform defined single-word reads.
+// (Keys are mutable because, as in java.util.TreeMap, deletion of an
+// internal node copies its successor's key and value into it.) Readers can
+// observe an inconsistent picture — mid-rotation links can even form
+// transient cycles through the read snapshot — which is precisely why the
+// paper's recovery machinery (checkpoint validation breaking infinite
+// loops) exists; Get takes a depth bound tied to that machinery.
+package treemap
+
+import "sync/atomic"
+
+const (
+	red   uint32 = 0
+	black uint32 = 1
+)
+
+// Map is a red-black tree from int64 keys to values of type V.
+type Map[V any] struct {
+	root atomic.Pointer[node[V]]
+	size atomic.Int64
+}
+
+type node[V any] struct {
+	key                 atomic.Int64
+	val                 atomic.Pointer[V]
+	left, right, parent atomic.Pointer[node[V]]
+	color               atomic.Uint32
+}
+
+// New creates an empty map.
+func New[V any]() *Map[V] { return &Map[V]{} }
+
+// Len returns the number of entries.
+func (m *Map[V]) Len() int { return int(m.size.Load()) }
+
+// maxReadDepth bounds pointer chasing by readers. A consistent red-black
+// tree of 2^63 nodes is at most ~126 levels deep; a speculative reader that
+// exceeds this is chasing torn links and must abort (its caller's
+// validation will fail and retry). This is the library-level analogue of
+// the paper's asynchronous checkpoint recovery for loops.
+const maxReadDepth = 128
+
+// Get returns the value for key, if present (load-only).
+func (m *Map[V]) Get(key int64) (V, bool) {
+	var zero V
+	n := m.root.Load()
+	for depth := 0; n != nil; depth++ {
+		if depth > maxReadDepth {
+			// Torn-snapshot cycle: give up; a speculative caller
+			// retries, a locked caller cannot get here.
+			return zero, false
+		}
+		k := n.key.Load()
+		switch {
+		case key < k:
+			n = n.left.Load()
+		case key > k:
+			n = n.right.Load()
+		default:
+			if p := n.val.Load(); p != nil {
+				return *p, true
+			}
+			return zero, false
+		}
+	}
+	return zero, false
+}
+
+// ContainsKey reports whether key is present (load-only).
+func (m *Map[V]) ContainsKey(key int64) bool {
+	_, ok := m.Get(key)
+	return ok
+}
+
+// FirstKey returns the smallest key (load-only).
+func (m *Map[V]) FirstKey() (int64, bool) {
+	n := m.root.Load()
+	if n == nil {
+		return 0, false
+	}
+	for depth := 0; ; depth++ {
+		l := n.left.Load()
+		if l == nil || depth > maxReadDepth {
+			return n.key.Load(), true
+		}
+		n = l
+	}
+}
+
+// LastKey returns the largest key (load-only).
+func (m *Map[V]) LastKey() (int64, bool) {
+	n := m.root.Load()
+	if n == nil {
+		return 0, false
+	}
+	for depth := 0; ; depth++ {
+		r := n.right.Load()
+		if r == nil || depth > maxReadDepth {
+			return n.key.Load(), true
+		}
+		n = r
+	}
+}
+
+// CeilingKey returns the smallest key >= key (load-only).
+func (m *Map[V]) CeilingKey(key int64) (int64, bool) {
+	var best int64
+	found := false
+	n := m.root.Load()
+	for depth := 0; n != nil && depth <= maxReadDepth; depth++ {
+		k := n.key.Load()
+		switch {
+		case k == key:
+			return k, true
+		case k < key:
+			n = n.right.Load()
+		default:
+			best, found = k, true
+			n = n.left.Load()
+		}
+	}
+	return best, found
+}
+
+// FloorKey returns the largest key <= key (load-only).
+func (m *Map[V]) FloorKey(key int64) (int64, bool) {
+	var best int64
+	found := false
+	n := m.root.Load()
+	for depth := 0; n != nil && depth <= maxReadDepth; depth++ {
+		k := n.key.Load()
+		switch {
+		case k == key:
+			return k, true
+		case k > key:
+			n = n.left.Load()
+		default:
+			best, found = k, true
+			n = n.right.Load()
+		}
+	}
+	return best, found
+}
+
+// Range calls fn in ascending key order until fn returns false (load-only).
+// The traversal is recursive with a depth bound, so speculative callers on
+// torn snapshots terminate.
+func (m *Map[V]) Range(fn func(key int64, val V) bool) {
+	m.ranger(m.root.Load(), fn, 0)
+}
+
+func (m *Map[V]) ranger(n *node[V], fn func(int64, V) bool, depth int) bool {
+	if n == nil || depth > maxReadDepth {
+		return true
+	}
+	if !m.ranger(n.left.Load(), fn, depth+1) {
+		return false
+	}
+	if p := n.val.Load(); p != nil {
+		if !fn(n.key.Load(), *p) {
+			return false
+		}
+	}
+	return m.ranger(n.right.Load(), fn, depth+1)
+}
+
+// Keys returns all keys in ascending order.
+func (m *Map[V]) Keys() []int64 {
+	out := make([]int64, 0, m.Len())
+	m.Range(func(k int64, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// --- writer-side helpers (nil is black, as in CLR / java.util.TreeMap) ---
+
+func colorOf[V any](n *node[V]) uint32 {
+	if n == nil {
+		return black
+	}
+	return n.color.Load()
+}
+
+func setColor[V any](n *node[V], c uint32) {
+	if n != nil {
+		n.color.Store(c)
+	}
+}
+
+func parentOf[V any](n *node[V]) *node[V] {
+	if n == nil {
+		return nil
+	}
+	return n.parent.Load()
+}
+
+func leftOf[V any](n *node[V]) *node[V] {
+	if n == nil {
+		return nil
+	}
+	return n.left.Load()
+}
+
+func rightOf[V any](n *node[V]) *node[V] {
+	if n == nil {
+		return nil
+	}
+	return n.right.Load()
+}
+
+func (m *Map[V]) rotateLeft(p *node[V]) {
+	if p == nil {
+		return
+	}
+	r := p.right.Load()
+	rl := r.left.Load()
+	p.right.Store(rl)
+	if rl != nil {
+		rl.parent.Store(p)
+	}
+	pp := p.parent.Load()
+	r.parent.Store(pp)
+	switch {
+	case pp == nil:
+		m.root.Store(r)
+	case pp.left.Load() == p:
+		pp.left.Store(r)
+	default:
+		pp.right.Store(r)
+	}
+	r.left.Store(p)
+	p.parent.Store(r)
+}
+
+func (m *Map[V]) rotateRight(p *node[V]) {
+	if p == nil {
+		return
+	}
+	l := p.left.Load()
+	lr := l.right.Load()
+	p.left.Store(lr)
+	if lr != nil {
+		lr.parent.Store(p)
+	}
+	pp := p.parent.Load()
+	l.parent.Store(pp)
+	switch {
+	case pp == nil:
+		m.root.Store(l)
+	case pp.right.Load() == p:
+		pp.right.Store(l)
+	default:
+		pp.left.Store(l)
+	}
+	l.right.Store(p)
+	p.parent.Store(l)
+}
+
+// Put inserts or replaces the value for key, returning the previous value
+// if any. Callers must hold the guarding lock in write mode.
+func (m *Map[V]) Put(key int64, val V) (V, bool) {
+	var zero V
+	t := m.root.Load()
+	if t == nil {
+		n := &node[V]{}
+		n.key.Store(key)
+		n.val.Store(&val)
+		n.color.Store(black)
+		m.root.Store(n)
+		m.size.Store(1)
+		return zero, false
+	}
+	var parent *node[V]
+	for t != nil {
+		parent = t
+		k := t.key.Load()
+		switch {
+		case key < k:
+			t = t.left.Load()
+		case key > k:
+			t = t.right.Load()
+		default:
+			old := t.val.Swap(&val)
+			if old != nil {
+				return *old, true
+			}
+			return zero, false
+		}
+	}
+	n := &node[V]{}
+	n.key.Store(key)
+	n.val.Store(&val)
+	n.parent.Store(parent)
+	if key < parent.key.Load() {
+		parent.left.Store(n)
+	} else {
+		parent.right.Store(n)
+	}
+	m.fixAfterInsertion(n)
+	m.size.Add(1)
+	return zero, false
+}
+
+func (m *Map[V]) fixAfterInsertion(x *node[V]) {
+	x.color.Store(red)
+	for x != nil && x != m.root.Load() && colorOf(parentOf(x)) == red {
+		if parentOf(x) == leftOf(parentOf(parentOf(x))) {
+			y := rightOf(parentOf(parentOf(x)))
+			if colorOf(y) == red {
+				setColor(parentOf(x), black)
+				setColor(y, black)
+				setColor(parentOf(parentOf(x)), red)
+				x = parentOf(parentOf(x))
+			} else {
+				if x == rightOf(parentOf(x)) {
+					x = parentOf(x)
+					m.rotateLeft(x)
+				}
+				setColor(parentOf(x), black)
+				setColor(parentOf(parentOf(x)), red)
+				m.rotateRight(parentOf(parentOf(x)))
+			}
+		} else {
+			y := leftOf(parentOf(parentOf(x)))
+			if colorOf(y) == red {
+				setColor(parentOf(x), black)
+				setColor(y, black)
+				setColor(parentOf(parentOf(x)), red)
+				x = parentOf(parentOf(x))
+			} else {
+				if x == leftOf(parentOf(x)) {
+					x = parentOf(x)
+					m.rotateRight(x)
+				}
+				setColor(parentOf(x), black)
+				setColor(parentOf(parentOf(x)), red)
+				m.rotateLeft(parentOf(parentOf(x)))
+			}
+		}
+	}
+	m.root.Load().color.Store(black)
+}
+
+func (m *Map[V]) getNode(key int64) *node[V] {
+	n := m.root.Load()
+	for n != nil {
+		k := n.key.Load()
+		switch {
+		case key < k:
+			n = n.left.Load()
+		case key > k:
+			n = n.right.Load()
+		default:
+			return n
+		}
+	}
+	return nil
+}
+
+func successor[V any](t *node[V]) *node[V] {
+	if t == nil {
+		return nil
+	}
+	if r := t.right.Load(); r != nil {
+		for l := r.left.Load(); l != nil; l = r.left.Load() {
+			r = l
+		}
+		return r
+	}
+	p := t.parent.Load()
+	ch := t
+	for p != nil && ch == p.right.Load() {
+		ch = p
+		p = p.parent.Load()
+	}
+	return p
+}
+
+// Remove deletes key, returning the removed value if it was present.
+// Callers must hold the guarding lock in write mode.
+func (m *Map[V]) Remove(key int64) (V, bool) {
+	var zero V
+	p := m.getNode(key)
+	if p == nil {
+		return zero, false
+	}
+	var out V
+	if v := p.val.Load(); v != nil {
+		out = *v
+	}
+	m.deleteNode(p)
+	m.size.Add(-1)
+	return out, true
+}
+
+// deleteNode is java.util.TreeMap's deleteEntry: an internal node with two
+// children receives its successor's key and value, then the successor node
+// (with at most one child) is spliced out and the tree recolored.
+func (m *Map[V]) deleteNode(p *node[V]) {
+	if p.left.Load() != nil && p.right.Load() != nil {
+		s := successor(p)
+		p.key.Store(s.key.Load())
+		p.val.Store(s.val.Load())
+		p = s
+	}
+	replacement := p.left.Load()
+	if replacement == nil {
+		replacement = p.right.Load()
+	}
+	switch {
+	case replacement != nil:
+		pp := p.parent.Load()
+		replacement.parent.Store(pp)
+		switch {
+		case pp == nil:
+			m.root.Store(replacement)
+		case p == pp.left.Load():
+			pp.left.Store(replacement)
+		default:
+			pp.right.Store(replacement)
+		}
+		p.left.Store(nil)
+		p.right.Store(nil)
+		p.parent.Store(nil)
+		if colorOf(p) == black {
+			m.fixAfterDeletion(replacement)
+		}
+	case p.parent.Load() == nil:
+		m.root.Store(nil)
+	default:
+		if colorOf(p) == black {
+			m.fixAfterDeletion(p)
+		}
+		pp := p.parent.Load()
+		if pp != nil {
+			if p == pp.left.Load() {
+				pp.left.Store(nil)
+			} else if p == pp.right.Load() {
+				pp.right.Store(nil)
+			}
+			p.parent.Store(nil)
+		}
+	}
+}
+
+func (m *Map[V]) fixAfterDeletion(x *node[V]) {
+	for x != m.root.Load() && colorOf(x) == black {
+		if x == leftOf(parentOf(x)) {
+			sib := rightOf(parentOf(x))
+			if colorOf(sib) == red {
+				setColor(sib, black)
+				setColor(parentOf(x), red)
+				m.rotateLeft(parentOf(x))
+				sib = rightOf(parentOf(x))
+			}
+			if colorOf(leftOf(sib)) == black && colorOf(rightOf(sib)) == black {
+				setColor(sib, red)
+				x = parentOf(x)
+			} else {
+				if colorOf(rightOf(sib)) == black {
+					setColor(leftOf(sib), black)
+					setColor(sib, red)
+					m.rotateRight(sib)
+					sib = rightOf(parentOf(x))
+				}
+				setColor(sib, colorOf(parentOf(x)))
+				setColor(parentOf(x), black)
+				setColor(rightOf(sib), black)
+				m.rotateLeft(parentOf(x))
+				x = m.root.Load()
+			}
+		} else {
+			sib := leftOf(parentOf(x))
+			if colorOf(sib) == red {
+				setColor(sib, black)
+				setColor(parentOf(x), red)
+				m.rotateRight(parentOf(x))
+				sib = leftOf(parentOf(x))
+			}
+			if colorOf(rightOf(sib)) == black && colorOf(leftOf(sib)) == black {
+				setColor(sib, red)
+				x = parentOf(x)
+			} else {
+				if colorOf(leftOf(sib)) == black {
+					setColor(rightOf(sib), black)
+					setColor(sib, red)
+					m.rotateLeft(sib)
+					sib = leftOf(parentOf(x))
+				}
+				setColor(sib, colorOf(parentOf(x)))
+				setColor(parentOf(x), black)
+				setColor(leftOf(sib), black)
+				m.rotateRight(parentOf(x))
+				x = m.root.Load()
+			}
+		}
+	}
+	setColor(x, black)
+}

@@ -1,0 +1,247 @@
+package treemap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetBasic(t *testing.T) {
+	m := New[string]()
+	if _, ok := m.Get(1); ok {
+		t.Fatalf("empty map returned a value")
+	}
+	m.Put(5, "five")
+	m.Put(3, "three")
+	m.Put(8, "eight")
+	for k, want := range map[int64]string{5: "five", 3: "three", 8: "eight"} {
+		got, ok := m.Get(k)
+		if !ok || got != want {
+			t.Fatalf("Get(%d) = %q,%v", k, got, ok)
+		}
+	}
+	old, had := m.Put(5, "FIVE")
+	if !had || old != "five" {
+		t.Fatalf("replace returned %q,%v", old, had)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestOrderedIteration(t *testing.T) {
+	m := New[int]()
+	perm := rand.New(rand.NewSource(1)).Perm(500)
+	for _, k := range perm {
+		m.Put(int64(k), k)
+	}
+	keys := m.Keys()
+	if len(keys) != 500 {
+		t.Fatalf("Keys len = %d", len(keys))
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatalf("keys not sorted")
+	}
+}
+
+func TestFirstLastCeilingFloor(t *testing.T) {
+	m := New[int]()
+	if _, ok := m.FirstKey(); ok {
+		t.Fatalf("FirstKey on empty map")
+	}
+	for _, k := range []int64{10, 20, 30, 40} {
+		m.Put(k, int(k))
+	}
+	if k, _ := m.FirstKey(); k != 10 {
+		t.Fatalf("FirstKey = %d", k)
+	}
+	if k, _ := m.LastKey(); k != 40 {
+		t.Fatalf("LastKey = %d", k)
+	}
+	if k, ok := m.CeilingKey(25); !ok || k != 30 {
+		t.Fatalf("CeilingKey(25) = %d,%v", k, ok)
+	}
+	if k, ok := m.CeilingKey(30); !ok || k != 30 {
+		t.Fatalf("CeilingKey(30) = %d,%v", k, ok)
+	}
+	if _, ok := m.CeilingKey(41); ok {
+		t.Fatalf("CeilingKey past max returned a key")
+	}
+	if k, ok := m.FloorKey(25); !ok || k != 20 {
+		t.Fatalf("FloorKey(25) = %d,%v", k, ok)
+	}
+	if _, ok := m.FloorKey(9); ok {
+		t.Fatalf("FloorKey below min returned a key")
+	}
+}
+
+func TestRemoveAllShapes(t *testing.T) {
+	// Removing leaves, single-child nodes, and two-child internal nodes.
+	m := New[int]()
+	keys := []int64{50, 30, 70, 20, 40, 60, 80, 10, 45, 65, 85}
+	for _, k := range keys {
+		m.Put(k, int(k))
+	}
+	order := []int64{10, 20, 50, 70, 30, 85, 80, 60, 65, 40, 45}
+	remaining := make(map[int64]bool)
+	for _, k := range keys {
+		remaining[k] = true
+	}
+	for _, k := range order {
+		got, ok := m.Remove(k)
+		if !ok || got != int(k) {
+			t.Fatalf("Remove(%d) = %d,%v", k, got, ok)
+		}
+		delete(remaining, k)
+		if err := m.checkInvariants(); err != "" {
+			t.Fatalf("after Remove(%d): %s", k, err)
+		}
+		for want := range remaining {
+			if !m.ContainsKey(want) {
+				t.Fatalf("Remove(%d) lost key %d", k, want)
+			}
+		}
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after removing all", m.Len())
+	}
+	if _, ok := m.Remove(50); ok {
+		t.Fatalf("Remove on empty map succeeded")
+	}
+}
+
+// checkInvariants validates the red-black properties; it returns "" when the
+// tree is valid.
+func (m *Map[V]) checkInvariants() string {
+	root := m.root.Load()
+	if root == nil {
+		return ""
+	}
+	if colorOf(root) != black {
+		return "root is red"
+	}
+	_, msg := validate(root, nil)
+	return msg
+}
+
+func validate[V any](n *node[V], parent *node[V]) (blackHeight int, msg string) {
+	if n == nil {
+		return 1, ""
+	}
+	if n.parent.Load() != parent {
+		return 0, "parent link broken"
+	}
+	l, r := n.left.Load(), n.right.Load()
+	if colorOf(n) == red && (colorOf(l) == red || colorOf(r) == red) {
+		return 0, "red node with red child"
+	}
+	if l != nil && l.key.Load() >= n.key.Load() {
+		return 0, "left child key out of order"
+	}
+	if r != nil && r.key.Load() <= n.key.Load() {
+		return 0, "right child key out of order"
+	}
+	lb, m1 := validate(l, n)
+	if m1 != "" {
+		return 0, m1
+	}
+	rb, m2 := validate(r, n)
+	if m2 != "" {
+		return 0, m2
+	}
+	if lb != rb {
+		return 0, "black height mismatch"
+	}
+	if colorOf(n) == black {
+		return lb + 1, ""
+	}
+	return lb, ""
+}
+
+func TestInvariantsUnderRandomChurn(t *testing.T) {
+	m := New[int]()
+	rng := rand.New(rand.NewSource(7))
+	ref := make(map[int64]int)
+	for i := 0; i < 5000; i++ {
+		k := int64(rng.Intn(200))
+		if rng.Intn(3) == 0 {
+			m.Remove(k)
+			delete(ref, k)
+		} else {
+			m.Put(k, i)
+			ref[k] = i
+		}
+		if i%97 == 0 {
+			if err := m.checkInvariants(); err != "" {
+				t.Fatalf("step %d: %s", i, err)
+			}
+		}
+	}
+	if err := m.checkInvariants(); err != "" {
+		t.Fatalf("final: %s", err)
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref = %d", m.Len(), len(ref))
+	}
+	for k, want := range ref {
+		got, ok := m.Get(k)
+		if !ok || got != want {
+			t.Fatalf("Get(%d) = %d,%v want %d", k, got, ok, want)
+		}
+	}
+}
+
+// Property: the tree agrees with a reference map under random operations
+// and preserves red-black invariants.
+func TestQuickAgainstReferenceMap(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  int8
+		Val  int16
+	}
+	f := func(ops []op) bool {
+		m := New[int16]()
+		ref := make(map[int64]int16)
+		for _, o := range ops {
+			k := int64(o.Key)
+			switch o.Kind % 3 {
+			case 0:
+				m.Put(k, o.Val)
+				ref[k] = o.Val
+			case 1:
+				got, ok := m.Get(k)
+				want, wok := ref[k]
+				if ok != wok || (ok && got != want) {
+					return false
+				}
+			case 2:
+				_, ok := m.Remove(k)
+				_, wok := ref[k]
+				delete(ref, k)
+				if ok != wok {
+					return false
+				}
+			}
+		}
+		return m.Len() == len(ref) && m.checkInvariants() == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeEarlyExit(t *testing.T) {
+	m := New[int]()
+	for i := int64(0); i < 100; i++ {
+		m.Put(i, int(i))
+	}
+	count := 0
+	m.Range(func(k int64, v int) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early-exit Range visited %d", count)
+	}
+}

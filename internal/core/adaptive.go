@@ -1,0 +1,88 @@
+package core
+
+import "sync/atomic"
+
+// Adaptive elision — an extension in the spirit of the paper's remark that
+// the single-failure fallback "can be expanded" (§3.2): instead of only
+// reacting per execution, the lock tracks its recent speculation failure
+// ratio and, when a sampling window shows elision mostly failing (a
+// write-heavy phase), routes read-only sections through the plain lock for
+// a backoff period before re-probing. This bounds the cost of the
+// pathological regime Figure 15 exposes at high thread counts, where
+// failed speculations and their fallback acquisitions feed each other.
+//
+// The counters are plain atomics updated without coordination; windows are
+// approximate under concurrency, which only blurs the trip point.
+
+// adaptiveState is embedded in Lock.
+type adaptiveState struct {
+	attempts    atomic.Uint32 // attempts in the current window
+	failures    atomic.Uint32 // failures in the current window
+	backoffLeft atomic.Int32  // unelided read sections remaining
+}
+
+// adaptiveDefaults.
+const (
+	defaultAdaptiveWindow     = 256
+	defaultAdaptiveFailurePct = 50
+	defaultAdaptiveBackoffOps = 2048
+)
+
+// adaptiveParams resolves configured knobs.
+func (c *Config) adaptiveParams() (window, pct uint32, backoff int32) {
+	window = c.AdaptiveWindow
+	if window == 0 {
+		window = defaultAdaptiveWindow
+	}
+	pct = c.AdaptiveFailurePct
+	if pct == 0 {
+		pct = defaultAdaptiveFailurePct
+	}
+	backoff = c.AdaptiveBackoffOps
+	if backoff == 0 {
+		backoff = defaultAdaptiveBackoffOps
+	}
+	return
+}
+
+// adaptiveSkip reports whether this read-only section should skip
+// speculation (backoff active) and consumes one backoff credit.
+func (l *Lock) adaptiveSkip() bool {
+	if !l.cfg.Adaptive {
+		return false
+	}
+	for {
+		left := l.ad.backoffLeft.Load()
+		if left <= 0 {
+			return false
+		}
+		if l.ad.backoffLeft.CompareAndSwap(left, left-1) {
+			l.st.AdaptiveSkips.Add(1)
+			return true
+		}
+	}
+}
+
+// adaptiveRecord accounts one speculative execution outcome and trips the
+// backoff when the window's failure ratio crosses the threshold.
+func (l *Lock) adaptiveRecord(failed bool) {
+	if !l.cfg.Adaptive {
+		return
+	}
+	if failed {
+		l.ad.failures.Add(1)
+	}
+	window, pct, backoff := l.cfg.adaptiveParams()
+	if l.ad.attempts.Add(1) < window {
+		return
+	}
+	// Window complete: evaluate and reset. Racing evaluators may both
+	// reset; harmless.
+	fails := l.ad.failures.Load()
+	l.ad.attempts.Store(0)
+	l.ad.failures.Store(0)
+	if fails*100 >= window*pct {
+		l.ad.backoffLeft.Store(backoff)
+		l.st.AdaptiveTrips.Add(1)
+	}
+}

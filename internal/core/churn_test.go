@@ -1,0 +1,181 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/jthread"
+	"repro/internal/lockword"
+)
+
+// TestInflationDeflationChurnStress drives the lock through continuous
+// mode transitions — recursion-saturation inflations, deflations, FLC
+// contention, wait/notify episodes — while elided readers check the pair
+// invariant. This exercises every slow path against every other.
+func TestInflationDeflationChurnStress(t *testing.T) {
+	vm := jthread.NewVM()
+	l := New(nil)
+	var a, b atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Churner 1: recursion saturation (forces owner-side inflation).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := vm.Attach("saturator")
+		defer th.Detach()
+		depth := int(lockword.SoleroRecMax) + 2
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := 0; i < depth; i++ {
+				l.Lock(th)
+			}
+			a.Add(1)
+			b.Add(1)
+			for i := 0; i < depth; i++ {
+				l.Unlock(th)
+			}
+		}
+	}()
+
+	// Churner 2: plain writes (contends, triggers FLC and spin paths).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := vm.Attach("writer")
+		defer th.Detach()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			l.Lock(th)
+			a.Add(1)
+			b.Add(1)
+			l.Unlock(th)
+		}
+	}()
+
+	// Churner 3: timed waits (inflate, park, reacquire).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := vm.Attach("waiter")
+		defer th.Detach()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			l.Lock(th)
+			l.WaitTimeout(th, 100*time.Microsecond)
+			l.Unlock(th)
+		}
+	}()
+
+	// Readers: the pair must never tear through any of the transitions.
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			th := vm.Attach("reader")
+			defer th.Detach()
+			for i := 0; i < 8000; i++ {
+				var ga, gb uint64
+				l.ReadOnly(th, func() {
+					ga = a.Load()
+					gb = b.Load()
+				})
+				if ga != gb {
+					t.Errorf("torn pair through churn: %d != %d", ga, gb)
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	wg.Wait()
+
+	st := l.Stats()
+	if st.Inflations.Load() == 0 {
+		t.Fatalf("churn produced no inflations")
+	}
+	if st.Deflations.Load() == 0 {
+		t.Fatalf("churn produced no deflations")
+	}
+	t.Logf("churn: %d inflations, %d deflations, %d elision attempts (%.1f%% failed), %d fat enters",
+		st.Inflations.Load(), st.Deflations.Load(), st.ElisionAttempts.Load(),
+		st.FailureRatio(), st.FatEnters.Load())
+
+	// The lock must end fully functional in flat mode.
+	th := vm.Attach("final")
+	l.Lock(th)
+	l.Unlock(th)
+	l.ReadOnly(th, func() {})
+	if l.HeldBy(th) {
+		t.Fatalf("lock unusable after churn")
+	}
+}
+
+// TestCounterAdvancesAcrossAllReleasePaths verifies the central seqlock
+// property — every writing episode publishes a fresh counter — across the
+// fast release, the FLC slow release, and the inflation/deflation cycle.
+func TestCounterAdvancesAcrossAllReleasePaths(t *testing.T) {
+	vm := jthread.NewVM()
+	l := New(nil)
+	th := vm.Attach("t")
+	seen := map[uint64]bool{}
+	record := func() {
+		w := l.Word()
+		if !lockword.SoleroFree(w) {
+			t.Fatalf("word not free between episodes: %#x", w)
+		}
+		c := lockword.SoleroCounter(w)
+		if seen[c] {
+			t.Fatalf("counter %d reused", c)
+		}
+		seen[c] = true
+	}
+	record() // initial
+
+	// Fast path.
+	l.Lock(th)
+	l.Unlock(th)
+	record()
+
+	// Recursion episode (one counter bump regardless of depth).
+	for i := 0; i < 5; i++ {
+		l.Lock(th)
+	}
+	for i := 0; i < 5; i++ {
+		l.Unlock(th)
+	}
+	record()
+
+	// Inflation + deflation episode via saturation.
+	n := int(lockword.SoleroRecMax) + 2
+	for i := 0; i < n; i++ {
+		l.Lock(th)
+	}
+	for i := 0; i < n; i++ {
+		l.Unlock(th)
+	}
+	record()
+
+	// Wait episode (inflates, deflates on the way out).
+	l.Lock(th)
+	l.WaitTimeout(th, time.Millisecond)
+	l.Unlock(th)
+	record()
+}

@@ -1,0 +1,263 @@
+// Package core implements SOLERO (Software Optimistic Lock Elision for
+// Read-Only critical sections), the paper's primary contribution (§3): a
+// drop-in replacement for the conventional Java lock that provides full
+// monitor functionality — reentrancy, bi-modal thin/fat switching, and
+// multi-tier contention management — while letting read-only critical
+// sections complete without ever writing the lock variable.
+//
+// The flat word uses lockword's SOLERO layout (Figure 5): while the lock is
+// free, bits 8..63 hold a sequence counter; while held, they hold the owner
+// thread id and bit 2 (the lock bit) is set. A writing critical section
+// CASes the free word to tid|LockBit, remembers the pre-acquire word (the
+// "local lock variable"), and releases by storing that word advanced by one
+// counter unit — so every writing section leaves the counter changed.
+// A read-only critical section (ReadOnly) loads the word, runs
+// speculatively if the low three bits are clear, and succeeds iff the word
+// is unchanged at the end (Figure 7). Inconsistent speculative reads are
+// recovered from via panic/recover (the stand-in for the paper's generated
+// catch blocks, §3.3) and via asynchronous checkpoint validation for
+// infinite loops (jthread.Checkpoint). ReadMostly implements the §5
+// extension: a section that encounters a write upgrades in place by CASing
+// its saved word to an owned word, which simultaneously validates every
+// read performed so far (Figure 17).
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/jthread"
+	"repro/internal/lockword"
+	"repro/internal/memmodel"
+	"repro/internal/monitor"
+	"repro/internal/trace"
+)
+
+// Config tunes the SOLERO protocol. Use DefaultConfig as a starting point;
+// a nil Config given to New means DefaultConfig.
+type Config struct {
+	// Tier1/Tier2/Tier3 parameterize the three-tier contention loops
+	// (innermost backoff spins, acquisition attempts per round, yield
+	// rounds), used by both the writing slow path and Figure 8's
+	// read-entry slow path.
+	Tier1, Tier2, Tier3 int
+	// Deflate enables reverting a fat lock to flat mode on a full release
+	// with no parked threads. Deflation republishes the incremented
+	// counter stashed in the monitor at inflation time, so concurrently
+	// eliding readers observe a changed word.
+	Deflate bool
+	// FLCTimeout bounds parking on the FLC bit.
+	FLCTimeout time.Duration
+	// MaxElisionFailures is the number of failed speculative executions
+	// of a read-only section before falling back to real lock
+	// acquisition. The paper uses 1.
+	MaxElisionFailures int
+	// DisableElision makes ReadOnly take the writing path
+	// (the paper's "Unelided-SOLERO" configuration in Figure 10).
+	DisableElision bool
+	// Adaptive enables per-lock adaptive elision (see adaptive.go): when
+	// a window of AdaptiveWindow speculative executions fails at or above
+	// AdaptiveFailurePct percent, the next AdaptiveBackoffOps read-only
+	// sections take the plain lock before speculation is re-probed.
+	// Zero-valued knobs use the defaults in adaptive.go.
+	Adaptive           bool
+	AdaptiveWindow     uint32
+	AdaptiveFailurePct uint32
+	AdaptiveBackoffOps int32
+	// Model and Plan charge fence costs at the §3.4 placement points.
+	Model *memmodel.Model
+	Plan  memmodel.Plan
+	// Tracer, when non-nil, records protocol transitions into a ring
+	// buffer (see internal/trace; `lockstats -trace` prints it).
+	Tracer *trace.Ring
+}
+
+// DefaultConfig matches the paper's setup: three-tier contention
+// management and fallback after a single elision failure.
+var DefaultConfig = &Config{
+	Tier1:              32,
+	Tier2:              16,
+	Tier3:              4,
+	Deflate:            true,
+	FLCTimeout:         monitor.DefaultWaitTimeout,
+	MaxElisionFailures: 1,
+}
+
+// Stats counts SOLERO protocol events. All fields are atomic; the elision
+// counters feed the paper's Figure 15 failure-ratio experiment.
+type Stats struct {
+	FastAcquires atomic.Uint64 // uncontended writing acquisitions
+	SlowAcquires atomic.Uint64
+	Recursions   atomic.Uint64
+	SpinAcquires atomic.Uint64
+	FLCWaits     atomic.Uint64
+	Inflations   atomic.Uint64
+	Deflations   atomic.Uint64
+	FatEnters    atomic.Uint64
+
+	ElisionAttempts  atomic.Uint64 // speculative executions started
+	ElisionSuccesses atomic.Uint64 // validated unchanged at exit
+	ElisionFailures  atomic.Uint64 // changed word, suppressed fault, or async abort
+	Fallbacks        atomic.Uint64 // read sections re-run holding the lock
+	ReadRecursions   atomic.Uint64 // read sections entered reentrantly
+	ReadFatEnters    atomic.Uint64 // read sections run under the fat lock
+
+	SuppressedFaults atomic.Uint64 // panics suppressed as inconsistent reads
+	GenuineFaults    atomic.Uint64 // panics validated as genuine and rethrown
+	AsyncAborts      atomic.Uint64 // speculations aborted at checkpoints
+
+	Upgrades        atomic.Uint64 // read-mostly in-place upgrades
+	UpgradeFailures atomic.Uint64 // upgrades that forced re-execution
+
+	AdaptiveTrips atomic.Uint64 // adaptive backoffs triggered
+	AdaptiveSkips atomic.Uint64 // read sections routed to the lock by backoff
+}
+
+// FailureRatio returns ElisionFailures / ElisionAttempts as a percentage
+// (0 when no attempts were made).
+func (s *Stats) FailureRatio() float64 {
+	a := s.ElisionAttempts.Load()
+	if a == 0 {
+		return 0
+	}
+	return 100 * float64(s.ElisionFailures.Load()) / float64(a)
+}
+
+// Snapshot returns a plain-value copy of all counters.
+func (s *Stats) Snapshot() map[string]uint64 {
+	return map[string]uint64{
+		"fastAcquires":     s.FastAcquires.Load(),
+		"slowAcquires":     s.SlowAcquires.Load(),
+		"recursions":       s.Recursions.Load(),
+		"spinAcquires":     s.SpinAcquires.Load(),
+		"flcWaits":         s.FLCWaits.Load(),
+		"inflations":       s.Inflations.Load(),
+		"deflations":       s.Deflations.Load(),
+		"fatEnters":        s.FatEnters.Load(),
+		"elisionAttempts":  s.ElisionAttempts.Load(),
+		"elisionSuccesses": s.ElisionSuccesses.Load(),
+		"elisionFailures":  s.ElisionFailures.Load(),
+		"fallbacks":        s.Fallbacks.Load(),
+		"readRecursions":   s.ReadRecursions.Load(),
+		"readFatEnters":    s.ReadFatEnters.Load(),
+		"suppressedFaults": s.SuppressedFaults.Load(),
+		"genuineFaults":    s.GenuineFaults.Load(),
+		"asyncAborts":      s.AsyncAborts.Load(),
+		"upgrades":         s.Upgrades.Load(),
+		"upgradeFailures":  s.UpgradeFailures.Load(),
+		"adaptiveTrips":    s.AdaptiveTrips.Load(),
+		"adaptiveSkips":    s.AdaptiveSkips.Load(),
+	}
+}
+
+// Lock is a SOLERO lock. The zero value is not ready; use New.
+type Lock struct {
+	word atomic.Uint64
+	mon  atomic.Pointer[monitor.Monitor]
+	cfg  *Config
+	st   Stats
+
+	// saved is the owner's "local lock variable": the free word read
+	// immediately before the acquiring CAS. Only the flat owner accesses
+	// it, and the word's atomic acquire/release edges order successive
+	// owners' accesses, so a plain field is sound.
+	saved uint64
+
+	// ad tracks the adaptive-elision window (see adaptive.go).
+	ad adaptiveState
+}
+
+// New creates a free lock (counter zero). nil cfg means DefaultConfig.
+func New(cfg *Config) *Lock {
+	if cfg == nil {
+		cfg = DefaultConfig
+	}
+	return &Lock{cfg: cfg}
+}
+
+// Word returns the raw lock word (diagnostics and tests).
+func (l *Lock) Word() uint64 { return l.word.Load() }
+
+// Stats exposes the lock's event counters.
+func (l *Lock) Stats() *Stats { return &l.st }
+
+// Config returns the lock's configuration.
+func (l *Lock) Config() *Config { return l.cfg }
+
+// Inflated reports whether the lock is in fat mode.
+func (l *Lock) Inflated() bool { return lockword.Inflated(l.word.Load()) }
+
+// HeldBy reports whether t owns the lock (flat or fat).
+func (l *Lock) HeldBy(t *jthread.Thread) bool {
+	v := l.word.Load()
+	if lockword.Inflated(v) {
+		return l.monitorFor().HeldBy(t.ID())
+	}
+	return lockword.SoleroHeldBy(v, t.ID())
+}
+
+func (l *Lock) monitorFor() *monitor.Monitor {
+	if m := l.mon.Load(); m != nil {
+		return m
+	}
+	m := monitor.Global.New()
+	if l.mon.CompareAndSwap(nil, m) {
+		return m
+	}
+	return l.mon.Load()
+}
+
+// Lock acquires the lock for a writing critical section (Figure 6): CAS the
+// free word to tid|LockBit, keeping the pre-acquire word as the local lock
+// variable.
+func (l *Lock) Lock(t *jthread.Thread) {
+	tid := t.ID()
+	for {
+		v := l.word.Load()
+		if lockword.SoleroFree(v) {
+			if l.word.CompareAndSwap(v, lockword.SoleroOwned(tid, 0)) {
+				l.saved = v
+				l.st.FastAcquires.Add(1)
+				l.cfg.Tracer.Record(trace.EvAcquireFast, tid, v)
+				l.cfg.Model.ChargeAtomic()
+				l.cfg.Model.Charge(l.cfg.Plan.WriteAcquire)
+				return
+			}
+			continue
+		}
+		l.slowEnter(t, v)
+		return
+	}
+}
+
+// Unlock releases one level of ownership (Figure 6): when the low byte is
+// exactly the lock bit, store the local lock variable advanced by one
+// counter unit; otherwise take the slow path.
+func (l *Lock) Unlock(t *jthread.Thread) {
+	l.cfg.Model.Charge(l.cfg.Plan.WriteRelease)
+	v2 := l.word.Load()
+	if lockword.SoleroFastReleasable(v2) {
+		if lockword.Field(v2) != t.ID() {
+			panic("core: Unlock by non-owner")
+		}
+		// Capture the local lock variable before the releasing store:
+		// the moment the word is free, the next owner may overwrite it.
+		saved := l.saved
+		l.cfg.Model.ChargeAtomic()
+		l.word.Store(lockword.SoleroNextFree(saved))
+		l.cfg.Tracer.Record(trace.EvRelease, t.ID(), saved)
+		return
+	}
+	l.slowExit(t, v2)
+}
+
+// Sync runs fn while holding the lock for writing — the analogue of a Java
+// synchronized block the JIT classified as writing.
+func (l *Lock) Sync(t *jthread.Thread, fn func()) {
+	l.Lock(t)
+	defer l.Unlock(t)
+	fn()
+}
+
+// sub atomically subtracts delta from w.
+func sub(w *atomic.Uint64, delta uint64) { w.Add(^delta + 1) }

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/jthread"
+	"repro/internal/lockword"
+)
+
+func TestReadMostlyNoWriteElides(t *testing.T) {
+	ths := newT(t, 1)
+	l := New(nil)
+	before := l.Word()
+	l.ReadMostly(ths[0], func(s *Section) {
+		if s.Holding() {
+			t.Errorf("section holding before any write")
+		}
+	})
+	if l.Word() != before {
+		t.Fatalf("no-write read-mostly section changed the word")
+	}
+	if l.Stats().ElisionSuccesses.Load() != 1 {
+		t.Fatalf("no-write section not counted as elided")
+	}
+}
+
+func TestReadMostlyUpgradeInPlace(t *testing.T) {
+	ths := newT(t, 1)
+	l := New(nil)
+	before := lockword.SoleroCounter(l.Word())
+	runs := 0
+	l.ReadMostly(ths[0], func(s *Section) {
+		runs++
+		s.BeforeWrite()
+		if !s.Holding() || !s.Upgraded() {
+			t.Errorf("not holding after BeforeWrite")
+		}
+		if !l.HeldBy(ths[0]) {
+			t.Errorf("lock not actually held after upgrade")
+		}
+	})
+	if runs != 1 {
+		t.Fatalf("upgrade should not re-execute: runs=%d", runs)
+	}
+	if got := lockword.SoleroCounter(l.Word()); got != before+1 {
+		t.Fatalf("writing read-mostly section must advance counter: %d -> %d", before, got)
+	}
+	if l.HeldBy(ths[0]) {
+		t.Fatalf("lock leaked after upgraded section")
+	}
+	if l.Stats().Upgrades.Load() != 1 {
+		t.Fatalf("upgrade not counted")
+	}
+}
+
+func TestReadMostlyUpgradeIdempotent(t *testing.T) {
+	ths := newT(t, 1)
+	l := New(nil)
+	l.ReadMostly(ths[0], func(s *Section) {
+		s.BeforeWrite()
+		s.BeforeWrite() // second call must be a no-op
+	})
+	if l.Stats().Upgrades.Load() != 1 {
+		t.Fatalf("double upgrade counted: %d", l.Stats().Upgrades.Load())
+	}
+}
+
+func TestReadMostlyUpgradeFailureReExecutesHolding(t *testing.T) {
+	ths := newT(t, 2)
+	l := New(nil)
+	runs := 0
+	l.ReadMostly(ths[0], func(s *Section) {
+		runs++
+		if runs == 1 {
+			// Invalidate the snapshot before the upgrade attempt.
+			l.Lock(ths[1])
+			l.Unlock(ths[1])
+		}
+		s.BeforeWrite()
+		if !s.Holding() {
+			t.Errorf("not holding after BeforeWrite on run %d", runs)
+		}
+	})
+	if runs != 2 {
+		t.Fatalf("failed upgrade must re-execute: runs=%d", runs)
+	}
+	if l.Stats().UpgradeFailures.Load() != 1 {
+		t.Fatalf("upgrade failure not counted")
+	}
+	if l.HeldBy(ths[0]) {
+		t.Fatalf("lock leaked")
+	}
+}
+
+func TestReadMostlyEntryWhileHoldingWritesFreely(t *testing.T) {
+	ths := newT(t, 1)
+	l := New(nil)
+	l.Lock(ths[0])
+	l.ReadMostly(ths[0], func(s *Section) {
+		if !s.Holding() {
+			t.Errorf("reentrant read-mostly section must start holding")
+		}
+		s.BeforeWrite() // no-op
+	})
+	if !l.HeldBy(ths[0]) {
+		t.Fatalf("outer hold lost")
+	}
+	l.Unlock(ths[0])
+}
+
+func TestReadMostlyGenuinePanicAfterUpgradeReleasesAndPropagates(t *testing.T) {
+	ths := newT(t, 1)
+	l := New(nil)
+	r := func() (r any) {
+		defer func() { r = recover() }()
+		l.ReadMostly(ths[0], func(s *Section) {
+			s.BeforeWrite()
+			panic("boom")
+		})
+		return nil
+	}()
+	if r != "boom" {
+		t.Fatalf("recover = %v", r)
+	}
+	if l.HeldBy(ths[0]) {
+		t.Fatalf("lock leaked after post-upgrade panic")
+	}
+	if ths[0].SpecDepth() != 0 {
+		t.Fatalf("frames leaked")
+	}
+}
+
+func TestReadMostlyCheckpointAfterUpgradeDoesNotAbort(t *testing.T) {
+	ths := newT(t, 1)
+	l := New(nil)
+	l.ReadMostly(ths[0], func(s *Section) {
+		s.BeforeWrite()
+		// The word changed (we own it), but the speculative frame was
+		// retired at upgrade, so checkpoints must pass.
+		ths[0].Poke()
+		ths[0].Checkpoint()
+	})
+	if l.Stats().AsyncAborts.Load() != 0 {
+		t.Fatalf("upgraded section wrongly aborted by checkpoint")
+	}
+}
+
+func TestReadMostlyDisableElision(t *testing.T) {
+	cfg := *DefaultConfig
+	cfg.DisableElision = true
+	ths := newT(t, 1)
+	l := New(&cfg)
+	l.ReadMostly(ths[0], func(s *Section) {
+		if !s.Holding() {
+			t.Errorf("unelided section must hold")
+		}
+		s.BeforeWrite()
+	})
+	if lockword.SoleroCounter(l.Word()) != 1 {
+		t.Fatalf("unelided read-mostly did not take write path")
+	}
+}
+
+// TestReadMostlyStress mixes read-mostly sections (5% of which write) with
+// the invariant pair check.
+func TestReadMostlyStress(t *testing.T) {
+	vm := jthread.NewVM()
+	l := New(nil)
+	var a, b atomic.Uint64
+	var wg sync.WaitGroup
+	const goroutines, per = 6, 4000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			th := vm.Attach("rm")
+			defer th.Detach()
+			rng := seed*2654435761 + 1
+			for i := 0; i < per; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				write := rng%100 < 5
+				l.ReadMostly(th, func(s *Section) {
+					ga := a.Load()
+					if write {
+						s.BeforeWrite()
+						a.Add(1)
+						b.Add(1)
+						return
+					}
+					gb := b.Load()
+					if s.Holding() {
+						// Re-executed holding: reads are
+						// trivially consistent.
+						return
+					}
+					_ = ga
+					_ = gb
+				})
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	if a.Load() != b.Load() {
+		t.Fatalf("invariant broken: a=%d b=%d", a.Load(), b.Load())
+	}
+	writes := l.Stats().Upgrades.Load() + l.Stats().Fallbacks.Load()
+	if writes == 0 {
+		t.Fatalf("no writes executed")
+	}
+}
+
+// TestReadMostlyTornNeverEscapes: like the read-only stress, but the
+// readers are read-mostly sections that never write; the writers are
+// read-mostly sections that do. A successful non-holding execution must
+// never observe a torn pair.
+func TestReadMostlyTornNeverEscapes(t *testing.T) {
+	vm := jthread.NewVM()
+	l := New(nil)
+	var a, b atomic.Uint64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := vm.Attach("w")
+		defer th.Detach()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			l.ReadMostly(th, func(s *Section) {
+				s.BeforeWrite()
+				a.Add(1)
+				b.Add(1)
+			})
+		}
+	}()
+	var readerWG sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			th := vm.Attach("r")
+			defer th.Detach()
+			for i := 0; i < 10000; i++ {
+				var ga, gb uint64
+				l.ReadMostly(th, func(s *Section) {
+					ga, gb = a.Load(), b.Load()
+				})
+				if ga != gb {
+					t.Errorf("torn read-mostly observation: %d != %d", ga, gb)
+					return
+				}
+			}
+		}()
+	}
+	readerWG.Wait()
+	close(stop)
+	wg.Wait()
+}

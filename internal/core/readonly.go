@@ -1,0 +1,144 @@
+package core
+
+import (
+	"repro/internal/jthread"
+	"repro/internal/lockword"
+	"repro/internal/trace"
+)
+
+// ReadOnly executes fn as a read-only critical section, eliding all writes
+// to the lock variable on the fast path (Figure 7). fn must not write
+// shared state — the JIT analysis (internal/jit/analysis) or the
+// @SoleroReadOnly annotation establishes that for compiled code; hand-
+// written callers carry the same obligation.
+//
+// Speculative executions can observe mutually inconsistent reads; fn must
+// therefore tolerate being re-executed, and any panic it raises while the
+// lock word has changed is suppressed and turned into a retry (§3.3). A
+// panic raised while the word is unchanged is genuine and propagates.
+// Long-running fn bodies should call t.Checkpoint() in loops (compiled code
+// gets these inserted at back-edges) so asynchronous validation can break
+// inconsistency-induced infinite loops.
+//
+// After MaxElisionFailures failed speculations, the section falls back to
+// real lock acquisition, which bounds starvation.
+func (l *Lock) ReadOnly(t *jthread.Thread, fn func()) {
+	if l.cfg.DisableElision || l.adaptiveSkip() {
+		// Unelided-SOLERO (Figure 10), or an adaptive backoff window:
+		// the read section pays the full writing protocol.
+		l.Sync(t, fn)
+		return
+	}
+	v := l.word.Load()
+	holding := false
+	if !lockword.SoleroFree(v) {
+		v, holding = l.slowReadEnter(t)
+	}
+	failures := 0
+	for {
+		if holding {
+			// The thread holds the lock (reentrant entry or
+			// fat-mode entry): run non-speculatively.
+			l.runHolding(t, fn)
+			return
+		}
+		if l.runSpeculative(t, v, fn) {
+			l.cfg.Model.Charge(l.cfg.Plan.ReadExit)
+			if l.word.Load() == v {
+				l.st.ElisionSuccesses.Add(1)
+				l.cfg.Tracer.Record(trace.EvElideSuccess, t.ID(), v)
+				l.adaptiveRecord(false)
+				return
+			}
+			if l.slowReadExit(t, v) {
+				l.st.ElisionSuccesses.Add(1)
+				l.cfg.Tracer.Record(trace.EvElideSuccess, t.ID(), v)
+				l.adaptiveRecord(false)
+				return
+			}
+		}
+		l.st.ElisionFailures.Add(1)
+		l.cfg.Tracer.Record(trace.EvElideFailure, t.ID(), v)
+		l.adaptiveRecord(true)
+		failures++
+		if failures >= l.cfg.MaxElisionFailures {
+			// Fallback (Figure 7's solero_slow_enter arm): run the
+			// section holding the lock.
+			l.st.Fallbacks.Add(1)
+			l.cfg.Tracer.Record(trace.EvFallback, t.ID(), v)
+			l.Lock(t)
+			defer l.Unlock(t)
+			fn()
+			return
+		}
+		v = l.word.Load()
+		if !lockword.SoleroFree(v) {
+			v, holding = l.slowReadEnter(t)
+		}
+	}
+}
+
+// ReadOnlyValue runs fn as a read-only critical section of l and returns
+// its result; a convenience wrapper over (*Lock).ReadOnly for lookup-style
+// sections. fn may run more than once; only the final (consistent)
+// execution's result is returned.
+func ReadOnlyValue[T any](l *Lock, t *jthread.Thread, fn func() T) T {
+	var out T
+	l.ReadOnly(t, func() { out = fn() })
+	return out
+}
+
+// runHolding executes fn while the thread holds the lock (the v == 0 case),
+// releasing through slowReadExit even if fn panics — the conventional
+// "release then throw" behavior of a synchronized block.
+func (l *Lock) runHolding(t *jthread.Thread, fn func()) {
+	defer func() {
+		if !l.slowReadExit(t, 0) {
+			panic("core: failed to release a held lock at read exit")
+		}
+	}()
+	fn()
+}
+
+// runSpeculative runs fn with the speculative-read recovery machinery of
+// §3.3 armed: a speculative frame for asynchronous checkpoint validation,
+// and a catch-all handler that classifies any fault as inconsistent
+// (suppress and retry) or genuine (rethrow) by re-validating the lock word.
+// It returns false when the section must be retried. Charges the ReadEnter
+// fence — on a real weak machine the entry fence is what makes the
+// validation sound, see internal/memmodel.
+func (l *Lock) runSpeculative(t *jthread.Thread, v uint64, fn func()) (ok bool) {
+	l.st.ElisionAttempts.Add(1)
+	l.cfg.Model.Charge(l.cfg.Plan.ReadEnter)
+	t.PushSpec(&l.word, v)
+	defer t.PopSpec()
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if ire, isIRE := r.(*jthread.InconsistentReadError); isIRE {
+			if ire.Word == &l.word {
+				// An asynchronous checkpoint aborted our
+				// speculation: retry.
+				l.st.AsyncAborts.Add(1)
+				return
+			}
+			// An enclosing section's speculation is stale; let its
+			// handler deal with it.
+			panic(r)
+		}
+		// A fault escaped fn — the analogue of a runtime exception
+		// escaping the synchronized block. If the lock word changed,
+		// the reads may have been inconsistent and the fault is
+		// suppressed; otherwise it is genuine.
+		if l.word.Load() != v {
+			l.st.SuppressedFaults.Add(1)
+			return
+		}
+		l.st.GenuineFaults.Add(1)
+		panic(r)
+	}()
+	fn()
+	return true
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/jthread"
+	"repro/internal/lockword"
+	"repro/internal/trace"
+)
+
+// Object.wait/notify support — the remaining piece of "full Java lock
+// functionality" (§1). As in production JVMs, waiting requires the fat
+// lock: a flat lock held by the waiter inflates in place (its wait set
+// lives on the monitor). Waiting fully releases the lock (all recursion
+// levels), parks on the monitor's condition queue, then reacquires the
+// lock and restores the recursion depth. Wait/notify are side effects, so
+// the JIT analysis never classifies a block containing them as read-only;
+// calling them from inside a speculative section is a usage error (the
+// thread does not hold the lock, and Wait panics exactly as the JVM throws
+// IllegalMonitorStateException).
+
+// Wait releases the lock and parks until Notify/NotifyAll, then reacquires.
+// The caller must hold the lock.
+func (l *Lock) Wait(t *jthread.Thread) { l.WaitTimeout(t, 0) }
+
+// WaitTimeout is Wait with a bound (0 or negative waits indefinitely). It
+// reports whether the wakeup was a notification (false: timeout).
+func (l *Lock) WaitTimeout(t *jthread.Thread, d time.Duration) bool {
+	tid := t.ID()
+	v := l.word.Load()
+	switch {
+	case lockword.SoleroHeldBy(v, tid):
+		// Inflate in place, preserving the recursion depth.
+		l.inflateAsOwner(t, v, 0)
+	case lockword.Inflated(v) && l.monitorFor().HeldBy(tid):
+	default:
+		panic("core: Wait without holding the lock (IllegalMonitorStateException)")
+	}
+	l.cfg.Tracer.Record(trace.EvWait, tid, l.word.Load())
+	m := l.monitorFor()
+	rec, notified := m.CondReleaseAndPark(tid, d)
+
+	// Reacquire the lock — through the full protocol, because the word
+	// may have deflated (and even re-inflated) while parked.
+	l.Lock(t)
+	if rec > 0 {
+		l.restoreRecursion(t, rec)
+	}
+	return notified
+}
+
+// restoreRecursion re-applies a recursion depth after a wait's
+// reacquisition (which always acquires at depth zero).
+func (l *Lock) restoreRecursion(t *jthread.Thread, rec uint32) {
+	tid := t.ID()
+	v := l.word.Load()
+	if lockword.Inflated(v) {
+		l.monitorFor().SetRecursionOwned(tid, rec)
+		return
+	}
+	if rec <= lockword.SoleroRecMax {
+		l.word.Add(uint64(rec) * lockword.SoleroRecOne)
+		return
+	}
+	// Depth exceeds the flat bits: inflate and set it on the monitor.
+	l.inflateAsOwner(t, l.word.Load(), 0)
+	l.monitorFor().SetRecursionOwned(tid, rec)
+}
+
+// Notify wakes one thread waiting on the lock. The caller must hold the
+// lock.
+func (l *Lock) Notify(t *jthread.Thread) {
+	l.requireHeld(t)
+	l.cfg.Tracer.Record(trace.EvNotify, t.ID(), l.word.Load())
+	if m := l.mon.Load(); m != nil {
+		m.NotifyOne()
+	}
+}
+
+// NotifyAll wakes every thread waiting on the lock. The caller must hold
+// the lock.
+func (l *Lock) NotifyAll(t *jthread.Thread) {
+	l.requireHeld(t)
+	if m := l.mon.Load(); m != nil {
+		m.NotifyAllCond()
+	}
+}
+
+func (l *Lock) requireHeld(t *jthread.Thread) {
+	if !l.HeldBy(t) {
+		panic("core: Notify without holding the lock (IllegalMonitorStateException)")
+	}
+}

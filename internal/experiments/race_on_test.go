@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// performance-shape assertions are skipped (instrumentation distorts the
+// relative cost of atomics vs. plain code).
+const raceEnabled = true

@@ -1,0 +1,138 @@
+// Package harness runs throughput measurements following the paper's
+// methodology (§4.1): each benchmark runs R times; within a run the
+// throughput is measured M times back-to-back and the best score kept (to
+// exclude warmup effects); the run bests are averaged.
+//
+// A measurement spawns one goroutine per software thread, each attached to
+// the VM as a jthread.Thread, and counts operations completed during a
+// fixed wall-clock window.
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/jthread"
+	"repro/internal/stats"
+)
+
+// Options controls a measurement.
+type Options struct {
+	// Threads is the number of software threads (paper: 1..16).
+	Threads int
+	// Duration is one measurement window.
+	Duration time.Duration
+	// Runs is the number of independent runs (paper: 5).
+	Runs int
+	// InnerMeasures is the number of back-to-back windows per run, of
+	// which the best is kept (paper: 5).
+	InnerMeasures int
+	// Warmup, when positive, runs the workload unmeasured first.
+	Warmup time.Duration
+	// AsyncEventInterval, when positive, runs the VM's asynchronous
+	// validation event source during measurement (SOLERO's infinite-loop
+	// recovery). Zero disables it.
+	AsyncEventInterval time.Duration
+}
+
+// DefaultOptions keeps the paper's 5×best-of-5 protocol with windows sized
+// for CI rather than a dedicated testbed.
+var DefaultOptions = Options{
+	Threads:       1,
+	Duration:      60 * time.Millisecond,
+	Runs:          3,
+	InnerMeasures: 3,
+	Warmup:        20 * time.Millisecond,
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions
+	if o.Threads <= 0 {
+		o.Threads = d.Threads
+	}
+	if o.Duration <= 0 {
+		o.Duration = d.Duration
+	}
+	if o.Runs <= 0 {
+		o.Runs = d.Runs
+	}
+	if o.InnerMeasures <= 0 {
+		o.InnerMeasures = d.InnerMeasures
+	}
+	return o
+}
+
+// Worker is one thread's benchmark loop: perform operations until stop
+// becomes true, returning the number completed. The harness provides the
+// thread index and an attached VM thread.
+type Worker func(i int, th *jthread.Thread, stop *atomic.Bool) uint64
+
+// Result is an aggregated measurement.
+type Result struct {
+	// OpsPerSec is the paper-protocol score: mean over runs of each
+	// run's best window.
+	OpsPerSec float64
+	// RunBests holds each run's best window (ops/sec).
+	RunBests []float64
+	// Windows holds every raw window measurement.
+	Windows []float64
+}
+
+// Measure runs the worker under the paper's protocol.
+func Measure(vm *jthread.VM, opts Options, worker Worker) Result {
+	opts = opts.withDefaults()
+	if opts.AsyncEventInterval > 0 {
+		vm.StartAsyncEvents(opts.AsyncEventInterval)
+		defer vm.StopAsyncEvents()
+	}
+	if opts.Warmup > 0 {
+		runWindow(vm, opts.Threads, opts.Warmup, worker)
+	}
+	res := Result{}
+	for r := 0; r < opts.Runs; r++ {
+		windows := make([]float64, 0, opts.InnerMeasures)
+		for m := 0; m < opts.InnerMeasures; m++ {
+			ops, elapsed := runWindow(vm, opts.Threads, opts.Duration, worker)
+			windows = append(windows, stats.Throughput(ops, elapsed))
+		}
+		res.Windows = append(res.Windows, windows...)
+		res.RunBests = append(res.RunBests, stats.Best(windows))
+	}
+	res.OpsPerSec = stats.Mean(res.RunBests)
+	return res
+}
+
+// runWindow executes one measurement window and returns total operations
+// and the actual elapsed time.
+func runWindow(vm *jthread.VM, threads int, d time.Duration, worker Worker) (uint64, time.Duration) {
+	var stop atomic.Bool
+	var total atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			th := vm.Attach("bench")
+			defer th.Detach()
+			total.Add(worker(i, th, &stop))
+		}(i)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	return total.Load(), time.Since(start)
+}
+
+// Sweep measures the worker at each thread count and returns ops/sec per
+// count — the shape of the paper's multi-thread figures.
+func Sweep(vm *jthread.VM, opts Options, threadCounts []int, worker Worker) []float64 {
+	out := make([]float64, len(threadCounts))
+	for i, n := range threadCounts {
+		o := opts
+		o.Threads = n
+		out[i] = Measure(vm, o, worker).OpsPerSec
+	}
+	return out
+}

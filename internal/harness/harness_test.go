@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/jthread"
+)
+
+func spinWorker(counter *atomic.Uint64) Worker {
+	return func(i int, th *jthread.Thread, stop *atomic.Bool) uint64 {
+		var ops uint64
+		for !stop.Load() {
+			counter.Add(1)
+			ops++
+		}
+		return ops
+	}
+}
+
+func TestMeasureRunsPaperProtocol(t *testing.T) {
+	vm := jthread.NewVM()
+	var c atomic.Uint64
+	opts := Options{Threads: 2, Duration: 5 * time.Millisecond, Runs: 2, InnerMeasures: 3}
+	res := Measure(vm, opts, spinWorker(&c))
+	if res.OpsPerSec <= 0 {
+		t.Fatalf("no throughput")
+	}
+	if len(res.RunBests) != 2 {
+		t.Fatalf("run bests = %d", len(res.RunBests))
+	}
+	if len(res.Windows) != 6 {
+		t.Fatalf("windows = %d, want runs*inner = 6", len(res.Windows))
+	}
+	// The paper's score is the mean of run bests.
+	want := (res.RunBests[0] + res.RunBests[1]) / 2
+	if res.OpsPerSec != want {
+		t.Fatalf("score = %f, want %f", res.OpsPerSec, want)
+	}
+	for _, b := range res.RunBests {
+		found := false
+		for _, w := range res.Windows {
+			if w == b {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("run best %f not among windows", b)
+		}
+	}
+}
+
+func TestMeasureDefaultsApplied(t *testing.T) {
+	vm := jthread.NewVM()
+	var c atomic.Uint64
+	res := Measure(vm, Options{Duration: 2 * time.Millisecond, Runs: 1, InnerMeasures: 1}, spinWorker(&c))
+	if res.OpsPerSec <= 0 {
+		t.Fatalf("defaults produced no throughput")
+	}
+}
+
+func TestWorkersAttachedAndDetached(t *testing.T) {
+	vm := jthread.NewVM()
+	opts := Options{Threads: 4, Duration: 2 * time.Millisecond, Runs: 1, InnerMeasures: 1}
+	Measure(vm, opts, func(i int, th *jthread.Thread, stop *atomic.Bool) uint64 {
+		if th.ID() == 0 {
+			t.Errorf("worker got unattached thread")
+		}
+		for !stop.Load() {
+		}
+		return 1
+	})
+	if got := vm.NumThreads(); got != 0 {
+		t.Fatalf("threads leaked: %d", got)
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	vm := jthread.NewVM()
+	var c atomic.Uint64
+	opts := Options{Duration: 2 * time.Millisecond, Runs: 1, InnerMeasures: 1}
+	ys := Sweep(vm, opts, []int{1, 2, 4}, spinWorker(&c))
+	if len(ys) != 3 {
+		t.Fatalf("sweep points = %d", len(ys))
+	}
+	for i, y := range ys {
+		if y <= 0 {
+			t.Fatalf("point %d nonpositive", i)
+		}
+	}
+}
+
+func TestAsyncEventsDuringMeasurement(t *testing.T) {
+	vm := jthread.NewVM()
+	opts := Options{
+		Threads: 1, Duration: 80 * time.Millisecond, Runs: 1, InnerMeasures: 1,
+		AsyncEventInterval: time.Millisecond,
+	}
+	sawEvent := false
+	Measure(vm, opts, func(i int, th *jthread.Thread, stop *atomic.Bool) uint64 {
+		for !stop.Load() {
+			th.Checkpoint()
+			if th.EventsSeen() > 0 {
+				sawEvent = true
+			}
+		}
+		return 1
+	})
+	if !sawEvent {
+		t.Fatalf("async events not delivered during measurement")
+	}
+}

@@ -1,0 +1,329 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/jit/lang"
+	"repro/internal/jit/sema"
+)
+
+// classifyFirst parses src and returns the report for the first
+// synchronized block (in program order).
+func classifyFirst(t *testing.T, src string) *BlockReport {
+	t.Helper()
+	reports := classifyAll(t, src)
+	if len(reports) == 0 {
+		t.Fatalf("no synchronized blocks in source")
+	}
+	return reports[0]
+}
+
+func classifyAll(t *testing.T, src string) []*BlockReport {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ck, err := sema.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return Analyze(ck).Order
+}
+
+func TestPureGetterIsReadOnly(t *testing.T) {
+	rep := classifyFirst(t, `class A { int x; int get() {
+		synchronized (this) { return x; }
+	} }`)
+	if rep.Class != ReadOnly {
+		t.Fatalf("class = %v, violations = %v", rep.Class, rep.Violations)
+	}
+}
+
+func TestEmptyBlockIsReadOnly(t *testing.T) {
+	rep := classifyFirst(t, `class A { void f() { synchronized (this) { } } }`)
+	if rep.Class != ReadOnly {
+		t.Fatalf("empty block = %v", rep.Class)
+	}
+}
+
+func TestFieldWriteIsWriting(t *testing.T) {
+	rep := classifyFirst(t, `class A { int x; void set(int v) {
+		synchronized (this) { x = v; }
+	} }`)
+	if rep.Class != Writing {
+		t.Fatalf("class = %v", rep.Class)
+	}
+	if rep.HeapWrites != 1 {
+		t.Fatalf("HeapWrites = %d", rep.HeapWrites)
+	}
+}
+
+func TestStaticWriteIsWriting(t *testing.T) {
+	rep := classifyFirst(t, `class A { static int s; void f() {
+		synchronized (this) { A.s = 1; }
+	} }`)
+	if rep.Class != Writing {
+		t.Fatalf("class = %v", rep.Class)
+	}
+}
+
+func TestArrayStoreIsWriting(t *testing.T) {
+	rep := classifyFirst(t, `class A { int[] xs; void f() {
+		synchronized (this) { xs[0] = 1; }
+	} }`)
+	if rep.Class != Writing {
+		t.Fatalf("class = %v", rep.Class)
+	}
+}
+
+func TestDeadLocalWriteAllowed(t *testing.T) {
+	// tmp is declared before the block but never used after it and not
+	// read within it before being rewritten — it is dead at entry, so
+	// writing it does not disqualify elision (§3.2).
+	rep := classifyFirst(t, `class A { int x; int f() {
+		int tmp = 0;
+		synchronized (this) { tmp = x; return tmp; }
+	} }`)
+	if rep.Class != ReadOnly {
+		t.Fatalf("class = %v, violations = %v", rep.Class, rep.Violations)
+	}
+}
+
+func TestLiveLocalWriteDisqualifies(t *testing.T) {
+	// acc is live at entry (read after the block, and its incoming value
+	// flows into the sum), so the in-block write disqualifies elision.
+	rep := classifyFirst(t, `class A { int x; int f() {
+		int acc = 1;
+		synchronized (this) { acc = acc + x; }
+		return acc;
+	} }`)
+	if rep.Class == ReadOnly {
+		t.Fatalf("live-in local write not caught")
+	}
+	if rep.LiveInWrites != 1 {
+		t.Fatalf("LiveInWrites = %d, violations = %v", rep.LiveInWrites, rep.Violations)
+	}
+}
+
+func TestLocalDeclaredInsideAllowed(t *testing.T) {
+	rep := classifyFirst(t, `class A { int x; int f() {
+		synchronized (this) { int t = x; t = t + 1; return t; }
+	} }`)
+	if rep.Class != ReadOnly {
+		t.Fatalf("class = %v, violations = %v", rep.Class, rep.Violations)
+	}
+}
+
+func TestRuntimeExceptionThrowAllowed(t *testing.T) {
+	rep := classifyFirst(t, `class A { A next; int f() {
+		synchronized (this) {
+			if (next == null) { throw new NullPointerException(); }
+			return 1;
+		}
+	} }`)
+	if rep.Class != ReadOnly {
+		t.Fatalf("class = %v, violations = %v", rep.Class, rep.Violations)
+	}
+}
+
+func TestNonRuntimeThrowDisqualifies(t *testing.T) {
+	rep := classifyFirst(t, `class AppError { } class A { int f() {
+		synchronized (this) { throw new AppError(); }
+	} }`)
+	if rep.Class == ReadOnly {
+		t.Fatalf("non-runtime throw allowed")
+	}
+}
+
+func TestPrintDisqualifies(t *testing.T) {
+	rep := classifyFirst(t, `class A { void f() {
+		synchronized (this) { print(1); }
+	} }`)
+	if rep.Class != Writing {
+		t.Fatalf("class = %v", rep.Class)
+	}
+}
+
+func TestPureCalleeAllowed(t *testing.T) {
+	rep := classifyFirst(t, `class A {
+		int x;
+		int helper(int v) { int t = v * 2; return t + 1; }
+		int f() { synchronized (this) { return helper(x); } }
+	}`)
+	if rep.Class != ReadOnly {
+		t.Fatalf("pure callee rejected: %v", rep.Violations)
+	}
+}
+
+func TestImpureCalleeDisqualifies(t *testing.T) {
+	rep := classifyFirst(t, `class A {
+		int x;
+		void bump() { x = x + 1; }
+		int f() { synchronized (this) { bump(); return x; } }
+	}`)
+	if rep.Class == ReadOnly {
+		t.Fatalf("impure callee accepted")
+	}
+	joined := strings.Join(rep.Violations, ";")
+	if !strings.Contains(joined, "impure method A.bump") {
+		t.Fatalf("violations = %v", rep.Violations)
+	}
+}
+
+func TestVirtualDispatchImpureOverriderDisqualifies(t *testing.T) {
+	// Base.probe is pure, but the Derived override writes a field; CHA
+	// must reject the call site.
+	rep := classifyFirst(t, `
+class Base { int probe() { return 1; } }
+class Derived extends Base { int hits; int probe() { hits = hits + 1; return 2; } }
+class A { int f(Base b) { synchronized (this) { return b.probe(); } } }
+`)
+	if rep.Class == ReadOnly {
+		t.Fatalf("impure overrider accepted through virtual dispatch")
+	}
+}
+
+func TestAnnotationForcesReadOnlyAcrossVirtualCalls(t *testing.T) {
+	rep := classifyFirst(t, `
+class Base { int probe() { return 1; } }
+class Derived extends Base { int hits; int probe() { hits = hits + 1; return 2; } }
+class A {
+	@SoleroReadOnly
+	int f(Base b) { synchronized (this) { return b.probe(); } }
+}
+`)
+	if rep.Class != ReadOnly || !rep.Annotated {
+		t.Fatalf("annotation not honored: %v annotated=%v", rep.Class, rep.Annotated)
+	}
+}
+
+func TestSelfRecursivePureCalleeAllowed(t *testing.T) {
+	// Direct self-recursion of an otherwise pure method is pure: the
+	// only cycle member is the method itself.
+	rep := classifyFirst(t, `class A {
+		int r(int n) { if (n < 1) { return 0; } return r(n - 1); }
+		int f() { synchronized (this) { return r(5); } }
+	}`)
+	if rep.Class != ReadOnly {
+		t.Fatalf("self-recursive pure callee rejected: %v", rep.Violations)
+	}
+}
+
+func TestMutualRecursionPessimistic(t *testing.T) {
+	// Mutual recursion is cut pessimistically: the in-progress member is
+	// assumed impure, which is sound if conservative.
+	rep := classifyFirst(t, `class A {
+		int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }
+		int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }
+		int f() { synchronized (this) { return even(4); } }
+	}`)
+	if rep.Class == ReadOnly {
+		t.Fatalf("mutually recursive callees optimistically accepted")
+	}
+}
+
+func TestGuardedWriteIsReadMostly(t *testing.T) {
+	rep := classifyFirst(t, `class A { int hits, misses; int x; int get(int k) {
+		synchronized (this) {
+			if (k < 0) { misses = misses + 1; }
+			return x;
+		}
+	} }`)
+	if rep.Class != ReadMostly {
+		t.Fatalf("class = %v, violations = %v", rep.Class, rep.Violations)
+	}
+}
+
+func TestUnguardedWriteIsWritingNotReadMostly(t *testing.T) {
+	rep := classifyFirst(t, `class A { int x, count; int get() {
+		synchronized (this) { count = count + 1; return x; }
+	} }`)
+	if rep.Class != Writing {
+		t.Fatalf("class = %v", rep.Class)
+	}
+}
+
+func TestReadMostlyAnnotation(t *testing.T) {
+	rep := classifyFirst(t, `class A {
+		int x, count;
+		@SoleroReadMostly
+		int get() { synchronized (this) { count = count + 1; return x; } }
+	}`)
+	if rep.Class != ReadMostly || !rep.Annotated {
+		t.Fatalf("annotation not honored: %v", rep.Class)
+	}
+}
+
+func TestNestedSyncDisqualifies(t *testing.T) {
+	reports := classifyAll(t, `class A { int x; int f(A o) {
+		synchronized (this) { synchronized (o) { } return x; }
+	} }`)
+	var outer *BlockReport
+	for _, r := range reports {
+		for _, v := range r.Violations {
+			if strings.Contains(v, "nested synchronized") {
+				outer = r
+			}
+		}
+	}
+	if outer == nil {
+		t.Fatalf("nested synchronized not flagged")
+	}
+	if outer.Class == ReadOnly {
+		t.Fatalf("outer block with nested sync classified read-only")
+	}
+}
+
+func TestLoopingReaderIsReadOnly(t *testing.T) {
+	// Pointer chasing and loops are allowed in SOLERO read-only blocks —
+	// the very thing plain seqlocks cannot support.
+	rep := classifyFirst(t, `class Node { int key; Node next; }
+class List {
+	Node head;
+	int find(int k) {
+		synchronized (this) {
+			Node cur = head;
+			while (cur != null) {
+				if (cur.key == k) { return 1; }
+				cur = cur.next;
+			}
+			return 0;
+		}
+	}
+}`)
+	if rep.Class != ReadOnly {
+		t.Fatalf("looping pointer-chasing reader = %v, violations = %v", rep.Class, rep.Violations)
+	}
+}
+
+func TestMultipleBlocksClassifiedIndependently(t *testing.T) {
+	reports := classifyAll(t, `class A {
+	int x;
+	int get() { synchronized (this) { return x; } }
+	void set(int v) { synchronized (this) { x = v; } }
+}`)
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if reports[0].Class != ReadOnly || reports[1].Class != Writing {
+		t.Fatalf("classes = %v, %v", reports[0].Class, reports[1].Class)
+	}
+}
+
+func TestWhileLoopLivenessFixpoint(t *testing.T) {
+	// i is live at the sync entry because the loop carries it around the
+	// back edge; a write inside must disqualify.
+	rep := classifyFirst(t, `class A { int x; int f(int n) {
+		int i = 0;
+		int r = 0;
+		while (i < n) {
+			synchronized (this) { i = i + 1; }
+		}
+		return r;
+	} }`)
+	if rep.Class == ReadOnly {
+		t.Fatalf("loop-carried live local write not caught")
+	}
+}

@@ -1,0 +1,237 @@
+// Package analysis implements the JIT-side classification of synchronized
+// blocks (§3.2 and §5 of the paper):
+//
+//   - read-only: no writes to instance variables, static variables, or
+//     array elements; no writes to locals live at the beginning of the
+//     critical section; no invocations of methods other than those involved
+//     in throwing runtime exceptions (we extend this, as the paper
+//     suggests, with an interprocedural purity analysis over the class
+//     hierarchy); no side-effecting builtins;
+//   - read-mostly: writes exist but every one is conditionally guarded
+//     (not executed on every path), or the method carries @SoleroReadMostly;
+//   - writing: everything else.
+//
+// The @SoleroReadOnly annotation (checked against the same rules it
+// overrides only for invocations) forces blocks in the annotated method to
+// be classified read-only, matching the paper's use of annotations where
+// virtual-call targets defeat static analysis.
+package analysis
+
+import (
+	"repro/internal/jit/lang"
+	"repro/internal/jit/sema"
+)
+
+// slotSet is a small set of frame slots.
+type slotSet map[int]bool
+
+func (s slotSet) clone() slotSet {
+	out := make(slotSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func (s slotSet) addAll(o slotSet) bool {
+	changed := false
+	for k := range o {
+		if !s[k] {
+			s[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s slotSet) equal(o slotSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// liveness computes, for every synchronized block in a method, the set of
+// local slots live at the block's entry, via a backward analysis over the
+// structured AST (loops iterated to fixpoint).
+type liveness struct {
+	ck      *sema.Checked
+	atEntry map[*lang.Synchronized]slotSet
+}
+
+func newLiveness(ck *sema.Checked) *liveness {
+	return &liveness{ck: ck, atEntry: make(map[*lang.Synchronized]slotSet)}
+}
+
+// method runs the analysis over a method body.
+func (lv *liveness) method(m *sema.MethodInfo) {
+	lv.stmt(m.Decl.Body, slotSet{})
+}
+
+// stmt returns the live-in set of s given its live-out set. It must not
+// mutate out.
+func (lv *liveness) stmt(s lang.Stmt, out slotSet) slotSet {
+	switch s := s.(type) {
+	case *lang.Block:
+		cur := out
+		for i := len(s.Stmts) - 1; i >= 0; i-- {
+			cur = lv.stmt(s.Stmts[i], cur)
+		}
+		return cur
+	case *lang.If:
+		in := lv.stmt(s.Then, out).clone()
+		if s.Else != nil {
+			in.addAll(lv.stmt(s.Else, out))
+		} else {
+			in.addAll(out)
+		}
+		lv.uses(s.Cond, in)
+		return in
+	case *lang.While:
+		// Fixpoint: live-in feeds back through the body.
+		in := out.clone()
+		for {
+			next := lv.stmt(s.Body, in).clone()
+			next.addAll(out)
+			lv.uses(s.Cond, next)
+			if next.equal(in) {
+				return in
+			}
+			in = next
+		}
+	case *lang.For:
+		// Desugared: init; while (cond) { body; step }
+		in := out.clone()
+		for {
+			next := out.clone()
+			bodyOut := in
+			stepIn := bodyOut
+			if s.Step != nil {
+				stepIn = lv.stmt(s.Step, bodyOut)
+			}
+			next.addAll(lv.stmt(s.Body, stepIn))
+			if s.Cond != nil {
+				lv.uses(s.Cond, next)
+			}
+			if next.equal(in) {
+				break
+			}
+			in = next
+		}
+		if s.Init != nil {
+			return lv.stmt(s.Init, in)
+		}
+		return in
+	case *lang.Return:
+		in := slotSet{}
+		if s.E != nil {
+			lv.uses(s.E, in)
+		}
+		return in
+	case *lang.Break, *lang.Continue:
+		// Conservative: keep everything in the surrounding out-set live
+		// (the true successor is the loop exit or head; the loop
+		// fixpoint folds those in, and over-approximating liveness only
+		// makes the classifier more conservative).
+		return out.clone()
+	case *lang.Throw:
+		in := slotSet{}
+		lv.uses(s.E, in)
+		return in
+	case *lang.Synchronized:
+		bodyIn := lv.stmt(s.Body, out)
+		// Record live-at-entry for the classifier. Copy: the caller
+		// may keep mutating set aliases.
+		entry := bodyIn.clone()
+		lv.uses(s.Lock, entry)
+		lv.atEntry[s] = entry
+		return entry
+	case *lang.LocalDecl:
+		in := out.clone()
+		if slot, ok := lv.ck.DeclSlots[s]; ok {
+			delete(in, slot)
+		}
+		if s.Init != nil {
+			lv.uses(s.Init, in)
+		}
+		return in
+	case *lang.Assign:
+		in := out.clone()
+		if id, isID := s.Target.(*lang.Ident); isID {
+			if r := lv.ck.Resolutions[id]; r != nil && r.Kind == sema.ResLocal {
+				delete(in, r.Slot)
+			}
+		} else {
+			// Field/array targets read their sub-expressions.
+			switch tgt := s.Target.(type) {
+			case *lang.FieldAccess:
+				lv.uses(tgt.X, in)
+			case *lang.Index:
+				lv.uses(tgt.X, in)
+				lv.uses(tgt.I, in)
+			}
+		}
+		lv.uses(s.Value, in)
+		return in
+	case *lang.ExprStmt:
+		in := out.clone()
+		lv.uses(s.E, in)
+		return in
+	default:
+		return out
+	}
+}
+
+// uses adds the local slots read by e to set.
+func (lv *liveness) uses(e lang.Expr, set slotSet) {
+	switch e := e.(type) {
+	case *lang.Ident:
+		if r := lv.ck.Resolutions[e]; r != nil && r.Kind == sema.ResLocal {
+			set[r.Slot] = true
+		}
+	case *lang.This:
+		set[0] = true
+	case *lang.FieldAccess:
+		if r := lv.ck.Resolutions[e]; r != nil && r.Kind == sema.ResStatic {
+			return // ClassName.field reads no locals
+		}
+		lv.uses(e.X, set)
+	case *lang.Index:
+		lv.uses(e.X, set)
+		lv.uses(e.I, set)
+	case *lang.Call:
+		if e.Recv != nil {
+			if id, isID := e.Recv.(*lang.Ident); !isID || lv.resKind(id) != sema.ResClass {
+				lv.uses(e.Recv, set)
+			}
+		} else if info := lv.ck.Calls[e]; info != nil && info.Target != nil && !info.Target.Static {
+			set[0] = true // implicit this
+		}
+		for _, a := range e.Args {
+			lv.uses(a, set)
+		}
+	case *lang.NewArray:
+		lv.uses(e.Len, set)
+	case *lang.New:
+		for _, a := range e.Args {
+			lv.uses(a, set)
+		}
+	case *lang.Binary:
+		lv.uses(e.L, set)
+		lv.uses(e.R, set)
+	case *lang.Unary:
+		lv.uses(e.X, set)
+	}
+}
+
+func (lv *liveness) resKind(e lang.Expr) sema.ResKind {
+	if r := lv.ck.Resolutions[e]; r != nil {
+		return r.Kind
+	}
+	return sema.ResLocal
+}

@@ -1,0 +1,517 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/jit/lang"
+	"repro/internal/jit/sema"
+)
+
+// Classification is the lock strategy a synchronized block qualifies for.
+type Classification uint8
+
+// Classifications.
+const (
+	// Writing blocks use the full lock protocol.
+	Writing Classification = iota
+	// ReadOnly blocks qualify for lock elision (§3.2).
+	ReadOnly
+	// ReadMostly blocks qualify for the §5 upgrade protocol.
+	ReadMostly
+)
+
+// String names the classification.
+func (c Classification) String() string {
+	switch c {
+	case Writing:
+		return "writing"
+	case ReadOnly:
+		return "read-only"
+	case ReadMostly:
+		return "read-mostly"
+	default:
+		return "class(?)"
+	}
+}
+
+// Annotation names recognized on methods.
+const (
+	AnnotationReadOnly   = "SoleroReadOnly"
+	AnnotationReadMostly = "SoleroReadMostly"
+)
+
+// BlockReport is the classification of one synchronized block.
+type BlockReport struct {
+	Sync   *lang.Synchronized
+	Method *sema.MethodInfo
+	Class  Classification
+	// Annotated is set when an annotation forced the classification.
+	Annotated bool
+	// Violations lists why the block is not read-only (empty for
+	// read-only blocks).
+	Violations []string
+	// LiveInWrites counts writes to live-at-entry locals found.
+	LiveInWrites int
+	// HeapWrites counts heap-writing statements (including calls of
+	// heap-writing methods) found.
+	HeapWrites int
+	// SideEffects counts violations speculation cannot recover from
+	// (side-effecting builtins/callees, nested sync, non-runtime throws).
+	SideEffects int
+}
+
+// ProfileEligible reports whether the block could run under the read-mostly
+// upgrade protocol if a runtime profile showed its writes to be rare (§5):
+// every violation is a heap write the upgrade hook can intercept — no true
+// side effects, no writes to locals live at entry.
+func (r *BlockReport) ProfileEligible() bool {
+	return r.SideEffects == 0 && r.LiveInWrites == 0 && r.HeapWrites > 0
+}
+
+// Result is the classification of every synchronized block in a program.
+type Result struct {
+	Blocks map[*lang.Synchronized]*BlockReport
+	// Order lists reports in program order for deterministic output.
+	Order []*BlockReport
+}
+
+// Classify returns the report for a block (nil if the block is unknown).
+func (r *Result) Classify(s *lang.Synchronized) *BlockReport { return r.Blocks[s] }
+
+// Analyze classifies every synchronized block in the checked program.
+func Analyze(ck *sema.Checked) *Result {
+	a := &analyzer{ck: ck, purity: make(map[*sema.MethodInfo]purity)}
+	res := &Result{Blocks: make(map[*lang.Synchronized]*BlockReport)}
+	for _, mi := range ck.Methods {
+		if len(mi.SyncBlocks) == 0 {
+			continue
+		}
+		lv := newLiveness(ck)
+		lv.method(mi)
+		for _, sb := range mi.SyncBlocks {
+			rep := a.classify(mi, sb, lv.atEntry[sb])
+			res.Blocks[sb] = rep
+			res.Order = append(res.Order, rep)
+		}
+	}
+	return res
+}
+
+// purity grades a method for the interprocedural analysis. The levels
+// matter to the read-mostly machinery: a callee that only writes heap state
+// can run inside an upgradable section (the runtime's write hooks fire in
+// callees too), while a callee with true side effects (print, wait/notify,
+// nested synchronization, non-runtime throws) can never be speculated.
+type purity uint8
+
+const (
+	purityUnknown purity = iota
+	purityInProgress
+	pure
+	// heapWriting: impure only through writes to fields/statics/arrays.
+	heapWriting
+	// sideEffecting: performs effects speculation cannot undo.
+	sideEffecting
+)
+
+type analyzer struct {
+	ck     *sema.Checked
+	purity map[*sema.MethodInfo]purity
+}
+
+func (a *analyzer) classify(mi *sema.MethodInfo, sb *lang.Synchronized, liveIn slotSet) *BlockReport {
+	rep := &BlockReport{Sync: sb, Method: mi}
+	if mi.Decl.HasAnnotation(AnnotationReadOnly) {
+		rep.Class = ReadOnly
+		rep.Annotated = true
+		return rep
+	}
+	w := &blockWalker{a: a, liveIn: liveIn, rep: rep}
+	w.walkStmts(sb.Body.Stmts, false)
+	switch {
+	case len(rep.Violations) == 0:
+		rep.Class = ReadOnly
+	case mi.Decl.HasAnnotation(AnnotationReadMostly):
+		rep.Class = ReadMostly
+		rep.Annotated = true
+	case w.qualifiesReadMostly():
+		rep.Class = ReadMostly
+	default:
+		rep.Class = Writing
+	}
+	return rep
+}
+
+// blockWalker scans a synchronized block body for read-only violations.
+type blockWalker struct {
+	a      *analyzer
+	liveIn slotSet
+	rep    *BlockReport
+	// unguardedWrite is set when a heap write occurs on every path
+	// (outside any conditional), defeating the read-mostly heuristic.
+	unguardedWrite bool
+	// nonWriteViolation is set for violations that are not heap writes
+	// (side effects, impure calls): those defeat read-mostly entirely.
+	nonWriteViolation bool
+}
+
+// qualifiesReadMostly: all violations are heap writes, each conditionally
+// guarded.
+func (w *blockWalker) qualifiesReadMostly() bool {
+	return !w.nonWriteViolation && !w.unguardedWrite && w.rep.HeapWrites > 0
+}
+
+func (w *blockWalker) violate(pos lang.Pos, heapWrite, guarded bool, format string, args ...any) {
+	w.rep.Violations = append(w.rep.Violations, fmt.Sprintf("%s: %s", pos, fmt.Sprintf(format, args...)))
+	if heapWrite {
+		w.rep.HeapWrites++
+		if !guarded {
+			w.unguardedWrite = true
+		}
+	} else {
+		w.nonWriteViolation = true
+	}
+}
+
+// violateLiveLocal records a write to a live-at-entry local: not a heap
+// write and not a side effect, but fatal to any speculation.
+func (w *blockWalker) violateLiveLocal(pos lang.Pos, name string) {
+	w.rep.LiveInWrites++
+	w.rep.Violations = append(w.rep.Violations, fmt.Sprintf("%s: write to local %s live at section entry", pos, name))
+	w.nonWriteViolation = true
+}
+
+// violateSideEffect records an unrecoverable effect.
+func (w *blockWalker) violateSideEffect(pos lang.Pos, format string, args ...any) {
+	w.rep.SideEffects++
+	w.rep.Violations = append(w.rep.Violations, fmt.Sprintf("%s: %s", pos, fmt.Sprintf(format, args...)))
+	w.nonWriteViolation = true
+}
+
+func (w *blockWalker) walkStmts(ss []lang.Stmt, guarded bool) {
+	for _, s := range ss {
+		w.walkStmt(s, guarded)
+	}
+}
+
+func (w *blockWalker) walkStmt(s lang.Stmt, guarded bool) {
+	switch s := s.(type) {
+	case *lang.Block:
+		w.walkStmts(s.Stmts, guarded)
+	case *lang.If:
+		w.walkExpr(s.Cond, guarded)
+		w.walkStmt(s.Then, true)
+		if s.Else != nil {
+			w.walkStmt(s.Else, true)
+		}
+	case *lang.While:
+		w.walkExpr(s.Cond, guarded)
+		// Loop bodies are "guarded" (may run zero times).
+		w.walkStmt(s.Body, true)
+	case *lang.For:
+		if s.Init != nil {
+			w.walkStmt(s.Init, guarded)
+		}
+		if s.Cond != nil {
+			w.walkExpr(s.Cond, guarded)
+		}
+		if s.Step != nil {
+			w.walkStmt(s.Step, true)
+		}
+		w.walkStmt(s.Body, true)
+	case *lang.Return:
+		if s.E != nil {
+			w.walkExpr(s.E, guarded)
+		}
+	case *lang.Throw:
+		w.walkExpr(s.E, guarded)
+		// Throwing runtime exceptions is permitted (§3.2); anything
+		// else is a side effect the elided section may not have.
+		if ct, ok := w.a.ck.ExprTypes[s.E].(sema.ClassType); ok {
+			ci := w.a.ck.Classes[ct.Name]
+			if ci != nil && !sema.IsRuntimeException(ci) {
+				w.violateSideEffect(s.Pos, "throw of non-runtime exception %s", ct.Name)
+			}
+		}
+	case *lang.Synchronized:
+		// Conservative: nested synchronized blocks disqualify elision
+		// of the outer block (their lock operations write shared
+		// state). The runtime could elide both; the paper's compiler
+		// does not, and neither do we.
+		w.violateSideEffect(s.Pos, "nested synchronized block")
+		w.walkStmts(s.Body.Stmts, guarded)
+	case *lang.LocalDecl:
+		// Declares a fresh local: by construction not live at entry.
+		if s.Init != nil {
+			w.walkExpr(s.Init, guarded)
+		}
+	case *lang.Assign:
+		w.walkAssign(s, guarded)
+	case *lang.ExprStmt:
+		w.walkExpr(s.E, guarded)
+	}
+}
+
+func (w *blockWalker) walkAssign(s *lang.Assign, guarded bool) {
+	w.walkExpr(s.Value, guarded)
+	switch tgt := s.Target.(type) {
+	case *lang.Ident:
+		r := w.a.ck.Resolutions[tgt]
+		switch r.Kind {
+		case sema.ResLocal:
+			if w.liveIn[r.Slot] {
+				w.violateLiveLocal(s.Pos, r.Name)
+			}
+		case sema.ResField:
+			w.violate(s.Pos, true, guarded, "write to instance field %s", r.Name)
+		case sema.ResStatic:
+			w.violate(s.Pos, true, guarded, "write to static field %s", r.Name)
+		}
+	case *lang.FieldAccess:
+		r := w.a.ck.Resolutions[tgt]
+		w.walkExpr(tgt.X, guarded)
+		if r.Kind == sema.ResStatic {
+			w.violate(s.Pos, true, guarded, "write to static field %s", r.Name)
+		} else {
+			w.violate(s.Pos, true, guarded, "write to instance field %s", r.Name)
+		}
+	case *lang.Index:
+		w.walkExpr(tgt.X, guarded)
+		w.walkExpr(tgt.I, guarded)
+		w.violate(s.Pos, true, guarded, "write to array element")
+	}
+}
+
+func (w *blockWalker) walkExpr(e lang.Expr, guarded bool) {
+	switch e := e.(type) {
+	case *lang.Call:
+		info := w.a.ck.Calls[e]
+		if info == nil {
+			return
+		}
+		if info.Builtin != "" {
+			if sema.BuiltinHasSideEffect(info.Builtin) {
+				w.violateSideEffect(e.Pos, "call of side-effecting builtin %s", info.Builtin)
+			}
+			for _, arg := range e.Args {
+				w.walkExpr(arg, guarded)
+			}
+			return
+		}
+		if e.Recv != nil {
+			w.walkExpr(e.Recv, guarded)
+		}
+		for _, arg := range e.Args {
+			w.walkExpr(arg, guarded)
+		}
+		// Interprocedural purity over the CHA dispatch set. A callee
+		// that only writes heap state counts as a (possibly guarded)
+		// write — the runtime's upgrade hooks fire inside callees, so
+		// the read-mostly protocol covers it. A callee with true side
+		// effects disqualifies speculation entirely.
+		worst := pure
+		worstName := ""
+		for _, target := range w.a.ck.Overriders(info.Target) {
+			if lvl := w.a.methodImpurity(target); lvl > worst {
+				worst = lvl
+				worstName = target.QName()
+			}
+		}
+		switch worst {
+		case heapWriting:
+			w.violate(e.Pos, true, guarded, "call of impure method %s", worstName)
+		case sideEffecting:
+			w.violateSideEffect(e.Pos, "call of side-effecting method %s", worstName)
+		}
+	case *lang.FieldAccess:
+		if r := w.a.ck.Resolutions[e]; r != nil && r.Kind == sema.ResStatic {
+			return
+		}
+		w.walkExpr(e.X, guarded)
+	case *lang.Index:
+		w.walkExpr(e.X, guarded)
+		w.walkExpr(e.I, guarded)
+	case *lang.Binary:
+		w.walkExpr(e.L, guarded)
+		w.walkExpr(e.R, guarded)
+	case *lang.Unary:
+		w.walkExpr(e.X, guarded)
+	case *lang.NewArray:
+		w.walkExpr(e.Len, guarded)
+	case *lang.New:
+		for _, a := range e.Args {
+			w.walkExpr(a, guarded)
+		}
+		// A declared constructor is an invocation; it typically writes
+		// the new object's fields, which is exactly why the paper notes
+		// object creation rarely occurs in read-only blocks. Our purity
+		// analysis would reject any field-writing constructor anyway;
+		// we run it for uniformity (a truly empty constructor passes).
+		if ci := w.a.ck.Classes[e.Class]; ci != nil {
+			if ctor := ci.Methods[lang.CtorName]; ctor != nil && ctor.Class == ci {
+				switch w.a.methodImpurity(ctor) {
+				case heapWriting:
+					w.violate(e.Pos, true, guarded, "constructor %s writes state", e.Class)
+				case sideEffecting:
+					w.violateSideEffect(e.Pos, "constructor %s has side effects", e.Class)
+				}
+			}
+		}
+	}
+}
+
+// methodPure reports whether a method is fully pure (no heap writes, no
+// side effects).
+func (a *analyzer) methodPure(mi *sema.MethodInfo) bool {
+	return a.methodImpurity(mi) == pure
+}
+
+// methodImpurity grades a method: pure, heap-writing only, or
+// side-effecting. Writes to the method's own locals are fine — its frame is
+// private to each (re-)execution. Cycles are graded pessimistically
+// (side-effecting).
+func (a *analyzer) methodImpurity(mi *sema.MethodInfo) purity {
+	switch lvl := a.purity[mi]; lvl {
+	case pure, heapWriting, sideEffecting:
+		return lvl
+	case purityInProgress:
+		// Cycle: assume the worst (pessimistic, always sound).
+		a.purity[mi] = sideEffecting
+		return sideEffecting
+	}
+	a.purity[mi] = purityInProgress
+	p := &purityWalker{a: a, ck: a.ck}
+	p.walkStmt(mi.Decl.Body)
+	worst := pure
+	if p.heapWrites {
+		worst = heapWriting
+	}
+	if p.sideEffects {
+		worst = sideEffecting
+	}
+	if worst < sideEffecting {
+		// Fold in every callee's full dispatch set.
+		for _, call := range p.calls {
+			info := a.ck.Calls[call]
+			if info == nil || info.Target == nil {
+				continue
+			}
+			for _, target := range a.ck.Overriders(info.Target) {
+				if target == mi {
+					continue
+				}
+				if lvl := a.methodImpurity(target); lvl > worst {
+					worst = lvl
+				}
+			}
+		}
+	}
+	a.purity[mi] = worst
+	return worst
+}
+
+type purityWalker struct {
+	a           *analyzer
+	ck          *sema.Checked
+	heapWrites  bool
+	sideEffects bool
+	calls       []*lang.Call
+}
+
+func (p *purityWalker) done() bool { return p.sideEffects }
+
+func (p *purityWalker) walkStmt(s lang.Stmt) {
+	if p.done() || s == nil {
+		return
+	}
+	switch s := s.(type) {
+	case *lang.Block:
+		for _, st := range s.Stmts {
+			p.walkStmt(st)
+		}
+	case *lang.If:
+		p.walkExpr(s.Cond)
+		p.walkStmt(s.Then)
+		p.walkStmt(s.Else)
+	case *lang.While:
+		p.walkExpr(s.Cond)
+		p.walkStmt(s.Body)
+	case *lang.For:
+		p.walkStmt(s.Init)
+		p.walkExpr(s.Cond)
+		p.walkStmt(s.Step)
+		p.walkStmt(s.Body)
+	case *lang.Return:
+		p.walkExpr(s.E)
+	case *lang.Throw:
+		p.walkExpr(s.E)
+		if ct, ok := p.ck.ExprTypes[s.E].(sema.ClassType); ok {
+			if ci := p.ck.Classes[ct.Name]; ci != nil && !sema.IsRuntimeException(ci) {
+				p.sideEffects = true
+			}
+		}
+	case *lang.Synchronized:
+		p.sideEffects = true
+	case *lang.LocalDecl:
+		p.walkExpr(s.Init)
+	case *lang.Assign:
+		p.walkExpr(s.Value)
+		switch tgt := s.Target.(type) {
+		case *lang.Ident:
+			if r := p.ck.Resolutions[tgt]; r != nil && r.Kind != sema.ResLocal {
+				p.heapWrites = true
+			}
+		case *lang.FieldAccess, *lang.Index:
+			p.heapWrites = true
+		}
+	case *lang.ExprStmt:
+		p.walkExpr(s.E)
+	}
+}
+
+func (p *purityWalker) walkExpr(e lang.Expr) {
+	if p.done() || e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *lang.Call:
+		info := p.ck.Calls[e]
+		if info != nil && info.Builtin != "" && sema.BuiltinHasSideEffect(info.Builtin) {
+			p.sideEffects = true
+			return
+		}
+		if info != nil && info.Target != nil {
+			p.calls = append(p.calls, e)
+		}
+		p.walkExpr(e.Recv)
+		for _, a := range e.Args {
+			p.walkExpr(a)
+		}
+	case *lang.FieldAccess:
+		if r := p.ck.Resolutions[e]; r != nil && r.Kind == sema.ResStatic {
+			return
+		}
+		p.walkExpr(e.X)
+	case *lang.Index:
+		p.walkExpr(e.X)
+		p.walkExpr(e.I)
+	case *lang.Binary:
+		p.walkExpr(e.L)
+		p.walkExpr(e.R)
+	case *lang.Unary:
+		p.walkExpr(e.X)
+	case *lang.NewArray:
+		p.walkExpr(e.Len)
+	case *lang.New:
+		for _, a := range e.Args {
+			p.walkExpr(a)
+		}
+		if ci := p.ck.Classes[e.Class]; ci != nil {
+			if ctor := ci.Methods[lang.CtorName]; ctor != nil && ctor.Class == ci {
+				// Constructors write the fresh object's fields —
+				// writes to heap state from the caller's view.
+				p.heapWrites = true
+			}
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package jit
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/jit/analysis"
+	"repro/internal/jit/codegen"
+	"repro/internal/jit/interp"
+	"repro/internal/jit/ir"
+	"repro/internal/jthread"
+)
+
+// corpusCase pins the expected classification mix and a driver result for
+// each testdata program, under every lock protocol.
+type corpusCase struct {
+	file       string
+	elided     int
+	readMostly int
+	writing    int
+	driver     [2]string // class, method
+	args       []int64
+	want       int64
+}
+
+var corpus = []corpusCase{
+	{
+		file: "counterbank.mj", elided: 2, readMostly: 0, writing: 2,
+		driver: [2]string{"CounterBank", "driver"}, args: []int64{8, 5},
+		// sum over r,i of (r+i) for r in 0..4, i in 0..7 = 5*28 + 8*10 = 220.
+		want: 220,
+	},
+	{
+		file: "linkedlist.mj", elided: 2, readMostly: 0, writing: 1,
+		driver: [2]string{"SortedList", "driver"}, args: []int64{32},
+		// i*37%32 covers all residues (gcd(37,32)=1): all 32 keys present.
+		want: 32*1000 + 32,
+	},
+	{
+		file: "annotated.mj", elided: 1, readMostly: 0, writing: 1,
+		driver: [2]string{"Host", "driver"}, args: nil,
+		want: 62,
+	},
+	{
+		file: "cache.mj", elided: 0, readMostly: 1, writing: 1,
+		driver: [2]string{"MemoCache", "driver"}, args: []int64{64},
+		// 4 rounds over keys 0..15: 4 * sum(k^2+7) = 4*(1240+112) = 5408.
+		want: 5408,
+	},
+}
+
+func loadCorpus(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestCorpusClassification(t *testing.T) {
+	for _, c := range corpus {
+		t.Run(c.file, func(t *testing.T) {
+			_, res, rep, err := Build(loadCorpus(t, c.file), codegen.DefaultOptions)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Elided != c.elided || rep.ReadMostly != c.readMostly || rep.Writing != c.writing {
+				for _, br := range res.Order {
+					t.Logf("  %s -> %v %v", br.Method.QName(), br.Class, br.Violations)
+				}
+				t.Fatalf("plans = %d/%d/%d, want %d/%d/%d (elide/read-mostly/write)",
+					rep.Elided, rep.ReadMostly, rep.Writing, c.elided, c.readMostly, c.writing)
+			}
+			_ = analysis.ReadOnly // keep the import meaningful for godoc readers
+		})
+	}
+}
+
+func TestCorpusExecutionAllProtocols(t *testing.T) {
+	for _, c := range corpus {
+		src := loadCorpus(t, c.file)
+		for _, proto := range []interp.Protocol{interp.ProtoSolero, interp.ProtoConventional, interp.ProtoRWLock} {
+			t.Run(c.file+"/"+proto.String(), func(t *testing.T) {
+				prog := MustBuild(src, codegen.DefaultOptions)
+				vm := jthread.NewVM()
+				m := interp.NewMachine(prog, vm, interp.Options{Protocol: proto})
+				th := vm.Attach("main")
+				args := make([]interp.Value, len(c.args))
+				for i, a := range c.args {
+					args[i] = interp.IntVal(a)
+				}
+				got := m.MustCall(th, c.driver[0], c.driver[1], args...)
+				if got.I != c.want {
+					t.Fatalf("driver = %d, want %d", got.I, c.want)
+				}
+			})
+		}
+	}
+}
+
+// TestCorpusOptimizedMatchesUnoptimized executes every corpus driver on
+// both the optimized and the unoptimized build — the optimizer must be
+// semantics-preserving.
+func TestCorpusOptimizedMatchesUnoptimized(t *testing.T) {
+	for _, c := range corpus {
+		t.Run(c.file, func(t *testing.T) {
+			src := loadCorpus(t, c.file)
+			results := make([]int64, 2)
+			for i, build := range []func(string, codegen.Options) (res int64){
+				func(s string, o codegen.Options) int64 {
+					prog, _, _, err := Build(s, o)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return runDriver(t, prog, c)
+				},
+				func(s string, o codegen.Options) int64 {
+					prog, _, _, err := BuildUnoptimized(s, o)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return runDriver(t, prog, c)
+				},
+			} {
+				results[i] = build(src, codegen.DefaultOptions)
+			}
+			if results[0] != results[1] || results[0] != c.want {
+				t.Fatalf("optimized=%d unoptimized=%d want=%d", results[0], results[1], c.want)
+			}
+		})
+	}
+}
+
+func runDriver(t *testing.T, prog *ir.Program, c corpusCase) int64 {
+	t.Helper()
+	vm := jthread.NewVM()
+	m := interp.NewMachine(prog, vm, interp.Options{Protocol: interp.ProtoSolero})
+	th := vm.Attach("main")
+	args := make([]interp.Value, len(c.args))
+	for i, a := range c.args {
+		args[i] = interp.IntVal(a)
+	}
+	return m.MustCall(th, c.driver[0], c.driver[1], args...).I
+}
+
+// TestCorpusUneidedMatches runs the corpus with elision disabled and checks
+// results are identical — elision must be semantically invisible.
+func TestCorpusUnelidedMatches(t *testing.T) {
+	for _, c := range corpus {
+		t.Run(c.file, func(t *testing.T) {
+			prog := MustBuild(loadCorpus(t, c.file), codegen.Options{})
+			vm := jthread.NewVM()
+			m := interp.NewMachine(prog, vm, interp.Options{Protocol: interp.ProtoSolero})
+			th := vm.Attach("main")
+			args := make([]interp.Value, len(c.args))
+			for i, a := range c.args {
+				args[i] = interp.IntVal(a)
+			}
+			got := m.MustCall(th, c.driver[0], c.driver[1], args...)
+			if got.I != c.want {
+				t.Fatalf("unelided driver = %d, want %d", got.I, c.want)
+			}
+		})
+	}
+}

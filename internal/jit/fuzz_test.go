@@ -1,0 +1,46 @@
+package jit
+
+import (
+	"testing"
+
+	"repro/internal/jit/codegen"
+	"repro/internal/jit/interp"
+	"repro/internal/jthread"
+)
+
+// FuzzBuildAndRun asserts the full pipeline is total: any input either
+// builds (and its static int methods execute without interpreter panics —
+// Java exceptions surface as errors) or reports a frontend error.
+func FuzzBuildAndRun(f *testing.F) {
+	seeds := []string{
+		"class A { static int f() { return 1 / 1; } }",
+		"class A { static int f() { return 1 / 0; } }",
+		"class A { static int f() { int[] x = new int[2]; return x[5]; } }",
+		"class A { int x; static int f() { A a = null; return a.x; } }",
+		"class A { static int f() { if (true) { return 1; } } }",
+		"class A { int x; synchronized int g() { return x; } static int f() { return new A().g(); } }",
+		"class A { static int f() { int s = 0; for (int i = 0; i < 9; i = i + 1) { if (i == 4) { continue; } s = s + i; } return s; } }",
+		"class E extends RuntimeException { } class A { static int f() { throw new E(); } }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, _, _, err := Build(src, codegen.DefaultOptions)
+		if err != nil {
+			return // frontend rejection is fine
+		}
+		vm := jthread.NewVM()
+		m := interp.NewMachine(prog, vm, interp.Options{Protocol: interp.ProtoSolero})
+		th := vm.Attach("fuzz")
+		for _, cm := range prog.Methods {
+			info := cm.Info
+			if !info.Static || len(info.Params) != 0 {
+				continue
+			}
+			// Java exceptions come back as errors; anything else
+			// (an interpreter panic) fails the fuzz run.
+			_, _ = m.Call(th, info.Class.Name, info.Name)
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/jit"
+	"repro/internal/jit/codegen"
+	"repro/internal/jit/lang"
+	"repro/internal/jit/sema"
+)
+
+func TestConstructorRuns(t *testing.T) {
+	got := evalStatic(t, `class Point {
+		int x, y;
+		Point(int a, int b) { x = a; y = b; }
+		int sum() { return x + y; }
+		static int f() { return new Point(3, 4).sum(); }
+	}`, "Point", "f")
+	if got != 7 {
+		t.Fatalf("ctor sum = %d", got)
+	}
+}
+
+func TestNewWithoutCtorStillWorks(t *testing.T) {
+	got := evalStatic(t, `class A {
+		int x;
+		static int f() { A a = new A(); return a.x; }
+	}`, "A", "f")
+	if got != 0 {
+		t.Fatalf("zero-init = %d", got)
+	}
+}
+
+func TestCtorArgExpressionAndNesting(t *testing.T) {
+	got := evalStatic(t, `class Box {
+		int v;
+		Box(int x) { v = x * 2; }
+		static int f() { return new Box(new Box(5).v).v; }
+	}`, "Box", "f")
+	if got != 20 {
+		t.Fatalf("nested ctor = %d", got)
+	}
+}
+
+func TestCtorArityChecked(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`class A { A(int x) { } static void f() { A a = new A(); } }`, "takes 1 argument"},
+		{`class A { static void f() { A a = new A(1); } }`, "has no constructor"},
+		{`class A { A(int x) { } static void f() { A a = new A(true); } }`, "expected int"},
+	}
+	for _, c := range cases {
+		prog, err := lang.Parse(c.src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		_, err = sema.Check(prog)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%q: err = %v", c.src, err)
+		}
+	}
+}
+
+func TestCtorNotInherited(t *testing.T) {
+	src := `class Base { Base(int x) { } }
+class Derived extends Base { }
+class U { static void f() { Derived d = new Derived(1); } }`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sema.Check(prog); err == nil || !strings.Contains(err.Error(), "no constructor") {
+		t.Fatalf("inherited ctor accepted: %v", err)
+	}
+}
+
+func TestNewWithWritingCtorDisqualifiesElision(t *testing.T) {
+	// The paper: object creation rarely occurs in read-only blocks
+	// because constructors write instance fields. Our classifier rejects
+	// it mechanically through constructor purity.
+	src := `class Node { int v; Node(int x) { v = x; } }
+class A {
+	int y;
+	int f() { synchronized (this) { return new Node(y).v; } }
+}`
+	_, res, rep, err := jit.Build(src, codegen.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Elided != 0 {
+		t.Fatalf("field-writing ctor elided: %v", res.Order[0].Violations)
+	}
+	// A class without a declared constructor (pure zero-init allocation)
+	// stays elidable.
+	src2 := `class Node { int v; }
+class A {
+	int f() { synchronized (this) { Node n = new Node(); return n.v; } }
+}`
+	_, _, rep2, err := jit.Build(src2, codegen.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Elided != 1 {
+		t.Fatalf("plain allocation rejected")
+	}
+}
+
+func TestSynchronizedCtor(t *testing.T) {
+	got := evalStatic(t, `class A {
+		int v;
+		synchronized A(int x) { v = x; }
+		static int f() { return new A(9).v; }
+	}`, "A", "f")
+	if got != 9 {
+		t.Fatalf("synchronized ctor = %d", got)
+	}
+}

@@ -1,0 +1,608 @@
+package interp
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/jit/ir"
+	"repro/internal/jit/sema"
+	"repro/internal/jthread"
+	"repro/internal/vmlock"
+)
+
+// Protocol selects the lock implementation a Machine runs synchronized
+// blocks under — the paper's three experimental configurations.
+type Protocol uint8
+
+// Protocols.
+const (
+	// ProtoSolero runs blocks under SOLERO, honoring the lock plans.
+	ProtoSolero Protocol = iota
+	// ProtoConventional runs every block under the tasuki lock.
+	ProtoConventional
+	// ProtoRWLock runs elidable blocks in read mode, others in write
+	// mode, under the read-write lock.
+	ProtoRWLock
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoSolero:
+		return "solero"
+	case ProtoConventional:
+		return "lock"
+	case ProtoRWLock:
+		return "rwlock"
+	default:
+		return "proto(?)"
+	}
+}
+
+// Options configures a Machine.
+type Options struct {
+	Protocol Protocol
+	// LockCfg configures per-object SOLERO locks (nil for defaults).
+	LockCfg *core.Config
+	// ConvCfg configures per-object conventional locks (nil for defaults).
+	ConvCfg *vmlock.Config
+	// Out receives print output (nil for io.Discard).
+	Out io.Writer
+}
+
+// Machine executes a compiled program.
+type Machine struct {
+	Prog *ir.Program
+	VM   *jthread.VM
+	opts Options
+
+	staticsMu sync.Mutex
+	statics   map[*sema.ClassInfo][]cell
+
+	// vtables precompute virtual dispatch: for each class, method name →
+	// compiled method (the JIT's dispatch-table optimization; OpCallVirtual
+	// then costs one map hop instead of two).
+	vtables map[*sema.ClassInfo]map[string]*ir.CompiledMethod
+
+	// plans is this machine's (recompilable) view of each block's lock
+	// plan, initialized from codegen's static plans; profiles back the
+	// §5 profile-guided reclassification.
+	plans    atomic.Pointer[map[*ir.SyncBlock]ir.LockPlanKind]
+	profiles map[*ir.SyncBlock]*BlockProfile
+
+	outMu sync.Mutex
+}
+
+// BlockProfile counts a synchronized block's executions and how many of
+// them performed at least one heap write — the §5 "writes are rare" signal.
+type BlockProfile struct {
+	Execs  atomic.Uint64
+	Writes atomic.Uint64
+}
+
+// WriteRatio returns writes/execs (0 with no executions).
+func (p *BlockProfile) WriteRatio() float64 {
+	e := p.Execs.Load()
+	if e == 0 {
+		return 0
+	}
+	return float64(p.Writes.Load()) / float64(e)
+}
+
+// NewMachine creates an execution context for prog.
+func NewMachine(prog *ir.Program, vm *jthread.VM, opts Options) *Machine {
+	if opts.Out == nil {
+		opts.Out = io.Discard
+	}
+	if opts.LockCfg == nil {
+		opts.LockCfg = core.DefaultConfig
+	}
+	if opts.ConvCfg == nil {
+		opts.ConvCfg = vmlock.DefaultConfig
+	}
+	m := &Machine{
+		Prog:    prog,
+		VM:      vm,
+		opts:    opts,
+		statics: make(map[*sema.ClassInfo][]cell),
+		vtables: make(map[*sema.ClassInfo]map[string]*ir.CompiledMethod),
+	}
+	for _, ci := range prog.Classes {
+		vt := make(map[string]*ir.CompiledMethod, len(ci.Methods))
+		for name, mi := range ci.Methods {
+			if idx, ok := prog.MethodIndex[mi]; ok {
+				vt[name] = prog.Methods[idx]
+			}
+		}
+		m.vtables[ci] = vt
+	}
+	m.profiles = make(map[*ir.SyncBlock]*BlockProfile)
+	plans := make(map[*ir.SyncBlock]ir.LockPlanKind)
+	for _, cm := range prog.Methods {
+		for _, sb := range cm.Syncs {
+			plans[sb] = sb.Plan
+			m.profiles[sb] = &BlockProfile{}
+		}
+	}
+	m.plans.Store(&plans)
+	return m
+}
+
+// PlanOf returns the machine's current plan for a block.
+func (m *Machine) PlanOf(sb *ir.SyncBlock) ir.LockPlanKind {
+	return (*m.plans.Load())[sb]
+}
+
+// Profile returns a block's execution profile.
+func (m *Machine) Profile(sb *ir.SyncBlock) *BlockProfile { return m.profiles[sb] }
+
+// Options returns the machine's configuration.
+func (m *Machine) Options() Options { return m.opts }
+
+// NewInstance allocates an object of the named class.
+func (m *Machine) NewInstance(class string) (*Object, error) {
+	ci := m.Prog.Checked.Class(class)
+	if ci == nil {
+		return nil, fmt.Errorf("interp: unknown class %s", class)
+	}
+	return NewObject(ci), nil
+}
+
+// staticCells returns the static area of a class, allocating on first use.
+func (m *Machine) staticCells(ci *sema.ClassInfo) []cell {
+	m.staticsMu.Lock()
+	defer m.staticsMu.Unlock()
+	cells, ok := m.statics[ci]
+	if !ok {
+		cells = make([]cell, len(ci.StaticOrder))
+		for i, f := range ci.StaticOrder {
+			storeCell(&cells[i], DefaultFor(f.Type))
+		}
+		m.statics[ci] = cells
+	}
+	return cells
+}
+
+// Static reads a static field by class and name (tests and tooling).
+func (m *Machine) Static(class, field string) (Value, bool) {
+	ci := m.Prog.Checked.Class(class)
+	if ci == nil {
+		return Value{}, false
+	}
+	f, ok := ci.Statics[field]
+	if !ok {
+		return Value{}, false
+	}
+	cells := m.staticCells(f.Class)
+	return loadCell(&cells[f.Index]), true
+}
+
+// Call invokes Class.method with the given arguments (receiver first for
+// instance methods), converting a thrown Java exception into an error.
+func (m *Machine) Call(t *jthread.Thread, class, method string, args ...Value) (out Value, err error) {
+	cm := m.Prog.MethodByName(class, method)
+	if cm == nil {
+		return Value{}, fmt.Errorf("interp: no method %s.%s", class, method)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if je, ok := r.(*JavaException); ok {
+				err = je
+				return
+			}
+			panic(r)
+		}
+	}()
+	var writes uint64
+	return m.invoke(t, cm, args, nil, &writes), nil
+}
+
+// MustCall is Call that panics on error (benchmarks).
+func (m *Machine) MustCall(t *jthread.Thread, class, method string, args ...Value) Value {
+	v, err := m.Call(t, class, method, args...)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// invoke runs a compiled method with a fresh frame. The caller's active
+// read-mostly section (if any) propagates into the callee, so heap writes
+// anywhere in the dynamic extent of an upgradable block trigger the
+// upgrade hook — this is what makes heap-writing callees admissible in
+// read-mostly sections. Panics with *JavaException on thrown exceptions.
+func (m *Machine) invoke(t *jthread.Thread, cm *ir.CompiledMethod, args []Value, section *core.Section, writes *uint64) Value {
+	// Method entry is an asynchronous check point (§3.3).
+	t.Checkpoint()
+	f := &frame{slots: make([]Value, cm.Info.Slots), section: section, writes: writes}
+	want := len(cm.Info.Params)
+	if !cm.Info.Static {
+		want++
+	}
+	if len(args) != want {
+		panic(fmt.Sprintf("interp: %s expects %d args, got %d", cm.Info.QName(), want, len(args)))
+	}
+	copy(f.slots, args)
+	fl, v := m.exec(t, cm, cm.Body, f)
+	if fl == flowReturn {
+		return v
+	}
+	return Value{}
+}
+
+type flow uint8
+
+const (
+	flowNormal flow = iota
+	flowReturn
+)
+
+// frame is a method activation: slots shared between the method body and
+// its synchronized block bodies, the active read-mostly section, and the
+// goroutine's dynamic-extent write counter (shared down the call chain for
+// block profiling).
+type frame struct {
+	slots   []Value
+	section *core.Section
+	writes  *uint64
+}
+
+// throwBuiltin raises one of the predeclared runtime exceptions.
+func (m *Machine) throwBuiltin(name, msg string) {
+	ci := m.Prog.Checked.Class(name)
+	if ci == nil {
+		panic("interp: missing builtin exception class " + name)
+	}
+	panic(&JavaException{Obj: NewObject(ci), Msg: msg})
+}
+
+// beforeWrite counts the heap write for block profiling and runs the
+// read-mostly upgrade hook if a section is active — the code the paper's
+// JIT inserts before each write in a read-mostly critical section
+// (Figure 17).
+func (f *frame) beforeWrite() {
+	if f.writes != nil {
+		*f.writes++
+	}
+	if f.section != nil {
+		f.section.BeforeWrite()
+	}
+}
+
+func (m *Machine) exec(t *jthread.Thread, cm *ir.CompiledMethod, code *ir.Code, f *frame) (flow, Value) {
+	var stack []Value
+	push := func(v Value) { stack = append(stack, v) }
+	pop := func() Value {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+	ins := code.Ins
+	for pc := 0; pc < len(ins); pc++ {
+		in := ins[pc]
+		switch in.Op {
+		case ir.OpNop:
+		case ir.OpConstInt:
+			push(IntVal(code.Consts[in.A]))
+		case ir.OpConstBool:
+			push(BoolVal(in.A != 0))
+		case ir.OpConstNull:
+			push(NullVal())
+		case ir.OpLoad:
+			push(f.slots[in.A])
+		case ir.OpStore:
+			f.slots[in.A] = pop()
+		case ir.OpGetField:
+			obj := pop()
+			if obj.IsNull() {
+				m.throwBuiltin("NullPointerException", "field read on null")
+			}
+			push(obj.Obj.Field(int(in.A)))
+		case ir.OpPutField:
+			v := pop()
+			obj := pop()
+			if obj.IsNull() {
+				m.throwBuiltin("NullPointerException", "field write on null")
+			}
+			f.beforeWrite()
+			obj.Obj.SetField(int(in.A), v)
+		case ir.OpGetStatic:
+			cells := m.staticCells(m.Prog.Classes[in.A])
+			push(loadCell(&cells[in.B]))
+		case ir.OpPutStatic:
+			v := pop()
+			f.beforeWrite()
+			cells := m.staticCells(m.Prog.Classes[in.A])
+			storeCell(&cells[in.B], v)
+		case ir.OpALoad:
+			i := pop()
+			arr := pop()
+			if arr.IsNull() {
+				m.throwBuiltin("NullPointerException", "array read on null")
+			}
+			if i.I < 0 || i.I >= int64(arr.Arr.Len()) {
+				m.throwBuiltin("ArrayIndexOutOfBoundsException", fmt.Sprintf("index %d, length %d", i.I, arr.Arr.Len()))
+			}
+			push(arr.Arr.Elem(int(i.I)))
+		case ir.OpAStore:
+			v := pop()
+			i := pop()
+			arr := pop()
+			if arr.IsNull() {
+				m.throwBuiltin("NullPointerException", "array write on null")
+			}
+			if i.I < 0 || i.I >= int64(arr.Arr.Len()) {
+				m.throwBuiltin("ArrayIndexOutOfBoundsException", fmt.Sprintf("index %d, length %d", i.I, arr.Arr.Len()))
+			}
+			f.beforeWrite()
+			arr.Arr.SetElem(int(i.I), v)
+		case ir.OpArrayLen:
+			arr := pop()
+			if arr.IsNull() {
+				m.throwBuiltin("NullPointerException", "length of null array")
+			}
+			push(IntVal(int64(arr.Arr.Len())))
+		case ir.OpNew:
+			push(ObjVal(NewObject(m.Prog.Classes[in.A])))
+		case ir.OpNewArr:
+			n := pop()
+			if n.I < 0 {
+				m.throwBuiltin("ArrayIndexOutOfBoundsException", fmt.Sprintf("negative array size %d", n.I))
+			}
+			def := NullVal()
+			switch in.A {
+			case ir.ArrElemInt:
+				def = IntVal(0)
+			case ir.ArrElemBool:
+				def = BoolVal(false)
+			}
+			push(ArrVal(NewArray(int(n.I), def)))
+		case ir.OpAdd:
+			b, a := pop(), pop()
+			push(IntVal(a.I + b.I))
+		case ir.OpSub:
+			b, a := pop(), pop()
+			push(IntVal(a.I - b.I))
+		case ir.OpMul:
+			b, a := pop(), pop()
+			push(IntVal(a.I * b.I))
+		case ir.OpDiv:
+			b, a := pop(), pop()
+			if b.I == 0 {
+				m.throwBuiltin("ArithmeticException", "division by zero")
+			}
+			push(IntVal(a.I / b.I))
+		case ir.OpMod:
+			b, a := pop(), pop()
+			if b.I == 0 {
+				m.throwBuiltin("ArithmeticException", "modulo by zero")
+			}
+			push(IntVal(a.I % b.I))
+		case ir.OpNeg:
+			a := pop()
+			push(IntVal(-a.I))
+		case ir.OpNot:
+			a := pop()
+			push(BoolVal(a.I == 0))
+		case ir.OpLt:
+			b, a := pop(), pop()
+			push(BoolVal(a.I < b.I))
+		case ir.OpLe:
+			b, a := pop(), pop()
+			push(BoolVal(a.I <= b.I))
+		case ir.OpGt:
+			b, a := pop(), pop()
+			push(BoolVal(a.I > b.I))
+		case ir.OpGe:
+			b, a := pop(), pop()
+			push(BoolVal(a.I >= b.I))
+		case ir.OpEq:
+			b, a := pop(), pop()
+			push(BoolVal(a.Equal(b)))
+		case ir.OpNe:
+			b, a := pop(), pop()
+			push(BoolVal(!a.Equal(b)))
+		case ir.OpJmp:
+			if int(in.A) <= pc {
+				// Loop back-edge: asynchronous check point (§3.3).
+				t.Checkpoint()
+			}
+			pc = int(in.A) - 1
+		case ir.OpJmpFalse:
+			if !pop().Bool() {
+				if int(in.A) <= pc {
+					// Backward conditional branch (a threaded loop
+					// back-edge): asynchronous check point.
+					t.Checkpoint()
+				}
+				pc = int(in.A) - 1
+			}
+		case ir.OpPop:
+			pop()
+		case ir.OpDup:
+			v := pop()
+			push(v)
+			push(v)
+		case ir.OpCallStatic:
+			args := popN(&stack, int(in.B))
+			callee := m.Prog.Methods[in.A]
+			ret := m.invoke(t, callee, args, f.section, f.writes)
+			if _, isVoid := callee.Info.Ret.(sema.VoidType); !isVoid {
+				push(ret)
+			}
+		case ir.OpCallVirtual:
+			args := popN(&stack, int(in.B))
+			if args[0].IsNull() {
+				m.throwBuiltin("NullPointerException", "method call on null")
+			}
+			static := m.Prog.Methods[in.A].Info
+			callee := m.vtables[args[0].Obj.Class][static.Name]
+			ret := m.invoke(t, callee, args, f.section, f.writes)
+			if _, isVoid := callee.Info.Ret.(sema.VoidType); !isVoid {
+				push(ret)
+			}
+		case ir.OpCallBuiltin:
+			args := popN(&stack, int(in.B))
+			switch in.A {
+			case ir.BuiltinPrint:
+				m.outMu.Lock()
+				fmt.Fprintln(m.opts.Out, args[0].String())
+				m.outMu.Unlock()
+			case ir.BuiltinWait, ir.BuiltinNotify, ir.BuiltinNotifyAll:
+				m.monitorBuiltin(t, int(in.A), args[0])
+			default:
+				panic(fmt.Sprintf("interp: unknown builtin %d", in.A))
+			}
+		case ir.OpRet:
+			return flowReturn, pop()
+		case ir.OpRetVoid:
+			return flowReturn, Value{}
+		case ir.OpEnd:
+			if code.SyncID >= 0 {
+				// Falling off a synchronized block body resumes the
+				// enclosing code.
+				return flowNormal, Value{}
+			}
+			if _, isVoid := cm.Info.Ret.(sema.VoidType); !isVoid {
+				m.throwBuiltin("IllegalStateException", "missing return in "+cm.Info.QName())
+			}
+			return flowReturn, Value{}
+		case ir.OpThrow:
+			v := pop()
+			if v.IsNull() {
+				m.throwBuiltin("NullPointerException", "throw of null")
+			}
+			panic(&JavaException{Obj: v.Obj})
+		case ir.OpSync:
+			lockObj := pop()
+			fl, v := m.execSync(t, cm, cm.Syncs[in.A], lockObj, f)
+			if fl == flowReturn {
+				return flowReturn, v
+			}
+		default:
+			panic(fmt.Sprintf("interp: unhandled opcode %s", in.Op))
+		}
+	}
+	return flowNormal, Value{}
+}
+
+func popN(stack *[]Value, n int) []Value {
+	s := *stack
+	args := make([]Value, n)
+	copy(args, s[len(s)-n:])
+	*stack = s[:len(s)-n]
+	return args
+}
+
+// monitorBuiltin executes Object.wait/notify/notifyAll on recv under the
+// machine's protocol. The read-write lock configuration has no condition
+// queues (as the paper's manual RWLock replacement would not), so it
+// throws IllegalStateException.
+func (m *Machine) monitorBuiltin(t *jthread.Thread, builtin int, recv Value) {
+	var ls *lockSet
+	switch recv.Kind {
+	case KObj:
+		ls = &recv.Obj.locks
+	case KArr:
+		ls = &recv.Arr.locks
+	default:
+		m.throwBuiltin("NullPointerException", "monitor method on null")
+	}
+	defer func() {
+		// The lock implementations panic with a string on
+		// IllegalMonitorState misuse; convert to the Java exception.
+		if r := recover(); r != nil {
+			if msg, isStr := r.(string); isStr {
+				m.throwBuiltin("IllegalStateException", msg)
+			}
+			panic(r)
+		}
+	}()
+	switch m.opts.Protocol {
+	case ProtoConventional:
+		lk := ls.convLock(m.opts.ConvCfg)
+		switch builtin {
+		case ir.BuiltinWait:
+			lk.Wait(t)
+		case ir.BuiltinNotify:
+			lk.Notify(t)
+		default:
+			lk.NotifyAll(t)
+		}
+	case ProtoRWLock:
+		m.throwBuiltin("IllegalStateException", "wait/notify unsupported under the read-write lock replacement")
+	default:
+		lk := ls.soleroLock(m.opts.LockCfg)
+		switch builtin {
+		case ir.BuiltinWait:
+			lk.Wait(t)
+		case ir.BuiltinNotify:
+			lk.Notify(t)
+		default:
+			lk.NotifyAll(t)
+		}
+	}
+}
+
+// execSync runs a synchronized block body under the machine's protocol and
+// the block's lock plan.
+func (m *Machine) execSync(t *jthread.Thread, cm *ir.CompiledMethod, sb *ir.SyncBlock, lockObj Value, f *frame) (flow, Value) {
+	var ls *lockSet
+	switch lockObj.Kind {
+	case KObj:
+		ls = &lockObj.Obj.locks
+	case KArr:
+		ls = &lockObj.Arr.locks
+	default:
+		m.throwBuiltin("NullPointerException", "synchronized on null")
+	}
+
+	prof := m.profiles[sb]
+	prof.Execs.Add(1)
+	var before uint64
+	if f.writes != nil {
+		before = *f.writes
+	}
+	defer func() {
+		if f.writes != nil && *f.writes > before {
+			prof.Writes.Add(1)
+		}
+	}()
+
+	var fl flow
+	var v Value
+	run := func() {
+		fl, v = m.exec(t, cm, sb.Body, f)
+	}
+
+	switch m.opts.Protocol {
+	case ProtoConventional:
+		ls.convLock(m.opts.ConvCfg).Sync(t, run)
+	case ProtoRWLock:
+		rw := ls.rwLock()
+		if m.PlanOf(sb) == ir.PlanElide {
+			rw.ReadSync(t, run)
+		} else {
+			rw.WriteSync(t, run)
+		}
+	default: // ProtoSolero
+		lk := ls.soleroLock(m.opts.LockCfg)
+		switch m.PlanOf(sb) {
+		case ir.PlanElide:
+			lk.ReadOnly(t, run)
+		case ir.PlanReadMostly:
+			lk.ReadMostly(t, func(s *core.Section) {
+				prev := f.section
+				f.section = s
+				defer func() { f.section = prev }()
+				run()
+			})
+		default:
+			lk.Sync(t, run)
+		}
+	}
+	return fl, v
+}

@@ -1,0 +1,181 @@
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/jit"
+	"repro/internal/jit/codegen"
+	"repro/internal/jthread"
+)
+
+// exprGen generates a random mini-Java int expression over parameters
+// a and b alongside a Go reference evaluator for it. Division and modulo
+// guard their divisors so both sides are total.
+type exprGen struct {
+	rng   *rand.Rand
+	depth int
+}
+
+// gen returns the source text and the reference evaluator.
+func (g *exprGen) gen() (string, func(a, b int64) int64) {
+	if g.depth <= 0 || g.rng.Intn(4) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			return "a", func(a, _ int64) int64 { return a }
+		case 1:
+			return "b", func(_, b int64) int64 { return b }
+		default:
+			k := int64(g.rng.Intn(100))
+			return fmt.Sprintf("%d", k), func(_, _ int64) int64 { return k }
+		}
+	}
+	g.depth--
+	defer func() { g.depth++ }()
+	ls, lf := g.gen()
+	rs, rf := g.gen()
+	switch g.rng.Intn(6) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", ls, rs), func(a, b int64) int64 { return lf(a, b) + rf(a, b) }
+	case 1:
+		return fmt.Sprintf("(%s - %s)", ls, rs), func(a, b int64) int64 { return lf(a, b) - rf(a, b) }
+	case 2:
+		return fmt.Sprintf("(%s * %s)", ls, rs), func(a, b int64) int64 { return lf(a, b) * rf(a, b) }
+	case 3:
+		// Guarded division: (l / (r*r+1)).
+		return fmt.Sprintf("(%s / (%s * %s + 1))", ls, rs, rs), func(a, b int64) int64 {
+			d := rf(a, b)*rf(a, b) + 1
+			return lf(a, b) / d
+		}
+	case 4:
+		return fmt.Sprintf("(%s %% (%s * %s + 1))", ls, rs, rs), func(a, b int64) int64 {
+			d := rf(a, b)*rf(a, b) + 1
+			return lf(a, b) % d
+		}
+	default:
+		return fmt.Sprintf("(0 - %s)", ls), func(a, b int64) int64 { return -lf(a, b) }
+	}
+}
+
+// TestQuickInterpMatchesReference compiles random expressions and checks
+// the interpreter against direct Go evaluation.
+func TestQuickInterpMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		g := &exprGen{rng: rng, depth: 5}
+		src, ref := g.gen()
+		program := fmt.Sprintf(`class P { static int f(int a, int b) { return %s; } }`, src)
+		prog := jit.MustBuild(program, codegen.DefaultOptions)
+		vm := jthread.NewVM()
+		m := NewMachine(prog, vm, Options{})
+		th := vm.Attach("t")
+		f := func(a, b int16) bool {
+			// Small operands keep products within int64 on both sides.
+			got := m.MustCall(th, "P", "f", IntVal(int64(a)), IntVal(int64(b)))
+			return got.I == ref(int64(a), int64(b))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+			t.Fatalf("expression %q: %v", src, err)
+		}
+	}
+}
+
+// TestQuickSumLoopMatchesClosedForm checks compiled loops against the
+// closed form across random bounds.
+func TestQuickSumLoopMatchesClosedForm(t *testing.T) {
+	prog := jit.MustBuild(`class P {
+		static int sum(int n) {
+			int s = 0;
+			for (int i = 1; i <= n; i = i + 1) { s = s + i; }
+			return s;
+		}
+	}`, codegen.DefaultOptions)
+	vm := jthread.NewVM()
+	m := NewMachine(prog, vm, Options{})
+	th := vm.Attach("t")
+	f := func(n uint8) bool {
+		nn := int64(n % 200)
+		got := m.MustCall(th, "P", "sum", IntVal(nn))
+		return got.I == nn*(nn+1)/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickElidedEqualsLocked: for any random batch of operations, running
+// a compiled counter program under SOLERO (elided reads) and under the
+// conventional lock must produce identical results — the protocols are
+// semantically interchangeable.
+func TestQuickElidedEqualsLocked(t *testing.T) {
+	const src = `class C {
+		int x;
+		int get() { synchronized (this) { return x; } }
+		void add(int v) { synchronized (this) { x = x + v; } }
+	}`
+	f := func(ops []int8) bool {
+		results := make([][]int64, 2)
+		for pi, proto := range []Protocol{ProtoSolero, ProtoConventional} {
+			prog := jit.MustBuild(src, codegen.DefaultOptions)
+			vm := jthread.NewVM()
+			m := NewMachine(prog, vm, Options{Protocol: proto})
+			th := vm.Attach("t")
+			obj, _ := m.NewInstance("C")
+			recv := ObjVal(obj)
+			for _, op := range ops {
+				if op >= 0 {
+					m.MustCall(th, "C", "add", recv, IntVal(int64(op)))
+				} else {
+					results[pi] = append(results[pi], m.MustCall(th, "C", "get", recv).I)
+				}
+			}
+			results[pi] = append(results[pi], m.MustCall(th, "C", "get", recv).I)
+		}
+		if len(results[0]) != len(results[1]) {
+			return false
+		}
+		for i := range results[0] {
+			if results[0][i] != results[1][i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickClassifierSoundOnGeneratedGetters: any generated pure-getter
+// body must classify read-only; adding a field store must not.
+func TestQuickClassifierSoundOnGeneratedGetters(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		g := &exprGen{rng: rng, depth: 3}
+		src, _ := g.gen()
+		// Replace parameters with fields to exercise heap reads.
+		body := strings.ReplaceAll(strings.ReplaceAll(src, "a", "fa"), "b", "fb")
+		pure := fmt.Sprintf(`class P { int fa, fb;
+			int f() { synchronized (this) { return %s; } } }`, body)
+		prog, res, _, err := jit.Build(pure, codegen.DefaultOptions)
+		if err != nil {
+			t.Fatalf("build %q: %v", body, err)
+		}
+		_ = prog
+		if res.Order[0].Class.String() != "read-only" {
+			t.Fatalf("pure getter %q classified %v", body, res.Order[0].Class)
+		}
+		dirty := fmt.Sprintf(`class P { int fa, fb;
+			int f() { synchronized (this) { fa = 1; return %s; } } }`, body)
+		_, res, _, err = jit.Build(dirty, codegen.DefaultOptions)
+		if err != nil {
+			t.Fatalf("build dirty: %v", err)
+		}
+		if res.Order[0].Class.String() == "read-only" {
+			t.Fatalf("writing getter classified read-only")
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package interp
+
+import (
+	"repro/internal/jit/analysis"
+	"repro/internal/jit/ir"
+)
+
+// ReclassifyFromProfile re-derives this machine's lock plans from runtime
+// profiles — the §5 behavior the paper describes for its JIT: "identifies a
+// critical section that contains writes or side effects as read-mostly if
+// the execution of those writes or side effects is rare."
+//
+// A block currently on the write plan is promoted to the read-mostly plan
+// when its profile shows at least minExecs executions with a write ratio at
+// or below promoteRatio AND the static analysis marked it profile-eligible
+// (every violation is a heap write the runtime's upgrade hooks intercept —
+// in the block or in its callees). A block on the read-mostly plan whose
+// write ratio exceeded demoteRatio is demoted to the write plan (upgrading
+// on nearly every execution is pure overhead).
+//
+// The swap is atomic; in-flight executions finish under the old plan, as
+// with any JIT recompilation. It returns the number of plan changes.
+func (m *Machine) ReclassifyFromProfile(res *analysis.Result, minExecs uint64, promoteRatio, demoteRatio float64) int {
+	old := *m.plans.Load()
+	next := make(map[*ir.SyncBlock]ir.LockPlanKind, len(old))
+	changes := 0
+	for sb, plan := range old {
+		next[sb] = plan
+		prof := m.profiles[sb]
+		if prof == nil || prof.Execs.Load() < minExecs {
+			continue
+		}
+		ratio := prof.WriteRatio()
+		switch plan {
+		case ir.PlanWrite:
+			br := res.Classify(sb.AST)
+			if br != nil && br.ProfileEligible() && ratio <= promoteRatio {
+				next[sb] = ir.PlanReadMostly
+				changes++
+			}
+		case ir.PlanReadMostly:
+			if ratio > demoteRatio {
+				next[sb] = ir.PlanWrite
+				changes++
+			}
+		}
+	}
+	if changes > 0 {
+		m.plans.Store(&next)
+	}
+	return changes
+}
+
+// ResetProfiles zeroes every block profile (a new profiling window).
+func (m *Machine) ResetProfiles() {
+	for _, p := range m.profiles {
+		p.Execs.Store(0)
+		p.Writes.Store(0)
+	}
+}

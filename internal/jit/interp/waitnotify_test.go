@@ -1,0 +1,142 @@
+package interp
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/jit"
+	"repro/internal/jit/codegen"
+	"repro/internal/jthread"
+)
+
+// A compiled bounded handoff using wait/notify — Java's canonical monitor
+// idiom, running on the SOLERO lock.
+const handoffSrc = `
+class Handoff {
+	int value;
+	boolean full;
+
+	synchronized void put(int v) {
+		while (full) { wait(); }
+		value = v;
+		full = true;
+		notifyAll();
+	}
+
+	synchronized int take() {
+		while (!full) { wait(); }
+		full = false;
+		notifyAll();
+		return value;
+	}
+}
+`
+
+func TestCompiledWaitNotifyHandoff(t *testing.T) {
+	for _, proto := range []Protocol{ProtoSolero, ProtoConventional} {
+		t.Run(proto.String(), func(t *testing.T) {
+			prog := jit.MustBuild(handoffSrc, codegen.DefaultOptions)
+			vm := jthread.NewVM()
+			m := NewMachine(prog, vm, Options{Protocol: proto})
+			obj, _ := m.NewInstance("Handoff")
+			recv := ObjVal(obj)
+
+			const items = 100
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := vm.Attach("producer")
+				defer th.Detach()
+				for i := 0; i < items; i++ {
+					m.MustCall(th, "Handoff", "put", recv, IntVal(int64(i)))
+				}
+			}()
+			got := make([]int64, 0, items)
+			th := vm.Attach("consumer")
+			for i := 0; i < items; i++ {
+				got = append(got, m.MustCall(th, "Handoff", "take", recv).I)
+			}
+			wg.Wait()
+			for i, v := range got {
+				if v != int64(i) {
+					t.Fatalf("handoff[%d] = %d", i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestWaitBlocksAreNeverElided(t *testing.T) {
+	prog, res, rep, err := jit.Build(handoffSrc, codegen.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = prog
+	if rep.Elided != 0 || rep.ReadMostly != 0 {
+		for _, br := range res.Order {
+			t.Logf("%s -> %v %v", br.Method.QName(), br.Class, br.Violations)
+		}
+		t.Fatalf("wait/notify blocks must classify writing: %d elided, %d read-mostly", rep.Elided, rep.ReadMostly)
+	}
+}
+
+func TestWaitUnderRWLockThrows(t *testing.T) {
+	prog := jit.MustBuild(handoffSrc, codegen.DefaultOptions)
+	vm := jthread.NewVM()
+	m := NewMachine(prog, vm, Options{Protocol: ProtoRWLock})
+	obj, _ := m.NewInstance("Handoff")
+	_, err := m.Call(vm.Attach("t"), "Handoff", "take", ObjVal(obj))
+	if err == nil || !strings.Contains(err.Error(), "IllegalStateException") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExplicitReceiverNotify(t *testing.T) {
+	src := `class A {
+		void poke(A other) {
+			synchronized (other) { other.notifyAll(); }
+		}
+	}`
+	prog := jit.MustBuild(src, codegen.DefaultOptions)
+	vm := jthread.NewVM()
+	m := NewMachine(prog, vm, Options{Protocol: ProtoSolero})
+	a, _ := m.NewInstance("A")
+	b, _ := m.NewInstance("A")
+	if _, err := m.Call(vm.Attach("t"), "A", "poke", ObjVal(a), ObjVal(b)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitOutsideSynchronizedThrows(t *testing.T) {
+	src := `class A { void f() { wait(); } }`
+	prog := jit.MustBuild(src, codegen.DefaultOptions)
+	vm := jthread.NewVM()
+	m := NewMachine(prog, vm, Options{Protocol: ProtoSolero})
+	obj, _ := m.NewInstance("A")
+	_, err := m.Call(vm.Attach("t"), "A", "f", ObjVal(obj))
+	if err == nil || !strings.Contains(err.Error(), "IllegalStateException") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUserDefinedWaitShadowsBuiltin(t *testing.T) {
+	src := `class A {
+		int calls;
+		void wait() { calls = calls + 1; }
+		void f() { wait(); }
+	}`
+	prog := jit.MustBuild(src, codegen.DefaultOptions)
+	vm := jthread.NewVM()
+	m := NewMachine(prog, vm, Options{Protocol: ProtoSolero})
+	obj, _ := m.NewInstance("A")
+	th := vm.Attach("t")
+	if _, err := m.Call(th, "A", "f", ObjVal(obj)); err != nil {
+		t.Fatal(err)
+	}
+	calls, _ := obj.FieldByName("calls")
+	if calls.I != 1 {
+		t.Fatalf("user wait not dispatched: calls=%d", calls.I)
+	}
+}

@@ -1,0 +1,575 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/jit/lang"
+	"repro/internal/jit/sema"
+)
+
+// Compile lowers a checked program to bytecode.
+func Compile(ck *sema.Checked) (*Program, error) {
+	p := &Program{
+		Checked:     ck,
+		ClassIndex:  make(map[string]int),
+		MethodIndex: make(map[*sema.MethodInfo]int),
+	}
+	// Deterministic class order: builtins first, then declaration order.
+	for _, name := range sema.BuiltinExceptionClasses {
+		p.addClass(ck.Classes[name])
+	}
+	for _, c := range ck.Program.Classes {
+		p.addClass(ck.Classes[c.Name])
+	}
+	// Pre-assign method indices so calls can reference any method.
+	for _, mi := range ck.Methods {
+		p.MethodIndex[mi] = len(p.Methods)
+		p.Methods = append(p.Methods, &CompiledMethod{Info: mi})
+	}
+	for _, mi := range ck.Methods {
+		cm := p.Methods[p.MethodIndex[mi]]
+		c := &compiler{prog: p, ck: ck, method: cm}
+		body, err := c.compileBody(mi.Decl.Body, -1)
+		if err != nil {
+			return nil, err
+		}
+		cm.Body = body
+	}
+	return p, nil
+}
+
+func (p *Program) addClass(ci *sema.ClassInfo) {
+	p.ClassIndex[ci.Name] = len(p.Classes)
+	p.Classes = append(p.Classes, ci)
+}
+
+type compiler struct {
+	prog   *Program
+	ck     *sema.Checked
+	method *CompiledMethod
+	code   *Code
+	// loops is the enclosing-loop stack for break/continue patching.
+	loops []loopCtx
+}
+
+// loopCtx collects the jump sites of a loop's break/continue statements;
+// targets are patched once the loop's layout is final.
+type loopCtx struct {
+	breaks    []int
+	continues []int
+}
+
+func (c *compiler) emit(op Op, pos lang.Pos) int {
+	c.code.Ins = append(c.code.Ins, Ins{Op: op, Pos: pos})
+	return len(c.code.Ins) - 1
+}
+
+func (c *compiler) emitA(op Op, a int, pos lang.Pos) int {
+	c.code.Ins = append(c.code.Ins, Ins{Op: op, A: int32(a), Pos: pos})
+	return len(c.code.Ins) - 1
+}
+
+func (c *compiler) emitAB(op Op, a, b int, pos lang.Pos) int {
+	c.code.Ins = append(c.code.Ins, Ins{Op: op, A: int32(a), B: int32(b), Pos: pos})
+	return len(c.code.Ins) - 1
+}
+
+func (c *compiler) patch(at int, target int) { c.code.Ins[at].A = int32(target) }
+
+func (c *compiler) here() int { return len(c.code.Ins) }
+
+func (c *compiler) constIdx(v int64) int {
+	for i, x := range c.code.Consts {
+		if x == v {
+			return i
+		}
+	}
+	c.code.Consts = append(c.code.Consts, v)
+	return len(c.code.Consts) - 1
+}
+
+// compileBody compiles a block into a fresh Code segment (a method body
+// when syncID < 0, a synchronized block body otherwise). Loop contexts do
+// not cross the segment boundary (sema rejects break/continue crossing a
+// synchronized block).
+func (c *compiler) compileBody(b *lang.Block, syncID int) (*Code, error) {
+	saved := c.code
+	savedLoops := c.loops
+	c.code = &Code{Method: c.method.Info, SyncID: syncID}
+	c.loops = nil
+	defer func() { c.code = saved; c.loops = savedLoops }()
+	if err := c.stmts(b.Stmts); err != nil {
+		return nil, err
+	}
+	// Implicit terminator: falling off a sync-block body resumes the
+	// enclosing code; falling off a void method body returns; falling off
+	// a non-void method body is a missing return, surfaced as a runtime
+	// fault (the JVM's verifier would reject it statically; we keep it
+	// dynamic for simplicity).
+	c.emit(OpEnd, b.Pos)
+	return c.code, nil
+}
+
+func (c *compiler) stmts(ss []lang.Stmt) error {
+	for _, s := range ss {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compiler) stmt(s lang.Stmt) error {
+	switch s := s.(type) {
+	case *lang.Block:
+		return c.stmts(s.Stmts)
+	case *lang.If:
+		if err := c.expr(s.Cond); err != nil {
+			return err
+		}
+		jf := c.emit(OpJmpFalse, s.Pos)
+		if err := c.stmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else == nil {
+			c.patch(jf, c.here())
+			return nil
+		}
+		jend := c.emit(OpJmp, s.Pos)
+		c.patch(jf, c.here())
+		if err := c.stmt(s.Else); err != nil {
+			return err
+		}
+		c.patch(jend, c.here())
+		return nil
+	case *lang.While:
+		top := c.here()
+		if err := c.expr(s.Cond); err != nil {
+			return err
+		}
+		jf := c.emit(OpJmpFalse, s.Pos)
+		c.loops = append(c.loops, loopCtx{})
+		if err := c.stmt(s.Body); err != nil {
+			return err
+		}
+		ctx := c.loops[len(c.loops)-1]
+		c.loops = c.loops[:len(c.loops)-1]
+		c.emitA(OpJmp, top, s.Pos) // back-edge: checkpoint site
+		end := c.here()
+		c.patch(jf, end)
+		for _, at := range ctx.breaks {
+			c.patch(at, end)
+		}
+		for _, at := range ctx.continues {
+			c.patch(at, top)
+		}
+		return nil
+	case *lang.For:
+		if s.Init != nil {
+			if err := c.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		top := c.here()
+		var jf int = -1
+		if s.Cond != nil {
+			if err := c.expr(s.Cond); err != nil {
+				return err
+			}
+			jf = c.emit(OpJmpFalse, s.Pos)
+		}
+		c.loops = append(c.loops, loopCtx{})
+		if err := c.stmt(s.Body); err != nil {
+			return err
+		}
+		ctx := c.loops[len(c.loops)-1]
+		c.loops = c.loops[:len(c.loops)-1]
+		stepPos := c.here() // continue target: run the step, then loop
+		if s.Step != nil {
+			if err := c.stmt(s.Step); err != nil {
+				return err
+			}
+		}
+		c.emitA(OpJmp, top, s.Pos) // back-edge: checkpoint site
+		end := c.here()
+		if jf >= 0 {
+			c.patch(jf, end)
+		}
+		for _, at := range ctx.breaks {
+			c.patch(at, end)
+		}
+		for _, at := range ctx.continues {
+			c.patch(at, stepPos)
+		}
+		return nil
+	case *lang.Return:
+		if s.E == nil {
+			c.emit(OpRetVoid, s.Pos)
+			return nil
+		}
+		if err := c.expr(s.E); err != nil {
+			return err
+		}
+		c.emit(OpRet, s.Pos)
+		return nil
+	case *lang.Break:
+		if len(c.loops) == 0 {
+			return fmt.Errorf("%s: break outside a loop", s.Pos)
+		}
+		at := c.emit(OpJmp, s.Pos)
+		c.loops[len(c.loops)-1].breaks = append(c.loops[len(c.loops)-1].breaks, at)
+		return nil
+	case *lang.Continue:
+		if len(c.loops) == 0 {
+			return fmt.Errorf("%s: continue outside a loop", s.Pos)
+		}
+		at := c.emit(OpJmp, s.Pos)
+		c.loops[len(c.loops)-1].continues = append(c.loops[len(c.loops)-1].continues, at)
+		return nil
+	case *lang.Throw:
+		if err := c.expr(s.E); err != nil {
+			return err
+		}
+		c.emit(OpThrow, s.Pos)
+		return nil
+	case *lang.Synchronized:
+		if err := c.expr(s.Lock); err != nil {
+			return err
+		}
+		body, err := c.compileBody(s.Body, s.ID)
+		if err != nil {
+			return err
+		}
+		idx := len(c.method.Syncs)
+		c.method.Syncs = append(c.method.Syncs, &SyncBlock{AST: s, Body: body})
+		c.emitA(OpSync, idx, s.Pos)
+		return nil
+	case *lang.LocalDecl:
+		slot, ok := c.ck.DeclSlots[s]
+		if !ok {
+			return fmt.Errorf("%s: no slot for %s", s.Pos, s.Name)
+		}
+		if s.Init != nil {
+			if err := c.expr(s.Init); err != nil {
+				return err
+			}
+		} else {
+			c.defaultValue(s.Type, s.Pos)
+		}
+		c.emitA(OpStore, slot, s.Pos)
+		return nil
+	case *lang.Assign:
+		return c.assign(s)
+	case *lang.ExprStmt:
+		call, ok := s.E.(*lang.Call)
+		if !ok {
+			return fmt.Errorf("%s: expression statement is not a call", s.Pos)
+		}
+		if err := c.expr(call); err != nil {
+			return err
+		}
+		// Discard a non-void result.
+		if info := c.ck.Calls[call]; info.Builtin != "" {
+			// builtins are void
+		} else if _, isVoid := info.Target.Ret.(sema.VoidType); !isVoid {
+			c.emit(OpPop, s.Pos)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unhandled statement %T", s)
+	}
+}
+
+func (c *compiler) defaultValue(t lang.TypeExpr, pos lang.Pos) {
+	switch {
+	case t.Dims > 0:
+		c.emit(OpConstNull, pos)
+	case t.Base == "int":
+		c.emitA(OpConstInt, c.constIdx(0), pos)
+	case t.Base == "boolean":
+		c.emitA(OpConstBool, 0, pos)
+	default:
+		c.emit(OpConstNull, pos)
+	}
+}
+
+func (c *compiler) assign(s *lang.Assign) error {
+	switch target := s.Target.(type) {
+	case *lang.Ident:
+		res := c.ck.Resolutions[target]
+		switch res.Kind {
+		case sema.ResLocal:
+			if err := c.expr(s.Value); err != nil {
+				return err
+			}
+			c.emitA(OpStore, res.Slot, s.Pos)
+		case sema.ResField:
+			// Implicit this.
+			c.emitA(OpLoad, 0, s.Pos)
+			if err := c.expr(s.Value); err != nil {
+				return err
+			}
+			c.emitA(OpPutField, res.Field.Index, s.Pos)
+		case sema.ResStatic:
+			if err := c.expr(s.Value); err != nil {
+				return err
+			}
+			c.emitAB(OpPutStatic, c.prog.ClassIndex[res.Field.Class.Name], res.Field.Index, s.Pos)
+		default:
+			return fmt.Errorf("%s: cannot assign to %s", s.Pos, res.Name)
+		}
+		return nil
+	case *lang.FieldAccess:
+		res := c.ck.Resolutions[target]
+		switch res.Kind {
+		case sema.ResStatic:
+			if err := c.expr(s.Value); err != nil {
+				return err
+			}
+			c.emitAB(OpPutStatic, c.prog.ClassIndex[res.Field.Class.Name], res.Field.Index, s.Pos)
+		case sema.ResField:
+			if res.Field == nil {
+				return fmt.Errorf("%s: cannot assign to array length", s.Pos)
+			}
+			if err := c.expr(target.X); err != nil {
+				return err
+			}
+			if err := c.expr(s.Value); err != nil {
+				return err
+			}
+			c.emitA(OpPutField, res.Field.Index, s.Pos)
+		default:
+			return fmt.Errorf("%s: bad field assignment", s.Pos)
+		}
+		return nil
+	case *lang.Index:
+		if err := c.expr(target.X); err != nil {
+			return err
+		}
+		if err := c.expr(target.I); err != nil {
+			return err
+		}
+		if err := c.expr(s.Value); err != nil {
+			return err
+		}
+		c.emit(OpAStore, s.Pos)
+		return nil
+	default:
+		return fmt.Errorf("%s: invalid assignment target", s.Pos)
+	}
+}
+
+func (c *compiler) expr(e lang.Expr) error {
+	switch e := e.(type) {
+	case *lang.IntLit:
+		c.emitA(OpConstInt, c.constIdx(e.V), e.Pos)
+	case *lang.BoolLit:
+		a := 0
+		if e.V {
+			a = 1
+		}
+		c.emitA(OpConstBool, a, e.Pos)
+	case *lang.NullLit:
+		c.emit(OpConstNull, e.Pos)
+	case *lang.This:
+		c.emitA(OpLoad, 0, e.Pos)
+	case *lang.Ident:
+		res := c.ck.Resolutions[e]
+		switch res.Kind {
+		case sema.ResLocal:
+			c.emitA(OpLoad, res.Slot, e.Pos)
+		case sema.ResField:
+			c.emitA(OpLoad, 0, e.Pos) // this
+			c.emitA(OpGetField, res.Field.Index, e.Pos)
+		case sema.ResStatic:
+			c.emitAB(OpGetStatic, c.prog.ClassIndex[res.Field.Class.Name], res.Field.Index, e.Pos)
+		case sema.ResClass:
+			return fmt.Errorf("%s: class name %s is not a value", e.Pos, res.Name)
+		}
+	case *lang.FieldAccess:
+		res := c.ck.Resolutions[e]
+		switch res.Kind {
+		case sema.ResStatic:
+			c.emitAB(OpGetStatic, c.prog.ClassIndex[res.Field.Class.Name], res.Field.Index, e.Pos)
+		case sema.ResField:
+			if err := c.expr(e.X); err != nil {
+				return err
+			}
+			if res.Field == nil { // array length
+				c.emit(OpArrayLen, e.Pos)
+			} else {
+				c.emitA(OpGetField, res.Field.Index, e.Pos)
+			}
+		}
+	case *lang.Index:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		if err := c.expr(e.I); err != nil {
+			return err
+		}
+		c.emit(OpALoad, e.Pos)
+	case *lang.Call:
+		return c.call(e)
+	case *lang.New:
+		c.emitA(OpNew, c.prog.ClassIndex[e.Class], e.Pos)
+		ci := c.ck.Classes[e.Class]
+		if ctor := ci.Methods[lang.CtorName]; ctor != nil && ctor.Class == ci {
+			// Duplicate the reference: one consumed as the receiver,
+			// one left as the expression's value. The constructor
+			// returns void.
+			c.emit(OpDup, e.Pos)
+			for _, a := range e.Args {
+				if err := c.expr(a); err != nil {
+					return err
+				}
+			}
+			c.emitAB(OpCallVirtual, c.prog.MethodIndex[ctor], len(e.Args)+1, e.Pos)
+		}
+	case *lang.NewArray:
+		if err := c.expr(e.Len); err != nil {
+			return err
+		}
+		kind := ArrElemRef
+		switch e.Elem.Base {
+		case "int":
+			kind = ArrElemInt
+		case "boolean":
+			kind = ArrElemBool
+		}
+		c.emitA(OpNewArr, kind, e.Pos)
+	case *lang.Binary:
+		return c.binary(e)
+	case *lang.Unary:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		if e.Op == lang.Minus {
+			c.emit(OpNeg, e.Pos)
+		} else {
+			c.emit(OpNot, e.Pos)
+		}
+	default:
+		return fmt.Errorf("unhandled expression %T", e)
+	}
+	return nil
+}
+
+func (c *compiler) binary(e *lang.Binary) error {
+	// Short-circuit forms compile to jumps.
+	switch e.Op {
+	case lang.AndAnd:
+		if err := c.expr(e.L); err != nil {
+			return err
+		}
+		jf := c.emit(OpJmpFalse, e.Pos)
+		if err := c.expr(e.R); err != nil {
+			return err
+		}
+		jend := c.emit(OpJmp, e.Pos)
+		c.patch(jf, c.here())
+		c.emitA(OpConstBool, 0, e.Pos)
+		c.patch(jend, c.here())
+		return nil
+	case lang.OrOr:
+		if err := c.expr(e.L); err != nil {
+			return err
+		}
+		jf := c.emit(OpJmpFalse, e.Pos)
+		c.emitA(OpConstBool, 1, e.Pos)
+		jend := c.emit(OpJmp, e.Pos)
+		c.patch(jf, c.here())
+		if err := c.expr(e.R); err != nil {
+			return err
+		}
+		c.patch(jend, c.here())
+		return nil
+	}
+	if err := c.expr(e.L); err != nil {
+		return err
+	}
+	if err := c.expr(e.R); err != nil {
+		return err
+	}
+	ops := map[lang.Kind]Op{
+		lang.Plus: OpAdd, lang.Minus: OpSub, lang.Star: OpMul,
+		lang.Slash: OpDiv, lang.Percent: OpMod, lang.Lt: OpLt,
+		lang.Le: OpLe, lang.Gt: OpGt, lang.Ge: OpGe, lang.EqEq: OpEq,
+		lang.NotEq: OpNe,
+	}
+	op, ok := ops[e.Op]
+	if !ok {
+		return fmt.Errorf("%s: bad binary op", e.Pos)
+	}
+	c.emit(op, e.Pos)
+	return nil
+}
+
+// objectBuiltinIndex maps Object monitor methods to builtin indices.
+func objectBuiltinIndex(name string) (int, bool) {
+	switch name {
+	case "wait":
+		return BuiltinWait, true
+	case "notify":
+		return BuiltinNotify, true
+	case "notifyAll":
+		return BuiltinNotifyAll, true
+	}
+	return 0, false
+}
+
+func (c *compiler) call(e *lang.Call) error {
+	info := c.ck.Calls[e]
+	if info.Builtin != "" {
+		if idx, isObj := objectBuiltinIndex(info.Builtin); isObj {
+			// Receiver-based monitor methods: push the receiver
+			// (implicit this for bare calls).
+			if e.Recv == nil {
+				c.emitA(OpLoad, 0, e.Pos)
+			} else if err := c.expr(e.Recv); err != nil {
+				return err
+			}
+			c.emitAB(OpCallBuiltin, idx, 1, e.Pos)
+			return nil
+		}
+		for _, a := range e.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+		}
+		switch info.Builtin {
+		case "print":
+			c.emitAB(OpCallBuiltin, BuiltinPrint, len(e.Args), e.Pos)
+		default:
+			return fmt.Errorf("%s: unknown builtin %s", e.Pos, info.Builtin)
+		}
+		return nil
+	}
+	mi := info.Target
+	idx := c.prog.MethodIndex[mi]
+	if mi.Static {
+		for _, a := range e.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+		}
+		c.emitAB(OpCallStatic, idx, len(e.Args), e.Pos)
+		return nil
+	}
+	// Receiver.
+	switch {
+	case e.Recv == nil:
+		c.emitA(OpLoad, 0, e.Pos) // implicit this
+	default:
+		if err := c.expr(e.Recv); err != nil {
+			return err
+		}
+	}
+	for _, a := range e.Args {
+		if err := c.expr(a); err != nil {
+			return err
+		}
+	}
+	c.emitAB(OpCallVirtual, idx, len(e.Args)+1, e.Pos)
+	return nil
+}

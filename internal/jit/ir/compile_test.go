@@ -1,0 +1,194 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/jit/lang"
+	"repro/internal/jit/sema"
+)
+
+func compile(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ck, err := sema.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	p, err := Compile(ck)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func TestCompileSimpleMethod(t *testing.T) {
+	p := compile(t, `class A { int add(int x, int y) { return x + y; } }`)
+	m := p.MethodByName("A", "add")
+	if m == nil {
+		t.Fatalf("method not found")
+	}
+	dis := m.Body.Disassemble()
+	for _, want := range []string{"load", "add", "ret"} {
+		if !strings.Contains(dis, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestSyncBlockCompilesToNestedCode(t *testing.T) {
+	p := compile(t, `class A { int x; int get() { synchronized (this) { return x; } } }`)
+	m := p.MethodByName("A", "get")
+	if len(m.Syncs) != 1 {
+		t.Fatalf("syncs = %d", len(m.Syncs))
+	}
+	found := false
+	for _, ins := range m.Body.Ins {
+		if ins.Op == OpSync {
+			found = true
+			if ins.A != 0 {
+				t.Fatalf("OpSync A = %d", ins.A)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no OpSync in body:\n%s", m.Body.Disassemble())
+	}
+	inner := m.Syncs[0].Body.Disassemble()
+	if !strings.Contains(inner, "getfield") {
+		t.Fatalf("sync body missing getfield:\n%s", inner)
+	}
+	if m.Syncs[0].Plan != PlanWrite {
+		t.Fatalf("default plan must be the always-sound write plan")
+	}
+}
+
+func TestNestedSyncBlocks(t *testing.T) {
+	p := compile(t, `class A { int x; void f(A o) {
+		synchronized (this) { synchronized (o) { x = 1; } }
+	} }`)
+	m := p.MethodByName("A", "f")
+	if len(m.Syncs) != 2 {
+		t.Fatalf("syncs = %d, want 2 (outer and inner)", len(m.Syncs))
+	}
+	// The outer block's body must itself contain an OpSync.
+	var outer *SyncBlock
+	for _, sb := range m.Syncs {
+		for _, ins := range sb.Body.Ins {
+			if ins.Op == OpSync {
+				outer = sb
+			}
+		}
+	}
+	if outer == nil {
+		t.Fatalf("no nested OpSync found")
+	}
+}
+
+func TestLoopBackEdgeIsBackwardJump(t *testing.T) {
+	p := compile(t, `class A { int sum(int n) {
+		int s = 0;
+		for (int i = 0; i < n; i = i + 1) { s = s + i; }
+		return s;
+	} }`)
+	m := p.MethodByName("A", "sum")
+	backward := false
+	for pc, ins := range m.Body.Ins {
+		if ins.Op == OpJmp && int(ins.A) < pc {
+			backward = true
+		}
+	}
+	if !backward {
+		t.Fatalf("loop compiled without a backward jump:\n%s", m.Body.Disassemble())
+	}
+}
+
+func TestShortCircuitCompilesToJumps(t *testing.T) {
+	p := compile(t, `class A { boolean f(boolean a, boolean b) { return a && b || !a; } }`)
+	m := p.MethodByName("A", "f")
+	jumps := 0
+	for _, ins := range m.Body.Ins {
+		if ins.Op == OpJmpFalse || ins.Op == OpJmp {
+			jumps++
+		}
+	}
+	if jumps < 3 {
+		t.Fatalf("short-circuit forms compiled with %d jumps:\n%s", jumps, m.Body.Disassemble())
+	}
+}
+
+func TestStaticFieldAndCall(t *testing.T) {
+	p := compile(t, `class A {
+		static int s;
+		static int get() { return A.s; }
+		void bump() { A.s = A.s + 1; }
+		int use() { return A.get(); }
+	}`)
+	get := p.MethodByName("A", "get")
+	if !strings.Contains(get.Body.Disassemble(), "getstatic") {
+		t.Fatalf("missing getstatic")
+	}
+	bump := p.MethodByName("A", "bump")
+	if !strings.Contains(bump.Body.Disassemble(), "putstatic") {
+		t.Fatalf("missing putstatic")
+	}
+	use := p.MethodByName("A", "use")
+	if !strings.Contains(use.Body.Disassemble(), "callstatic") {
+		t.Fatalf("missing callstatic")
+	}
+}
+
+func TestVirtualCall(t *testing.T) {
+	p := compile(t, `
+class Shape { int area() { return 0; } }
+class Sq extends Shape { int area() { return 4; } }
+class U { int f(Shape s) { return s.area(); } }
+`)
+	m := p.MethodByName("U", "f")
+	if !strings.Contains(m.Body.Disassemble(), "callvirt") {
+		t.Fatalf("missing callvirt:\n%s", m.Body.Disassemble())
+	}
+}
+
+func TestConstPooling(t *testing.T) {
+	p := compile(t, `class A { int f() { return 7 + 7 + 7; } }`)
+	m := p.MethodByName("A", "f")
+	if len(m.Body.Consts) != 1 {
+		t.Fatalf("consts = %v, want one pooled 7", m.Body.Consts)
+	}
+}
+
+func TestMethodAndClassIndicesStable(t *testing.T) {
+	p := compile(t, `class A { void f() { } } class B { void g() { } }`)
+	if len(p.Methods) != 2 {
+		t.Fatalf("methods = %d", len(p.Methods))
+	}
+	if p.ClassIndex["A"] == p.ClassIndex["B"] {
+		t.Fatalf("class indices collide")
+	}
+	// Builtin exception classes are registered too.
+	if _, ok := p.ClassIndex["NullPointerException"]; !ok {
+		t.Fatalf("builtin classes not indexed")
+	}
+}
+
+func TestArrayOps(t *testing.T) {
+	p := compile(t, `class A { int f(int[] xs) { xs[0] = 9; return xs[0] + xs.length; } }`)
+	dis := p.MethodByName("A", "f").Body.Disassemble()
+	for _, want := range []string{"astore", "aload", "arraylen"} {
+		if !strings.Contains(dis, want) {
+			t.Fatalf("missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestBuiltinPrintCompiles(t *testing.T) {
+	p := compile(t, `class A { void f() { print(3); } }`)
+	dis := p.MethodByName("A", "f").Body.Disassemble()
+	if !strings.Contains(dis, "callbuiltin") {
+		t.Fatalf("missing callbuiltin:\n%s", dis)
+	}
+}

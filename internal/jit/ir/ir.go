@@ -1,0 +1,200 @@
+// Package ir defines the stack bytecode our JIT compiles mini-Java into,
+// and the AST-to-bytecode compiler. Synchronized blocks compile to nested
+// Code objects referenced by an OpSync instruction; that is what lets the
+// interpreter re-execute a block body under the speculative protocols —
+// the runtime analogue of the paper's JIT generating a retry loop plus a
+// catch block around each synchronized region.
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/jit/lang"
+	"repro/internal/jit/sema"
+)
+
+// Op is a bytecode opcode.
+type Op uint8
+
+// Opcodes. Stack effects are noted as (pops → pushes).
+const (
+	OpNop       Op = iota
+	OpConstInt     // ( → i) A = index into Consts
+	OpConstBool    // ( → b) A = 0/1
+	OpConstNull    // ( → null)
+	OpLoad         // ( → v) A = frame slot
+	OpStore        // (v → ) A = frame slot
+	OpGetField     // (obj → v) A = instance field index
+	OpPutField     // (obj v → ) A = instance field index
+	OpGetStatic    // ( → v) A = class index, B = static index
+	OpPutStatic    // (v → ) A = class index, B = static index
+	OpALoad        // (arr i → v)
+	OpAStore       // (arr i v → )
+	OpArrayLen     // (arr → n)
+	OpNew          // ( → obj) A = class index
+	OpNewArr       // (n → arr) A = element kind (ArrElem*)
+	OpAdd          // (a b → a+b)
+	OpSub
+	OpMul
+	OpDiv // throws ArithmeticException on /0
+	OpMod // throws ArithmeticException on %0
+	OpNeg // (a → -a)
+	OpNot // (b → !b)
+	OpLt  // (a b → bool)
+	OpLe
+	OpGt
+	OpGe
+	OpEq // generic equality (ints, booleans, references)
+	OpNe
+	OpJmp         // A = target pc; a backward jump is a loop back-edge (checkpoint site)
+	OpJmpFalse    // (b → ) A = target pc
+	OpPop         // (v → )
+	OpDup         // (v → v v)
+	OpCallStatic  // (args... → ret?) A = method index, B = nargs
+	OpCallVirtual // (recv args... → ret?) A = static-target method index, B = nargs+1
+	OpCallBuiltin // (args... → ret?) A = builtin index
+	OpRet         // (v → ) return value
+	OpRetVoid     // return (explicit `return;`)
+	OpEnd         // implicit end of a code segment (fall off a body)
+	OpThrow       // (obj → ) throw
+	OpSync        // (lockObj → ) A = index into the method's Syncs
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpConstInt: "const", OpConstBool: "constb",
+	OpConstNull: "constnull", OpLoad: "load", OpStore: "store",
+	OpGetField: "getfield", OpPutField: "putfield", OpGetStatic: "getstatic",
+	OpPutStatic: "putstatic", OpALoad: "aload", OpAStore: "astore",
+	OpArrayLen: "arraylen", OpNew: "new", OpNewArr: "newarr", OpAdd: "add",
+	OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod", OpNeg: "neg",
+	OpNot: "not", OpLt: "lt", OpLe: "le", OpGt: "gt", OpGe: "ge", OpEq: "eq",
+	OpNe: "ne", OpJmp: "jmp", OpJmpFalse: "jmpf", OpPop: "pop", OpDup: "dup",
+	OpCallStatic: "callstatic", OpCallVirtual: "callvirt",
+	OpCallBuiltin: "callbuiltin", OpRet: "ret", OpRetVoid: "retvoid",
+	OpEnd: "end", OpThrow: "throw", OpSync: "sync",
+}
+
+// String names the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Builtin indices for OpCallBuiltin.
+const (
+	BuiltinPrint = iota
+	// Object monitor methods (receiver on the stack, B = 1).
+	BuiltinWait
+	BuiltinNotify
+	BuiltinNotifyAll
+)
+
+// Array element kinds for OpNewArr's A operand (selects the typed default
+// value of fresh elements).
+const (
+	ArrElemInt = iota
+	ArrElemBool
+	ArrElemRef
+)
+
+// Ins is one instruction.
+type Ins struct {
+	Op   Op
+	A, B int32
+	Pos  lang.Pos
+}
+
+// Code is a compiled code segment: a method body or a synchronized block
+// body. Block bodies share the enclosing method's frame slots.
+type Code struct {
+	Ins    []Ins
+	Consts []int64
+	Method *sema.MethodInfo
+	// SyncID is the AST ID of the synchronized block this code implements
+	// (-1 for a method body).
+	SyncID int
+}
+
+// LockPlanKind is the locking strategy codegen selected for a synchronized
+// block (the result of the paper's §3.2/§5 classification).
+type LockPlanKind uint8
+
+// Lock plan kinds.
+const (
+	// PlanWrite uses the full writing protocol.
+	PlanWrite LockPlanKind = iota
+	// PlanElide uses the read-only elision protocol.
+	PlanElide
+	// PlanReadMostly uses the §5 upgrade protocol.
+	PlanReadMostly
+)
+
+// String names the plan.
+func (k LockPlanKind) String() string {
+	switch k {
+	case PlanWrite:
+		return "write"
+	case PlanElide:
+		return "elide"
+	case PlanReadMostly:
+		return "read-mostly"
+	default:
+		return "plan(?)"
+	}
+}
+
+// SyncBlock is a compiled synchronized block.
+type SyncBlock struct {
+	AST  *lang.Synchronized
+	Body *Code
+	// Plan is filled in by codegen (default PlanWrite — always sound).
+	Plan LockPlanKind
+	// WriteStmts, for PlanReadMostly, are the AST statements before which
+	// the upgrade hook (Section.BeforeWrite) must run; the interpreter
+	// triggers the hook on the corresponding write opcodes instead, so
+	// this is diagnostic metadata.
+	WriteCount int
+}
+
+// CompiledMethod pairs a method with its code and synchronized blocks.
+type CompiledMethod struct {
+	Info  *sema.MethodInfo
+	Body  *Code
+	Syncs []*SyncBlock
+}
+
+// Program is a fully compiled program.
+type Program struct {
+	Checked *sema.Checked
+	// Classes in index order (OpNew / OpGetStatic A operands).
+	Classes []*sema.ClassInfo
+	// ClassIndex maps class name to Classes index.
+	ClassIndex map[string]int
+	// Methods in index order (OpCall* A operands).
+	Methods []*CompiledMethod
+	// MethodIndex maps *sema.MethodInfo to Methods index.
+	MethodIndex map[*sema.MethodInfo]int
+}
+
+// MethodByName resolves "Class.name" to the compiled method (nil if absent).
+func (p *Program) MethodByName(class, name string) *CompiledMethod {
+	mi := p.Checked.LookupMethod(class, name)
+	if mi == nil {
+		return nil
+	}
+	if idx, ok := p.MethodIndex[mi]; ok {
+		return p.Methods[idx]
+	}
+	return nil
+}
+
+// Disassemble renders code for diagnostics and golden tests.
+func (c *Code) Disassemble() string {
+	out := ""
+	for pc, ins := range c.Ins {
+		out += fmt.Sprintf("%4d  %-12s A=%d B=%d\n", pc, ins.Op, ins.A, ins.B)
+	}
+	return out
+}

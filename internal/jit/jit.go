@@ -1,0 +1,54 @@
+// Package jit ties the pipeline together: source → lang (parse) → sema
+// (check) → ir (compile) → analysis (classify) → codegen (lock plans).
+// The result is ready to run on interp.Machine.
+package jit
+
+import (
+	"repro/internal/jit/analysis"
+	"repro/internal/jit/codegen"
+	"repro/internal/jit/ir"
+	"repro/internal/jit/lang"
+	"repro/internal/jit/opt"
+	"repro/internal/jit/sema"
+)
+
+// Build compiles mini-Java source through the full pipeline, including the
+// peephole optimizer (semantics-preserving; see internal/jit/opt).
+func Build(src string, opts codegen.Options) (*ir.Program, *analysis.Result, *codegen.Report, error) {
+	compiled, res, rep, err := BuildUnoptimized(src, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	opt.Program(compiled)
+	return compiled, res, rep, nil
+}
+
+// BuildUnoptimized is Build without the optimizer — for differential tests
+// and for inspecting the compiler's direct output.
+func BuildUnoptimized(src string, opts codegen.Options) (*ir.Program, *analysis.Result, *codegen.Report, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ck, err := sema.Check(prog)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	compiled, err := ir.Compile(ck)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res := analysis.Analyze(ck)
+	rep := codegen.Apply(compiled, res, opts)
+	return compiled, res, rep, nil
+}
+
+// MustBuild is Build that panics on error (tests, benchmarks, examples
+// with known-good sources).
+func MustBuild(src string, opts codegen.Options) *ir.Program {
+	p, _, _, err := Build(src, opts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,47 @@
+package jit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/jit/codegen"
+)
+
+func TestBuildPipeline(t *testing.T) {
+	prog, res, rep, err := Build(`class A { int x; int get() { synchronized (this) { return x; } } }`, codegen.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.MethodByName("A", "get") == nil {
+		t.Fatalf("method missing from program")
+	}
+	if len(res.Order) != 1 {
+		t.Fatalf("blocks = %d", len(res.Order))
+	}
+	if rep.Elided != 1 {
+		t.Fatalf("elided = %d", rep.Elided)
+	}
+}
+
+func TestBuildSurfacesStageErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`class A { int x = $; }`, "unexpected character"}, // lexer
+		{`class A { int f() { return } }`, "expected"},     // parser
+		{`class A { int f() { return y; } }`, "undefined"}, // sema
+	}
+	for _, c := range cases {
+		_, _, _, err := Build(c.src, codegen.DefaultOptions)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("Build(%q) err = %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic")
+		}
+	}()
+	MustBuild(`class`, codegen.DefaultOptions)
+}

@@ -1,0 +1,280 @@
+package lang
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Classes []*Class
+}
+
+// Class is a class declaration.
+type Class struct {
+	Name    string
+	Extends string // "" for none
+	Fields  []*Field
+	Methods []*Method
+	Pos     Pos
+}
+
+// Field is an instance or static field declaration.
+type Field struct {
+	Name   string
+	Type   TypeExpr
+	Static bool
+	Pos    Pos
+}
+
+// Method is a method declaration.
+type Method struct {
+	Name        string
+	Annotations []string // e.g. "SoleroReadOnly"
+	Static      bool
+	// Synchronized marks a `synchronized` instance method; the parser
+	// desugars the body into synchronized(this){...}.
+	Synchronized bool
+	Ret          TypeExpr // Void for void methods
+	Params       []Param
+	Body         *Block
+	Pos          Pos
+}
+
+// HasAnnotation reports whether the method carries @name.
+func (m *Method) HasAnnotation(name string) bool {
+	for _, a := range m.Annotations {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Param is a method parameter.
+type Param struct {
+	Name string
+	Type TypeExpr
+	Pos  Pos
+}
+
+// TypeExpr is a syntactic type.
+type TypeExpr struct {
+	// Base is "int", "boolean", "void", or a class name.
+	Base string
+	// Dims is the number of array dimensions (0 or 1 in this language).
+	Dims int
+	Pos  Pos
+}
+
+func (t TypeExpr) String() string {
+	s := t.Base
+	for i := 0; i < t.Dims; i++ {
+		s += "[]"
+	}
+	return s
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Block is `{ stmts }`.
+type Block struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// If is `if (cond) then else els` (Else may be nil).
+type If struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt
+	Pos  Pos
+}
+
+// While is `while (cond) body`.
+type While struct {
+	Cond Expr
+	Body Stmt
+	Pos  Pos
+}
+
+// For is `for (init; cond; step) body`; Init/Step may be nil, Cond may be
+// nil (infinite).
+type For struct {
+	Init Stmt
+	Cond Expr
+	Step Stmt
+	Body Stmt
+	Pos  Pos
+}
+
+// Return is `return e;` (E may be nil).
+type Return struct {
+	E   Expr
+	Pos Pos
+}
+
+// Break is `break;` (innermost loop).
+type Break struct{ Pos Pos }
+
+// Continue is `continue;` (innermost loop).
+type Continue struct{ Pos Pos }
+
+// Throw is `throw e;`.
+type Throw struct {
+	E   Expr
+	Pos Pos
+}
+
+// Synchronized is `synchronized (lock) { body }`. ID is assigned by the
+// parser, unique within the method, and used to correlate analysis results
+// and lock plans with the block.
+type Synchronized struct {
+	Lock Expr
+	Body *Block
+	ID   int
+	Pos  Pos
+}
+
+// LocalDecl is `type name = init;` (Init may be nil).
+type LocalDecl struct {
+	Name string
+	Type TypeExpr
+	Init Expr
+	Pos  Pos
+}
+
+// Assign is `target = value;` where target is an Ident, FieldAccess, or
+// Index expression.
+type Assign struct {
+	Target Expr
+	Value  Expr
+	Pos    Pos
+}
+
+// ExprStmt is an expression evaluated for effect (a call).
+type ExprStmt struct {
+	E   Expr
+	Pos Pos
+}
+
+func (*Block) stmtNode()        {}
+func (*If) stmtNode()           {}
+func (*While) stmtNode()        {}
+func (*For) stmtNode()          {}
+func (*Return) stmtNode()       {}
+func (*Break) stmtNode()        {}
+func (*Continue) stmtNode()     {}
+func (*Throw) stmtNode()        {}
+func (*Synchronized) stmtNode() {}
+func (*LocalDecl) stmtNode()    {}
+func (*Assign) stmtNode()       {}
+func (*ExprStmt) stmtNode()     {}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	Position() Pos
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	V   int64
+	Pos Pos
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	V   bool
+	Pos Pos
+}
+
+// NullLit is null.
+type NullLit struct{ Pos Pos }
+
+// This is `this`.
+type This struct{ Pos Pos }
+
+// Ident is a bare name: local, parameter, implicit-this field, or a class
+// name (as the receiver of a static member access). Resolution happens in
+// sema.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// FieldAccess is `x.name` (instance field, or static field when X names a
+// class).
+type FieldAccess struct {
+	X    Expr
+	Name string
+	Pos  Pos
+}
+
+// Index is `x[i]`.
+type Index struct {
+	X   Expr
+	I   Expr
+	Pos Pos
+}
+
+// Call is `recv.name(args)`; Recv is nil for implicit-this or builtin
+// calls.
+type Call struct {
+	Recv Expr
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+// New is `new C(args)`. Args are constructor arguments; a class without a
+// declared constructor admits only `new C()`.
+type New struct {
+	Class string
+	Args  []Expr
+	Pos   Pos
+}
+
+// NewArray is `new base[len]`.
+type NewArray struct {
+	Elem TypeExpr
+	Len  Expr
+	Pos  Pos
+}
+
+// Binary is a binary operation; Op is the operator token kind.
+type Binary struct {
+	Op   Kind
+	L, R Expr
+	Pos  Pos
+}
+
+// Unary is `-x` or `!x`.
+type Unary struct {
+	Op  Kind
+	X   Expr
+	Pos Pos
+}
+
+func (*IntLit) exprNode()      {}
+func (*BoolLit) exprNode()     {}
+func (*NullLit) exprNode()     {}
+func (*This) exprNode()        {}
+func (*Ident) exprNode()       {}
+func (*FieldAccess) exprNode() {}
+func (*Index) exprNode()       {}
+func (*Call) exprNode()        {}
+func (*New) exprNode()         {}
+func (*NewArray) exprNode()    {}
+func (*Binary) exprNode()      {}
+func (*Unary) exprNode()       {}
+
+// Position implementations.
+func (e *IntLit) Position() Pos      { return e.Pos }
+func (e *BoolLit) Position() Pos     { return e.Pos }
+func (e *NullLit) Position() Pos     { return e.Pos }
+func (e *This) Position() Pos        { return e.Pos }
+func (e *Ident) Position() Pos       { return e.Pos }
+func (e *FieldAccess) Position() Pos { return e.Pos }
+func (e *Index) Position() Pos       { return e.Pos }
+func (e *Call) Position() Pos        { return e.Pos }
+func (e *New) Position() Pos         { return e.Pos }
+func (e *NewArray) Position() Pos    { return e.Pos }
+func (e *Binary) Position() Pos      { return e.Pos }
+func (e *Unary) Position() Pos       { return e.Pos }

@@ -1,0 +1,40 @@
+package lang
+
+import "testing"
+
+// FuzzParse asserts the frontend is total: any input either parses or
+// returns an error — it never panics. Run with `go test -fuzz FuzzParse
+// ./internal/jit/lang` for coverage-guided exploration; the seed corpus
+// runs under plain `go test`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"class A { }",
+		"class A { int x; }",
+		"class A extends B { synchronized int f(int y) { synchronized (this) { return x + y; } } }",
+		"class A { @SoleroReadOnly int f() { return 1; } }",
+		"class A { void f() { for (int i = 0; i < 10; i = i + 1) { if (i == 5) { break; } } } }",
+		"class A { void f() { while (true) { continue; } } }",
+		"class A { int[] xs; int f() { return xs[0] + xs.length; } }",
+		"class A { void f() { throw new NullPointerException(); } }",
+		"class A { void f() { print(1 + 2 * 3 % 4 / 5); } }",
+		"class A { boolean f(boolean a) { return a && !a || a == a; } }",
+		"class A { void f() { wait(); notify(); notifyAll(); } }",
+		"class A { A f() { return new A(); } }",
+		"class { } }", // malformed
+		"class A { int x = ; }",
+		"/* unterminated",
+		"// only a comment",
+		"@ @ @",
+		"class A { void f() { synchronized } }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err == nil && prog == nil {
+			t.Fatalf("nil program without error")
+		}
+	})
+}

@@ -1,0 +1,191 @@
+package lang
+
+// Lex tokenizes src, returning the token stream (terminated by an EOF
+// token) or the first lexical error.
+func Lex(src string) ([]Token, error) {
+	lx := &lexer{src: src, line: 1, col: 1}
+	var out []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == EOF {
+			return out, nil
+		}
+	}
+}
+
+type lexer struct {
+	src       string
+	off       int
+	line, col int
+}
+
+func (lx *lexer) pos() Pos { return Pos{lx.line, lx.col} }
+
+func (lx *lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for lx.off < len(lx.src) {
+		switch c := lx.peek(); {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.off >= len(lx.src) {
+					return errf(start, "unterminated block comment")
+				}
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (lx *lexer) next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isAlpha(c):
+		start := lx.off
+		for lx.off < len(lx.src) && (isAlpha(lx.peek()) || isDigit(lx.peek())) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: pos}, nil
+	case isDigit(c):
+		start := lx.off
+		var v int64
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			d := int64(lx.peek() - '0')
+			if v > (1<<62)/10 {
+				return Token{}, errf(pos, "integer literal overflows")
+			}
+			v = v*10 + d
+			lx.advance()
+		}
+		return Token{Kind: INT, Text: lx.src[start:lx.off], Val: v, Pos: pos}, nil
+	}
+	lx.advance()
+	two := func(k Kind) (Token, error) {
+		lx.advance()
+		return Token{Kind: k, Pos: pos}, nil
+	}
+	one := func(k Kind) (Token, error) { return Token{Kind: k, Pos: pos}, nil }
+	switch c {
+	case '{':
+		return one(LBrace)
+	case '}':
+		return one(RBrace)
+	case '(':
+		return one(LParen)
+	case ')':
+		return one(RParen)
+	case '[':
+		return one(LBracket)
+	case ']':
+		return one(RBracket)
+	case ';':
+		return one(Semi)
+	case ',':
+		return one(Comma)
+	case '.':
+		return one(Dot)
+	case '@':
+		return one(At)
+	case '+':
+		return one(Plus)
+	case '-':
+		return one(Minus)
+	case '*':
+		return one(Star)
+	case '/':
+		return one(Slash)
+	case '%':
+		return one(Percent)
+	case '=':
+		if lx.peek() == '=' {
+			return two(EqEq)
+		}
+		return one(Eq)
+	case '!':
+		if lx.peek() == '=' {
+			return two(NotEq)
+		}
+		return one(Not)
+	case '<':
+		if lx.peek() == '=' {
+			return two(Le)
+		}
+		return one(Lt)
+	case '>':
+		if lx.peek() == '=' {
+			return two(Ge)
+		}
+		return one(Gt)
+	case '&':
+		if lx.peek() == '&' {
+			return two(AndAnd)
+		}
+	case '|':
+		if lx.peek() == '|' {
+			return two(OrOr)
+		}
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}

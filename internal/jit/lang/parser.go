@@ -1,0 +1,742 @@
+package lang
+
+// Parse lexes and parses src into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseProgram()
+}
+
+type parser struct {
+	toks   []Token
+	off    int
+	syncID int
+}
+
+func (p *parser) cur() Token { return p.toks[p.off] }
+func (p *parser) la(n int) Token {
+	if p.off+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.off+n]
+}
+
+func (p *parser) next() Token {
+	t := p.toks[p.off]
+	if t.Kind != EOF {
+		p.off++
+	}
+	return t
+}
+
+func (p *parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, errf(p.cur().Pos, "expected %s, found %s", k, p.cur().Kind)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for p.cur().Kind != EOF {
+		c, err := p.parseClass()
+		if err != nil {
+			return nil, err
+		}
+		prog.Classes = append(prog.Classes, c)
+	}
+	return prog, nil
+}
+
+func (p *parser) parseClass() (*Class, error) {
+	kw, err := p.expect(KwClass)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	c := &Class{Name: name.Text, Pos: kw.Pos}
+	if p.accept(KwExtends) {
+		sup, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		c.Extends = sup.Text
+	}
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	for !p.accept(RBrace) {
+		if err := p.parseMember(c); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (p *parser) parseMember(c *Class) error {
+	var annotations []string
+	for p.accept(At) {
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return err
+		}
+		annotations = append(annotations, name.Text)
+	}
+	static, synchronized := false, false
+	for {
+		if p.accept(KwStatic) {
+			static = true
+			continue
+		}
+		if p.accept(KwSynchronized) {
+			synchronized = true
+			continue
+		}
+		break
+	}
+	pos := p.cur().Pos
+	// Constructor: ClassName(params) { ... } — no return type.
+	if !static && p.cur().Kind == IDENT && p.cur().Text == c.Name && p.la(1).Kind == LParen {
+		if len(annotations) > 0 {
+			return errf(pos, "annotations are not allowed on constructors")
+		}
+		p.next() // class name
+		m := &Method{Name: CtorName, Synchronized: synchronized, Ret: TypeExpr{Base: "void", Pos: pos}, Pos: pos}
+		p.next() // '('
+		if p.cur().Kind != RParen {
+			for {
+				t, err := p.parseType()
+				if err != nil {
+					return err
+				}
+				pn, err := p.expect(IDENT)
+				if err != nil {
+					return err
+				}
+				m.Params = append(m.Params, Param{Name: pn.Text, Type: t, Pos: pn.Pos})
+				if !p.accept(Comma) {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return err
+		}
+		if synchronized {
+			sync := &Synchronized{Lock: &This{Pos: m.Pos}, Body: body, ID: p.syncID, Pos: m.Pos}
+			p.syncID++
+			body = &Block{Stmts: []Stmt{sync}, Pos: m.Pos}
+		}
+		m.Body = body
+		c.Methods = append(c.Methods, m)
+		return nil
+	}
+	var ret TypeExpr
+	if p.accept(KwVoid) {
+		ret = TypeExpr{Base: "void", Pos: pos}
+	} else {
+		t, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		ret = t
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return err
+	}
+	if p.cur().Kind == LParen {
+		if synchronized && static {
+			return errf(pos, "static synchronized methods are not supported (no class objects)")
+		}
+		m := &Method{Name: name.Text, Annotations: annotations, Static: static, Synchronized: synchronized, Pos: pos, Ret: ret}
+		p.next()
+		if p.cur().Kind != RParen {
+			for {
+				t, err := p.parseType()
+				if err != nil {
+					return err
+				}
+				pn, err := p.expect(IDENT)
+				if err != nil {
+					return err
+				}
+				m.Params = append(m.Params, Param{Name: pn.Text, Type: t, Pos: pn.Pos})
+				if !p.accept(Comma) {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return err
+		}
+		if m.Synchronized {
+			// Desugar: a synchronized instance method wraps its body
+			// in synchronized(this){...}, exactly Java's semantics.
+			sync := &Synchronized{
+				Lock: &This{Pos: m.Pos},
+				Body: body,
+				ID:   p.syncID,
+				Pos:  m.Pos,
+			}
+			p.syncID++
+			body = &Block{Stmts: []Stmt{sync}, Pos: m.Pos}
+		}
+		m.Body = body
+		c.Methods = append(c.Methods, m)
+		return nil
+	}
+	// Field.
+	if synchronized {
+		return errf(pos, "synchronized is only allowed on methods")
+	}
+	if len(annotations) > 0 {
+		return errf(pos, "annotations are only allowed on methods")
+	}
+	if ret.Base == "void" {
+		return errf(pos, "field %s cannot have type void", name.Text)
+	}
+	c.Fields = append(c.Fields, &Field{Name: name.Text, Type: ret, Static: static, Pos: name.Pos})
+	for p.accept(Comma) {
+		n2, err := p.expect(IDENT)
+		if err != nil {
+			return err
+		}
+		c.Fields = append(c.Fields, &Field{Name: n2.Text, Type: ret, Static: static, Pos: n2.Pos})
+	}
+	_, err = p.expect(Semi)
+	return err
+}
+
+func (p *parser) parseType() (TypeExpr, error) {
+	pos := p.cur().Pos
+	var base string
+	switch p.cur().Kind {
+	case KwInt:
+		base = "int"
+		p.next()
+	case KwBoolean:
+		base = "boolean"
+		p.next()
+	case IDENT:
+		base = p.next().Text
+	default:
+		return TypeExpr{}, errf(pos, "expected a type, found %s", p.cur().Kind)
+	}
+	t := TypeExpr{Base: base, Pos: pos}
+	for p.cur().Kind == LBracket && p.la(1).Kind == RBracket {
+		p.next()
+		p.next()
+		t.Dims++
+	}
+	if t.Dims > 1 {
+		return TypeExpr{}, errf(pos, "multi-dimensional arrays are not supported")
+	}
+	return t, nil
+}
+
+func (p *parser) parseBlock() (*Block, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: lb.Pos}
+	for !p.accept(RBrace) {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+// startsType reports whether the current position begins a local variable
+// declaration (type followed by an identifier).
+func (p *parser) startsType() bool {
+	switch p.cur().Kind {
+	case KwInt, KwBoolean:
+		return true
+	case IDENT:
+		// "C x" or "C[] x" declares; "C.f", "C(", "C =", "C[i]" do not.
+		if p.la(1).Kind == IDENT {
+			return true
+		}
+		if p.la(1).Kind == LBracket && p.la(2).Kind == RBracket {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case LBrace:
+		return p.parseBlock()
+	case KwIf:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if p.accept(KwElse) {
+			if els, err = p.parseStmt(); err != nil {
+				return nil, err
+			}
+		}
+		return &If{Cond: cond, Then: then, Else: els, Pos: pos}, nil
+	case KwWhile:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Cond: cond, Body: body, Pos: pos}, nil
+	case KwFor:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		var init, step Stmt
+		var cond Expr
+		var err error
+		if p.cur().Kind != Semi {
+			if init, err = p.parseSimpleStmt(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err = p.expect(Semi); err != nil {
+			return nil, err
+		}
+		if p.cur().Kind != Semi {
+			if cond, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err = p.expect(Semi); err != nil {
+			return nil, err
+		}
+		if p.cur().Kind != RParen {
+			if step, err = p.parseSimpleStmt(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err = p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &For{Init: init, Cond: cond, Step: step, Body: body, Pos: pos}, nil
+	case KwReturn:
+		p.next()
+		var e Expr
+		var err error
+		if p.cur().Kind != Semi {
+			if e, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &Return{E: e, Pos: pos}, nil
+	case KwBreak:
+		p.next()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &Break{Pos: pos}, nil
+	case KwContinue:
+		p.next()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &Continue{Pos: pos}, nil
+	case KwThrow:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &Throw{E: e, Pos: pos}, nil
+	case KwSynchronized:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		lock, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		s := &Synchronized{Lock: lock, Body: body, ID: p.syncID, Pos: pos}
+		p.syncID++
+		return s, nil
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// parseSimpleStmt parses a declaration, assignment, or expression statement
+// (no trailing semicolon).
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	pos := p.cur().Pos
+	if p.startsType() {
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		d := &LocalDecl{Name: name.Text, Type: t, Pos: pos}
+		if p.accept(Eq) {
+			if d.Init, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+		return d, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(Eq) {
+		switch e.(type) {
+		case *Ident, *FieldAccess, *Index:
+		default:
+			return nil, errf(pos, "invalid assignment target")
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Target: e, Value: v, Pos: pos}, nil
+	}
+	if _, isCall := e.(*Call); !isCall {
+		return nil, errf(pos, "expression statement must be a call")
+	}
+	return &ExprStmt{E: e, Pos: pos}, nil
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == OrOr {
+		op := p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op.Kind, L: l, R: r, Pos: op.Pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseEq()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == AndAnd {
+		op := p.next()
+		r, err := p.parseEq()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op.Kind, L: l, R: r, Pos: op.Pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseEq() (Expr, error) {
+	l, err := p.parseRel()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == EqEq || p.cur().Kind == NotEq {
+		op := p.next()
+		r, err := p.parseRel()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op.Kind, L: l, R: r, Pos: op.Pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseRel() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case Lt, Le, Gt, Ge:
+			op := p.next()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: op.Kind, L: l, R: r, Pos: op.Pos}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == Plus || p.cur().Kind == Minus {
+		op := p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op.Kind, L: l, R: r, Pos: op.Pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == Star || p.cur().Kind == Slash || p.cur().Kind == Percent {
+		op := p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op.Kind, L: l, R: r, Pos: op.Pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case Minus, Not:
+		op := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: op.Kind, X: x, Pos: op.Pos}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case Dot:
+			p.next()
+			name, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			if p.cur().Kind == LParen {
+				args, err := p.parseArgs()
+				if err != nil {
+					return nil, err
+				}
+				e = &Call{Recv: e, Name: name.Text, Args: args, Pos: name.Pos}
+			} else {
+				e = &FieldAccess{X: e, Name: name.Text, Pos: name.Pos}
+			}
+		case LBracket:
+			lb := p.next()
+			i, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			e = &Index{X: e, I: i, Pos: lb.Pos}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parseArgs() ([]Expr, error) {
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if p.cur().Kind != RParen {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if !p.accept(Comma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case INT:
+		p.next()
+		return &IntLit{V: tok.Val, Pos: tok.Pos}, nil
+	case KwTrue:
+		p.next()
+		return &BoolLit{V: true, Pos: tok.Pos}, nil
+	case KwFalse:
+		p.next()
+		return &BoolLit{V: false, Pos: tok.Pos}, nil
+	case KwNull:
+		p.next()
+		return &NullLit{Pos: tok.Pos}, nil
+	case KwThis:
+		p.next()
+		return &This{Pos: tok.Pos}, nil
+	case LParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case KwNew:
+		p.next()
+		switch p.cur().Kind {
+		case KwInt, KwBoolean:
+			base := "int"
+			if p.cur().Kind == KwBoolean {
+				base = "boolean"
+			}
+			bp := p.next().Pos
+			if _, err := p.expect(LBracket); err != nil {
+				return nil, err
+			}
+			n, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			return &NewArray{Elem: TypeExpr{Base: base, Pos: bp}, Len: n, Pos: tok.Pos}, nil
+		case IDENT:
+			name := p.next()
+			if p.cur().Kind == LBracket {
+				p.next()
+				n, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(RBracket); err != nil {
+					return nil, err
+				}
+				return &NewArray{Elem: TypeExpr{Base: name.Text, Pos: name.Pos}, Len: n, Pos: tok.Pos}, nil
+			}
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &New{Class: name.Text, Args: args, Pos: tok.Pos}, nil
+		default:
+			return nil, errf(tok.Pos, "expected a type after 'new'")
+		}
+	case IDENT:
+		p.next()
+		if p.cur().Kind == LParen {
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &Call{Recv: nil, Name: tok.Text, Args: args, Pos: tok.Pos}, nil
+		}
+		return &Ident{Name: tok.Text, Pos: tok.Pos}, nil
+	}
+	return nil, errf(tok.Pos, "unexpected %s in expression", tok.Kind)
+}

@@ -1,0 +1,193 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `
+// A read-mostly counter bank.
+class Counter extends Base {
+	int value;
+	static int total;
+	int[] history;
+
+	@SoleroReadOnly
+	int get() {
+		synchronized (this) {
+			return value;
+		}
+	}
+
+	void inc(int by) {
+		synchronized (this) {
+			value = value + by;
+			Counter.total = Counter.total + by;
+		}
+	}
+
+	int sumHistory(int n) {
+		int s = 0;
+		for (int i = 0; i < n; i = i + 1) {
+			s = s + history[i];
+		}
+		return s;
+	}
+}
+
+class Base {
+	boolean flag;
+	void poke() { flag = true; }
+}
+`
+
+func TestParseSample(t *testing.T) {
+	prog, err := Parse(sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Classes) != 2 {
+		t.Fatalf("classes = %d, want 2", len(prog.Classes))
+	}
+	c := prog.Classes[0]
+	if c.Name != "Counter" || c.Extends != "Base" {
+		t.Fatalf("class header wrong: %q extends %q", c.Name, c.Extends)
+	}
+	if len(c.Fields) != 3 || len(c.Methods) != 3 {
+		t.Fatalf("members: %d fields %d methods", len(c.Fields), len(c.Methods))
+	}
+	if !c.Fields[1].Static {
+		t.Fatalf("total not static")
+	}
+	if c.Fields[2].Type.String() != "int[]" {
+		t.Fatalf("history type = %s", c.Fields[2].Type)
+	}
+	get := c.Methods[0]
+	if !get.HasAnnotation("SoleroReadOnly") || get.HasAnnotation("Nope") {
+		t.Fatalf("annotation handling wrong: %v", get.Annotations)
+	}
+	sync, ok := get.Body.Stmts[0].(*Synchronized)
+	if !ok {
+		t.Fatalf("get body is %T, want *Synchronized", get.Body.Stmts[0])
+	}
+	if _, ok := sync.Lock.(*This); !ok {
+		t.Fatalf("sync lock is %T", sync.Lock)
+	}
+	if _, ok := sync.Body.Stmts[0].(*Return); !ok {
+		t.Fatalf("sync body head is %T", sync.Body.Stmts[0])
+	}
+}
+
+func TestSyncBlockIDsUnique(t *testing.T) {
+	src := `class A { void f() { synchronized(this){} synchronized(this){} } }`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.Classes[0].Methods[0]
+	a := m.Body.Stmts[0].(*Synchronized)
+	b := m.Body.Stmts[1].(*Synchronized)
+	if a.ID == b.ID {
+		t.Fatalf("duplicate sync IDs")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	src := `class A { int f(int x) { return 1 + 2 * 3 < 4 == true && !false || x % 2 == 0; } }`
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	// Structure spot-check: 1 + 2*3 parses with * bound tighter.
+	prog, _ := Parse(`class B { int g() { return 1 + 2 * 3; } }`)
+	ret := prog.Classes[0].Methods[0].Body.Stmts[0].(*Return)
+	add := ret.E.(*Binary)
+	if add.Op != Plus {
+		t.Fatalf("top op = %v", add.Op)
+	}
+	if mul := add.R.(*Binary); mul.Op != Star {
+		t.Fatalf("rhs op = %v", mul.Op)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`class`, "expected identifier"},
+		{`class A { int f() { return 1 } }`, "expected ';'"},
+		{`class A { void f() { 1 = 2; } }`, "invalid assignment target"},
+		{`class A { void f() { x + 1; } }`, "must be a call"},
+		{`class A { @X int y; }`, "only allowed on methods"},
+		{`class A { void v; }`, "cannot have type void"},
+		{`class A { int[][] m; }`, "multi-dimensional"},
+		{`class A { void f() { int x = 99999999999999999999; } }`, "overflows"},
+		{`class A { /* unterminated`, "unterminated block comment"},
+		{`class A { void f() { int x = 1 $ 2; } }`, "unexpected character"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Fatalf("no error for %q", c.src)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("error for %q = %q, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "class A { // line\n /* block\n comment */ int x; }"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Classes[0].Fields) != 1 {
+		t.Fatalf("field lost among comments")
+	}
+}
+
+func TestFieldGroupDeclaration(t *testing.T) {
+	prog, err := Parse(`class A { int x, y, z; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Classes[0].Fields) != 3 {
+		t.Fatalf("grouped fields = %d, want 3", len(prog.Classes[0].Fields))
+	}
+}
+
+func TestForHeaderVariants(t *testing.T) {
+	srcs := []string{
+		`class A { void f() { for (;;) { return; } } }`,
+		`class A { void f(int n) { for (int i = 0; i < n; i = i + 1) { } } }`,
+		`class A { void f(int n) { int i; for (i = 0; ; i = i + 1) { return; } } }`,
+	}
+	for _, s := range srcs {
+		if _, err := Parse(s); err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+	}
+}
+
+func TestNewForms(t *testing.T) {
+	src := `class A { void f() {
+		A a = new A();
+		int[] xs = new int[10];
+		A[] as = new A[3];
+	} }`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPositionsTracked(t *testing.T) {
+	prog, err := Parse("class A {\n  int f() { return 1; }\n}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.Classes[0].Methods[0]
+	if m.Pos.Line != 2 {
+		t.Fatalf("method line = %d, want 2", m.Pos.Line)
+	}
+}

@@ -1,0 +1,88 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSynchronizedMethodDesugars(t *testing.T) {
+	prog, err := Parse(`class A {
+		int x;
+		synchronized int get() { return x; }
+		synchronized void set(int v) { x = v; }
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range prog.Classes[0].Methods {
+		if !m.Synchronized {
+			t.Fatalf("%s not marked synchronized", m.Name)
+		}
+		if len(m.Body.Stmts) != 1 {
+			t.Fatalf("%s body not wrapped", m.Name)
+		}
+		sync, ok := m.Body.Stmts[0].(*Synchronized)
+		if !ok {
+			t.Fatalf("%s body head is %T", m.Name, m.Body.Stmts[0])
+		}
+		if _, ok := sync.Lock.(*This); !ok {
+			t.Fatalf("%s lock is %T, want this", m.Name, sync.Lock)
+		}
+	}
+	// The two desugared blocks must have distinct IDs.
+	a := prog.Classes[0].Methods[0].Body.Stmts[0].(*Synchronized)
+	b := prog.Classes[0].Methods[1].Body.Stmts[0].(*Synchronized)
+	if a.ID == b.ID {
+		t.Fatalf("duplicate sync IDs from desugaring")
+	}
+}
+
+func TestSynchronizedWithAnnotation(t *testing.T) {
+	prog, err := Parse(`class A {
+		int x;
+		@SoleroReadOnly
+		synchronized int get() { return x; }
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.Classes[0].Methods[0]
+	if !m.Synchronized || !m.HasAnnotation("SoleroReadOnly") {
+		t.Fatalf("modifiers lost: sync=%v ann=%v", m.Synchronized, m.Annotations)
+	}
+}
+
+func TestStaticSynchronizedRejected(t *testing.T) {
+	_, err := Parse(`class A { static synchronized void f() { } }`)
+	if err == nil || !strings.Contains(err.Error(), "static synchronized") {
+		t.Fatalf("err = %v", err)
+	}
+	_, err = Parse(`class A { synchronized static void f() { } }`)
+	if err == nil || !strings.Contains(err.Error(), "static synchronized") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSynchronizedFieldRejected(t *testing.T) {
+	_, err := Parse(`class A { synchronized int x; }`)
+	if err == nil || !strings.Contains(err.Error(), "only allowed on methods") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSynchronizedMethodStillParsesSyncBlocks(t *testing.T) {
+	prog, err := Parse(`class A {
+		int x;
+		synchronized int f(A o) {
+			synchronized (o) { return x; }
+		}
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := prog.Classes[0].Methods[0].Body.Stmts[0].(*Synchronized)
+	inner := outer.Body.Stmts[0].(*Synchronized)
+	if outer.ID == inner.ID {
+		t.Fatalf("nested sync IDs collide")
+	}
+}

@@ -1,0 +1,136 @@
+// Package lang implements the frontend of the mini-Java language our JIT
+// substrate compiles: a lexer, a recursive-descent parser, and the AST.
+//
+// The language is the slice of Java the paper's mechanisms care about:
+// classes with single inheritance and virtual methods, instance and static
+// fields, int/boolean/array types, synchronized blocks, throw, and the
+// @SoleroReadOnly / @SoleroReadMostly method annotations (§3.2, §5). The
+// JIT pipeline is lang → sema (internal/jit/sema) → ir → analysis →
+// codegen → interp.
+package lang
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT
+
+	// Keywords.
+	KwClass
+	KwExtends
+	KwStatic
+	KwVoid
+	KwInt
+	KwBoolean
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+	KwThrow
+	KwSynchronized
+	KwNew
+	KwThis
+	KwNull
+	KwTrue
+	KwFalse
+
+	// Punctuation and operators.
+	LBrace
+	RBrace
+	LParen
+	RParen
+	LBracket
+	RBracket
+	Semi
+	Comma
+	Dot
+	At
+	Eq
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Not
+	Lt
+	Le
+	Gt
+	Ge
+	EqEq
+	NotEq
+	AndAnd
+	OrOr
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", INT: "integer literal",
+	KwClass: "'class'", KwExtends: "'extends'", KwStatic: "'static'",
+	KwVoid: "'void'", KwInt: "'int'", KwBoolean: "'boolean'", KwIf: "'if'",
+	KwElse: "'else'", KwWhile: "'while'", KwFor: "'for'",
+	KwReturn: "'return'", KwBreak: "'break'", KwContinue: "'continue'",
+	KwThrow: "'throw'", KwSynchronized: "'synchronized'",
+	KwNew: "'new'", KwThis: "'this'", KwNull: "'null'", KwTrue: "'true'",
+	KwFalse: "'false'", LBrace: "'{'", RBrace: "'}'", LParen: "'('",
+	RParen: "')'", LBracket: "'['", RBracket: "']'", Semi: "';'",
+	Comma: "','", Dot: "'.'", At: "'@'", Eq: "'='", Plus: "'+'",
+	Minus: "'-'", Star: "'*'", Slash: "'/'", Percent: "'%'", Not: "'!'",
+	Lt: "'<'", Le: "'<='", Gt: "'>'", Ge: "'>='", EqEq: "'=='",
+	NotEq: "'!='", AndAnd: "'&&'", OrOr: "'||'",
+}
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"break": KwBreak, "continue": KwContinue,
+	"class": KwClass, "extends": KwExtends, "static": KwStatic,
+	"void": KwVoid, "int": KwInt, "boolean": KwBoolean, "if": KwIf,
+	"else": KwElse, "while": KwWhile, "for": KwFor, "return": KwReturn,
+	"throw": KwThrow, "synchronized": KwSynchronized, "new": KwNew,
+	"this": KwThis, "null": KwNull, "true": KwTrue, "false": KwFalse,
+}
+
+// CtorName is the internal method name of constructors ("<init>", as in
+// JVM class files); it is not expressible as a source identifier, so user
+// code can never call a constructor except through `new`.
+const CtorName = "<init>"
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexeme.
+type Token struct {
+	Kind Kind
+	Text string
+	Val  int64 // for INT
+	Pos  Pos
+}
+
+// Error is a frontend diagnostic.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

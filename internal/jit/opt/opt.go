@@ -1,0 +1,289 @@
+// Package opt is a peephole optimizer over the stack bytecode: constant
+// folding, jump threading, unreachable-code elimination, and nop
+// compaction with jump retargeting. The JIT applies it to every method and
+// synchronized-block body after lock plans are assigned; it never changes
+// observable behavior (the corpus tests execute optimized and unoptimized
+// code and compare results).
+package opt
+
+import (
+	"repro/internal/jit/ir"
+)
+
+// Stats counts the rewrites applied.
+type Stats struct {
+	Folded     int // constant expressions folded
+	Threaded   int // jumps redirected through jump chains
+	DeadCut    int // unreachable instructions removed
+	NopsPacked int // instructions removed by compaction
+}
+
+// Total returns the number of rewrites.
+func (s Stats) Total() int { return s.Folded + s.Threaded + s.DeadCut + s.NopsPacked }
+
+// Program optimizes every code segment of p.
+func Program(p *ir.Program) Stats {
+	var total Stats
+	for _, cm := range p.Methods {
+		if cm.Body != nil {
+			total = total.add(Code(cm.Body))
+		}
+		for _, sb := range cm.Syncs {
+			total = total.add(Code(sb.Body))
+		}
+	}
+	return total
+}
+
+func (s Stats) add(o Stats) Stats {
+	s.Folded += o.Folded
+	s.Threaded += o.Threaded
+	s.DeadCut += o.DeadCut
+	s.NopsPacked += o.NopsPacked
+	return s
+}
+
+// Code optimizes one segment in place, iterating passes to a fixpoint.
+func Code(c *ir.Code) Stats {
+	var total Stats
+	for {
+		var round Stats
+		round.Folded += foldConstants(c)
+		round.Threaded += threadJumps(c)
+		round.DeadCut += cutUnreachable(c)
+		round.NopsPacked += compact(c)
+		total = total.add(round)
+		if round.Total() == 0 {
+			return total
+		}
+	}
+}
+
+// jumpTargets returns the set of instruction indices that are jump targets.
+func jumpTargets(c *ir.Code) map[int32]bool {
+	t := make(map[int32]bool)
+	for _, in := range c.Ins {
+		if in.Op == ir.OpJmp || in.Op == ir.OpJmpFalse {
+			t[in.A] = true
+		}
+	}
+	return t
+}
+
+// constIntAt reports whether pc holds a foldable integer constant.
+func constIntAt(c *ir.Code, pc int) (int64, bool) {
+	if pc < 0 || pc >= len(c.Ins) {
+		return 0, false
+	}
+	in := c.Ins[pc]
+	if in.Op != ir.OpConstInt {
+		return 0, false
+	}
+	return c.Consts[in.A], true
+}
+
+// foldConstants rewrites Const,Const,BinOp windows (and Const,UnOp) into a
+// single constant. Windows containing a jump target are skipped — folding
+// across a control-flow join would change the stack at the join.
+func foldConstants(c *ir.Code) int {
+	targets := jumpTargets(c)
+	folded := 0
+	for pc := 0; pc+2 < len(c.Ins); pc++ {
+		a, okA := constIntAt(c, pc)
+		b, okB := constIntAt(c, pc+1)
+		if !okA || !okB {
+			continue
+		}
+		if targets[int32(pc+1)] || targets[int32(pc+2)] {
+			continue
+		}
+		op := c.Ins[pc+2].Op
+		var v int64
+		isBool := false
+		bv := false
+		switch op {
+		case ir.OpAdd:
+			v = a + b
+		case ir.OpSub:
+			v = a - b
+		case ir.OpMul:
+			v = a * b
+		case ir.OpDiv:
+			if b == 0 {
+				continue // keep the fault semantics
+			}
+			v = a / b
+		case ir.OpMod:
+			if b == 0 {
+				continue
+			}
+			v = a % b
+		case ir.OpLt:
+			isBool, bv = true, a < b
+		case ir.OpLe:
+			isBool, bv = true, a <= b
+		case ir.OpGt:
+			isBool, bv = true, a > b
+		case ir.OpGe:
+			isBool, bv = true, a >= b
+		case ir.OpEq:
+			isBool, bv = true, a == b
+		case ir.OpNe:
+			isBool, bv = true, a != b
+		default:
+			continue
+		}
+		if isBool {
+			bit := int32(0)
+			if bv {
+				bit = 1
+			}
+			c.Ins[pc] = ir.Ins{Op: ir.OpConstBool, A: bit, Pos: c.Ins[pc+2].Pos}
+		} else {
+			c.Ins[pc] = ir.Ins{Op: ir.OpConstInt, A: int32(addConst(c, v)), Pos: c.Ins[pc+2].Pos}
+		}
+		c.Ins[pc+1] = ir.Ins{Op: ir.OpNop}
+		c.Ins[pc+2] = ir.Ins{Op: ir.OpNop}
+		folded++
+	}
+	// Unary negation of a constant.
+	for pc := 0; pc+1 < len(c.Ins); pc++ {
+		a, ok := constIntAt(c, pc)
+		if !ok || c.Ins[pc+1].Op != ir.OpNeg || targets[int32(pc+1)] {
+			continue
+		}
+		c.Ins[pc] = ir.Ins{Op: ir.OpConstInt, A: int32(addConst(c, -a)), Pos: c.Ins[pc+1].Pos}
+		c.Ins[pc+1] = ir.Ins{Op: ir.OpNop}
+		folded++
+	}
+	// ConstBool feeding JmpFalse becomes either a plain Jmp or nothing.
+	for pc := 0; pc+1 < len(c.Ins); pc++ {
+		in := c.Ins[pc]
+		if in.Op != ir.OpConstBool || c.Ins[pc+1].Op != ir.OpJmpFalse || targets[int32(pc+1)] {
+			continue
+		}
+		if in.A == 0 {
+			c.Ins[pc] = ir.Ins{Op: ir.OpNop}
+			c.Ins[pc+1] = ir.Ins{Op: ir.OpJmp, A: c.Ins[pc+1].A, Pos: c.Ins[pc+1].Pos}
+		} else {
+			c.Ins[pc] = ir.Ins{Op: ir.OpNop}
+			c.Ins[pc+1] = ir.Ins{Op: ir.OpNop}
+		}
+		folded++
+	}
+	return folded
+}
+
+func addConst(c *ir.Code, v int64) int {
+	for i, x := range c.Consts {
+		if x == v {
+			return i
+		}
+	}
+	c.Consts = append(c.Consts, v)
+	return len(c.Consts) - 1
+}
+
+// threadJumps redirects jumps whose target is an unconditional jump (or a
+// nop run ending in one) to the final destination. Cycles are left alone.
+func threadJumps(c *ir.Code) int {
+	resolve := func(target int32) int32 {
+		seen := 0
+		for {
+			t := int(target)
+			// Skip nops.
+			for t < len(c.Ins) && c.Ins[t].Op == ir.OpNop {
+				t++
+			}
+			if t >= len(c.Ins) || c.Ins[t].Op != ir.OpJmp {
+				return int32(t)
+			}
+			target = c.Ins[t].A
+			seen++
+			if seen > len(c.Ins) {
+				return int32(t) // cycle (infinite loop): stop
+			}
+		}
+	}
+	changed := 0
+	for pc := range c.Ins {
+		in := &c.Ins[pc]
+		if in.Op != ir.OpJmp && in.Op != ir.OpJmpFalse {
+			continue
+		}
+		if nt := resolve(in.A); nt != in.A {
+			in.A = nt
+			changed++
+		}
+	}
+	return changed
+}
+
+// cutUnreachable nops out instructions that no control flow reaches,
+// found by a worklist walk from pc 0 and all jump targets' reachability.
+func cutUnreachable(c *ir.Code) int {
+	n := len(c.Ins)
+	if n == 0 {
+		return 0
+	}
+	reach := make([]bool, n)
+	work := []int{0}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		for pc < n && !reach[pc] {
+			reach[pc] = true
+			in := c.Ins[pc]
+			switch in.Op {
+			case ir.OpJmp:
+				work = append(work, int(in.A))
+				pc = n // no fallthrough
+			case ir.OpJmpFalse:
+				work = append(work, int(in.A))
+				pc++
+			case ir.OpRet, ir.OpRetVoid, ir.OpEnd, ir.OpThrow:
+				pc = n
+			default:
+				pc++
+			}
+		}
+	}
+	cut := 0
+	for pc := 0; pc < n; pc++ {
+		if !reach[pc] && c.Ins[pc].Op != ir.OpNop {
+			c.Ins[pc] = ir.Ins{Op: ir.OpNop}
+			cut++
+		}
+	}
+	return cut
+}
+
+// compact removes nops, remapping every jump target.
+func compact(c *ir.Code) int {
+	n := len(c.Ins)
+	remap := make([]int32, n+1)
+	out := c.Ins[:0]
+	kept := int32(0)
+	for pc := 0; pc < n; pc++ {
+		remap[pc] = kept
+		if c.Ins[pc].Op == ir.OpNop {
+			continue
+		}
+		out = append(out, c.Ins[pc])
+		kept++
+	}
+	remap[n] = kept
+	removed := n - int(kept)
+	if removed == 0 {
+		c.Ins = out
+		return 0
+	}
+	for i := range out {
+		switch out[i].Op {
+		case ir.OpJmp, ir.OpJmpFalse:
+			out[i].A = remap[out[i].A]
+		}
+	}
+	c.Ins = out
+	return removed
+}

@@ -1,0 +1,144 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/jit/analysis"
+	"repro/internal/jit/codegen"
+	"repro/internal/jit/ir"
+	"repro/internal/jit/lang"
+	"repro/internal/jit/sema"
+)
+
+func build(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := sema.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := ir.Compile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codegen.Apply(compiled, analysis.Analyze(ck), codegen.DefaultOptions)
+	return compiled
+}
+
+func TestConstantFolding(t *testing.T) {
+	p := build(t, `class A { static int f() { return 2 + 3 * 4; } }`)
+	st := Program(p)
+	if st.Folded < 2 {
+		t.Fatalf("folds = %d", st.Folded)
+	}
+	body := p.MethodByName("A", "f").Body
+	// After folding and dead-code removal: const 14, ret.
+	if len(body.Ins) != 2 {
+		t.Fatalf("residual code:\n%s", body.Disassemble())
+	}
+	if body.Ins[0].Op != ir.OpConstInt || body.Consts[body.Ins[0].A] != 14 {
+		t.Fatalf("folded value wrong:\n%s", body.Disassemble())
+	}
+}
+
+func TestComparisonFoldsToBool(t *testing.T) {
+	p := build(t, `class A { static boolean f() { return 3 < 5; } }`)
+	Program(p)
+	body := p.MethodByName("A", "f").Body
+	if body.Ins[0].Op != ir.OpConstBool || body.Ins[0].A != 1 {
+		t.Fatalf("comparison not folded:\n%s", body.Disassemble())
+	}
+}
+
+func TestDivisionByZeroNotFolded(t *testing.T) {
+	p := build(t, `class A { static int f() { return 1 / 0; } }`)
+	Program(p)
+	dis := p.MethodByName("A", "f").Body.Disassemble()
+	if !strings.Contains(dis, "div") {
+		t.Fatalf("faulting division folded away:\n%s", dis)
+	}
+}
+
+func TestConstantConditionElidesBranch(t *testing.T) {
+	p := build(t, `class A { static int f() {
+		if (true) { return 1; }
+		return 2;
+	} }`)
+	st := Program(p)
+	if st.DeadCut == 0 {
+		t.Fatalf("dead branch not cut: %+v", st)
+	}
+	dis := p.MethodByName("A", "f").Body.Disassemble()
+	if strings.Contains(dis, "jmpf") {
+		t.Fatalf("constant branch kept:\n%s", dis)
+	}
+}
+
+func TestWhileTrueLoopPreserved(t *testing.T) {
+	p := build(t, `class A { static int f(int n) {
+		int i = 0;
+		while (true) {
+			i = i + 1;
+			if (i >= n) { return i; }
+		}
+	} }`)
+	Program(p)
+	body := p.MethodByName("A", "f").Body
+	backward := false
+	for pc, in := range body.Ins {
+		if (in.Op == ir.OpJmp || in.Op == ir.OpJmpFalse) && int(in.A) <= pc {
+			backward = true
+		}
+	}
+	if !backward {
+		t.Fatalf("loop back-edge lost:\n%s", body.Disassemble())
+	}
+}
+
+func TestCompactRemapsJumps(t *testing.T) {
+	p := build(t, `class A { static int f(int n) {
+		int s = 1 + 1; // folded, leaving nops before the loop
+		for (int i = 0; i < n; i = i + 1) { s = s + i; }
+		return s;
+	} }`)
+	Program(p)
+	body := p.MethodByName("A", "f").Body
+	for pc, in := range body.Ins {
+		if in.Op == ir.OpNop {
+			t.Fatalf("nop left after compaction at %d:\n%s", pc, body.Disassemble())
+		}
+		if in.Op == ir.OpJmp || in.Op == ir.OpJmpFalse {
+			if int(in.A) > len(body.Ins) {
+				t.Fatalf("jump target %d out of range after compaction", in.A)
+			}
+		}
+	}
+}
+
+func TestOptimizeSyncBodies(t *testing.T) {
+	p := build(t, `class A { int x; int f() {
+		synchronized (this) { return x + (2 * 3 - 6); }
+	} }`)
+	st := Program(p)
+	if st.Folded == 0 {
+		t.Fatalf("sync body not optimized: %+v", st)
+	}
+}
+
+func TestIdempotentAtFixpoint(t *testing.T) {
+	p := build(t, `class A { static int f(int n) {
+		int s = 2 + 3;
+		if (false) { s = 99; }
+		for (int i = 0; i < n; i = i + 1) { s = s + 1; }
+		return s;
+	} }`)
+	Program(p)
+	second := Program(p)
+	if second.Total() != 0 {
+		t.Fatalf("second optimization pass still rewrote: %+v", second)
+	}
+}

@@ -1,0 +1,239 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/jit/lang"
+)
+
+func check(t *testing.T, src string) *Checked {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ck, err := Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return ck
+}
+
+func wantErr(t *testing.T, src, substr string) {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Check(prog)
+	if err == nil {
+		t.Fatalf("no error for %q", src)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error = %q, want substring %q", err, substr)
+	}
+}
+
+func TestClassTableWithInheritance(t *testing.T) {
+	ck := check(t, `
+class Base { int a; static int s; int id() { return a; } }
+class Derived extends Base { int b; int id() { return b; } int both() { return a + b; } }
+`)
+	base, der := ck.Class("Base"), ck.Class("Derived")
+	if der.Super != base {
+		t.Fatalf("super link wrong")
+	}
+	if len(der.Layout) != 2 {
+		t.Fatalf("derived layout = %d fields, want 2 (inherited + own)", len(der.Layout))
+	}
+	if der.Fields["a"].Index != 0 || der.Fields["b"].Index != 1 {
+		t.Fatalf("field indices wrong: a=%d b=%d", der.Fields["a"].Index, der.Fields["b"].Index)
+	}
+	if der.Statics["s"] == nil || der.Statics["s"].Class != base {
+		t.Fatalf("static not inherited")
+	}
+	over := der.Methods["id"]
+	if over.Overrides == nil || over.Overrides.Class != base {
+		t.Fatalf("override link missing")
+	}
+	ovs := ck.Overriders(base.Methods["id"])
+	if len(ovs) != 2 {
+		t.Fatalf("Overriders = %d, want 2", len(ovs))
+	}
+}
+
+func TestBuiltinExceptionsPredeclared(t *testing.T) {
+	ck := check(t, `class A { void f() { throw new NullPointerException(); } }`)
+	npe := ck.Class("NullPointerException")
+	if npe == nil || !npe.Builtin {
+		t.Fatalf("NPE not predeclared")
+	}
+	if !IsRuntimeException(npe) {
+		t.Fatalf("NPE not a runtime exception")
+	}
+	if IsRuntimeException(ck.Class("A")) {
+		t.Fatalf("user class misclassified as runtime exception")
+	}
+}
+
+func TestUserExceptionSubclass(t *testing.T) {
+	ck := check(t, `class MyError extends RuntimeException { } class A { void f() { throw new MyError(); } }`)
+	if !IsRuntimeException(ck.Class("MyError")) {
+		t.Fatalf("user subclass of RuntimeException not recognized")
+	}
+}
+
+func TestSlotAllocation(t *testing.T) {
+	ck := check(t, `
+class A {
+	int f(int x, int y) {
+		int a = x;
+		{ int b = y; a = a + b; }
+		int c = a;
+		return c;
+	}
+	static int g(int z) { return z; }
+}
+`)
+	f := ck.LookupMethod("A", "f")
+	// this, x, y, a, b, c = 6 slots.
+	if f.Slots != 6 {
+		t.Fatalf("f.Slots = %d, want 6", f.Slots)
+	}
+	g := ck.LookupMethod("A", "g")
+	// z only (static, no this).
+	if g.Slots != 1 {
+		t.Fatalf("g.Slots = %d, want 1", g.Slots)
+	}
+}
+
+func TestSyncBlocksCollected(t *testing.T) {
+	ck := check(t, `
+class A {
+	int x;
+	int f() {
+		synchronized (this) { x = 1; }
+		synchronized (this) { return x; }
+	}
+}
+`)
+	f := ck.LookupMethod("A", "f")
+	if len(f.SyncBlocks) != 2 {
+		t.Fatalf("SyncBlocks = %d, want 2", len(f.SyncBlocks))
+	}
+}
+
+func TestStaticAccessForms(t *testing.T) {
+	ck := check(t, `
+class A {
+	static int s;
+	static int get() { return A.s; }
+	int inst() { return s + A.s; }
+}
+`)
+	if ck.LookupMethod("A", "get") == nil {
+		t.Fatalf("static method missing")
+	}
+}
+
+func TestVirtualCallResolution(t *testing.T) {
+	ck := check(t, `
+class Shape { int area() { return 0; } }
+class Square extends Shape { int side; int area() { return side * side; } }
+class Use { int f(Shape s) { return s.area(); } }
+`)
+	var call *lang.Call
+	for c := range ck.Calls {
+		call = c
+	}
+	info := ck.Calls[call]
+	if info.Target.QName() != "Shape.area" {
+		t.Fatalf("static target = %s", info.Target.QName())
+	}
+	if len(ck.Overriders(info.Target)) != 2 {
+		t.Fatalf("CHA set size wrong")
+	}
+}
+
+func TestBuiltinPrint(t *testing.T) {
+	ck := check(t, `class A { void f() { print(42); } }`)
+	if !BuiltinHasSideEffect("print") {
+		t.Fatalf("print not a side effect")
+	}
+	_ = ck
+}
+
+func TestArrayLength(t *testing.T) {
+	check(t, `class A { int f(int[] xs) { return xs.length + xs[0]; } }`)
+}
+
+func TestTypeErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`class A { void f() { int x = true; } }`, "cannot initialize"},
+		{`class A { void f() { if (1) { } } }`, "expected boolean"},
+		{`class A { int f() { return; } }`, "missing return value"},
+		{`class A { void f() { return 1; } }`, "cannot return"},
+		{`class A { void f() { throw 1; } }`, "throw requires an object"},
+		{`class A { void f() { synchronized (1) { } } }`, "synchronized requires an object"},
+		{`class A { void f() { y = 1; } }`, "undefined: y"},
+		{`class A { void f() { int x; int x; } }`, "redeclared in this scope"},
+		{`class A { static void f() { this.g(); } void g() { } }`, "this used in static method"},
+		{`class A extends B { }`, "unknown class B"},
+		{`class A extends A { }`, "inheritance cycle"},
+		{`class A { int x; int x; }`, "field x redeclared"},
+		{`class A { void f() { } void f() { } }`, "method f redeclared"},
+		{`class B { int m() { return 0; } } class C extends B { boolean m() { return true; } }`, "different signature"},
+		{`class A { void f(A a) { a.nope(); } }`, "has no method"},
+		{`class A { void f(A a) { int x = a.nope; } }`, "has no field"},
+		{`class A { void f() { int x = null; } }`, "cannot initialize"},
+		{`class A { void f(int[] xs) { boolean b = xs[0]; } }`, "cannot initialize"},
+		{`class A { void f() { print(true); } }`, "expected int"},
+		{`class A { int g() { return 1; } void f() { g(1); } }`, "takes 0 argument"},
+		{`class A { void f() { int x = new Nope(); } }`, "unknown class"},
+		{`class A { void f(A a) { boolean b = a == 1; } }`, "incomparable types"},
+		{`class A { static int s; void f(A a) { int x = a.s2; } }`, "has no field"},
+	}
+	for _, c := range cases {
+		wantErr(t, c.src, c.want)
+	}
+}
+
+func TestExprTypesRecorded(t *testing.T) {
+	ck := check(t, `class A { int f(int x) { return x + 1; } }`)
+	found := false
+	for e, ty := range ck.ExprTypes {
+		if _, ok := e.(*lang.Binary); ok {
+			if ty.String() != "int" {
+				t.Fatalf("binary type = %s", ty)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no binary expression typed")
+	}
+}
+
+func TestAssignability(t *testing.T) {
+	ck := check(t, `
+class Base { }
+class Derived extends Base { }
+class Use { Base f(Derived d) { Base b = d; return b; } }
+`)
+	if !ck.Assignable(ClassType{"Base"}, ClassType{"Derived"}) {
+		t.Fatalf("subclass not assignable to superclass")
+	}
+	if ck.Assignable(ClassType{"Derived"}, ClassType{"Base"}) {
+		t.Fatalf("superclass assignable to subclass")
+	}
+	if !ck.Assignable(ClassType{"Base"}, Null) {
+		t.Fatalf("null not assignable to class")
+	}
+	if ck.Assignable(Int, Bool) {
+		t.Fatalf("bool assignable to int")
+	}
+	if !ck.Assignable(ArrayType{Elem: Int}, ArrayType{Elem: Int}) {
+		t.Fatalf("int[] not assignable to int[]")
+	}
+}

@@ -1,0 +1,249 @@
+// Package sema implements semantic analysis for the mini-Java frontend:
+// class-table construction (with single inheritance and override checking),
+// name resolution, and type checking. Its output, Checked, carries
+// everything the IR compiler, the read-only analysis, and the interpreter
+// need: field layouts, method tables, per-expression types, and
+// per-identifier resolutions.
+package sema
+
+import (
+	"fmt"
+
+	"repro/internal/jit/lang"
+)
+
+// Type is a semantic type.
+type Type interface {
+	String() string
+	typ()
+}
+
+// IntType is Java int (modelled as int64).
+type IntType struct{}
+
+// BoolType is Java boolean.
+type BoolType struct{}
+
+// VoidType is the return type of void methods.
+type VoidType struct{}
+
+// NullType is the type of the null literal.
+type NullType struct{}
+
+// ClassType is a reference to a class instance.
+type ClassType struct{ Name string }
+
+// ArrayType is a one-dimensional array.
+type ArrayType struct{ Elem Type }
+
+func (IntType) String() string     { return "int" }
+func (BoolType) String() string    { return "boolean" }
+func (VoidType) String() string    { return "void" }
+func (NullType) String() string    { return "null" }
+func (t ClassType) String() string { return t.Name }
+func (t ArrayType) String() string { return t.Elem.String() + "[]" }
+
+func (IntType) typ()   {}
+func (BoolType) typ()  {}
+func (VoidType) typ()  {}
+func (NullType) typ()  {}
+func (ClassType) typ() {}
+func (ArrayType) typ() {}
+
+// Canonical instances.
+var (
+	Int  = IntType{}
+	Bool = BoolType{}
+	Void = VoidType{}
+	Null = NullType{}
+)
+
+// FieldInfo describes one declared (or inherited) instance or static field.
+type FieldInfo struct {
+	Name  string
+	Type  Type
+	Class *ClassInfo // declaring class
+	// Index is the slot in the instance layout (instance fields) or in
+	// the declaring class's static area (static fields).
+	Index  int
+	Static bool
+}
+
+// MethodInfo describes one method.
+type MethodInfo struct {
+	Name   string
+	Class  *ClassInfo // declaring class
+	Static bool
+	Params []Type
+	Ret    Type
+	Decl   *lang.Method
+	// Slots is the local-variable frame size (this + params + locals).
+	Slots int
+	// SyncBlocks lists the synchronized statements in the body, by ID.
+	SyncBlocks []*lang.Synchronized
+	// Overrides is the superclass method this one overrides, if any.
+	Overrides *MethodInfo
+}
+
+// QName returns Class.Name for diagnostics.
+func (m *MethodInfo) QName() string { return m.Class.Name + "." + m.Name }
+
+// ClassInfo is a resolved class.
+type ClassInfo struct {
+	Name   string
+	Super  *ClassInfo
+	Decl   *lang.Class
+	Fields map[string]*FieldInfo // instance fields, including inherited
+	// Layout is instance fields in slot order (inherited first).
+	Layout  []*FieldInfo
+	Statics map[string]*FieldInfo
+	// StaticOrder is declared static fields in slot order.
+	StaticOrder []*FieldInfo
+	Methods     map[string]*MethodInfo // including inherited
+	// Builtin marks predeclared exception classes.
+	Builtin bool
+}
+
+// IsSubclassOf reports whether c is t or a subclass of t.
+func (c *ClassInfo) IsSubclassOf(t *ClassInfo) bool {
+	for x := c; x != nil; x = x.Super {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// ResKind classifies what a name or access resolved to.
+type ResKind uint8
+
+// Resolution kinds.
+const (
+	ResLocal  ResKind = iota // local variable or parameter slot
+	ResField                 // instance field of `this` or an expression
+	ResStatic                // static field
+	ResClass                 // a class name used as a static receiver
+)
+
+// Resolution records what an identifier or field access denotes.
+type Resolution struct {
+	Kind  ResKind
+	Slot  int        // ResLocal: frame slot
+	Field *FieldInfo // ResField / ResStatic
+	Class *ClassInfo // ResClass
+	Name  string     // original name (diagnostics)
+}
+
+// CallInfo records the resolved target of a call expression.
+type CallInfo struct {
+	// Target is the statically resolved method (dispatch may select an
+	// override at run time unless Static).
+	Target *MethodInfo
+	// Builtin is set for builtin calls (print); Target is nil then.
+	Builtin string
+	// RecvIsClass marks ClassName.m(...) static-call syntax.
+	RecvIsClass bool
+}
+
+// Checked is the result of Check: the class table plus side tables keyed by
+// AST node.
+type Checked struct {
+	Program *lang.Program
+	Classes map[string]*ClassInfo
+	// ExprTypes gives the type of every expression node.
+	ExprTypes map[lang.Expr]Type
+	// Resolutions covers *lang.Ident and *lang.FieldAccess nodes.
+	Resolutions map[lang.Expr]*Resolution
+	// Calls covers *lang.Call nodes.
+	Calls map[*lang.Call]*CallInfo
+	// DeclSlots gives the frame slot assigned to each local declaration.
+	DeclSlots map[*lang.LocalDecl]int
+	// Methods lists all user methods in declaration order.
+	Methods []*MethodInfo
+}
+
+// Class returns the ClassInfo for name (nil if absent).
+func (c *Checked) Class(name string) *ClassInfo { return c.Classes[name] }
+
+// LookupMethod finds a method by "Class.name" notation.
+func (c *Checked) LookupMethod(class, name string) *MethodInfo {
+	ci := c.Classes[class]
+	if ci == nil {
+		return nil
+	}
+	return ci.Methods[name]
+}
+
+// Overriders returns every method in the program that overrides m or is m
+// itself — the class-hierarchy-analysis dispatch set used by the purity
+// analysis for virtual calls.
+func (c *Checked) Overriders(m *MethodInfo) []*MethodInfo {
+	var out []*MethodInfo
+	for _, cand := range c.Methods {
+		for x := cand; x != nil; x = x.Overrides {
+			if x == m {
+				out = append(out, cand)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// BuiltinExceptionClasses are predeclared (field-less) throwable classes.
+// NullPointerException, ArithmeticException and
+// ArrayIndexOutOfBoundsException are also thrown implicitly by faulting
+// operations, which is why throwing them is permitted inside read-only
+// synchronized blocks (§3.2).
+var BuiltinExceptionClasses = []string{
+	"RuntimeException",
+	"NullPointerException",
+	"ArithmeticException",
+	"ArrayIndexOutOfBoundsException",
+	"IllegalStateException",
+}
+
+// IsRuntimeException reports whether class ci is one of the predeclared
+// runtime exception classes (or a user subclass of one).
+func IsRuntimeException(ci *ClassInfo) bool {
+	for x := ci; x != nil; x = x.Super {
+		if x.Builtin {
+			return true
+		}
+	}
+	return false
+}
+
+// Assignable reports whether a value of type src may be assigned to dst.
+func (c *Checked) Assignable(dst, src Type) bool {
+	switch d := dst.(type) {
+	case IntType:
+		_, ok := src.(IntType)
+		return ok
+	case BoolType:
+		_, ok := src.(BoolType)
+		return ok
+	case ClassType:
+		if _, isNull := src.(NullType); isNull {
+			return true
+		}
+		s, ok := src.(ClassType)
+		if !ok {
+			return false
+		}
+		sc, dc := c.Classes[s.Name], c.Classes[d.Name]
+		return sc != nil && dc != nil && sc.IsSubclassOf(dc)
+	case ArrayType:
+		if _, isNull := src.(NullType); isNull {
+			return true
+		}
+		s, ok := src.(ArrayType)
+		return ok && s.Elem.String() == d.Elem.String()
+	default:
+		return false
+	}
+}
+
+func errf(pos lang.Pos, format string, args ...any) error {
+	return fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,252 @@
+// Package jthread models the JVM threading substrate SOLERO relies on:
+// VM-attached threads with compact thread ids, and the asynchronous event
+// mechanism the paper uses to recover from infinite loops caused by
+// inconsistent speculative reads (§3.3).
+//
+// In the paper, the JVM occasionally sends asynchronous events to threads;
+// JIT-inserted checkpoints at method entries and loop back-edges observe the
+// event and validate every active speculative read-only critical section by
+// comparing each local lock value against the current lock word. A mismatch
+// aborts the speculation with an exception that the lock's recovery handler
+// catches and turns into a retry.
+//
+// Here, a VM owns a registry of Threads. Each Thread keeps a stack of
+// speculative frames (lock-word address + the value saved at section entry).
+// Checkpoint is the compiled-in poll: when an async event is pending it walks
+// the frame stack exactly as the paper walks the call stack, and panics with
+// ErrInconsistentRead if any frame is stale. The SOLERO runner recovers from
+// that panic and retries the section.
+package jthread
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MaxThreadID is the largest assignable thread id (the id shares the 56-bit
+// lock-word field with the sequence counter).
+const MaxThreadID = (uint64(1) << 56) - 1
+
+// InconsistentReadError is the panic payload raised by Checkpoint when a
+// speculative read-only section is found to be stale. It plays the role of
+// the paper's internally-thrown validation exception; Word identifies the
+// lock whose speculation must be retried, so nested speculative sections can
+// unwind to the right level.
+type InconsistentReadError struct {
+	// Word is the lock word whose validation failed.
+	Word *atomic.Uint64
+}
+
+func (*InconsistentReadError) Error() string {
+	return "jthread: speculative read-only critical section observed a changed lock value"
+}
+
+// SpecFrame records one active speculative read-only critical section:
+// the lock word being elided and the value it held at section entry
+// (the paper's "local lock variable").
+type SpecFrame struct {
+	Word  *atomic.Uint64
+	Saved uint64
+}
+
+// Stale reports whether the lock word no longer matches the saved value.
+func (f SpecFrame) Stale() bool { return f.Word.Load() != f.Saved }
+
+// Thread is a VM-attached thread. All lock operations take the current
+// Thread explicitly (Go has no goroutine-local storage; a managed runtime
+// would thread this through its execution context the same way).
+//
+// A Thread must only ever be used by a single goroutine at a time.
+type Thread struct {
+	vm   *VM
+	id   uint64
+	name string
+
+	asyncPending atomic.Bool
+	frames       []SpecFrame
+
+	// forceEvery, when > 0, makes every forceEvery'th Checkpoint validate
+	// even without a pending async event. Deterministic tests use this.
+	forceEvery  uint64
+	checkpoints uint64
+
+	// Checkpoints observed with a pending event (stats).
+	eventsSeen uint64
+	// Speculations aborted by checkpoint validation (stats).
+	asyncAborts uint64
+
+	detached bool
+}
+
+// ID returns the thread's 56-bit id (>= 1).
+func (t *Thread) ID() uint64 { return t.id }
+
+// Name returns the diagnostic name given at Attach.
+func (t *Thread) Name() string { return t.name }
+
+// VM returns the owning VM.
+func (t *Thread) VM() *VM { return t.vm }
+
+// SetForceValidateEvery makes every nth Checkpoint validate unconditionally
+// (n == 0 restores event-driven-only validation).
+func (t *Thread) SetForceValidateEvery(n uint64) { t.forceEvery = n }
+
+// PushSpec records entry into a speculative read-only critical section.
+func (t *Thread) PushSpec(word *atomic.Uint64, saved uint64) {
+	t.frames = append(t.frames, SpecFrame{Word: word, Saved: saved})
+}
+
+// PopSpec records exit from the innermost speculative section.
+func (t *Thread) PopSpec() {
+	if len(t.frames) == 0 {
+		panic("jthread: PopSpec with no active speculative frame")
+	}
+	t.frames = t.frames[:len(t.frames)-1]
+}
+
+// SpecDepth returns the number of active speculative frames.
+func (t *Thread) SpecDepth() int { return len(t.frames) }
+
+// Poke delivers an asynchronous event to the thread; the next Checkpoint
+// will validate all active speculative frames.
+func (t *Thread) Poke() { t.asyncPending.Store(true) }
+
+// Checkpoint is the JIT-inserted asynchronous check point (method entries
+// and loop back-edges). If an async event is pending — or the forced
+// validation period has elapsed — it validates every active speculative
+// frame and panics with ErrInconsistentRead on the first stale one.
+func (t *Thread) Checkpoint() {
+	t.checkpoints++
+	force := t.forceEvery > 0 && t.checkpoints%t.forceEvery == 0
+	if !t.asyncPending.Load() && !force {
+		return
+	}
+	if t.asyncPending.Swap(false) {
+		t.eventsSeen++
+	}
+	t.validateFrames()
+}
+
+// validateFrames walks the speculative frame stack top-down, as the paper
+// walks the call stack, and aborts on the first stale frame.
+func (t *Thread) validateFrames() {
+	for i := len(t.frames) - 1; i >= 0; i-- {
+		if t.frames[i].Stale() {
+			t.asyncAborts++
+			panic(&InconsistentReadError{Word: t.frames[i].Word})
+		}
+	}
+}
+
+// AsyncAborts returns how many speculations this thread aborted at
+// checkpoints (used by the failure-ratio experiments).
+func (t *Thread) AsyncAborts() uint64 { return t.asyncAborts }
+
+// EventsSeen returns how many async events the thread has consumed.
+func (t *Thread) EventsSeen() uint64 { return t.eventsSeen }
+
+// Detach unregisters the thread from its VM. Using a detached thread with
+// any lock operation is a bug.
+func (t *Thread) Detach() {
+	if t.detached {
+		return
+	}
+	t.detached = true
+	t.vm.detach(t)
+}
+
+// VM is the virtual-machine context: a thread registry plus the periodic
+// asynchronous-event source (the stand-in for the JVM's GC-check events).
+type VM struct {
+	mu      sync.Mutex
+	threads map[uint64]*Thread
+	nextID  uint64
+
+	pokerStop chan struct{}
+	pokerDone chan struct{}
+}
+
+// NewVM creates an empty VM.
+func NewVM() *VM {
+	return &VM{threads: make(map[uint64]*Thread), nextID: 1}
+}
+
+// Attach registers a new thread and returns its handle.
+func (vm *VM) Attach(name string) *Thread {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	if vm.nextID > MaxThreadID {
+		panic("jthread: thread id space exhausted")
+	}
+	t := &Thread{vm: vm, id: vm.nextID, name: name}
+	vm.nextID++
+	vm.threads[t.id] = t
+	return t
+}
+
+func (vm *VM) detach(t *Thread) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	delete(vm.threads, t.id)
+}
+
+// NumThreads returns the number of attached threads.
+func (vm *VM) NumThreads() int {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	return len(vm.threads)
+}
+
+// PokeAll delivers an asynchronous event to every attached thread now.
+func (vm *VM) PokeAll() {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	for _, t := range vm.threads {
+		t.Poke()
+	}
+}
+
+// StartAsyncEvents begins delivering asynchronous events to all threads
+// every interval, emulating the JVM's occasional async events. It is a
+// no-op if events are already running.
+func (vm *VM) StartAsyncEvents(interval time.Duration) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	if vm.pokerStop != nil {
+		return
+	}
+	if interval <= 0 {
+		panic(fmt.Sprintf("jthread: non-positive async event interval %v", interval))
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	vm.pokerStop, vm.pokerDone = stop, done
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				vm.PokeAll()
+			}
+		}
+	}()
+}
+
+// StopAsyncEvents stops the event source and waits for it to exit.
+func (vm *VM) StopAsyncEvents() {
+	vm.mu.Lock()
+	stop, done := vm.pokerStop, vm.pokerDone
+	vm.pokerStop, vm.pokerDone = nil, nil
+	vm.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

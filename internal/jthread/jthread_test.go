@@ -1,0 +1,183 @@
+package jthread
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAttachAssignsUniqueIDs(t *testing.T) {
+	vm := NewVM()
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		th := vm.Attach("t")
+		if th.ID() == 0 {
+			t.Fatalf("thread id 0 assigned (0 is the unheld sentinel)")
+		}
+		if seen[th.ID()] {
+			t.Fatalf("duplicate thread id %d", th.ID())
+		}
+		seen[th.ID()] = true
+	}
+	if got := vm.NumThreads(); got != 100 {
+		t.Fatalf("NumThreads = %d, want 100", got)
+	}
+}
+
+func TestDetachRemoves(t *testing.T) {
+	vm := NewVM()
+	a := vm.Attach("a")
+	vm.Attach("b")
+	a.Detach()
+	a.Detach() // idempotent
+	if got := vm.NumThreads(); got != 1 {
+		t.Fatalf("NumThreads after detach = %d, want 1", got)
+	}
+}
+
+func TestCheckpointNoEventNoPanic(t *testing.T) {
+	vm := NewVM()
+	th := vm.Attach("t")
+	var w atomic.Uint64
+	th.PushSpec(&w, 0)
+	w.Store(99) // stale, but no event pending
+	th.Checkpoint()
+	th.PopSpec()
+}
+
+func TestCheckpointValidatesOnEvent(t *testing.T) {
+	vm := NewVM()
+	th := vm.Attach("t")
+	var w atomic.Uint64
+	w.Store(5)
+	th.PushSpec(&w, 5)
+	th.Poke()
+	th.Checkpoint() // consistent: must not panic
+	if th.EventsSeen() != 1 {
+		t.Fatalf("EventsSeen = %d, want 1", th.EventsSeen())
+	}
+
+	w.Store(6)
+	th.Poke()
+	defer func() {
+		r := recover()
+		ire, ok := r.(*InconsistentReadError)
+		if !ok {
+			t.Fatalf("recover = %v, want *InconsistentReadError", r)
+		}
+		if ire.Word != &w {
+			t.Fatalf("stale word pointer wrong")
+		}
+		if th.AsyncAborts() != 1 {
+			t.Fatalf("AsyncAborts = %d, want 1", th.AsyncAborts())
+		}
+	}()
+	th.Checkpoint()
+	t.Fatalf("Checkpoint did not panic on stale frame")
+}
+
+func TestCheckpointForcedValidation(t *testing.T) {
+	vm := NewVM()
+	th := vm.Attach("t")
+	th.SetForceValidateEvery(3)
+	var w atomic.Uint64
+	th.PushSpec(&w, 0)
+	w.Store(1)
+	panicked := false
+	func() {
+		defer func() {
+			if _, ok := recover().(*InconsistentReadError); ok {
+				panicked = true
+			}
+		}()
+		for i := 0; i < 3; i++ {
+			th.Checkpoint()
+		}
+	}()
+	if !panicked {
+		t.Fatalf("forced validation did not abort stale speculation")
+	}
+}
+
+func TestNestedFramesInnermostFirst(t *testing.T) {
+	vm := NewVM()
+	th := vm.Attach("t")
+	var outer, inner atomic.Uint64
+	th.PushSpec(&outer, 0)
+	th.PushSpec(&inner, 0)
+	if th.SpecDepth() != 2 {
+		t.Fatalf("SpecDepth = %d, want 2", th.SpecDepth())
+	}
+	inner.Store(1)
+	outer.Store(1)
+	th.Poke()
+	defer func() {
+		ire, ok := recover().(*InconsistentReadError)
+		if !ok {
+			t.Fatalf("expected *InconsistentReadError")
+		}
+		if ire.Word != &inner {
+			t.Fatalf("validation must abort on the innermost stale frame first")
+		}
+	}()
+	th.Checkpoint()
+}
+
+func TestPopSpecUnderflowPanics(t *testing.T) {
+	vm := NewVM()
+	th := vm.Attach("t")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("PopSpec underflow did not panic")
+		}
+	}()
+	th.PopSpec()
+}
+
+func TestAsyncEventSourceDelivers(t *testing.T) {
+	vm := NewVM()
+	th := vm.Attach("t")
+	vm.StartAsyncEvents(time.Millisecond)
+	defer vm.StopAsyncEvents()
+	deadline := time.Now().Add(2 * time.Second)
+	for !th.asyncPending.Load() {
+		if time.Now().After(deadline) {
+			t.Fatalf("no async event delivered within deadline")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestStartAsyncEventsIdempotentAndStops(t *testing.T) {
+	vm := NewVM()
+	vm.StartAsyncEvents(time.Millisecond)
+	vm.StartAsyncEvents(time.Millisecond) // no-op, no panic
+	vm.StopAsyncEvents()
+	vm.StopAsyncEvents() // idempotent
+}
+
+func TestPokeAllConcurrentWithAttach(t *testing.T) {
+	vm := NewVM()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				vm.PokeAll()
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		th := vm.Attach("t")
+		th.Checkpoint()
+		th.Detach()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,79 @@
+package memmodel
+
+// StoreBuffer is a tiny operational model of a weakly-ordered core's store
+// buffer, used to demonstrate the necessity of SOLERO's entry fence (§3.4):
+// on architectures weaker than sequential consistency, a store performed by
+// a thread becomes visible to *itself* immediately (store forwarding) but to
+// other threads only after it drains. If a reader enters an elided read-only
+// section without a full fence, its loads can effectively occur "before"
+// its own earlier stores drain — and, symmetrically, a writer's data stores
+// can be observed after its lock-release store unless the writer fences
+// before releasing.
+//
+// The model is intentionally simple: a Memory is a map of cells; each Core
+// has a FIFO of pending stores. Loads forward from the core's own buffer.
+// Fence drains. Tests drive interleavings by hand to exhibit the torn
+// executions that the correct fence plan forbids.
+type StoreBuffer struct {
+	mem     *Memory
+	pending []pendingStore
+	drains  int
+}
+
+type pendingStore struct {
+	addr int
+	val  uint64
+}
+
+// Memory is the shared backing store for a set of cores.
+type Memory struct {
+	cells map[int]uint64
+}
+
+// NewMemory creates an empty memory.
+func NewMemory() *Memory { return &Memory{cells: make(map[int]uint64)} }
+
+// NewCore attaches a store-buffered core to the memory.
+func (m *Memory) NewCore() *StoreBuffer { return &StoreBuffer{mem: m} }
+
+// Read returns the value of addr as seen by this core: the youngest pending
+// store to addr if any (store forwarding), else the memory cell.
+func (c *StoreBuffer) Read(addr int) uint64 {
+	for i := len(c.pending) - 1; i >= 0; i-- {
+		if c.pending[i].addr == addr {
+			return c.pending[i].val
+		}
+	}
+	return c.mem.cells[addr]
+}
+
+// Write buffers a store; other cores cannot see it until it drains.
+func (c *StoreBuffer) Write(addr int, val uint64) {
+	c.pending = append(c.pending, pendingStore{addr, val})
+}
+
+// DrainOne makes the oldest pending store globally visible. It returns
+// false if the buffer was empty. Tests use it to exercise partial drains —
+// the reorderings a real machine performs asynchronously.
+func (c *StoreBuffer) DrainOne() bool {
+	if len(c.pending) == 0 {
+		return false
+	}
+	s := c.pending[0]
+	c.pending = c.pending[1:]
+	c.mem.cells[s.addr] = s.val
+	return true
+}
+
+// Fence drains the entire store buffer (the effect of sync / mfence).
+func (c *StoreBuffer) Fence() {
+	for c.DrainOne() {
+	}
+	c.drains++
+}
+
+// PendingStores returns the number of buffered (not yet visible) stores.
+func (c *StoreBuffer) PendingStores() int { return len(c.pending) }
+
+// Fences returns how many explicit fences the core has executed.
+func (c *StoreBuffer) Fences() int { return c.drains }

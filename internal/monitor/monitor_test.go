@@ -1,0 +1,210 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEnterExitBasic(t *testing.T) {
+	m := NewTable().New()
+	m.Enter(1)
+	if !m.HeldBy(1) || m.HeldBy(2) {
+		t.Fatalf("ownership wrong after Enter")
+	}
+	if !m.Exit(1) {
+		t.Fatalf("Exit did not report full release")
+	}
+	if m.HeldBy(1) {
+		t.Fatalf("still held after Exit")
+	}
+}
+
+func TestReentrancy(t *testing.T) {
+	m := NewTable().New()
+	m.Enter(7)
+	m.Enter(7)
+	m.Enter(7)
+	if got := m.Recursion(); got != 2 {
+		t.Fatalf("recursion = %d, want 2", got)
+	}
+	if m.Exit(7) {
+		t.Fatalf("inner Exit reported full release")
+	}
+	if m.Exit(7) {
+		t.Fatalf("inner Exit reported full release")
+	}
+	if !m.Exit(7) {
+		t.Fatalf("outer Exit did not report full release")
+	}
+}
+
+func TestExitByNonOwnerPanics(t *testing.T) {
+	m := NewTable().New()
+	m.Enter(1)
+	defer m.Exit(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Exit by non-owner did not panic")
+		}
+	}()
+	m.Exit(2)
+}
+
+func TestTryEnter(t *testing.T) {
+	m := NewTable().New()
+	if !m.TryEnter(1) {
+		t.Fatalf("TryEnter on free monitor failed")
+	}
+	if m.TryEnter(2) {
+		t.Fatalf("TryEnter by other succeeded on owned monitor")
+	}
+	if !m.TryEnter(1) {
+		t.Fatalf("reentrant TryEnter failed")
+	}
+	m.Exit(1)
+	m.Exit(1)
+	if !m.TryEnter(2) {
+		t.Fatalf("TryEnter after release failed")
+	}
+	m.Exit(2)
+}
+
+func TestEnterBlocksUntilExit(t *testing.T) {
+	m := NewTable().New()
+	m.Enter(1)
+	acquired := make(chan struct{})
+	go func() {
+		m.Enter(2)
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatalf("Enter did not block while owned")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.Exit(1)
+	select {
+	case <-acquired:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("blocked Enter never acquired after Exit")
+	}
+	m.Exit(2)
+}
+
+func TestMutualExclusionStress(t *testing.T) {
+	m := NewTable().New()
+	var shared, iters int
+	const perThread = 2000
+	var wg sync.WaitGroup
+	for tid := uint64(1); tid <= 8; tid++ {
+		wg.Add(1)
+		go func(tid uint64) {
+			defer wg.Done()
+			for i := 0; i < perThread; i++ {
+				m.Enter(tid)
+				shared++
+				iters++
+				m.Exit(tid)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if shared != 8*perThread || iters != 8*perThread {
+		t.Fatalf("lost updates: shared=%d iters=%d want %d", shared, iters, 8*perThread)
+	}
+}
+
+func TestWaitLockedTimesOut(t *testing.T) {
+	m := NewTable().New()
+	m.RawLock()
+	start := time.Now()
+	woken := m.WaitLocked(5 * time.Millisecond)
+	elapsed := time.Since(start)
+	m.RawUnlock()
+	if woken {
+		t.Fatalf("WaitLocked reported wakeup without broadcast")
+	}
+	if elapsed < 4*time.Millisecond {
+		t.Fatalf("WaitLocked returned too early: %v", elapsed)
+	}
+	if m.StatsSnapshot().Timeouts != 1 {
+		t.Fatalf("timeout not counted")
+	}
+}
+
+func TestBroadcastWakesAllWaiters(t *testing.T) {
+	m := NewTable().New()
+	const n = 4
+	var wg sync.WaitGroup
+	ready := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.RawLock()
+			ready <- struct{}{}
+			if !m.WaitLocked(5 * time.Second) {
+				t.Errorf("waiter timed out instead of being broadcast")
+			}
+			m.RawUnlock()
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-ready
+	}
+	// Ensure all are actually parked (not merely registered).
+	for {
+		m.RawLock()
+		w := m.Waiters()
+		m.RawUnlock()
+		if w == n {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.RawLock()
+	m.BroadcastLocked()
+	m.RawUnlock()
+	wg.Wait()
+}
+
+func TestEnterLockedTakesOwnership(t *testing.T) {
+	m := NewTable().New()
+	m.RawLock()
+	m.EnterLocked(9)
+	m.RawUnlock()
+	if !m.HeldBy(9) {
+		t.Fatalf("EnterLocked did not take ownership")
+	}
+	m.Exit(9)
+}
+
+func TestTableAssignsDistinctIDs(t *testing.T) {
+	tb := NewTable()
+	a, b := tb.New(), tb.New()
+	if a.ID() == b.ID() || a.ID() == 0 {
+		t.Fatalf("bad ids: %d %d", a.ID(), b.ID())
+	}
+	if tb.ByID(a.ID()) != a || tb.ByID(b.ID()) != b {
+		t.Fatalf("ByID lookup wrong")
+	}
+	if tb.ByID(999) != nil {
+		t.Fatalf("unknown id resolved")
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tb.Len())
+	}
+}
+
+func TestSavedCounterRoundTrip(t *testing.T) {
+	m := NewTable().New()
+	m.RawLock()
+	m.SavedCounter = 0xabc00
+	m.RawUnlock()
+	m.RawLock()
+	if m.SavedCounter != 0xabc00 {
+		t.Fatalf("SavedCounter lost")
+	}
+	m.RawUnlock()
+}

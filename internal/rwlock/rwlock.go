@@ -1,0 +1,214 @@
+// Package rwlock implements the paper's second baseline ("RWLock"): a
+// reentrant read-write lock in the style of
+// java.util.concurrent.locks.ReentrantReadWriteLock (non-fair mode).
+//
+// Multiple threads may hold the lock in read mode; write mode is exclusive.
+// The write holder may reentrantly take both modes. As in j.u.c., *both*
+// acquisition and release of the read lock perform an atomic RMW on the
+// shared state word, and per-thread read-hold accounting goes through a
+// lookup structure (standing in for the ThreadLocal HoldCounter) — the very
+// overheads the paper measures against SOLERO, whose read sections touch no
+// shared word at all.
+package rwlock
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/jthread"
+	"repro/internal/memmodel"
+)
+
+// writerBit marks the state word as write-held; the low bits count readers.
+const writerBit = uint64(1) << 63
+
+// holdShards is the size of the read-hold table (ThreadLocal stand-in).
+const holdShards = 16
+
+// RWLock is a reentrant read-write lock. The zero value is ready to use.
+type RWLock struct {
+	// Model, when set, charges the architecture's atomic-RMW surcharge on
+	// every acquisition and release — read mode pays it twice per
+	// section, which is the overhead the paper's Figure 10/11 RWLock
+	// results exhibit.
+	Model *memmodel.Model
+
+	// state holds writerBit plus the active reader count.
+	state atomic.Uint64
+	// writerTID is the write-holding thread id (0 when none).
+	writerTID atomic.Uint64
+	// wrec is the writer's reentrancy depth; owner-access only, ordered
+	// by the state word's atomics.
+	wrec uint32
+
+	gateMu sync.Mutex
+	gate   chan struct{}
+
+	holds [holdShards]holdShard
+
+	// Stats.
+	readAcquires  atomic.Uint64
+	writeAcquires atomic.Uint64
+	readParks     atomic.Uint64
+	writeParks    atomic.Uint64
+}
+
+type holdShard struct {
+	mu sync.Mutex
+	n  map[uint64]int
+}
+
+func (l *RWLock) holdCount(tid uint64, delta int) int {
+	sh := &l.holds[tid%holdShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.n == nil {
+		sh.n = make(map[uint64]int)
+	}
+	c := sh.n[tid] + delta
+	if c < 0 {
+		panic("rwlock: RUnlock without matching RLock")
+	}
+	if c == 0 {
+		delete(sh.n, tid)
+	} else {
+		sh.n[tid] = c
+	}
+	return c
+}
+
+// ReadHoldCount returns t's current read-mode reentrancy depth.
+func (l *RWLock) ReadHoldCount(t *jthread.Thread) int {
+	sh := &l.holds[t.ID()%holdShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.n[t.ID()]
+}
+
+// fetchGate returns the current wakeup channel, creating it if necessary.
+func (l *RWLock) fetchGate() chan struct{} {
+	l.gateMu.Lock()
+	defer l.gateMu.Unlock()
+	if l.gate == nil {
+		l.gate = make(chan struct{})
+	}
+	return l.gate
+}
+
+// releaseGate wakes all parked threads.
+func (l *RWLock) releaseGate() {
+	l.gateMu.Lock()
+	defer l.gateMu.Unlock()
+	if l.gate != nil {
+		close(l.gate)
+		l.gate = nil
+	}
+}
+
+// RLock acquires the lock in read mode for t.
+func (l *RWLock) RLock(t *jthread.Thread) {
+	l.Model.ChargeIndirection()
+	l.Model.ChargeAtomic()
+	tid := t.ID()
+	if l.writerTID.Load() == tid {
+		// Write holder reading: permitted (j.u.c. allows the write
+		// holder to acquire the read lock, enabling downgrade — take
+		// read, release write, keep reading).
+		l.state.Add(1)
+		l.holdCount(tid, +1)
+		l.readAcquires.Add(1)
+		return
+	}
+	for {
+		s := l.state.Load()
+		if s&writerBit == 0 {
+			if l.state.CompareAndSwap(s, s+1) {
+				l.holdCount(tid, +1)
+				l.readAcquires.Add(1)
+				return
+			}
+			continue
+		}
+		// Write-held by someone else: park until the state changes.
+		l.readParks.Add(1)
+		ch := l.fetchGate()
+		if l.state.Load()&writerBit == 0 {
+			continue
+		}
+		<-ch
+	}
+}
+
+// RUnlock releases one read hold of t.
+func (l *RWLock) RUnlock(t *jthread.Thread) {
+	l.Model.ChargeIndirection()
+	l.Model.ChargeAtomic()
+	l.holdCount(t.ID(), -1)
+	if l.state.Add(^uint64(0))&^writerBit == 0 {
+		l.releaseGate()
+	}
+}
+
+// Lock acquires the lock in write mode for t (reentrant).
+func (l *RWLock) Lock(t *jthread.Thread) {
+	l.Model.ChargeIndirection()
+	l.Model.ChargeAtomic()
+	tid := t.ID()
+	if l.writerTID.Load() == tid {
+		l.wrec++
+		return
+	}
+	for {
+		if l.state.Load() == 0 && l.state.CompareAndSwap(0, writerBit) {
+			l.writerTID.Store(tid)
+			l.writeAcquires.Add(1)
+			return
+		}
+		l.writeParks.Add(1)
+		ch := l.fetchGate()
+		if l.state.Load() == 0 {
+			continue
+		}
+		<-ch
+	}
+}
+
+// Unlock releases one write hold of t.
+func (l *RWLock) Unlock(t *jthread.Thread) {
+	l.Model.ChargeIndirection()
+	l.Model.ChargeAtomic()
+	if l.writerTID.Load() != t.ID() {
+		panic("rwlock: Unlock by non-write-holder")
+	}
+	if l.wrec > 0 {
+		l.wrec--
+		return
+	}
+	l.writerTID.Store(0)
+	l.state.Add(^writerBit + 1) // clear writerBit, keeping downgraded read holds
+	l.releaseGate()
+}
+
+// ReadSync runs fn holding the lock in read mode.
+func (l *RWLock) ReadSync(t *jthread.Thread, fn func()) {
+	l.RLock(t)
+	defer l.RUnlock(t)
+	fn()
+}
+
+// WriteSync runs fn holding the lock in write mode.
+func (l *RWLock) WriteSync(t *jthread.Thread, fn func()) {
+	l.Lock(t)
+	defer l.Unlock(t)
+	fn()
+}
+
+// Stats returns acquisition/park counters.
+func (l *RWLock) Stats() map[string]uint64 {
+	return map[string]uint64{
+		"readAcquires":  l.readAcquires.Load(),
+		"writeAcquires": l.writeAcquires.Load(),
+		"readParks":     l.readParks.Load(),
+		"writeParks":    l.writeParks.Load(),
+	}
+}

@@ -1,0 +1,192 @@
+package rwlock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/jthread"
+)
+
+func threads(n int) []*jthread.Thread {
+	vm := jthread.NewVM()
+	ths := make([]*jthread.Thread, n)
+	for i := range ths {
+		ths[i] = vm.Attach("t")
+	}
+	return ths
+}
+
+func TestReadersShareWriterExcludes(t *testing.T) {
+	ths := threads(3)
+	var l RWLock
+	l.RLock(ths[0])
+	l.RLock(ths[1]) // concurrent readers allowed
+
+	acquired := make(chan struct{})
+	go func() {
+		l.Lock(ths[2])
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatalf("writer acquired while readers hold")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.RUnlock(ths[0])
+	l.RUnlock(ths[1])
+	select {
+	case <-acquired:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("writer never acquired after readers left")
+	}
+	l.Unlock(ths[2])
+}
+
+func TestWriterExcludesReaders(t *testing.T) {
+	ths := threads(2)
+	var l RWLock
+	l.Lock(ths[0])
+	acquired := make(chan struct{})
+	go func() {
+		l.RLock(ths[1])
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatalf("reader acquired while writer holds")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.Unlock(ths[0])
+	select {
+	case <-acquired:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("reader never acquired after writer left")
+	}
+	l.RUnlock(ths[1])
+}
+
+func TestWriteReentrancy(t *testing.T) {
+	ths := threads(2)
+	var l RWLock
+	l.Lock(ths[0])
+	l.Lock(ths[0])
+	l.Unlock(ths[0])
+	// Still held after inner unlock.
+	done := make(chan struct{})
+	go func() {
+		l.Lock(ths[1])
+		l.Unlock(ths[1])
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatalf("reentrant write lock released too early")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.Unlock(ths[0])
+	<-done
+}
+
+func TestReadReentrancy(t *testing.T) {
+	ths := threads(1)
+	var l RWLock
+	l.RLock(ths[0])
+	l.RLock(ths[0])
+	if got := l.ReadHoldCount(ths[0]); got != 2 {
+		t.Fatalf("ReadHoldCount = %d, want 2", got)
+	}
+	l.RUnlock(ths[0])
+	l.RUnlock(ths[0])
+	if got := l.ReadHoldCount(ths[0]); got != 0 {
+		t.Fatalf("ReadHoldCount = %d, want 0", got)
+	}
+}
+
+func TestDowngrade(t *testing.T) {
+	ths := threads(2)
+	var l RWLock
+	l.Lock(ths[0])
+	l.RLock(ths[0]) // take read while writing
+	l.Unlock(ths[0])
+	// Now only a read hold remains: other readers may enter, writers not.
+	l.RLock(ths[1])
+	l.RUnlock(ths[1])
+	acquired := make(chan struct{})
+	go func() {
+		l.Lock(ths[1])
+		l.Unlock(ths[1])
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatalf("writer acquired during downgraded read hold")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.RUnlock(ths[0])
+	<-acquired
+}
+
+func TestRUnlockWithoutRLockPanics(t *testing.T) {
+	ths := threads(1)
+	var l RWLock
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic")
+		}
+	}()
+	l.RUnlock(ths[0])
+}
+
+func TestUnlockByNonHolderPanics(t *testing.T) {
+	ths := threads(2)
+	var l RWLock
+	l.Lock(ths[0])
+	defer l.Unlock(ths[0])
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic")
+		}
+	}()
+	l.Unlock(ths[1])
+}
+
+func TestMutualExclusionStress(t *testing.T) {
+	vm := jthread.NewVM()
+	var l RWLock
+	var shared int
+	var sum atomic.Uint64
+	var wg sync.WaitGroup
+	const writers, readers, per = 4, 4, 2000
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := vm.Attach("w")
+			defer th.Detach()
+			for i := 0; i < per; i++ {
+				l.WriteSync(th, func() { shared++ })
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := vm.Attach("r")
+			defer th.Detach()
+			for i := 0; i < per; i++ {
+				l.ReadSync(th, func() { sum.Add(uint64(shared)) })
+			}
+		}()
+	}
+	wg.Wait()
+	if shared != writers*per {
+		t.Fatalf("lost updates: %d, want %d", shared, writers*per)
+	}
+	st := l.Stats()
+	if st["readAcquires"] == 0 || st["writeAcquires"] == 0 {
+		t.Fatalf("stats not recorded: %v", st)
+	}
+}

@@ -1,0 +1,78 @@
+// Package seqlock implements the classic Linux-kernel sequential lock the
+// paper builds on (§2.2, Figure 4). It is provided both as the algorithmic
+// ancestor of SOLERO and as a baseline that exhibits the restrictions the
+// paper lists: seqlocks are not reentrant, give readers no mutual exclusion
+// against each other's side effects, and leave fault recovery (pointer
+// chasing, loops over torn state) entirely to the caller — the gaps SOLERO
+// closes for general Java critical sections.
+package seqlock
+
+import "sync/atomic"
+
+// SeqLock is a sequential lock: an even counter means free, odd means a
+// writer is inside. The zero value is ready to use.
+type SeqLock struct {
+	seq atomic.Uint64
+}
+
+// Seq returns the raw sequence value (diagnostics).
+func (l *SeqLock) Seq() uint64 { return l.seq.Load() }
+
+// WriteLock acquires the write side (Figure 4a): spin until the counter is
+// even, then CAS it odd. Not reentrant — a thread that already holds the
+// lock will deadlock, exactly the seqlock restriction the paper notes.
+func (l *SeqLock) WriteLock() {
+	for {
+		v := l.seq.Load()
+		if v&1 == 0 && l.seq.CompareAndSwap(v, v+1) {
+			return
+		}
+	}
+}
+
+// WriteUnlock releases the write side, incrementing the counter to the next
+// even value.
+func (l *SeqLock) WriteUnlock() {
+	if l.seq.Load()&1 == 0 {
+		panic("seqlock: WriteUnlock without WriteLock")
+	}
+	l.seq.Add(1)
+}
+
+// WriteSync runs fn holding the write side.
+func (l *SeqLock) WriteSync(fn func()) {
+	l.WriteLock()
+	defer l.WriteUnlock()
+	fn()
+}
+
+// ReadBegin spins until no writer is inside and returns the sequence value
+// to validate with (Figure 4b, lines 2–3).
+func (l *SeqLock) ReadBegin() uint64 {
+	for {
+		v := l.seq.Load()
+		if v&1 == 0 {
+			return v
+		}
+	}
+}
+
+// ReadRetry reports whether a read section begun at seq must be retried
+// (Figure 4b, line 5).
+func (l *SeqLock) ReadRetry(seq uint64) bool {
+	return l.seq.Load() != seq
+}
+
+// Read runs fn as a read-only section, retrying until it executes without a
+// concurrent writer. fn may observe torn state in failing attempts and must
+// be side-effect free and fault free — the raw seqlock contract. For the
+// full recovery machinery, use the SOLERO lock instead.
+func (l *SeqLock) Read(fn func()) {
+	for {
+		v := l.ReadBegin()
+		fn()
+		if !l.ReadRetry(v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package seqlock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteLockMakesSeqOdd(t *testing.T) {
+	var l SeqLock
+	l.WriteLock()
+	if l.Seq()&1 != 1 {
+		t.Fatalf("seq even while write-held")
+	}
+	l.WriteUnlock()
+	if l.Seq() != 2 {
+		t.Fatalf("seq = %d after one write section, want 2", l.Seq())
+	}
+}
+
+func TestWriteUnlockWithoutLockPanics(t *testing.T) {
+	var l SeqLock
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic")
+		}
+	}()
+	l.WriteUnlock()
+}
+
+func TestReadValidatesAgainstWriter(t *testing.T) {
+	var l SeqLock
+	v := l.ReadBegin()
+	if l.ReadRetry(v) {
+		t.Fatalf("retry required with no writer")
+	}
+	l.WriteSync(func() {})
+	if !l.ReadRetry(v) {
+		t.Fatalf("no retry after intervening writer")
+	}
+}
+
+func TestReadRetriesUntilConsistent(t *testing.T) {
+	var l SeqLock
+	runs := 0
+	l.Read(func() {
+		runs++
+		if runs == 1 {
+			l.WriteSync(func() {}) // intervene once
+		}
+	})
+	if runs != 2 {
+		t.Fatalf("runs = %d, want 2", runs)
+	}
+}
+
+func TestPairConsistencyStress(t *testing.T) {
+	var l SeqLock
+	var a, b atomic.Uint64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			l.WriteSync(func() {
+				a.Store(i)
+				b.Store(i)
+			})
+		}
+	}()
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 20000; i++ {
+				var ga, gb uint64
+				l.Read(func() { ga, gb = a.Load(), b.Load() })
+				if ga != gb {
+					t.Errorf("torn pair escaped: %d != %d", ga, gb)
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	wg.Wait()
+}
+
+// Property: after n write sections the sequence is exactly 2n.
+func TestQuickSeqAdvances(t *testing.T) {
+	f := func(n uint8) bool {
+		var l SeqLock
+		for i := 0; i < int(n); i++ {
+			l.WriteSync(func() {})
+		}
+		return l.Seq() == 2*uint64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+package simcoherence
+
+import "testing"
+
+func run(t *testing.T, mut func(*Config)) Result {
+	t.Helper()
+	cfg := DefaultConfig()
+	mut(&cfg)
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cores = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatalf("zero cores accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Shards = 100
+	cfg.DataLines = 10
+	if _, err := Run(cfg); err == nil {
+		t.Fatalf("shards > lines accepted")
+	}
+}
+
+func TestSingleCoreAllProtocolsProgress(t *testing.T) {
+	for _, p := range []Protocol{ProtoMutex, ProtoRW, ProtoSolero} {
+		r := run(t, func(c *Config) { c.Protocol = p })
+		if r.Ops == 0 {
+			t.Fatalf("%v: no ops", p)
+		}
+	}
+}
+
+func TestSoleroSingleCoreFasterThanRW(t *testing.T) {
+	// Single thread, read-only: SOLERO does two loads; RW does two RMWs.
+	sol := run(t, func(c *Config) { c.Protocol = ProtoSolero })
+	rw := run(t, func(c *Config) { c.Protocol = ProtoRW })
+	if sol.OpsPerKCycle <= rw.OpsPerKCycle {
+		t.Fatalf("SOLERO (%f) not faster than RWLock (%f) single-thread", sol.OpsPerKCycle, rw.OpsPerKCycle)
+	}
+}
+
+func TestSoleroReadOnlyScalesNearLinearly(t *testing.T) {
+	// Figure 12(a)'s headline: SOLERO at 16 cores ≈ 16× one core; the
+	// mutex degrades or stays flat.
+	one := run(t, func(c *Config) { c.Protocol = ProtoSolero; c.Cores = 1 })
+	sixteen := run(t, func(c *Config) { c.Protocol = ProtoSolero; c.Cores = 16 })
+	speedup := sixteen.OpsPerKCycle / one.OpsPerKCycle
+	if speedup < 12 {
+		t.Fatalf("SOLERO 16-core speedup = %.2f, want near-linear (>12)", speedup)
+	}
+	lockOne := run(t, func(c *Config) { c.Protocol = ProtoMutex; c.Cores = 1 })
+	lockSixteen := run(t, func(c *Config) { c.Protocol = ProtoMutex; c.Cores = 16 })
+	lockSpeedup := lockSixteen.OpsPerKCycle / lockOne.OpsPerKCycle
+	if lockSpeedup > 2 {
+		t.Fatalf("mutex read-only speedup = %.2f, should be serialized (<2)", lockSpeedup)
+	}
+	if sixteen.OpsPerKCycle < 4*lockSixteen.OpsPerKCycle {
+		t.Fatalf("SOLERO (%.1f) should beat Lock (%.1f) by multiples at 16 cores",
+			sixteen.OpsPerKCycle, lockSixteen.OpsPerKCycle)
+	}
+}
+
+func TestRWLockReaderRMWLimitsScaling(t *testing.T) {
+	one := run(t, func(c *Config) { c.Protocol = ProtoRW; c.Cores = 1 })
+	sixteen := run(t, func(c *Config) { c.Protocol = ProtoRW; c.Cores = 16 })
+	speedup := sixteen.OpsPerKCycle / one.OpsPerKCycle
+	// Readers serialize on the state-line RMW: far from linear.
+	if speedup > 8 {
+		t.Fatalf("RW speedup = %.2f, expected RMW-limited (<8)", speedup)
+	}
+}
+
+func TestWritesCauseFailuresThatGrowWithCores(t *testing.T) {
+	two := run(t, func(c *Config) { c.Protocol = ProtoSolero; c.Cores = 2; c.WritePct = 5 })
+	sixteen := run(t, func(c *Config) { c.Protocol = ProtoSolero; c.Cores = 16; c.WritePct = 5 })
+	if sixteen.FailureRatio() <= two.FailureRatio() {
+		t.Fatalf("failure ratio did not grow with cores: %f vs %f",
+			two.FailureRatio(), sixteen.FailureRatio())
+	}
+	if sixteen.FailureRatio() <= 0 || sixteen.FailureRatio() > 100 {
+		t.Fatalf("failure ratio out of range: %f", sixteen.FailureRatio())
+	}
+	zero := run(t, func(c *Config) { c.Protocol = ProtoSolero; c.Cores = 16; c.WritePct = 0 })
+	if zero.FailureRatio() != 0 {
+		t.Fatalf("0%% writes produced failures: %f", zero.FailureRatio())
+	}
+}
+
+func TestFineGrainedReducesFailures(t *testing.T) {
+	// Figure 12(c): sharding the map to one lock per thread drops the
+	// failure ratio (paper: 23% → 3% at 16 threads).
+	coarse := run(t, func(c *Config) {
+		c.Protocol = ProtoSolero
+		c.Cores = 16
+		c.WritePct = 5
+	})
+	fine := run(t, func(c *Config) {
+		c.Protocol = ProtoSolero
+		c.Cores = 16
+		c.WritePct = 5
+		c.Shards = 16
+		c.DataLines = 64
+	})
+	if fine.FailureRatio() >= coarse.FailureRatio() {
+		t.Fatalf("fine-grained failures (%f) not below coarse (%f)",
+			fine.FailureRatio(), coarse.FailureRatio())
+	}
+}
+
+func TestFallbackBoundsRetries(t *testing.T) {
+	r := run(t, func(c *Config) {
+		c.Protocol = ProtoSolero
+		c.Cores = 16
+		c.WritePct = 30
+		c.FallbackAfter = 1
+	})
+	if r.Fallbacks == 0 {
+		t.Fatalf("heavy write mix produced no fallbacks")
+	}
+	if r.Fallbacks > r.ElisionFailures {
+		t.Fatalf("fallbacks (%d) exceed failures (%d)", r.Fallbacks, r.ElisionFailures)
+	}
+}
+
+func TestSweepShapes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Protocol = ProtoSolero
+	rs, err := Sweep(cfg, []int{1, 2, 4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 5 {
+		t.Fatalf("points = %d", len(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].OpsPerKCycle < rs[i-1].OpsPerKCycle {
+			t.Fatalf("read-only SOLERO sweep not monotone at %d cores", i)
+		}
+	}
+	cfg.ShardsFollowCores = true
+	cfg.WritePct = 5
+	if _, err := Sweep(cfg, []int{1, 4, 16}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerCoreFairness(t *testing.T) {
+	r := run(t, func(c *Config) { c.Protocol = ProtoSolero; c.Cores = 8 })
+	var min, max uint64 = ^uint64(0), 0
+	for _, ops := range r.PerCore {
+		if ops < min {
+			min = ops
+		}
+		if ops > max {
+			max = ops
+		}
+	}
+	if min == 0 || float64(max)/float64(min) > 2 {
+		t.Fatalf("unfair progress across cores: min=%d max=%d", min, max)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Protocol = ProtoSolero
+	cfg.Cores = 4
+	cfg.WritePct = 5
+	a, _ := Run(cfg)
+	b, _ := Run(cfg)
+	if a.Ops != b.Ops || a.ElisionFailures != b.ElisionFailures {
+		t.Fatalf("simulation not deterministic")
+	}
+}

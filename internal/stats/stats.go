@@ -1,0 +1,258 @@
+// Package stats provides the small numeric and formatting toolkit the
+// benchmark harness uses: throughput math, normalization, and ASCII
+// renderings of the paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Throughput converts an operation count over a duration to ops/second.
+func Throughput(ops uint64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(ops) / d.Seconds()
+}
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Best returns the maximum (0 for an empty slice) — the paper keeps the
+// best of each run's repeated measurements to exclude JIT warmup noise.
+func Best(xs []float64) float64 {
+	best := 0.0
+	for _, x := range xs {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}
+
+// Min returns the minimum (0 for an empty slice).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Stddev returns the sample standard deviation (0 for n < 2).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mu := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += (x - mu) * (x - mu)
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Median returns the median (0 for empty).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	n := len(ys)
+	if n%2 == 1 {
+		return ys[n/2]
+	}
+	return (ys[n/2-1] + ys[n/2]) / 2
+}
+
+// Normalize divides each element by base (returns zeros if base == 0).
+func Normalize(ys []float64, base float64) []float64 {
+	out := make([]float64, len(ys))
+	if base == 0 {
+		return out
+	}
+	for i, y := range ys {
+		out[i] = y / base
+	}
+	return out
+}
+
+// Series is one line of a figure: a named Y sequence over shared X values.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Figure is an ASCII rendering of a multi-series plot, printed as a table
+// of X vs. each series (the paper's figures are reproduced as data, not
+// pixels).
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+}
+
+// Render formats the figure as an aligned table.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", f.Title)
+	if f.YLabel != "" {
+		fmt.Fprintf(&b, "   (y: %s)\n", f.YLabel)
+	}
+	head := []string{f.XLabel}
+	for _, s := range f.Series {
+		head = append(head, s.Name)
+	}
+	rows := [][]string{}
+	for i, x := range f.X {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%.3f", s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(renderAligned(head, rows))
+	return b.String()
+}
+
+// Table is an ASCII table with a title.
+type Table struct {
+	Title string
+	Cols  []string
+	Rows  [][]string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	b.WriteString(renderAligned(t.Cols, t.Rows))
+	return b.String()
+}
+
+func renderAligned(head []string, rows [][]string) string {
+	width := make([]int, len(head))
+	for i, h := range head {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(head)
+	sep := make([]string, len(head))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%.2f", x)
+}
+
+// Pct formats a ratio as a percentage string.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// CSV renders the figure as comma-separated values (header row of the x
+// label and series names, then one row per x) for plotting tools.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(f.XLabel))
+	for _, s := range f.Series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Name))
+	}
+	b.WriteByte('\n')
+	for i, x := range f.X {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			b.WriteByte(',')
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, "%g", s.Y[i])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	for i, c := range t.Cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// csvEscape quotes cells containing separators or quotes.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(1000, time.Second); got != 1000 {
+		t.Fatalf("Throughput = %f", got)
+	}
+	if got := Throughput(500, 500*time.Millisecond); got != 1000 {
+		t.Fatalf("Throughput = %f", got)
+	}
+	if Throughput(5, 0) != 0 {
+		t.Fatalf("zero duration not handled")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Fatalf("Mean = %f", Mean(xs))
+	}
+	if Best(xs) != 4 || Min(xs) != 1 {
+		t.Fatalf("Best/Min wrong")
+	}
+	if Median(xs) != 2.5 {
+		t.Fatalf("Median = %f", Median(xs))
+	}
+	if Median([]float64{1, 2, 9}) != 2 {
+		t.Fatalf("odd Median wrong")
+	}
+	if Mean(nil) != 0 || Best(nil) != 0 || Min(nil) != 0 || Median(nil) != 0 || Stddev(nil) != 0 {
+		t.Fatalf("empty-slice aggregates not zero")
+	}
+	if s := Stddev([]float64{2, 4}); s < 1.41 || s > 1.42 {
+		t.Fatalf("Stddev = %f", s)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4, 6}, 2)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Normalize = %v", got)
+	}
+	if z := Normalize([]float64{1}, 0); z[0] != 0 {
+		t.Fatalf("zero base not handled")
+	}
+}
+
+func TestQuickNormalizeRoundTrip(t *testing.T) {
+	f := func(ys []float64, base float64) bool {
+		if base == 0 || base != base { // skip zero and NaN
+			return true
+		}
+		norm := Normalize(ys, base)
+		for i := range ys {
+			if ys[i] != ys[i] { // NaN input
+				continue
+			}
+			back := norm[i] * base
+			diff := back - ys[i]
+			if diff < 0 {
+				diff = -diff
+			}
+			scale := ys[i]
+			if scale < 0 {
+				scale = -scale
+			}
+			if diff > 1e-9*(1+scale) && diff == diff {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "Lock statistics", Cols: []string{"Benchmark", "Mlocks/s", "read-only %"}}
+	tb.AddRow("Empty", "12.8", "100.0")
+	tb.AddRow("HashMap", "5.4", "100.0")
+	out := tb.Render()
+	for _, want := range []string{"Lock statistics", "Benchmark", "Empty", "HashMap", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + head + sep + 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := &Figure{
+		Title:  "Fig 12(a)",
+		XLabel: "# threads",
+		YLabel: "normalized throughput",
+		X:      []float64{1, 2, 4},
+		Series: []Series{
+			{Name: "Lock", Y: []float64{1, 0.8, 0.6}},
+			{Name: "SOLERO", Y: []float64{1, 1.9}}, // short series renders "-"
+		},
+	}
+	out := f.Render()
+	for _, want := range []string{"Fig 12(a)", "# threads", "Lock", "SOLERO", "0.800", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.236) != "23.6%" {
+		t.Fatalf("Pct = %s", Pct(0.236))
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := &Figure{
+		XLabel: "# threads",
+		X:      []float64{1, 2},
+		Series: []Series{{Name: "Lock, coarse", Y: []float64{1, 0.5}}, {Name: "SOLERO", Y: []float64{1}}},
+	}
+	got := f.CSV()
+	want := "# threads,\"Lock, coarse\",SOLERO\n1,1,1\n2,0.5,\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Cols: []string{"name", "v"}}
+	tb.AddRow(`quo"ted`, "1")
+	got := tb.CSV()
+	want := "name,v\n\"quo\"\"ted\",1\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,132 @@
+// Package trace is a lock-protocol event recorder: a fixed-size,
+// concurrency-safe ring buffer the SOLERO lock writes protocol transitions
+// into when a tracer is configured. It exists for debugging and for
+// teaching — `lockstats -trace` prints the tail of a run's protocol
+// history (acquires, elisions, failures, inflations, waits) in order.
+//
+// Recording is lock-free: writers claim slots with an atomic counter; the
+// ring keeps the most recent Size events. A nil *Ring records nothing, so
+// the hooks cost one predictable branch when tracing is off.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies a protocol event.
+type Kind uint8
+
+// Event kinds.
+const (
+	EvAcquireFast Kind = iota
+	EvAcquireSlow
+	EvRelease
+	EvElideSuccess
+	EvElideFailure
+	EvFallback
+	EvInflate
+	EvDeflate
+	EvWait
+	EvNotify
+	EvUpgrade
+	EvAsyncAbort
+)
+
+var kindNames = [...]string{
+	EvAcquireFast: "acquire-fast", EvAcquireSlow: "acquire-slow",
+	EvRelease: "release", EvElideSuccess: "elide-ok", EvElideFailure: "elide-fail",
+	EvFallback: "fallback", EvInflate: "inflate", EvDeflate: "deflate",
+	EvWait: "wait", EvNotify: "notify", EvUpgrade: "upgrade",
+	EvAsyncAbort: "async-abort",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("ev(%d)", uint8(k))
+}
+
+// Event is one recorded transition.
+type Event struct {
+	Seq  uint64
+	Nano int64
+	Kind Kind
+	TID  uint64
+	Word uint64
+}
+
+// Ring is the recorder. Create with New; a nil Ring is a no-op recorder.
+type Ring struct {
+	slots []atomic.Pointer[Event]
+	next  atomic.Uint64
+}
+
+// New creates a ring keeping the last size events (size is rounded up to a
+// power of two, minimum 16).
+func New(size int) *Ring {
+	n := 16
+	for n < size {
+		n <<= 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[Event], n)}
+}
+
+// Record appends an event. Safe for concurrent use; nil-safe.
+func (r *Ring) Record(kind Kind, tid, word uint64) {
+	if r == nil {
+		return
+	}
+	seq := r.next.Add(1) - 1
+	e := &Event{Seq: seq, Nano: time.Now().UnixNano(), Kind: kind, TID: tid, Word: word}
+	r.slots[seq&uint64(len(r.slots)-1)].Store(e)
+}
+
+// Len returns the number of events recorded so far (monotonic, may exceed
+// the ring capacity).
+func (r *Ring) Len() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next.Load()
+}
+
+// Snapshot returns the retained events in sequence order. Events being
+// overwritten during the snapshot may be skipped.
+func (r *Ring) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		if p := r.slots[i].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	// Insertion sort by Seq (the ring is near-sorted already).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Seq > out[j].Seq; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Dump renders the retained events, one per line.
+func (r *Ring) Dump() string {
+	events := r.Snapshot()
+	if len(events) == 0 {
+		return "(no events)\n"
+	}
+	var b strings.Builder
+	base := events[0].Nano
+	for _, e := range events {
+		fmt.Fprintf(&b, "%6d %+9.3fus t%-3d %-12s word=%#x\n",
+			e.Seq, float64(e.Nano-base)/1e3, e.TID, e.Kind, e.Word)
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRingIsNoOp(t *testing.T) {
+	var r *Ring
+	r.Record(EvAcquireFast, 1, 2) // must not panic
+	if r.Len() != 0 || r.Snapshot() != nil {
+		t.Fatalf("nil ring recorded something")
+	}
+}
+
+func TestRecordAndSnapshotOrder(t *testing.T) {
+	r := New(64)
+	for i := uint64(0); i < 10; i++ {
+		r.Record(EvRelease, i, i*100)
+	}
+	if r.Len() != 10 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	events := r.Snapshot()
+	if len(events) != 10 {
+		t.Fatalf("snapshot = %d events", len(events))
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i) || e.TID != uint64(i) {
+			t.Fatalf("event %d out of order: %+v", i, e)
+		}
+	}
+}
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	r := New(16)
+	for i := uint64(0); i < 100; i++ {
+		r.Record(EvElideSuccess, i, 0)
+	}
+	events := r.Snapshot()
+	if len(events) != 16 {
+		t.Fatalf("retained %d, want 16", len(events))
+	}
+	if events[0].Seq != 84 || events[len(events)-1].Seq != 99 {
+		t.Fatalf("wrong window: first=%d last=%d", events[0].Seq, events[len(events)-1].Seq)
+	}
+}
+
+func TestSizeRounding(t *testing.T) {
+	if got := len(New(0).slots); got != 16 {
+		t.Fatalf("min size = %d", got)
+	}
+	if got := len(New(100).slots); got != 128 {
+		t.Fatalf("rounded size = %d", got)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := New(1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g uint64) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(EvAcquireFast, g, uint64(i))
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	if r.Len() != 8000 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	events := r.Snapshot()
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("snapshot not ordered at %d", i)
+		}
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	r := New(16)
+	r.Record(EvInflate, 3, 0xabc)
+	r.Record(EvDeflate, 3, 0xdef)
+	out := r.Dump()
+	for _, want := range []string{"inflate", "deflate", "t3", "0xabc"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	if New(16).Dump() != "(no events)\n" {
+		t.Fatalf("empty dump wrong")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := EvAcquireFast; k <= EvAsyncAbort; k++ {
+		if strings.HasPrefix(k.String(), "ev(") {
+			t.Fatalf("kind %d unnamed", k)
+		}
+	}
+	if Kind(200).String() != "ev(200)" {
+		t.Fatalf("unknown kind string wrong")
+	}
+}

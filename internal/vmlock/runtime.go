@@ -1,0 +1,7 @@
+package vmlock
+
+import "runtime"
+
+// runtimeGosched is indirected for documentation symmetry with the paper's
+// yield(); it simply yields the goroutine's processor.
+func runtimeGosched() { runtime.Gosched() }

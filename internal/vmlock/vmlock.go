@@ -1,0 +1,343 @@
+// Package vmlock implements the conventional Java lock the paper uses as
+// its primary baseline ("Lock"): a tasuki-style bi-modal lock with a flat
+// (thin) mode, three-tier contention management, an FLC (flat-lock
+// contention) bit, inflation to an OS-monitor-backed fat mode, and
+// bidirectional deflation back to flat mode (§2.1, Figures 1–3).
+//
+// The flat word layout is lockword's conventional layout: a word of zero is
+// free; a held word carries the owner thread id in bits 8..63 and a six-bit
+// recursion counter in bits 2..7; bit 1 is the FLC bit and bit 0 the
+// inflation bit. The fast acquire path is a single CAS of 0 → tid<<8 and the
+// fast release path a plain store of 0 (Figure 2); everything else funnels
+// through the slow paths.
+package vmlock
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/jthread"
+	"repro/internal/lockword"
+	"repro/internal/memmodel"
+	"repro/internal/monitor"
+)
+
+// Config tunes contention management. The zero value is not usable; start
+// from DefaultConfig.
+type Config struct {
+	// Tier1 is the innermost backoff spin count (wasted cycles per probe).
+	Tier1 int
+	// Tier2 is the number of acquisition attempts per yield round.
+	Tier2 int
+	// Tier3 is the number of yield rounds before the lock inflates.
+	Tier3 int
+	// Deflate enables reverting a fat lock to flat mode when a full
+	// release finds no parked threads.
+	Deflate bool
+	// FLCTimeout bounds parking on the FLC bit (guards the benign race
+	// between a contender's FLC store and the owner's fast release).
+	FLCTimeout time.Duration
+	// Model and Plan charge architecture fence costs at the §3.4
+	// placement points. A nil Model charges nothing.
+	Model *memmodel.Model
+	Plan  memmodel.Plan
+}
+
+// DefaultConfig mirrors a production three-tier setup scaled for tests.
+var DefaultConfig = &Config{
+	Tier1:      32,
+	Tier2:      16,
+	Tier3:      4,
+	Deflate:    true,
+	FLCTimeout: monitor.DefaultWaitTimeout,
+}
+
+// Stats counts protocol events; all fields are maintained atomically.
+type Stats struct {
+	FastAcquires atomic.Uint64 // uncontended CAS acquisitions
+	SlowAcquires atomic.Uint64 // acquisitions through the slow path
+	Recursions   atomic.Uint64 // reentrant acquisitions
+	SpinAcquires atomic.Uint64 // acquisitions won inside the spin tiers
+	FLCWaits     atomic.Uint64 // parks on the FLC bit
+	Inflations   atomic.Uint64
+	Deflations   atomic.Uint64
+	FatEnters    atomic.Uint64 // acquisitions taken in fat mode
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (s *Stats) Snapshot() map[string]uint64 {
+	return map[string]uint64{
+		"fastAcquires": s.FastAcquires.Load(),
+		"slowAcquires": s.SlowAcquires.Load(),
+		"recursions":   s.Recursions.Load(),
+		"spinAcquires": s.SpinAcquires.Load(),
+		"flcWaits":     s.FLCWaits.Load(),
+		"inflations":   s.Inflations.Load(),
+		"deflations":   s.Deflations.Load(),
+		"fatEnters":    s.FatEnters.Load(),
+	}
+}
+
+// Lock is a conventional tasuki lock. The zero value is NOT ready; use New.
+type Lock struct {
+	word atomic.Uint64
+	mon  atomic.Pointer[monitor.Monitor]
+	cfg  *Config
+	st   Stats
+}
+
+// New creates a free lock with the given configuration (nil means
+// DefaultConfig).
+func New(cfg *Config) *Lock {
+	if cfg == nil {
+		cfg = DefaultConfig
+	}
+	return &Lock{cfg: cfg}
+}
+
+// Word returns the raw lock word (diagnostics and tests).
+func (l *Lock) Word() uint64 { return l.word.Load() }
+
+// Stats exposes the lock's event counters.
+func (l *Lock) Stats() *Stats { return &l.st }
+
+// Inflated reports whether the lock is currently in fat mode.
+func (l *Lock) Inflated() bool { return lockword.Inflated(l.word.Load()) }
+
+// HeldBy reports whether t currently owns the lock (flat or fat).
+func (l *Lock) HeldBy(t *jthread.Thread) bool {
+	v := l.word.Load()
+	if lockword.Inflated(v) {
+		return l.monitorFor().HeldBy(t.ID())
+	}
+	return lockword.ConvHeldBy(v, t.ID())
+}
+
+// monitorFor returns the lock's monitor, allocating it on first use. The
+// monitor, once bound, stays bound across inflation cycles (tasuki reuses
+// the mapping).
+func (l *Lock) monitorFor() *monitor.Monitor {
+	if m := l.mon.Load(); m != nil {
+		return m
+	}
+	m := monitor.Global.New()
+	if l.mon.CompareAndSwap(nil, m) {
+		return m
+	}
+	return l.mon.Load()
+}
+
+// Lock acquires the lock for t, following Figure 2: a CAS fast path when
+// the word is zero, otherwise the slow path.
+func (l *Lock) Lock(t *jthread.Thread) {
+	tid := t.ID()
+	for {
+		v := l.word.Load()
+		if v == 0 {
+			if l.word.CompareAndSwap(0, lockword.ConvOwned(tid, 0)) {
+				l.st.FastAcquires.Add(1)
+				l.cfg.Model.ChargeAtomic()
+				l.cfg.Model.Charge(l.cfg.Plan.WriteAcquire)
+				return
+			}
+			continue
+		}
+		l.slowEnter(t, v)
+		return
+	}
+}
+
+// Unlock releases one level of ownership, following Figure 2: a plain store
+// of zero when the low byte is clean, otherwise the slow path.
+func (l *Lock) Unlock(t *jthread.Thread) {
+	l.cfg.Model.Charge(l.cfg.Plan.WriteRelease)
+	v := l.word.Load()
+	if lockword.ConvFastReleasable(v) {
+		if !lockword.ConvHeldBy(v, t.ID()) {
+			panic("vmlock: Unlock by non-owner")
+		}
+		l.cfg.Model.ChargeAtomic()
+		l.word.Store(0)
+		return
+	}
+	l.slowExit(t, v)
+}
+
+// Sync runs fn while holding the lock.
+func (l *Lock) Sync(t *jthread.Thread, fn func()) {
+	l.Lock(t)
+	defer l.Unlock(t)
+	fn()
+}
+
+func (l *Lock) slowEnter(t *jthread.Thread, v uint64) {
+	l.st.SlowAcquires.Add(1)
+	tid := t.ID()
+	for {
+		switch {
+		case lockword.Inflated(v):
+			if l.fatEnter(t) {
+				return
+			}
+		case lockword.ConvHeldBy(v, tid):
+			// Reentrant acquisition: bump the recursion bits, or
+			// inflate when they saturate.
+			l.st.Recursions.Add(1)
+			if lockword.ConvRec(v) >= lockword.ConvRecMax {
+				l.inflateAsOwner(t, v, 1)
+				return
+			}
+			l.word.Add(lockword.ConvRecOne)
+			return
+		default:
+			// Held by another thread (or a stray FLC bit on a free
+			// word): three-tier spinning, then FLC parking and
+			// inflation.
+			if l.spinAcquire(t) {
+				l.cfg.Model.Charge(l.cfg.Plan.WriteAcquire)
+				return
+			}
+			l.contendAndInflate(t)
+			return
+		}
+		v = l.word.Load()
+	}
+}
+
+// spinAcquire runs the three-tier loop of Figure 3. It returns true if it
+// acquired the flat lock. It bails out early (to inflation) when it
+// observes recursion, FLC, or inflation bits, exactly as the paper's
+// "(v & 0xff) != 0" test does.
+func (l *Lock) spinAcquire(t *jthread.Thread) bool {
+	tid := t.ID()
+	for i := 0; i < l.cfg.Tier3; i++ {
+		for j := 0; j < l.cfg.Tier2; j++ {
+			v := l.word.Load()
+			if v == 0 {
+				if l.word.CompareAndSwap(0, lockword.ConvOwned(tid, 0)) {
+					l.st.SpinAcquires.Add(1)
+					return true
+				}
+			} else if v&lockword.LowByte != 0 {
+				return false
+			}
+			spinBackoff(l.cfg.Tier1)
+		}
+		yieldCPU()
+	}
+	return false
+}
+
+// contendAndInflate is the paper's END_OF_SPIN path: park on the FLC bit
+// until the flat lock can be grabbed, then inflate it. The caller ends up
+// owning the fat lock.
+func (l *Lock) contendAndInflate(t *jthread.Thread) {
+	tid := t.ID()
+	m := l.monitorFor()
+	for {
+		v := l.word.Load()
+		switch {
+		case lockword.Inflated(v):
+			if l.fatEnter(t) {
+				return
+			}
+		case lockword.Field(v) == 0:
+			// Free (possibly with a stale FLC bit): grab it, then
+			// publish the inflated word. The CAS clears FLC.
+			if l.word.CompareAndSwap(v, lockword.ConvOwned(tid, 0)) {
+				m.Enter(tid)
+				l.st.Inflations.Add(1)
+				l.word.Store(lockword.InflatedWord(m.ID()))
+				m.RawLock()
+				m.BroadcastLocked() // other FLC waiters must re-read
+				m.RawUnlock()
+				return
+			}
+		default:
+			// Held: announce contention and park (timed — the FLC
+			// bit can be clobbered by a racing fast release).
+			l.word.Or(lockword.FLCBit)
+			m.RawLock()
+			v = l.word.Load()
+			if !lockword.Inflated(v) && lockword.Field(v) != 0 {
+				l.st.FLCWaits.Add(1)
+				m.WaitLocked(l.cfg.FLCTimeout)
+			}
+			m.RawUnlock()
+		}
+	}
+}
+
+// fatEnter acquires the fat lock; it returns false if the lock deflated
+// before the monitor was entered (the caller must then retry from the top).
+func (l *Lock) fatEnter(t *jthread.Thread) bool {
+	m := l.monitorFor()
+	m.Enter(t.ID())
+	if l.word.Load() == lockword.InflatedWord(m.ID()) {
+		l.st.FatEnters.Add(1)
+		l.cfg.Model.Charge(l.cfg.Plan.WriteAcquire)
+		return true
+	}
+	m.Exit(t.ID())
+	return false
+}
+
+// inflateAsOwner inflates a flat lock held by t, transferring the
+// recursion depth plus extra into the monitor (extra is 1 when called
+// mid-acquisition at recursion saturation, 0 when inflating in place).
+func (l *Lock) inflateAsOwner(t *jthread.Thread, v uint64, extra uint32) {
+	tid := t.ID()
+	m := l.monitorFor()
+	m.Enter(tid)
+	m.SetRecursionOwned(tid, uint32(lockword.ConvRec(v))+extra)
+	l.st.Inflations.Add(1)
+	l.word.Store(lockword.InflatedWord(m.ID()))
+	m.RawLock()
+	m.BroadcastLocked()
+	m.RawUnlock()
+}
+
+func (l *Lock) slowExit(t *jthread.Thread, v uint64) {
+	tid := t.ID()
+	switch {
+	case lockword.Inflated(v):
+		m := l.monitorFor()
+		var deflate func()
+		if l.cfg.Deflate {
+			deflate = func() {
+				l.st.Deflations.Add(1)
+				l.word.Store(0)
+			}
+		}
+		m.ExitDeflating(tid, deflate)
+	case lockword.ConvHeldBy(v, tid) && lockword.ConvRec(v) > 0:
+		sub(&l.word, lockword.ConvRecOne)
+	case lockword.ConvHeldBy(v, tid):
+		// FLC is set: release under the monitor mutex and wake parked
+		// contenders.
+		m := l.monitorFor()
+		m.RawLock()
+		l.word.Store(0)
+		m.BroadcastLocked()
+		m.RawUnlock()
+	default:
+		panic("vmlock: Unlock by non-owner (slow path)")
+	}
+}
+
+// sub atomically subtracts delta from w.
+func sub(w *atomic.Uint64, delta uint64) { w.Add(^delta + 1) }
+
+// spinBackoff wastes roughly n loop iterations (the paper's tier-1 loop).
+//
+//go:noinline
+func spinBackoff(n int) int {
+	x := 0
+	for i := 0; i < n; i++ {
+		x += i
+	}
+	return x
+}
+
+// yieldCPU yields the processor (the paper's tier-3 yield()).
+func yieldCPU() { runtimeGosched() }

@@ -1,0 +1,75 @@
+package vmlock
+
+import (
+	"time"
+
+	"repro/internal/jthread"
+	"repro/internal/lockword"
+)
+
+// Object.wait/notify for the conventional lock, mirroring internal/core's
+// implementation: waiting inflates a flat lock in place (the wait set
+// lives on the monitor), fully releases it, parks, then reacquires and
+// restores the recursion depth.
+
+// Wait releases the lock and parks until Notify/NotifyAll, then reacquires.
+// The caller must hold the lock.
+func (l *Lock) Wait(t *jthread.Thread) { l.WaitTimeout(t, 0) }
+
+// WaitTimeout is Wait with a bound (0 or negative waits indefinitely). It
+// reports whether the wakeup was a notification (false: timeout).
+func (l *Lock) WaitTimeout(t *jthread.Thread, d time.Duration) bool {
+	tid := t.ID()
+	v := l.word.Load()
+	switch {
+	case lockword.ConvHeldBy(v, tid):
+		l.inflateAsOwner(t, v, 0)
+	case lockword.Inflated(v) && l.monitorFor().HeldBy(tid):
+	default:
+		panic("vmlock: Wait without holding the lock (IllegalMonitorStateException)")
+	}
+	m := l.monitorFor()
+	rec, notified := m.CondReleaseAndPark(tid, d)
+	l.Lock(t)
+	if rec > 0 {
+		l.restoreRecursion(t, rec)
+	}
+	return notified
+}
+
+func (l *Lock) restoreRecursion(t *jthread.Thread, rec uint32) {
+	tid := t.ID()
+	v := l.word.Load()
+	if lockword.Inflated(v) {
+		l.monitorFor().SetRecursionOwned(tid, rec)
+		return
+	}
+	if rec <= lockword.ConvRecMax {
+		l.word.Add(uint64(rec) * lockword.ConvRecOne)
+		return
+	}
+	l.inflateAsOwner(t, l.word.Load(), 0)
+	l.monitorFor().SetRecursionOwned(tid, rec)
+}
+
+// Notify wakes one waiting thread. The caller must hold the lock.
+func (l *Lock) Notify(t *jthread.Thread) {
+	l.requireHeld(t)
+	if m := l.mon.Load(); m != nil {
+		m.NotifyOne()
+	}
+}
+
+// NotifyAll wakes every waiting thread. The caller must hold the lock.
+func (l *Lock) NotifyAll(t *jthread.Thread) {
+	l.requireHeld(t)
+	if m := l.mon.Load(); m != nil {
+		m.NotifyAllCond()
+	}
+}
+
+func (l *Lock) requireHeld(t *jthread.Thread) {
+	if !l.HeldBy(t) {
+		panic("vmlock: Notify without holding the lock (IllegalMonitorStateException)")
+	}
+}
