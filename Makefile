@@ -1,0 +1,29 @@
+# Standard loops for the SOLERO reproduction.
+#
+#   make build   - compile everything
+#   make vet     - go vet ./...
+#   make test    - full test suite
+#   make race    - race-detector pass over the lock core (readers vs Snapshot)
+#   make bench   - reader-scaling + alloc-free benchmarks
+#   make check   - tier-1 gate: build + vet + test
+
+GO ?= go
+
+.PHONY: build vet test race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/stats/...
+
+bench:
+	$(GO) test -bench 'BenchmarkReaderScaling|BenchmarkReadOnlyAllocFree' -benchtime 200ms .
+
+check: build vet test

@@ -9,10 +9,14 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/collections/hashmap"
+	"repro/internal/collections/treemap"
 	"repro/internal/core"
 	"repro/internal/dacapo"
 	"repro/internal/jbb"
@@ -534,6 +538,110 @@ func BenchmarkRmap(b *testing.B) {
 			benchSink.Add(uint64(m.GetOrCompute(th, 5, compute)))
 		}
 	})
+}
+
+// --- Reader scaling (the write-free read fast path) ---
+
+// readerCounts sweeps 1 → GOMAXPROCS in powers of two, always ending at
+// GOMAXPROCS.
+func readerCounts() []int {
+	maxr := runtime.GOMAXPROCS(0)
+	var out []int
+	for n := 1; n < maxr; n *= 2 {
+		out = append(out, n)
+	}
+	return append(out, maxr)
+}
+
+// BenchmarkReaderScaling is the proof benchmark for the sharded-stats
+// engine: read-only critical sections (Empty, HashMap get, TreeMap get)
+// swept over reader counts, under the seed-style shared counter layout
+// (StatsStripes=1: every "elided" reader still RMWs one stats cache line)
+// versus the sharded default. With sharded stats the fast path performs no
+// cross-stripe writes, so Empty throughput should scale with readers
+// instead of flattening on counter-line ping-pong.
+func BenchmarkReaderScaling(b *testing.B) {
+	modes := []struct {
+		name    string
+		stripes int
+	}{{"sharedStats", 1}, {"shardedStats", 0}}
+	sections := []struct {
+		name string
+		mk   func(cfg *core.Config) func(th *jthread.Thread, rnd uint64)
+	}{
+		{"Empty", func(cfg *core.Config) func(*jthread.Thread, uint64) {
+			l := core.New(cfg)
+			return func(th *jthread.Thread, _ uint64) { l.ReadOnly(th, func() {}) }
+		}},
+		{"HashMap", func(cfg *core.Config) func(*jthread.Thread, uint64) {
+			l := core.New(cfg)
+			m := hashmap.New[int64](2048)
+			for k := int64(0); k < 1024; k++ {
+				m.Put(k, k)
+			}
+			return func(th *jthread.Thread, rnd uint64) {
+				k := int64(rnd % 1024)
+				l.ReadOnly(th, func() {
+					v, _ := m.Get(k)
+					benchSink.Add(uint64(v))
+				})
+			}
+		}},
+		{"TreeMap", func(cfg *core.Config) func(*jthread.Thread, uint64) {
+			l := core.New(cfg)
+			m := treemap.New[int64]()
+			for k := int64(0); k < 1024; k++ {
+				m.Put(k, k)
+			}
+			return func(th *jthread.Thread, rnd uint64) {
+				k := int64(rnd % 1024)
+				l.ReadOnly(th, func() {
+					v, _ := m.Get(k)
+					benchSink.Add(uint64(v))
+				})
+			}
+		}},
+	}
+	for _, sec := range sections {
+		for _, mode := range modes {
+			for _, n := range readerCounts() {
+				b.Run(fmt.Sprintf("%s/%s/r%d", sec.name, mode.name, n), func(b *testing.B) {
+					cfg := *core.DefaultConfig
+					cfg.StatsStripes = mode.stripes
+					op := sec.mk(&cfg)
+					vm := jthread.NewVM()
+					seeds := make([]uint64, n)
+					start := time.Now()
+					benchThreads(b, vm, n, func(g int, th *jthread.Thread) {
+						seeds[g] = seeds[g]*6364136223846793005 + uint64(g) + 1
+						op(th, seeds[g])
+					})
+					if el := time.Since(start).Seconds(); el > 0 {
+						b.ReportMetric(float64(b.N)/el, "ops/s")
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkReadOnlyAllocFree asserts the elided read fast path performs
+// zero heap allocations (testing.AllocsPerRun), then times it.
+func BenchmarkReadOnlyAllocFree(b *testing.B) {
+	vm := jthread.NewVM()
+	th := vm.Attach("bench")
+	defer th.Detach()
+	l := core.New(nil)
+	fn := func() {}
+	l.ReadOnly(th, fn) // warm the thread's speculative-frame stack
+	if allocs := testing.AllocsPerRun(1000, func() { l.ReadOnly(th, fn) }); allocs != 0 {
+		b.Fatalf("elided read fast path allocates: %v allocs/run", allocs)
+	}
+	b.ReportMetric(0, "allocs/run")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.ReadOnly(th, fn)
+	}
 }
 
 // --- Substrate microbenchmarks ---

@@ -5,7 +5,10 @@
 // Usage:
 //
 //	lockstats [-bench hashmap|treemap|empty|jbb] [-threads N] [-writes PCT]
-//	          [-duration D]
+//	          [-duration D] [-stripes]
+//
+// -stripes additionally prints per-stripe occupancy of the sharded stat
+// engine, making skew across thread ids visible.
 package main
 
 import (
@@ -31,6 +34,7 @@ func main() {
 	shards := flag.Int("shards", 1, "locks (fine-grained variant when > 1)")
 	duration := flag.Duration("duration", 200*time.Millisecond, "measurement window")
 	traceN := flag.Int("trace", 0, "record and print the last N protocol events")
+	stripes := flag.Bool("stripes", false, "print per-stripe stat occupancy alongside the aggregated snapshot")
 	flag.Parse()
 
 	var ring *trace.Ring
@@ -48,6 +52,7 @@ func main() {
 
 	var worker harness.Worker
 	var snap func() (map[string]uint64, float64)
+	var statBlocks func() []*core.Stats
 	switch *bench {
 	case "empty":
 		b := workload.NewEmptyWithConfig(&lockCfg)
@@ -56,6 +61,7 @@ func main() {
 			st := b.G.SoleroStats()
 			return st.Snapshot(), st.FailureRatio()
 		}
+		statBlocks = func() []*core.Stats { return []*core.Stats{b.G.SoleroStats()} }
 	case "hashmap", "treemap":
 		kind := workload.Hash
 		if *bench == "treemap" {
@@ -69,6 +75,15 @@ func main() {
 			agg["lockOpsTotal"], agg["lockOpsReadOnly"] = total, ro
 			return agg, b.FailureRatio()
 		}
+		statBlocks = func() []*core.Stats {
+			var out []*core.Stats
+			for _, g := range b.Guards() {
+				if st := g.SoleroStats(); st != nil {
+					out = append(out, st)
+				}
+			}
+			return out
+		}
 	case "jbb":
 		b := jbb.New(workload.ImplSolero, "none", *threads)
 		worker = b.Worker()
@@ -78,6 +93,7 @@ func main() {
 			agg["lockOpsTotal"], agg["lockOpsReadOnly"] = total, ro
 			return agg, b.FailureRatio()
 		}
+		statBlocks = b.SoleroStats
 	default:
 		fmt.Fprintf(os.Stderr, "lockstats: unknown benchmark %q\n", *bench)
 		os.Exit(1)
@@ -100,5 +116,45 @@ func main() {
 	sort.Strings(keys)
 	for _, k := range keys {
 		fmt.Printf("%-18s %d\n", k+":", counters[k])
+	}
+	if *stripes {
+		printStripes(statBlocks())
+	}
+}
+
+// printStripes renders per-stripe occupancy of the sharded stat engine,
+// aggregated across the benchmark's lock instances: total events and
+// elision attempts per stripe index, with each stripe's share of all
+// events. Skewed shares mean thread ids are hashing badly onto stripes.
+func printStripes(blocks []*core.Stats) {
+	if len(blocks) == 0 {
+		fmt.Printf("per-stripe occupancy: no SOLERO locks in this benchmark\n")
+		return
+	}
+	n := 0
+	for _, st := range blocks {
+		if st.NumStripes() > n {
+			n = st.NumStripes()
+		}
+	}
+	events := make([]uint64, n)
+	attempts := make([]uint64, n)
+	var total uint64
+	for _, st := range blocks {
+		totals := st.StripeTotals()
+		for i, v := range totals {
+			events[i] += v
+			total += v
+			attempts[i] += st.StripeSnapshot(i)["elisionAttempts"]
+		}
+	}
+	fmt.Printf("per-stripe occupancy (%d stripes, %d locks):\n", n, len(blocks))
+	for i := 0; i < n; i++ {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(events[i]) / float64(total)
+		}
+		fmt.Printf("  stripe %2d: %10d events  %10d elision attempts  %5.1f%%\n",
+			i, events[i], attempts[i], share)
 	}
 }

@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/jthread"
+)
 
 // Adaptive elision — an extension in the spirit of the paper's remark that
 // the single-failure fallback "can be expanded" (§3.2): instead of only
@@ -11,14 +15,24 @@ import "sync/atomic"
 // pathological regime Figure 15 exposes at high thread counts, where
 // failed speculations and their fallback acquisitions feed each other.
 //
-// The counters are plain atomics updated without coordination; windows are
-// approximate under concurrency, which only blurs the trip point.
+// The window bookkeeping runs on the elided fast path, so — like the stat
+// counters — it is sharded: each stats stripe carries its own
+// attempts/failures window (statStripe.adAttempts/adFailures), updated
+// without touching shared cache lines. Only the *trip* decision, a rare
+// event at window boundaries, writes the shared backoff gate. Each stripe
+// evaluates its own AdaptiveWindow-sized window against
+// AdaptiveFailurePct, so with S active stripes the lock observes between
+// window and S*window executions before a write-heavy phase trips —
+// per-stripe semantics are exactly the seed's, and single-threaded
+// behavior is bit-identical.
 
-// adaptiveState is embedded in Lock.
+// adaptiveState is the shared remainder of the machinery, embedded in
+// Lock: the backoff gate. It is read on every adaptive read section (a
+// load of a shared-state line, which readers cache) but written only when
+// a window trips or a backoff credit is consumed — both on the unelided
+// path.
 type adaptiveState struct {
-	attempts    atomic.Uint32 // attempts in the current window
-	failures    atomic.Uint32 // failures in the current window
-	backoffLeft atomic.Int32  // unelided read sections remaining
+	backoffLeft atomic.Int32 // unelided read sections remaining
 }
 
 // adaptiveDefaults.
@@ -47,7 +61,7 @@ func (c *Config) adaptiveParams() (window, pct uint32, backoff int32) {
 
 // adaptiveSkip reports whether this read-only section should skip
 // speculation (backoff active) and consumes one backoff credit.
-func (l *Lock) adaptiveSkip() bool {
+func (l *Lock) adaptiveSkip(t *jthread.Thread) bool {
 	if !l.cfg.Adaptive {
 		return false
 	}
@@ -57,32 +71,34 @@ func (l *Lock) adaptiveSkip() bool {
 			return false
 		}
 		if l.ad.backoffLeft.CompareAndSwap(left, left-1) {
-			l.st.AdaptiveSkips.Add(1)
+			l.st.stripeFor(t).inc(cAdaptiveSkips)
 			return true
 		}
 	}
 }
 
-// adaptiveRecord accounts one speculative execution outcome and trips the
-// backoff when the window's failure ratio crosses the threshold.
-func (l *Lock) adaptiveRecord(failed bool) {
+// adaptiveRecord accounts one speculative execution outcome in the calling
+// thread's stripe and trips the shared backoff gate when the stripe's
+// window completes with a failure ratio at or above the threshold.
+func (l *Lock) adaptiveRecord(t *jthread.Thread, failed bool) {
 	if !l.cfg.Adaptive {
 		return
 	}
+	sp := l.st.stripeFor(t)
 	if failed {
-		l.ad.failures.Add(1)
+		sp.adFailures.Add(1)
 	}
 	window, pct, backoff := l.cfg.adaptiveParams()
-	if l.ad.attempts.Add(1) < window {
+	if sp.adAttempts.Add(1) < window {
 		return
 	}
-	// Window complete: evaluate and reset. Racing evaluators may both
-	// reset; harmless.
-	fails := l.ad.failures.Load()
-	l.ad.attempts.Store(0)
-	l.ad.failures.Store(0)
+	// Stripe window complete: evaluate and reset. Racing evaluators on a
+	// shared stripe may both reset; harmless.
+	fails := sp.adFailures.Load()
+	sp.adAttempts.Store(0)
+	sp.adFailures.Store(0)
 	if fails*100 >= window*pct {
 		l.ad.backoffLeft.Store(backoff)
-		l.st.AdaptiveTrips.Add(1)
+		sp.inc(cAdaptiveTrips)
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"repro/internal/lockword"
 	"repro/internal/memmodel"
 	"repro/internal/monitor"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -64,6 +65,13 @@ type Config struct {
 	AdaptiveWindow     uint32
 	AdaptiveFailurePct uint32
 	AdaptiveBackoffOps int32
+	// StatsStripes sets the number of cache-line-padded stat/adaptive
+	// stripes per lock (rounded up to a power of two). 0 selects the
+	// automatic count (GOMAXPROCS rounded up, capped); 1 collapses the
+	// counters onto a single shared stripe — the seed layout, where every
+	// elided reader RMWs the same cache line — kept as the comparison
+	// baseline for BenchmarkReaderScaling.
+	StatsStripes int
 	// Model and Plan charge fence costs at the §3.4 placement points.
 	Model *memmodel.Model
 	Plan  memmodel.Plan
@@ -83,79 +91,29 @@ var DefaultConfig = &Config{
 	MaxElisionFailures: 1,
 }
 
-// Stats counts SOLERO protocol events. All fields are atomic; the elision
-// counters feed the paper's Figure 15 failure-ratio experiment.
-type Stats struct {
-	FastAcquires atomic.Uint64 // uncontended writing acquisitions
-	SlowAcquires atomic.Uint64
-	Recursions   atomic.Uint64
-	SpinAcquires atomic.Uint64
-	FLCWaits     atomic.Uint64
-	Inflations   atomic.Uint64
-	Deflations   atomic.Uint64
-	FatEnters    atomic.Uint64
-
-	ElisionAttempts  atomic.Uint64 // speculative executions started
-	ElisionSuccesses atomic.Uint64 // validated unchanged at exit
-	ElisionFailures  atomic.Uint64 // changed word, suppressed fault, or async abort
-	Fallbacks        atomic.Uint64 // read sections re-run holding the lock
-	ReadRecursions   atomic.Uint64 // read sections entered reentrantly
-	ReadFatEnters    atomic.Uint64 // read sections run under the fat lock
-
-	SuppressedFaults atomic.Uint64 // panics suppressed as inconsistent reads
-	GenuineFaults    atomic.Uint64 // panics validated as genuine and rethrown
-	AsyncAborts      atomic.Uint64 // speculations aborted at checkpoints
-
-	Upgrades        atomic.Uint64 // read-mostly in-place upgrades
-	UpgradeFailures atomic.Uint64 // upgrades that forced re-execution
-
-	AdaptiveTrips atomic.Uint64 // adaptive backoffs triggered
-	AdaptiveSkips atomic.Uint64 // read sections routed to the lock by backoff
-}
-
-// FailureRatio returns ElisionFailures / ElisionAttempts as a percentage
-// (0 when no attempts were made).
-func (s *Stats) FailureRatio() float64 {
-	a := s.ElisionAttempts.Load()
-	if a == 0 {
-		return 0
+// statsStripeCount resolves the configured stripe count (see
+// Config.StatsStripes) to a power of two.
+func (c *Config) statsStripeCount() int {
+	if c.StatsStripes > 0 {
+		return stats.CeilPow2(c.StatsStripes)
 	}
-	return 100 * float64(s.ElisionFailures.Load()) / float64(a)
-}
-
-// Snapshot returns a plain-value copy of all counters.
-func (s *Stats) Snapshot() map[string]uint64 {
-	return map[string]uint64{
-		"fastAcquires":     s.FastAcquires.Load(),
-		"slowAcquires":     s.SlowAcquires.Load(),
-		"recursions":       s.Recursions.Load(),
-		"spinAcquires":     s.SpinAcquires.Load(),
-		"flcWaits":         s.FLCWaits.Load(),
-		"inflations":       s.Inflations.Load(),
-		"deflations":       s.Deflations.Load(),
-		"fatEnters":        s.FatEnters.Load(),
-		"elisionAttempts":  s.ElisionAttempts.Load(),
-		"elisionSuccesses": s.ElisionSuccesses.Load(),
-		"elisionFailures":  s.ElisionFailures.Load(),
-		"fallbacks":        s.Fallbacks.Load(),
-		"readRecursions":   s.ReadRecursions.Load(),
-		"readFatEnters":    s.ReadFatEnters.Load(),
-		"suppressedFaults": s.SuppressedFaults.Load(),
-		"genuineFaults":    s.GenuineFaults.Load(),
-		"asyncAborts":      s.AsyncAborts.Load(),
-		"upgrades":         s.Upgrades.Load(),
-		"upgradeFailures":  s.UpgradeFailures.Load(),
-		"adaptiveTrips":    s.AdaptiveTrips.Load(),
-		"adaptiveSkips":    s.AdaptiveSkips.Load(),
-	}
+	return stats.DefaultStripeCount()
 }
 
 // Lock is a SOLERO lock. The zero value is not ready; use New.
+//
+// The layout keeps the hot lock word alone on its own false-sharing range:
+// an elided read-only section only ever *loads* word, which stays
+// contention-free only if the protocol's bookkeeping writes — the owner's
+// saved word, the adaptive backoff gate, and the (sharded, separately
+// allocated) stats stripes — land on other cache lines.
 type Lock struct {
 	word atomic.Uint64
-	mon  atomic.Pointer[monitor.Monitor]
-	cfg  *Config
-	st   Stats
+	_    [stats.FalseSharingRange - 8]byte
+
+	mon atomic.Pointer[monitor.Monitor]
+	cfg *Config
+	st  *Stats
 
 	// saved is the owner's "local lock variable": the free word read
 	// immediately before the acquiring CAS. Only the flat owner accesses
@@ -163,7 +121,9 @@ type Lock struct {
 	// owners' accesses, so a plain field is sound.
 	saved uint64
 
-	// ad tracks the adaptive-elision window (see adaptive.go).
+	// ad holds the shared remainder of the adaptive-elision machinery (the
+	// rare backoff gate); the per-execution window counters live in the
+	// stats stripes (see adaptive.go).
 	ad adaptiveState
 }
 
@@ -172,14 +132,14 @@ func New(cfg *Config) *Lock {
 	if cfg == nil {
 		cfg = DefaultConfig
 	}
-	return &Lock{cfg: cfg}
+	return &Lock{cfg: cfg, st: newStats(cfg.statsStripeCount())}
 }
 
 // Word returns the raw lock word (diagnostics and tests).
 func (l *Lock) Word() uint64 { return l.word.Load() }
 
 // Stats exposes the lock's event counters.
-func (l *Lock) Stats() *Stats { return &l.st }
+func (l *Lock) Stats() *Stats { return l.st }
 
 // Config returns the lock's configuration.
 func (l *Lock) Config() *Config { return l.cfg }
@@ -217,7 +177,7 @@ func (l *Lock) Lock(t *jthread.Thread) {
 		if lockword.SoleroFree(v) {
 			if l.word.CompareAndSwap(v, lockword.SoleroOwned(tid, 0)) {
 				l.saved = v
-				l.st.FastAcquires.Add(1)
+				l.st.stripeFor(t).inc(cFastAcquires)
 				l.cfg.Tracer.Record(trace.EvAcquireFast, tid, v)
 				l.cfg.Model.ChargeAtomic()
 				l.cfg.Model.Charge(l.cfg.Plan.WriteAcquire)
@@ -258,6 +218,3 @@ func (l *Lock) Sync(t *jthread.Thread, fn func()) {
 	defer l.Unlock(t)
 	fn()
 }
-
-// sub atomically subtracts delta from w.
-func sub(w *atomic.Uint64, delta uint64) { w.Add(^delta + 1) }

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+	"unsafe"
+
+	"repro/internal/stats"
+)
+
+// TestLockWordIsolation checks the padded Lock layout: the hot word sits at
+// offset 0 and every mutable cold field starts beyond the false-sharing
+// range, so no 64-byte line can hold both the word and a field the owner
+// (or the adaptive machinery) writes.
+func TestLockWordIsolation(t *testing.T) {
+	var l Lock
+	if off := unsafe.Offsetof(l.word); off != 0 {
+		t.Fatalf("word at offset %d, want 0", off)
+	}
+	fields := map[string]uintptr{
+		"mon":   unsafe.Offsetof(l.mon),
+		"cfg":   unsafe.Offsetof(l.cfg),
+		"st":    unsafe.Offsetof(l.st),
+		"saved": unsafe.Offsetof(l.saved),
+		"ad":    unsafe.Offsetof(l.ad),
+	}
+	for name, off := range fields {
+		if off < stats.FalseSharingRange {
+			t.Errorf("field %s at offset %d, want >= %d", name, off, stats.FalseSharingRange)
+		}
+	}
+}
+
+// TestStatStripePadding checks the stripe type: padded to a multiple of the
+// false-sharing range (so adjacent stripes never share a line) without
+// dropping any counter slots.
+func TestStatStripePadding(t *testing.T) {
+	sz := unsafe.Sizeof(statStripe{})
+	if sz%stats.FalseSharingRange != 0 {
+		t.Fatalf("statStripe is %d bytes, not a multiple of %d", sz, stats.FalseSharingRange)
+	}
+	raw := unsafe.Sizeof([numCounters]uint64{}) + 8
+	if sz < raw {
+		t.Fatalf("statStripe %d bytes cannot hold %d bytes of counters", sz, raw)
+	}
+	if sz >= raw+stats.FalseSharingRange {
+		t.Fatalf("statStripe overpadded: %d bytes for %d of payload", sz, raw)
+	}
+	var ss [2]statStripe
+	d := uintptr(unsafe.Pointer(&ss[1])) - uintptr(unsafe.Pointer(&ss[0]))
+	if d < stats.FalseSharingRange {
+		t.Fatalf("adjacent stripes %d bytes apart, want >= %d", d, stats.FalseSharingRange)
+	}
+}
+
+// TestCounterKeyTable guards the id/key tables against drift: every id has
+// a distinct, non-empty Snapshot key.
+func TestCounterKeyTable(t *testing.T) {
+	seen := map[string]bool{}
+	for id := counterID(0); id < numCounters; id++ {
+		k := counterKeys[id]
+		if k == "" {
+			t.Fatalf("counter id %d has no key", id)
+		}
+		if seen[k] {
+			t.Fatalf("duplicate key %q", k)
+		}
+		seen[k] = true
+	}
+}

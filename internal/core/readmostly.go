@@ -57,7 +57,7 @@ func (s *Section) BeforeWrite() {
 		l.saved = s.v
 		s.holding, s.upgraded = true, true
 		s.popFrame()
-		l.st.Upgrades.Add(1)
+		l.st.stripeFor(t).inc(cUpgrades)
 		l.cfg.Tracer.Record(trace.EvUpgrade, t.ID(), s.v)
 		l.cfg.Model.ChargeAtomic()
 		l.cfg.Model.Charge(l.cfg.Plan.WriteAcquire)
@@ -72,7 +72,7 @@ func (s *Section) BeforeWrite() {
 	}
 	// Not holding and the snapshot is stale: acquire for real, then
 	// unwind so the section re-executes holding the lock.
-	l.st.UpgradeFailures.Add(1)
+	l.st.stripeFor(t).inc(cUpgradeFailures)
 	l.Lock(t)
 	s.holding = true
 	s.popFrame()
@@ -130,27 +130,27 @@ func (l *Lock) ReadMostly(t *jthread.Thread, fn func(*Section)) {
 			}
 			l.cfg.Model.Charge(l.cfg.Plan.ReadExit)
 			if l.word.Load() == v {
-				l.st.ElisionSuccesses.Add(1)
+				l.st.stripeFor(t).inc(cElisionSuccesses)
 				return
 			}
 			if l.slowReadExit(t, v) {
-				l.st.ElisionSuccesses.Add(1)
+				l.st.stripeFor(t).inc(cElisionSuccesses)
 				return
 			}
 		case specRestartHolding:
 			// BeforeWrite acquired the lock after a failed upgrade;
 			// re-execute holding it.
-			l.st.Fallbacks.Add(1)
+			l.st.stripeFor(t).inc(cFallbacks)
 			defer l.Unlock(t)
 			fn(&Section{l: l, t: t, holding: true, framePopped: true})
 			return
 		case specFailed:
 			// fall through to the retry/fallback accounting
 		}
-		l.st.ElisionFailures.Add(1)
+		l.st.stripeFor(t).inc(cElisionFailures)
 		failures++
 		if failures >= l.cfg.MaxElisionFailures {
-			l.st.Fallbacks.Add(1)
+			l.st.stripeFor(t).inc(cFallbacks)
 			l.Lock(t)
 			defer l.Unlock(t)
 			fn(&Section{l: l, t: t, holding: true, framePopped: true})
@@ -168,7 +168,7 @@ func (l *Lock) ReadMostly(t *jthread.Thread, fn func(*Section)) {
 // while holding (post-upgrade) as genuine, releasing the lock before
 // propagating them.
 func (l *Lock) runSpecUpgradable(t *jthread.Thread, v uint64, fn func(*Section), s *Section) (outcome specOutcome) {
-	l.st.ElisionAttempts.Add(1)
+	l.st.stripeFor(t).inc(cElisionAttempts)
 	l.cfg.Model.Charge(l.cfg.Plan.ReadEnter)
 	t.PushSpec(&l.word, v)
 	defer func() {
@@ -189,24 +189,24 @@ func (l *Lock) runSpecUpgradable(t *jthread.Thread, v uint64, fn func(*Section),
 		if s.holding {
 			// Reads are consistent once holding; the fault is
 			// genuine. Release and rethrow.
-			l.st.GenuineFaults.Add(1)
+			l.st.stripeFor(t).inc(cGenuineFaults)
 			l.Unlock(t)
 			panic(r)
 		}
 		if ire, isIRE := r.(*jthread.InconsistentReadError); isIRE {
 			if ire.Word == &l.word {
-				l.st.AsyncAborts.Add(1)
+				l.st.stripeFor(t).inc(cAsyncAborts)
 				outcome = specFailed
 				return
 			}
 			panic(r)
 		}
 		if l.word.Load() != v {
-			l.st.SuppressedFaults.Add(1)
+			l.st.stripeFor(t).inc(cSuppressedFaults)
 			outcome = specFailed
 			return
 		}
-		l.st.GenuineFaults.Add(1)
+		l.st.stripeFor(t).inc(cGenuineFaults)
 		panic(r)
 	}()
 	fn(s)

@@ -23,7 +23,7 @@ import (
 // After MaxElisionFailures failed speculations, the section falls back to
 // real lock acquisition, which bounds starvation.
 func (l *Lock) ReadOnly(t *jthread.Thread, fn func()) {
-	if l.cfg.DisableElision || l.adaptiveSkip() {
+	if l.cfg.DisableElision || l.adaptiveSkip(t) {
 		// Unelided-SOLERO (Figure 10), or an adaptive backoff window:
 		// the read section pays the full writing protocol.
 		l.Sync(t, fn)
@@ -45,26 +45,26 @@ func (l *Lock) ReadOnly(t *jthread.Thread, fn func()) {
 		if l.runSpeculative(t, v, fn) {
 			l.cfg.Model.Charge(l.cfg.Plan.ReadExit)
 			if l.word.Load() == v {
-				l.st.ElisionSuccesses.Add(1)
+				l.st.stripeFor(t).inc(cElisionSuccesses)
 				l.cfg.Tracer.Record(trace.EvElideSuccess, t.ID(), v)
-				l.adaptiveRecord(false)
+				l.adaptiveRecord(t, false)
 				return
 			}
 			if l.slowReadExit(t, v) {
-				l.st.ElisionSuccesses.Add(1)
+				l.st.stripeFor(t).inc(cElisionSuccesses)
 				l.cfg.Tracer.Record(trace.EvElideSuccess, t.ID(), v)
-				l.adaptiveRecord(false)
+				l.adaptiveRecord(t, false)
 				return
 			}
 		}
-		l.st.ElisionFailures.Add(1)
+		l.st.stripeFor(t).inc(cElisionFailures)
 		l.cfg.Tracer.Record(trace.EvElideFailure, t.ID(), v)
-		l.adaptiveRecord(true)
+		l.adaptiveRecord(t, true)
 		failures++
 		if failures >= l.cfg.MaxElisionFailures {
 			// Fallback (Figure 7's solero_slow_enter arm): run the
 			// section holding the lock.
-			l.st.Fallbacks.Add(1)
+			l.st.stripeFor(t).inc(cFallbacks)
 			l.cfg.Tracer.Record(trace.EvFallback, t.ID(), v)
 			l.Lock(t)
 			defer l.Unlock(t)
@@ -108,7 +108,7 @@ func (l *Lock) runHolding(t *jthread.Thread, fn func()) {
 // fence — on a real weak machine the entry fence is what makes the
 // validation sound, see internal/memmodel.
 func (l *Lock) runSpeculative(t *jthread.Thread, v uint64, fn func()) (ok bool) {
-	l.st.ElisionAttempts.Add(1)
+	l.st.stripeFor(t).inc(cElisionAttempts)
 	l.cfg.Model.Charge(l.cfg.Plan.ReadEnter)
 	t.PushSpec(&l.word, v)
 	defer t.PopSpec()
@@ -121,7 +121,7 @@ func (l *Lock) runSpeculative(t *jthread.Thread, v uint64, fn func()) (ok bool) 
 			if ire.Word == &l.word {
 				// An asynchronous checkpoint aborted our
 				// speculation: retry.
-				l.st.AsyncAborts.Add(1)
+				l.st.stripeFor(t).inc(cAsyncAborts)
 				return
 			}
 			// An enclosing section's speculation is stale; let its
@@ -133,10 +133,10 @@ func (l *Lock) runSpeculative(t *jthread.Thread, v uint64, fn func()) (ok bool) 
 		// the reads may have been inconsistent and the fault is
 		// suppressed; otherwise it is genuine.
 		if l.word.Load() != v {
-			l.st.SuppressedFaults.Add(1)
+			l.st.stripeFor(t).inc(cSuppressedFaults)
 			return
 		}
-		l.st.GenuineFaults.Add(1)
+		l.st.stripeFor(t).inc(cGenuineFaults)
 		panic(r)
 	}()
 	fn()

@@ -2,16 +2,20 @@ package core
 
 import (
 	"runtime"
+	"sync/atomic"
 
 	"repro/internal/jthread"
 	"repro/internal/lockword"
 	"repro/internal/trace"
 )
 
+// sub atomically subtracts delta from w (recursion-depth unwinds below).
+func sub(w *atomic.Uint64, delta uint64) { w.Add(^delta + 1) }
+
 // slowEnter is solero_slow_enter: reentrant acquisition, contention
 // management, and fat-mode entry for writing critical sections.
 func (l *Lock) slowEnter(t *jthread.Thread, v uint64) {
-	l.st.SlowAcquires.Add(1)
+	l.st.stripeFor(t).inc(cSlowAcquires)
 	l.cfg.Tracer.Record(trace.EvAcquireSlow, t.ID(), v)
 	tid := t.ID()
 	for {
@@ -21,7 +25,7 @@ func (l *Lock) slowEnter(t *jthread.Thread, v uint64) {
 				return
 			}
 		case lockword.SoleroHeldBy(v, tid):
-			l.st.Recursions.Add(1)
+			l.st.stripeFor(t).inc(cRecursions)
 			if lockword.SoleroRec(v) >= lockword.SoleroRecMax {
 				l.inflateAsOwner(t, v, 1)
 				return
@@ -54,7 +58,7 @@ func (l *Lock) spinAcquire(t *jthread.Thread) bool {
 			if lockword.SoleroFree(v) {
 				if l.word.CompareAndSwap(v, lockword.SoleroOwned(tid, 0)) {
 					l.saved = v
-					l.st.SpinAcquires.Add(1)
+					l.st.stripeFor(t).inc(cSpinAcquires)
 					return true
 				}
 			} else if v&(lockword.InflationBit|lockword.FLCBit) != 0 {
@@ -88,7 +92,7 @@ func (l *Lock) contendAndInflate(t *jthread.Thread) {
 			m.RawLock()
 			v = l.word.Load()
 			if lockword.SoleroHeld(v) {
-				l.st.FLCWaits.Add(1)
+				l.st.stripeFor(t).inc(cFLCWaits)
 				m.WaitLocked(l.cfg.FLCTimeout)
 			}
 			m.RawUnlock()
@@ -101,7 +105,7 @@ func (l *Lock) contendAndInflate(t *jthread.Thread) {
 				m.SavedCounter = lockword.SoleroNextFree(v)
 				m.BroadcastLocked() // other FLC waiters must re-read
 				m.RawUnlock()
-				l.st.Inflations.Add(1)
+				l.st.stripeFor(t).inc(cInflations)
 				l.cfg.Tracer.Record(trace.EvInflate, tid, v)
 				l.word.Store(lockword.InflatedWord(m.ID()))
 				l.cfg.Model.Charge(l.cfg.Plan.WriteAcquire)
@@ -117,7 +121,7 @@ func (l *Lock) fatEnter(t *jthread.Thread) bool {
 	m := l.monitorFor()
 	m.Enter(t.ID())
 	if l.word.Load() == lockword.InflatedWord(m.ID()) {
-		l.st.FatEnters.Add(1)
+		l.st.stripeFor(t).inc(cFatEnters)
 		l.cfg.Model.Charge(l.cfg.Plan.WriteAcquire)
 		return true
 	}
@@ -138,7 +142,7 @@ func (l *Lock) inflateAsOwner(t *jthread.Thread, v uint64, extra uint32) {
 	m.SavedCounter = lockword.SoleroNextFree(l.saved)
 	m.BroadcastLocked()
 	m.RawUnlock()
-	l.st.Inflations.Add(1)
+	l.st.stripeFor(t).inc(cInflations)
 	l.cfg.Tracer.Record(trace.EvInflate, tid, v)
 	l.word.Store(lockword.InflatedWord(m.ID()))
 }
@@ -153,7 +157,7 @@ func (l *Lock) slowExit(t *jthread.Thread, v2 uint64) {
 		var deflate func()
 		if l.cfg.Deflate {
 			deflate = func() {
-				l.st.Deflations.Add(1)
+				l.st.stripeFor(t).inc(cDeflations)
 				l.cfg.Tracer.Record(trace.EvDeflate, tid, m.SavedCounter)
 				l.word.Store(m.SavedCounter)
 			}
@@ -188,7 +192,7 @@ func (l *Lock) slowReadEnter(t *jthread.Thread) (v uint64, holding bool) {
 	v = l.word.Load()
 	// test_recursion: the thread already holds the flat lock.
 	if lockword.SoleroHeldBy(v, tid) {
-		l.st.ReadRecursions.Add(1)
+		l.st.stripeFor(t).inc(cReadRecursions)
 		if lockword.SoleroRec(v) >= lockword.SoleroRecMax {
 			l.inflateAsOwner(t, v, 1)
 			return 0, true
@@ -213,7 +217,7 @@ func (l *Lock) slowReadEnter(t *jthread.Thread) (v uint64, holding bool) {
 inflation:
 	// The lock stayed busy (or is already fat): acquire it for real.
 	l.contendForRead(t)
-	l.st.ReadFatEnters.Add(1)
+	l.st.stripeFor(t).inc(cReadFatEnters)
 	return 0, true
 }
 
@@ -264,7 +268,7 @@ func (l *Lock) slowReadExit(t *jthread.Thread, v uint64) bool {
 		var deflate func()
 		if l.cfg.Deflate {
 			deflate = func() {
-				l.st.Deflations.Add(1)
+				l.st.stripeFor(t).inc(cDeflations)
 				l.word.Store(m.SavedCounter)
 			}
 		}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/collections/hashmap"
 	"repro/internal/collections/treemap"
+	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/jthread"
 	"repro/internal/workload"
@@ -197,6 +198,18 @@ func (w *Warehouse) payment(th *jthread.Thread, r *rng) {
 		bal, _ := w.customers.Get(cust)
 		w.customers.Put(cust, bal-amount)
 	})
+}
+
+// SoleroStats returns each warehouse guard's SOLERO counter block (empty
+// for non-SOLERO impls); lockstats uses it for the per-stripe view.
+func (b *Bench) SoleroStats() []*core.Stats {
+	var out []*core.Stats
+	for _, w := range b.warehouses {
+		if st := w.guard.SoleroStats(); st != nil {
+			out = append(out, st)
+		}
+	}
+	return out
 }
 
 // FailureRatio aggregates SOLERO speculation failures across warehouses.

@@ -64,6 +64,11 @@ type Thread struct {
 	id   uint64
 	name string
 
+	// stripe is the precomputed stat-stripe index: sequential ids
+	// round-robin across any power-of-two stripe count (internal/core
+	// masks it down to the lock's stripe array).
+	stripe uint32
+
 	asyncPending atomic.Bool
 	frames       []SpecFrame
 
@@ -82,6 +87,13 @@ type Thread struct {
 
 // ID returns the thread's 56-bit id (>= 1).
 func (t *Thread) ID() uint64 { return t.id }
+
+// StripeIndex returns the thread's precomputed stripe index, used by
+// sharded per-lock statistics to pick a cache-line-padded counter stripe
+// without hashing on the hot path. Consecutively attached threads map to
+// consecutive stripes, so any power-of-two stripe count sees a round-robin
+// spread.
+func (t *Thread) StripeIndex() uint32 { return t.stripe }
 
 // Name returns the diagnostic name given at Attach.
 func (t *Thread) Name() string { return t.name }
@@ -180,7 +192,7 @@ func (vm *VM) Attach(name string) *Thread {
 	if vm.nextID > MaxThreadID {
 		panic("jthread: thread id space exhausted")
 	}
-	t := &Thread{vm: vm, id: vm.nextID, name: name}
+	t := &Thread{vm: vm, id: vm.nextID, name: name, stripe: uint32(vm.nextID - 1)}
 	vm.nextID++
 	vm.threads[t.id] = t
 	return t

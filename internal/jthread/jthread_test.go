@@ -181,3 +181,23 @@ func TestPokeAllConcurrentWithAttach(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+func TestStripeIndexRoundRobin(t *testing.T) {
+	vm := NewVM()
+	first := vm.Attach("a")
+	if first.StripeIndex() != 0 {
+		t.Fatalf("first thread stripe = %d, want 0", first.StripeIndex())
+	}
+	prev := first
+	for i := 0; i < 16; i++ {
+		th := vm.Attach("b")
+		if th.StripeIndex() != prev.StripeIndex()+1 {
+			t.Fatalf("stripes not consecutive: %d then %d", prev.StripeIndex(), th.StripeIndex())
+		}
+		// Any power-of-two mask sees a round-robin spread.
+		if th.StripeIndex() != uint32(th.ID()-1) {
+			t.Fatalf("stripe %d not precomputed from id %d", th.StripeIndex(), th.ID())
+		}
+		prev = th
+	}
+}

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestCeilPow2(t *testing.T) {
+	cases := [][2]int{{-3, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {63, 64}, {64, 64}, {65, 128}}
+	for _, c := range cases {
+		if got := CeilPow2(c[0]); got != c[1] {
+			t.Errorf("CeilPow2(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+}
+
+func TestDefaultStripeCount(t *testing.T) {
+	n := DefaultStripeCount()
+	if n < 1 || n > MaxAutoStripes {
+		t.Fatalf("stripe count %d out of range", n)
+	}
+	if n&(n-1) != 0 {
+		t.Fatalf("stripe count %d not a power of two", n)
+	}
+}
+
+func TestPaddedCounterLayout(t *testing.T) {
+	if sz := unsafe.Sizeof(PaddedCounter{}); sz != FalseSharingRange {
+		t.Fatalf("PaddedCounter is %d bytes, want %d", sz, FalseSharingRange)
+	}
+	var arr [2]PaddedCounter
+	d := uintptr(unsafe.Pointer(&arr[1])) - uintptr(unsafe.Pointer(&arr[0]))
+	if d < FalseSharingRange {
+		t.Fatalf("adjacent counters %d bytes apart, want >= %d", d, FalseSharingRange)
+	}
+}
+
+func TestStripedSumsExactly(t *testing.T) {
+	s := NewStriped(4)
+	if s.NumStripes() != 4 {
+		t.Fatalf("stripes = %d", s.NumStripes())
+	}
+	for i := uint32(0); i < 100; i++ {
+		s.Add(i, 1) // every index is valid: masked internally
+	}
+	if got := s.Load(); got != 100 {
+		t.Fatalf("sum = %d, want 100", got)
+	}
+	if s.LoadStripe(0) != 25 {
+		t.Fatalf("stripe 0 = %d, want 25 (round-robin)", s.LoadStripe(0))
+	}
+}
+
+func TestStripedConcurrent(t *testing.T) {
+	s := NewStriped(0)
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Add(uint32(w), 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Load(); got != workers*per {
+		t.Fatalf("sum = %d, want %d", got, workers*per)
+	}
+}
