@@ -1,15 +1,18 @@
 # Standard loops for the SOLERO reproduction.
 #
-#   make build   - compile everything
-#   make vet     - go vet ./...
-#   make test    - full test suite
-#   make race    - race-detector pass over the lock core (readers vs Snapshot)
-#   make bench   - reader-scaling + alloc-free benchmarks
-#   make check   - tier-1 gate: build + vet + test
+#   make build     - compile everything
+#   make vet       - go vet ./...
+#   make test      - full test suite
+#   make race      - race-detector pass over the lock core + schedule kernel
+#   make bench     - reader-scaling + alloc-free benchmarks
+#   make check     - tier-1 gate: build + vet + test
+#   make schedsmoke - fixed-seed schedule-exploration smoke + inverted bug-catch
+#   make schedfuzz  - longer schedule exploration across both strategies
+#   make fuzz      - native Go fuzzing of the lock-word encoding
 
 GO ?= go
 
-.PHONY: build vet test race bench check
+.PHONY: build vet test race bench check schedsmoke schedfuzz fuzz
 
 build:
 	$(GO) build ./...
@@ -21,9 +24,31 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/stats/...
+	$(GO) test -race ./internal/core/... ./internal/stats/... \
+		./internal/sched/... ./internal/history/... ./internal/schedcheck/... \
+		./internal/monitor/...
 
 bench:
 	$(GO) test -bench 'BenchmarkReaderScaling|BenchmarkReadOnlyAllocFree' -benchtime 200ms .
 
 check: build vet test
+
+# Fixed-seed smoke: a clean 30s exploration must pass, and a run with an
+# injected release-without-counter-bump bug must FAIL (the inverted step:
+# the harness catching the bug is what a green build certifies).
+schedsmoke:
+	$(GO) run ./cmd/solerocheck -sched -seed 1 -episodes 1000 -duration 30s
+	@echo "--- inverted step: the injected bug below MUST be caught ---"
+	@if $(GO) run ./cmd/solerocheck -sched -seed 1 -ops 10 -bug no-counter-bump; then \
+		echo "FAIL: injected no-counter-bump bug was NOT caught"; exit 1; \
+	else \
+		echo "OK: injected bug caught"; \
+	fi
+
+schedfuzz:
+	$(GO) run ./cmd/solerocheck -sched -seed $$RANDOM -episodes 1000 -duration 120s -strategy random
+	$(GO) run ./cmd/solerocheck -sched -seed $$RANDOM -episodes 1000 -duration 120s -strategy pct -upgraders 1
+
+fuzz:
+	$(GO) test ./internal/lockword/ -fuzz FuzzSoleroRoundTrip -fuzztime 30s
+	$(GO) test ./internal/lockword/ -fuzz FuzzSoleroEncode -fuzztime 30s

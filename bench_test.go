@@ -625,6 +625,69 @@ func BenchmarkReaderScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkReaderScalingSeparation asserts the claim BenchmarkReaderScaling
+// only illustrates: at full reader parallelism the sharded-stats fast path
+// must out-run the shared-counter layout by a real margin. On fewer than 4
+// CPUs the two layouts legitimately converge (there is no counter-line
+// ping-pong to remove), so the benchmark skips rather than asserting
+// single-core parity. Each mode's throughput is the best of 3 fixed
+// wall-clock windows, which damps scheduler noise without needing b.N to
+// agree across modes.
+func BenchmarkReaderScalingSeparation(b *testing.B) {
+	if runtime.NumCPU() < 4 {
+		b.Skipf("need >= 4 CPUs for stats-contention separation, have %d", runtime.NumCPU())
+	}
+	readers := runtime.GOMAXPROCS(0)
+	const window = 100 * time.Millisecond
+
+	measure := func(stripes int) float64 {
+		cfg := *core.DefaultConfig
+		cfg.StatsStripes = stripes
+		l := core.New(&cfg)
+		best := 0.0
+		for round := 0; round < 3; round++ {
+			var stop atomic.Bool
+			var ops atomic.Uint64
+			vm := jthread.NewVM()
+			var wg sync.WaitGroup
+			for g := 0; g < readers; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					th := vm.Attach("bench")
+					defer th.Detach()
+					n := uint64(0)
+					for !stop.Load() {
+						l.ReadOnly(th, func() {})
+						n++
+					}
+					ops.Add(n)
+				}()
+			}
+			start := time.Now()
+			time.Sleep(window)
+			stop.Store(true)
+			wg.Wait()
+			if rate := float64(ops.Load()) / time.Since(start).Seconds(); rate > best {
+				best = rate
+			}
+		}
+		return best
+	}
+
+	b.ResetTimer()
+	shared := measure(1)
+	sharded := measure(0)
+	ratio := sharded / shared
+	b.ReportMetric(ratio, "sharded/shared")
+	b.ReportMetric(sharded, "sharded-ops/s")
+	b.ReportMetric(shared, "shared-ops/s")
+	if ratio < 1.1 {
+		b.Fatalf("sharded stats no longer separate from the shared layout at %d readers: %.2fx (sharded %.0f ops/s, shared %.0f ops/s)",
+			readers, ratio, sharded, shared)
+	}
+}
+
 // BenchmarkReadOnlyAllocFree asserts the elided read fast path performs
 // zero heap allocations (testing.AllocsPerRun), then times it.
 func BenchmarkReadOnlyAllocFree(b *testing.B) {

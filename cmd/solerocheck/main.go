@@ -1,19 +1,35 @@
-// Command solerocheck exhaustively model-checks the SOLERO protocol for a
-// given thread mix, and can demonstrate that the checker catches known
-// protocol bugs.
+// Command solerocheck checks the SOLERO protocol two ways.
 //
-// Usage:
+// Model mode (default) exhaustively explores an abstract model of the
+// protocol for a given thread mix, and can demonstrate that the checker
+// catches known protocol bugs:
 //
 //	solerocheck -writers 2 -readers 2
 //	solerocheck -writers 1 -readers 1 -mutate no-counter-bump
+//	solerocheck -inflators 1 -readers 1 -mutate deflate-stale-counter
+//
+// Schedule mode (-sched) points the schedule-injection kernel at the
+// *real* implementation: seeded strategies explore interleavings of
+// writer/reader/upgrader threads over one core.Lock, every run is
+// oracle-checked against the same invariants, and a failing schedule is
+// minimized and printed with the exact command that replays it:
+//
+//	solerocheck -sched -seed 1 -episodes 50
+//	solerocheck -sched -strategy pct -duration 30s
+//	solerocheck -sched -bug no-counter-bump          # must fail (CI inverts it)
+//	solerocheck -sched -seed 123 -replay 1,1,2,3,1   # replay a printed schedule
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/modelcheck"
+	"repro/internal/sched"
+	"repro/internal/schedcheck"
 )
 
 var mutations = map[string]modelcheck.Mutation{
@@ -22,41 +38,150 @@ var mutations = map[string]modelcheck.Mutation{
 	"no-validate":           modelcheck.MutNoValidate,
 	"blind-upgrade":         modelcheck.MutBlindUpgrade,
 	"validate-ignores-held": modelcheck.MutValidateIgnoresHeld,
+	"deflate-stale-counter": modelcheck.MutDeflateStaleCounter,
+}
+
+var bugs = map[string]core.Bug{
+	"none":            core.BugNone,
+	"no-counter-bump": core.BugNoCounterBump,
 }
 
 func main() {
-	writers := flag.Int("writers", 1, "writer threads")
+	schedMode := flag.Bool("sched", false, "schedule-injection mode: explore the real implementation")
+	writers := flag.Int("writers", 0, "writer threads (model default 1, sched default 2)")
 	readers := flag.Int("readers", 2, "speculative reader threads")
 	upgraders := flag.Int("upgraders", 0, "read-mostly upgrader threads")
+	inflators := flag.Int("inflators", 0, "inflate/deflate threads (model mode only)")
 	retries := flag.Int("retries", 1, "speculation retries before fallback (paper: 1)")
-	mutate := flag.String("mutate", "none", "protocol mutation: none|no-counter-bump|no-validate|blind-upgrade|validate-ignores-held")
+	mutate := flag.String("mutate", "none", "model mutation: none|no-counter-bump|no-validate|blind-upgrade|validate-ignores-held|deflate-stale-counter")
+
+	seed := flag.Uint64("seed", 1, "sched: base seed (episode i runs under Splitmix(seed+i))")
+	episodes := flag.Int("episodes", 100, "sched: max episodes to explore")
+	duration := flag.Duration("duration", 0, "sched: wall-clock budget (0: episodes only)")
+	strategy := flag.String("strategy", "random", "sched: exploration strategy: random|pct")
+	pctD := flag.Int("pct-d", 3, "sched: PCT priority change points")
+	ops := flag.Int("ops", 20, "sched: critical sections per thread")
+	bugName := flag.String("bug", "none", "sched: inject a protocol bug: none|no-counter-bump")
+	replay := flag.String("replay", "", "sched: replay a recorded decision sequence (comma list) instead of exploring")
 	flag.Parse()
 
-	mut, ok := mutations[*mutate]
+	if *schedMode {
+		os.Exit(runSched(*writers, *readers, *upgraders, *ops, *seed, *strategy,
+			*pctD, *bugName, *replay, *episodes, *duration))
+	}
+	os.Exit(runModel(*writers, *readers, *upgraders, *inflators, *retries, *mutate))
+}
+
+func runModel(writers, readers, upgraders, inflators, retries int, mutate string) int {
+	if writers == 0 && upgraders == 0 && inflators == 0 {
+		writers = 1
+	}
+	mut, ok := mutations[mutate]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "solerocheck: unknown mutation %q\n", *mutate)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "solerocheck: unknown mutation %q\n", mutate)
+		return 2
 	}
 	res, err := modelcheck.Run(modelcheck.Config{
-		Writers:    *writers,
-		Readers:    *readers,
-		Upgraders:  *upgraders,
-		MaxRetries: uint8(*retries),
+		Writers:    writers,
+		Readers:    readers,
+		Upgraders:  upgraders,
+		Inflators:  inflators,
+		MaxRetries: uint8(retries),
 		Mutation:   mut,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "solerocheck: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
-	fmt.Printf("explored %d states (writers=%d readers=%d upgraders=%d retries=%d mutation=%s)\n",
-		res.States, *writers, *readers, *upgraders, *retries, *mutate)
+	fmt.Printf("explored %d states (writers=%d readers=%d upgraders=%d inflators=%d retries=%d mutation=%s)\n",
+		res.States, writers, readers, upgraders, inflators, retries, mutate)
 	if res.Ok() {
 		fmt.Println("all interleavings safe: mutual exclusion, reader soundness, upgrade soundness, counter monotonicity")
-		return
+		return 0
 	}
 	fmt.Printf("%d invariant violations:\n", len(res.Violations))
 	for _, v := range res.Violations {
 		fmt.Println("  " + v)
 	}
-	os.Exit(1)
+	return 1
+}
+
+func runSched(writers, readers, upgraders, ops int, seed uint64, strategy string,
+	pctD int, bugName, replay string, episodes int, budget time.Duration) int {
+	if writers == 0 && upgraders == 0 {
+		writers = 2
+	}
+	bug, ok := bugs[bugName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "solerocheck: unknown bug %q\n", bugName)
+		return 2
+	}
+	opts := schedcheck.Options{
+		Writers: writers, Readers: readers, Upgraders: upgraders,
+		Ops: ops, Seed: seed, Strategy: strategy, PCTDepth: pctD, Bug: bug,
+	}
+
+	if replay != "" {
+		dec, err := sched.ParseDecisions(replay)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "solerocheck: %v\n", err)
+			return 2
+		}
+		out := schedcheck.Replay(opts, dec)
+		fmt.Printf("replayed %d decisions: steps=%d events=%d\n", len(dec), out.Steps, out.Events)
+		if out.Aborted {
+			fmt.Println("replay aborted (watchdog or step budget) — inconclusive")
+			return 2
+		}
+		if !out.Failed() {
+			fmt.Println("replay passed: no invariant violated")
+			return 0
+		}
+		reportFailure(opts, &out, out.Decisions, "replay")
+		return 1
+	}
+
+	start := time.Now()
+	res := schedcheck.Explore(opts, episodes, budget, nil)
+	elapsed := time.Since(start).Round(time.Millisecond)
+	fmt.Printf("explored %d episodes in %v (writers=%d readers=%d upgraders=%d ops=%d strategy=%s seed=%d bug=%s)\n",
+		res.Episodes, elapsed, writers, readers, upgraders, ops, strategy, seed, bugName)
+	if res.Failing == nil {
+		fmt.Println("all explored schedules safe: mutual exclusion, reader soundness, upgrade soundness, counter monotonicity")
+		return 0
+	}
+
+	fmt.Printf("episode %d (seed %d) violated the protocol invariants:\n", res.Episode, res.EpisodeSeed)
+	ep := opts
+	ep.Seed = res.EpisodeSeed
+	// Re-run the minimized schedule to demonstrate on the spot that the
+	// failure is deterministic; when it reproduces (the normal case),
+	// report that replay — its trace is the one the printed replay
+	// command regenerates.
+	again := schedcheck.Replay(ep, res.Minimized)
+	if again.Failed() {
+		reportFailure(ep, &again, res.Minimized, "minimized")
+		fmt.Println("minimized schedule re-verified: replay reproduces the violation")
+	} else {
+		reportFailure(ep, res.Failing, res.Failing.Decisions, "recorded")
+		fmt.Println("WARNING: minimized schedule did not reproduce on replay; recorded schedule reported instead")
+	}
+	return 1
+}
+
+func reportFailure(opts schedcheck.Options, out *schedcheck.Outcome, dec []uint64, what string) {
+	for _, v := range out.Violations {
+		fmt.Println("  " + v)
+	}
+	fmt.Printf("%s schedule (%d decisions): %s\n", what, len(dec), sched.FormatDecisions(dec))
+	fmt.Printf("point trace: %s\n", sched.FormatTrace(out.Trace))
+	if out.HistoryTail != "" {
+		fmt.Printf("history tail:\n%s", out.HistoryTail)
+	}
+	fmt.Printf("replay with: solerocheck -sched -seed %d -writers %d -readers %d -upgraders %d -ops %d",
+		opts.Seed, opts.Writers, opts.Readers, opts.Upgraders, opts.Ops)
+	if opts.Bug != core.BugNone {
+		fmt.Print(" -bug no-counter-bump")
+	}
+	fmt.Printf(" -replay %s\n", sched.FormatDecisions(dec))
 }

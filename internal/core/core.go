@@ -26,12 +26,30 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/history"
 	"repro/internal/jthread"
 	"repro/internal/lockword"
 	"repro/internal/memmodel"
 	"repro/internal/monitor"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/trace"
+)
+
+// Bug selects a deliberately injected protocol defect, used by the
+// schedule-injection harness (internal/schedcheck) to validate that its
+// oracles actually catch broken lock implementations. Production code
+// leaves it zero.
+type Bug uint8
+
+const (
+	// BugNone runs the correct protocol.
+	BugNone Bug = iota
+	// BugNoCounterBump makes flat writing releases republish the counter
+	// they acquired instead of advancing it — the classic SOLERO protocol
+	// break: a concurrently eliding reader that straddles the whole
+	// write sees an unchanged word and validates a torn snapshot (ABA).
+	BugNoCounterBump
 )
 
 // Config tunes the SOLERO protocol. Use DefaultConfig as a starting point;
@@ -78,6 +96,17 @@ type Config struct {
 	// Tracer, when non-nil, records protocol transitions into a ring
 	// buffer (see internal/trace; `lockstats -trace` prints it).
 	Tracer *trace.Ring
+
+	// Sched, when non-nil, yields to a deterministic schedule-injection
+	// controller at named points inside the protocol (internal/sched). In
+	// production it is nil and every point is a single predictable branch.
+	Sched *sched.Hooks
+	// History, when non-nil, records protocol transitions (acquires,
+	// releases, elisions, inflations, waits) for the invariant oracle in
+	// internal/history. Nil in production, same single-branch cost.
+	History *history.Recorder
+	// Bug injects a protocol defect for oracle validation (see Bug).
+	Bug Bug
 }
 
 // DefaultConfig matches the paper's setup: three-tier contention
@@ -175,10 +204,13 @@ func (l *Lock) Lock(t *jthread.Thread) {
 	for {
 		v := l.word.Load()
 		if lockword.SoleroFree(v) {
+			l.cfg.Sched.Point(tid, sched.PAcquireCAS)
 			if l.word.CompareAndSwap(v, lockword.SoleroOwned(tid, 0)) {
 				l.saved = v
 				l.st.stripeFor(t).inc(cFastAcquires)
 				l.cfg.Tracer.Record(trace.EvAcquireFast, tid, v)
+				l.cfg.History.Record(history.Acquire, tid, v)
+				l.cfg.Sched.Point(tid, sched.PAcquired)
 				l.cfg.Model.ChargeAtomic()
 				l.cfg.Model.Charge(l.cfg.Plan.WriteAcquire)
 				return
@@ -188,6 +220,18 @@ func (l *Lock) Lock(t *jthread.Thread) {
 		l.slowEnter(t, v)
 		return
 	}
+}
+
+// releaseWord derives the word a flat writing release publishes from the
+// owner's local lock variable: the saved free word advanced by one counter
+// unit. Under BugNoCounterBump it republishes the counter unchanged (low
+// byte cleared, so any stale FLC bit still drops) — the injected defect the
+// schedule harness must catch.
+func (l *Lock) releaseWord(saved uint64) uint64 {
+	if l.cfg.Bug == BugNoCounterBump {
+		return saved &^ lockword.LowByte
+	}
+	return lockword.SoleroNextFree(saved)
 }
 
 // Unlock releases one level of ownership (Figure 6): when the low byte is
@@ -203,8 +247,14 @@ func (l *Lock) Unlock(t *jthread.Thread) {
 		// Capture the local lock variable before the releasing store:
 		// the moment the word is free, the next owner may overwrite it.
 		saved := l.saved
+		l.cfg.Sched.Point(t.ID(), sched.PRelease)
+		w := l.releaseWord(saved)
+		// Record before the store: nobody can acquire (and log against)
+		// the released word until it is published, which keeps the
+		// recorded release order consistent with the counter order.
+		l.cfg.History.Record(history.Release, t.ID(), w)
 		l.cfg.Model.ChargeAtomic()
-		l.word.Store(lockword.SoleroNextFree(saved))
+		l.word.Store(w)
 		l.cfg.Tracer.Record(trace.EvRelease, t.ID(), saved)
 		return
 	}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"repro/internal/history"
 	"repro/internal/jthread"
 	"repro/internal/lockword"
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -53,12 +55,18 @@ func (s *Section) BeforeWrite() {
 		return
 	}
 	l, t := s.l, s.t
+	l.cfg.Sched.Point(t.ID(), sched.PUpgrade)
 	if l.word.CompareAndSwap(s.v, lockword.SoleroOwned(t.ID(), 0)) {
 		l.saved = s.v
 		s.holding, s.upgraded = true, true
 		s.popFrame()
 		l.st.stripeFor(t).inc(cUpgrades)
 		l.cfg.Tracer.Record(trace.EvUpgrade, t.ID(), s.v)
+		// An upgrade both acquires the lock and proves the reads so
+		// far: it is an Acquire for the counter-pairing oracle plus
+		// the upgrade marker itself.
+		l.cfg.History.Record(history.Acquire, t.ID(), s.v)
+		l.cfg.History.Record(history.Upgrade, t.ID(), s.v)
 		l.cfg.Model.ChargeAtomic()
 		l.cfg.Model.Charge(l.cfg.Plan.WriteAcquire)
 		return
@@ -106,6 +114,7 @@ func (l *Lock) ReadMostly(t *jthread.Thread, fn func(*Section)) {
 		return
 	}
 	v := l.word.Load()
+	l.cfg.Sched.Point(t.ID(), sched.PReadEnter)
 	holding := false
 	if !lockword.SoleroFree(v) {
 		v, holding = l.slowReadEnter(t)
@@ -115,6 +124,7 @@ func (l *Lock) ReadMostly(t *jthread.Thread, fn func(*Section)) {
 		if holding {
 			// Entered holding (reentrant or fat): writes are safe
 			// throughout.
+			l.cfg.History.Record(history.ReadFallback, t.ID(), l.word.Load())
 			s := &Section{l: l, t: t, holding: true, framePopped: true}
 			l.runHolding(t, func() { fn(s) })
 			return
@@ -129,12 +139,15 @@ func (l *Lock) ReadMostly(t *jthread.Thread, fn func(*Section)) {
 				return
 			}
 			l.cfg.Model.Charge(l.cfg.Plan.ReadExit)
+			l.cfg.Sched.Point(t.ID(), sched.PReadValidate)
 			if l.word.Load() == v {
 				l.st.stripeFor(t).inc(cElisionSuccesses)
+				l.cfg.History.Record(history.ReadSuccess, t.ID(), v)
 				return
 			}
 			if l.slowReadExit(t, v) {
 				l.st.stripeFor(t).inc(cElisionSuccesses)
+				l.cfg.History.Record(history.ReadSuccess, t.ID(), v)
 				return
 			}
 		case specRestartHolding:
@@ -151,6 +164,8 @@ func (l *Lock) ReadMostly(t *jthread.Thread, fn func(*Section)) {
 		failures++
 		if failures >= l.cfg.MaxElisionFailures {
 			l.st.stripeFor(t).inc(cFallbacks)
+			l.cfg.Sched.Point(t.ID(), sched.PReadFallback)
+			l.cfg.History.Record(history.ReadFallback, t.ID(), v)
 			l.Lock(t)
 			defer l.Unlock(t)
 			fn(&Section{l: l, t: t, holding: true, framePopped: true})

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"repro/internal/history"
 	"repro/internal/jthread"
 	"repro/internal/lockword"
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -30,6 +32,7 @@ func (l *Lock) ReadOnly(t *jthread.Thread, fn func()) {
 		return
 	}
 	v := l.word.Load()
+	l.cfg.Sched.Point(t.ID(), sched.PReadEnter)
 	holding := false
 	if !lockword.SoleroFree(v) {
 		v, holding = l.slowReadEnter(t)
@@ -39,20 +42,24 @@ func (l *Lock) ReadOnly(t *jthread.Thread, fn func()) {
 		if holding {
 			// The thread holds the lock (reentrant entry or
 			// fat-mode entry): run non-speculatively.
+			l.cfg.History.Record(history.ReadFallback, t.ID(), l.word.Load())
 			l.runHolding(t, fn)
 			return
 		}
 		if l.runSpeculative(t, v, fn) {
 			l.cfg.Model.Charge(l.cfg.Plan.ReadExit)
+			l.cfg.Sched.Point(t.ID(), sched.PReadValidate)
 			if l.word.Load() == v {
 				l.st.stripeFor(t).inc(cElisionSuccesses)
 				l.cfg.Tracer.Record(trace.EvElideSuccess, t.ID(), v)
+				l.cfg.History.Record(history.ReadSuccess, t.ID(), v)
 				l.adaptiveRecord(t, false)
 				return
 			}
 			if l.slowReadExit(t, v) {
 				l.st.stripeFor(t).inc(cElisionSuccesses)
 				l.cfg.Tracer.Record(trace.EvElideSuccess, t.ID(), v)
+				l.cfg.History.Record(history.ReadSuccess, t.ID(), v)
 				l.adaptiveRecord(t, false)
 				return
 			}
@@ -66,6 +73,8 @@ func (l *Lock) ReadOnly(t *jthread.Thread, fn func()) {
 			// section holding the lock.
 			l.st.stripeFor(t).inc(cFallbacks)
 			l.cfg.Tracer.Record(trace.EvFallback, t.ID(), v)
+			l.cfg.Sched.Point(t.ID(), sched.PReadFallback)
+			l.cfg.History.Record(history.ReadFallback, t.ID(), v)
 			l.Lock(t)
 			defer l.Unlock(t)
 			fn()

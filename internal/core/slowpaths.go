@@ -4,8 +4,10 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"repro/internal/history"
 	"repro/internal/jthread"
 	"repro/internal/lockword"
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -54,11 +56,13 @@ func (l *Lock) spinAcquire(t *jthread.Thread) bool {
 	tid := t.ID()
 	for i := 0; i < l.cfg.Tier3; i++ {
 		for j := 0; j < l.cfg.Tier2; j++ {
+			l.cfg.Sched.Point(tid, sched.PSpin)
 			v := l.word.Load()
 			if lockword.SoleroFree(v) {
 				if l.word.CompareAndSwap(v, lockword.SoleroOwned(tid, 0)) {
 					l.saved = v
 					l.st.stripeFor(t).inc(cSpinAcquires)
+					l.cfg.History.Record(history.Acquire, tid, v)
 					return true
 				}
 			} else if v&(lockword.InflationBit|lockword.FLCBit) != 0 {
@@ -87,26 +91,35 @@ func (l *Lock) contendAndInflate(t *jthread.Thread) {
 			}
 		case lockword.SoleroHeld(v):
 			// Held: announce contention and park (timed — the FLC
-			// bit can be clobbered by a racing fast release).
+			// bit can be clobbered by a racing fast release). The
+			// whole park is a Block region: under schedule injection
+			// the token must travel while this thread sleeps, or the
+			// releasing thread could never run to wake it.
 			l.word.Or(lockword.FLCBit)
-			m.RawLock()
-			v = l.word.Load()
-			if lockword.SoleroHeld(v) {
-				l.st.stripeFor(t).inc(cFLCWaits)
-				m.WaitLocked(l.cfg.FLCTimeout)
-			}
-			m.RawUnlock()
+			l.cfg.Sched.Block(tid, sched.PFLCPark, func() {
+				m.RawLock()
+				if w := l.word.Load(); lockword.SoleroHeld(w) {
+					l.st.stripeFor(t).inc(cFLCWaits)
+					m.WaitLocked(l.cfg.FLCTimeout)
+				}
+				m.RawUnlock()
+			})
 		default:
 			// Free, possibly with a stale FLC bit: grab the flat
 			// lock (clearing FLC), then publish the inflated word.
 			if l.word.CompareAndSwap(v, lockword.SoleroOwned(tid, 0)) {
-				m.Enter(tid)
-				m.RawLock()
-				m.SavedCounter = lockword.SoleroNextFree(v)
-				m.BroadcastLocked() // other FLC waiters must re-read
-				m.RawUnlock()
+				l.cfg.History.Record(history.Acquire, tid, v)
+				l.cfg.Sched.Block(tid, sched.PMonitorEnter, func() {
+					m.Enter(tid)
+					m.RawLock()
+					m.SavedCounter = lockword.SoleroNextFree(v)
+					m.BroadcastLocked() // other FLC waiters must re-read
+					m.RawUnlock()
+				})
 				l.st.stripeFor(t).inc(cInflations)
 				l.cfg.Tracer.Record(trace.EvInflate, tid, v)
+				l.cfg.Sched.Point(tid, sched.PInflate)
+				l.cfg.History.Record(history.Inflate, tid, lockword.InflatedWord(m.ID()))
 				l.word.Store(lockword.InflatedWord(m.ID()))
 				l.cfg.Model.Charge(l.cfg.Plan.WriteAcquire)
 				return
@@ -119,13 +132,15 @@ func (l *Lock) contendAndInflate(t *jthread.Thread) {
 // before the monitor was entered (the caller must then retry).
 func (l *Lock) fatEnter(t *jthread.Thread) bool {
 	m := l.monitorFor()
-	m.Enter(t.ID())
+	tid := t.ID()
+	l.cfg.Sched.Block(tid, sched.PMonitorEnter, func() { m.Enter(tid) })
 	if l.word.Load() == lockword.InflatedWord(m.ID()) {
 		l.st.stripeFor(t).inc(cFatEnters)
+		l.cfg.History.Record(history.Acquire, tid, lockword.InflatedWord(m.ID()))
 		l.cfg.Model.Charge(l.cfg.Plan.WriteAcquire)
 		return true
 	}
-	m.Exit(t.ID())
+	m.Exit(tid)
 	return false
 }
 
@@ -136,14 +151,18 @@ func (l *Lock) fatEnter(t *jthread.Thread) bool {
 func (l *Lock) inflateAsOwner(t *jthread.Thread, v uint64, extra uint32) {
 	tid := t.ID()
 	m := l.monitorFor()
-	m.Enter(tid)
-	m.SetRecursionOwned(tid, uint32(lockword.SoleroRec(v))+extra)
-	m.RawLock()
-	m.SavedCounter = lockword.SoleroNextFree(l.saved)
-	m.BroadcastLocked()
-	m.RawUnlock()
+	l.cfg.Sched.Block(tid, sched.PMonitorEnter, func() {
+		m.Enter(tid)
+		m.SetRecursionOwned(tid, uint32(lockword.SoleroRec(v))+extra)
+		m.RawLock()
+		m.SavedCounter = lockword.SoleroNextFree(l.saved)
+		m.BroadcastLocked()
+		m.RawUnlock()
+	})
 	l.st.stripeFor(t).inc(cInflations)
 	l.cfg.Tracer.Record(trace.EvInflate, tid, v)
+	l.cfg.Sched.Point(tid, sched.PInflate)
+	l.cfg.History.Record(history.Inflate, tid, lockword.InflatedWord(m.ID()))
 	l.word.Store(lockword.InflatedWord(m.ID()))
 }
 
@@ -159,10 +178,17 @@ func (l *Lock) slowExit(t *jthread.Thread, v2 uint64) {
 			deflate = func() {
 				l.st.stripeFor(t).inc(cDeflations)
 				l.cfg.Tracer.Record(trace.EvDeflate, tid, m.SavedCounter)
+				// Runs under the monitor mutex, so no schedule point
+				// here; the Block around ExitDeflating covers it.
+				l.cfg.History.Record(history.Deflate, tid, m.SavedCounter)
 				l.word.Store(m.SavedCounter)
 			}
 		}
-		m.ExitDeflating(tid, deflate)
+		l.cfg.Sched.Block(tid, sched.PDeflate, func() {
+			if released, _ := m.ExitDeflating(tid, deflate); released {
+				l.cfg.History.Record(history.Release, tid, v2)
+			}
+		})
 		l.cfg.Tracer.Record(trace.EvRelease, tid, v2)
 	case lockword.SoleroHeldBy(v2, tid) && lockword.SoleroRec(v2) > 0:
 		sub(&l.word, lockword.SoleroRecOne)
@@ -171,10 +197,15 @@ func (l *Lock) slowExit(t *jthread.Thread, v2 uint64) {
 		// contenders. The release word clears the FLC bit (its low
 		// byte is zero), so waiters re-examine the lock.
 		m := l.monitorFor()
-		m.RawLock()
-		l.word.Store(lockword.SoleroNextFree(l.saved))
-		m.BroadcastLocked()
-		m.RawUnlock()
+		w := l.releaseWord(l.saved)
+		l.cfg.Sched.Point(tid, sched.PRelease)
+		l.cfg.Sched.Block(tid, sched.PMonitorEnter, func() {
+			m.RawLock()
+			l.cfg.History.Record(history.Release, tid, w)
+			l.word.Store(w)
+			m.BroadcastLocked()
+			m.RawUnlock()
+		})
 	default:
 		panic("core: Unlock by non-owner (slow path)")
 	}
@@ -203,6 +234,7 @@ func (l *Lock) slowReadEnter(t *jthread.Thread) (v uint64, holding bool) {
 	// Three-tier wait for the word to become elidable.
 	for i := 0; i < l.cfg.Tier3; i++ {
 		for j := 0; j < l.cfg.Tier2; j++ {
+			l.cfg.Sched.Point(tid, sched.PSpin)
 			v = l.word.Load()
 			if lockword.SoleroFree(v) {
 				return v, false
@@ -253,14 +285,20 @@ func (l *Lock) slowReadExit(t *jthread.Thread, v uint64) bool {
 		// Flat ownership at depth zero: release, publishing a new
 		// counter derived from the local lock variable, then handle
 		// any contention flagged meanwhile (the paper's check_flc).
+		rel := l.releaseWord(l.saved)
+		l.cfg.Sched.Point(tid, sched.PRelease)
 		if lockword.FLC(w) {
 			m := l.monitorFor()
-			m.RawLock()
-			l.word.Store(lockword.SoleroNextFree(l.saved))
-			m.BroadcastLocked()
-			m.RawUnlock()
+			l.cfg.Sched.Block(tid, sched.PMonitorEnter, func() {
+				m.RawLock()
+				l.cfg.History.Record(history.Release, tid, rel)
+				l.word.Store(rel)
+				m.BroadcastLocked()
+				m.RawUnlock()
+			})
 		} else {
-			l.word.Store(lockword.SoleroNextFree(l.saved))
+			l.cfg.History.Record(history.Release, tid, rel)
+			l.word.Store(rel)
 		}
 		return true
 	case lockword.Inflated(w) && l.heldFat(tid):
@@ -269,10 +307,15 @@ func (l *Lock) slowReadExit(t *jthread.Thread, v uint64) bool {
 		if l.cfg.Deflate {
 			deflate = func() {
 				l.st.stripeFor(t).inc(cDeflations)
+				l.cfg.History.Record(history.Deflate, tid, m.SavedCounter)
 				l.word.Store(m.SavedCounter)
 			}
 		}
-		m.ExitDeflating(tid, deflate)
+		l.cfg.Sched.Block(tid, sched.PDeflate, func() {
+			if released, _ := m.ExitDeflating(tid, deflate); released {
+				l.cfg.History.Record(history.Release, tid, w)
+			}
+		})
 		return true
 	case w == v:
 		// Late success: a changed word changing *back* is impossible

@@ -3,8 +3,10 @@ package core
 import (
 	"time"
 
+	"repro/internal/history"
 	"repro/internal/jthread"
 	"repro/internal/lockword"
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -37,8 +39,16 @@ func (l *Lock) WaitTimeout(t *jthread.Thread, d time.Duration) bool {
 		panic("core: Wait without holding the lock (IllegalMonitorStateException)")
 	}
 	l.cfg.Tracer.Record(trace.EvWait, tid, l.word.Load())
+	l.cfg.History.Record(history.Wait, tid, l.word.Load())
 	m := l.monitorFor()
-	rec, notified := m.CondReleaseAndPark(tid, d)
+	var rec uint32
+	var notified bool
+	// The park is a Block region: the token travels while this thread
+	// sleeps on the condition queue, so a scheduled notifier can run.
+	l.cfg.Sched.Block(tid, sched.PWaitPark, func() {
+		rec, notified = m.CondReleaseAndPark(tid, d)
+	})
+	l.cfg.Sched.Point(tid, sched.PWaitWake)
 
 	// Reacquire the lock — through the full protocol, because the word
 	// may have deflated (and even re-inflated) while parked.
@@ -71,7 +81,9 @@ func (l *Lock) restoreRecursion(t *jthread.Thread, rec uint32) {
 // lock.
 func (l *Lock) Notify(t *jthread.Thread) {
 	l.requireHeld(t)
+	l.cfg.Sched.Point(t.ID(), sched.PNotify)
 	l.cfg.Tracer.Record(trace.EvNotify, t.ID(), l.word.Load())
+	l.cfg.History.Record(history.Notify, t.ID(), l.word.Load())
 	if m := l.mon.Load(); m != nil {
 		m.NotifyOne()
 	}
@@ -81,6 +93,8 @@ func (l *Lock) Notify(t *jthread.Thread) {
 // the lock.
 func (l *Lock) NotifyAll(t *jthread.Thread) {
 	l.requireHeld(t)
+	l.cfg.Sched.Point(t.ID(), sched.PNotify)
+	l.cfg.History.Record(history.Notify, t.ID(), l.word.Load())
 	if m := l.mon.Load(); m != nil {
 		m.NotifyAllCond()
 	}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/jthread"
+	"repro/internal/lockword"
+	"repro/internal/sched"
+)
+
+// TestWaitSurvivesDeflation pins, via schedule injection, the interleaving
+// where a lock deflates while a thread is parked on its wait set:
+//
+//	waiter:   Lock, WaitTimeout        — inflates in place, parks on the
+//	                                     monitor's condition queue
+//	releaser: Lock, Unlock             — enters fat, and its exit deflates
+//	                                     (condition waiters do not pin the
+//	                                     monitor: only entry waiters do)
+//	notifier: Lock, Notify, Unlock     — runs against the *flat* word, yet
+//	                                     the notification must still reach
+//	                                     the waiter parked on the retained
+//	                                     monitor
+//
+// The deterministic scheduler makes this exact order a fixed-priority
+// schedule instead of a hope-the-race-happens stress loop.
+func TestWaitSurvivesDeflation(t *testing.T) {
+	vm := jthread.NewVM()
+	waiter := vm.Attach("waiter")     // tid 1
+	releaser := vm.Attach("releaser") // tid 2
+	notifier := vm.Attach("notifier") // tid 3
+
+	s := sched.NewScheduler(sched.Priorities(waiter.ID(), releaser.ID(), notifier.ID()), 0)
+	rec := history.New()
+	l := New(&Config{
+		Deflate:    true,
+		FLCTimeout: 200 * time.Microsecond,
+		Sched:      s.Hooks(),
+		History:    rec,
+	})
+	for _, tid := range []uint64{waiter.ID(), releaser.ID(), notifier.ID()} {
+		s.Register(tid)
+	}
+	guard := time.AfterFunc(30*time.Second, s.Stop)
+	defer guard.Stop()
+
+	var notified bool
+	var wg sync.WaitGroup
+	run := func(t *jthread.Thread, body func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.ThreadStart(t.ID())
+			body()
+			s.ThreadDone(t.ID())
+		}()
+	}
+	run(waiter, func() {
+		l.Lock(waiter)
+		notified = l.WaitTimeout(waiter, 5*time.Second)
+		l.Unlock(waiter)
+	})
+	run(releaser, func() {
+		l.Lock(releaser)
+		l.Unlock(releaser)
+	})
+	run(notifier, func() {
+		l.Lock(notifier)
+		l.Notify(notifier)
+		l.Unlock(notifier)
+	})
+	wg.Wait()
+
+	if s.Aborted() {
+		t.Fatalf("schedule aborted: %s", sched.FormatTrace(s.Trace()))
+	}
+	if !notified {
+		t.Fatalf("waiter timed out: the notification was lost across deflation\n%s",
+			sched.FormatTrace(s.Trace()))
+	}
+	if l.Stats().Deflations.Load() == 0 {
+		t.Fatalf("releaser's exit did not deflate — the schedule missed the race\n%s",
+			sched.FormatTrace(s.Trace()))
+	}
+	// The deflation must have happened before the notification was
+	// delivered — that ordering is the whole point of the schedule.
+	deflateSeq, notifySeq := -1, -1
+	for _, ev := range rec.Events() {
+		switch ev.Kind {
+		case history.Deflate:
+			if deflateSeq < 0 {
+				deflateSeq = int(ev.Seq)
+			}
+		case history.Notify:
+			notifySeq = int(ev.Seq)
+		}
+	}
+	if deflateSeq < 0 || notifySeq < 0 || deflateSeq > notifySeq {
+		t.Fatalf("wrong event order: deflate seq %d, notify seq %d\n%s",
+			deflateSeq, notifySeq, rec.Format(0))
+	}
+	if w := l.Word(); lockword.Inflated(w) || lockword.SoleroHeld(w) {
+		t.Fatalf("final word not flat free: %s", lockword.String(w))
+	}
+	if viol := rec.Check(); len(viol) != 0 {
+		t.Fatalf("oracle violations: %v", viol)
+	}
+}

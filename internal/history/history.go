@@ -1,0 +1,314 @@
+// Package history is the invariant oracle for the real SOLERO
+// implementation: a lossless, globally-ordered recorder of what the lock
+// actually did during a run, plus a checker that validates the same four
+// safety invariants internal/modelcheck proves on the abstract model —
+// mutual exclusion, reader soundness, upgrade soundness, and counter
+// monotonicity — against the recorded histories.
+//
+// Two layers feed the recorder. internal/core records protocol
+// transitions (acquire/release with the lock words involved, read-only
+// success/fallback, read-mostly upgrades, inflate/deflate, wait/notify)
+// when a lock's Config.History is non-nil; a nil *Recorder is a no-op, so
+// production locks pay one predictable branch. The checking harness
+// (internal/schedcheck) records what its critical sections observed:
+// section entry/exit brackets and the data pairs its readers and
+// upgraders saw. The oracle needs both: protocol events carry the counter
+// discipline, harness events carry the ground truth about what the
+// sections read.
+//
+// Event ordering is the recorder's mutex acquisition order, so every
+// event's Seq is consistent with real time at its recording instant.
+// Sections record entry *after* acquiring and exit *before* releasing, so
+// a recorded overlap between two threads' critical sections is always a
+// genuine mutual-exclusion violation, never an artifact of recording skew.
+package history
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/lockword"
+)
+
+// Kind classifies a recorded event.
+type Kind uint8
+
+// Event kinds. The first group is recorded by internal/core; the second by
+// the checking harness.
+const (
+	// Acquire: ownership established. Word is the pre-acquire word for a
+	// flat acquisition (carrying the counter the owner will advance) or
+	// the inflated word for a fat entry.
+	Acquire Kind = iota
+	// Release: full ownership surrender. Word is the word being published
+	// for a flat release, or the inflated word for a fat exit.
+	Release
+	// ReadSuccess: a speculative read-only section validated. Word is the
+	// snapshot it validated against.
+	ReadSuccess
+	// ReadFallback: a read section ran non-speculatively (fallback,
+	// reentrant, or fat entry).
+	ReadFallback
+	// Upgrade: a read-mostly section upgraded in place. Word is the
+	// snapshot the upgrade CAS consumed.
+	Upgrade
+	// Inflate: the flat lock was promoted to a monitor. Word is the
+	// published inflated word.
+	Inflate
+	// Deflate: a fat release demoted the lock. Word is the republished
+	// counter word.
+	Deflate
+	// Wait: the owner released the lock into the wait set.
+	Wait
+	// Notify: a notification was delivered.
+	Notify
+
+	// EnterCS/ExitCS bracket a harness writing critical section: entry is
+	// recorded after the acquire, exit before the release.
+	EnterCS
+	ExitCS
+	// ReadObserved carries the data pair (A, B) a completed read-only
+	// section observed. The harness keeps A == B outside critical
+	// sections, so A != B is a torn snapshot.
+	ReadObserved
+	// UpgradeObserved carries A = the value read before an in-place
+	// upgrade and B = the value immediately after it succeeded; the
+	// upgrade CAS is supposed to prove they are equal.
+	UpgradeObserved
+	// ViolationEv is an immediately-detected violation (Msg says what).
+	ViolationEv
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	Acquire: "acquire", Release: "release", ReadSuccess: "read-ok",
+	ReadFallback: "read-fallback", Upgrade: "upgrade", Inflate: "inflate",
+	Deflate: "deflate", Wait: "wait", Notify: "notify",
+	EnterCS: "enter-cs", ExitCS: "exit-cs", ReadObserved: "read-observed",
+	UpgradeObserved: "upgrade-observed", ViolationEv: "violation",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one recorded operation.
+type Event struct {
+	Seq  int
+	TID  uint64
+	Kind Kind
+	Word uint64
+	A, B uint64
+	Msg  string
+}
+
+// Recorder accumulates events. A nil *Recorder records nothing.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New creates an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+func (r *Recorder) append(e Event) {
+	r.mu.Lock()
+	e.Seq = len(r.events)
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Record logs a protocol event. Nil-safe.
+func (r *Recorder) Record(k Kind, tid, word uint64) {
+	if r == nil {
+		return
+	}
+	r.append(Event{TID: tid, Kind: k, Word: word})
+}
+
+// RecordData logs a harness observation carrying a data pair. Nil-safe.
+func (r *Recorder) RecordData(k Kind, tid, a, b uint64) {
+	if r == nil {
+		return
+	}
+	r.append(Event{TID: tid, Kind: k, A: a, B: b})
+}
+
+// RecordViolation logs an immediately-detected violation. Nil-safe.
+func (r *Recorder) RecordViolation(tid uint64, msg string) {
+	if r == nil {
+		return
+	}
+	r.append(Event{TID: tid, Kind: ViolationEv, Msg: msg})
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a copy of the full history in order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// PerThread splits the history into per-thread sub-histories (still
+// carrying the global Seq).
+func (r *Recorder) PerThread() map[uint64][]Event {
+	out := make(map[uint64][]Event)
+	for _, e := range r.Events() {
+		out[e.TID] = append(out[e.TID], e)
+	}
+	return out
+}
+
+// Check validates the four safety invariants against the recorded history
+// and returns one message per violation (nil when the history is clean).
+//
+//  1. Mutual exclusion: EnterCS/ExitCS intervals of different threads
+//     never overlap.
+//  2. Reader soundness: every ReadObserved pair is consistent (A == B).
+//  3. Upgrade soundness: every UpgradeObserved pair matches (A == B).
+//  4. Counter monotonicity: published flat-free counters never decrease
+//     across the history, and every flat acquire→release episode
+//     advances the counter it captured at acquisition.
+func (r *Recorder) Check() []string {
+	var v []string
+	events := r.Events()
+
+	// 1. Mutual exclusion over harness section brackets.
+	var holder uint64
+	var holderSeq int
+	for _, e := range events {
+		switch e.Kind {
+		case EnterCS:
+			if holder != 0 && holder != e.TID {
+				v = append(v, fmt.Sprintf(
+					"mutual exclusion: t%d entered the critical section at seq %d while t%d held it since seq %d",
+					e.TID, e.Seq, holder, holderSeq))
+				continue
+			}
+			holder, holderSeq = e.TID, e.Seq
+		case ExitCS:
+			if holder == e.TID {
+				holder = 0
+			}
+		}
+	}
+
+	// 2 + 3. Observation pairs.
+	for _, e := range events {
+		switch e.Kind {
+		case ReadObserved:
+			if e.A != e.B {
+				v = append(v, fmt.Sprintf(
+					"reader soundness: t%d's read-only section observed a torn pair a=%d b=%d (seq %d)",
+					e.TID, e.A, e.B, e.Seq))
+			}
+		case UpgradeObserved:
+			if e.A != e.B {
+				v = append(v, fmt.Sprintf(
+					"upgrade soundness: t%d upgraded over a stale read (read %d, found %d after upgrade, seq %d)",
+					e.TID, e.A, e.B, e.Seq))
+			}
+		case ViolationEv:
+			v = append(v, fmt.Sprintf("t%d: %s (seq %d)", e.TID, e.Msg, e.Seq))
+		}
+	}
+
+	// 4. Counter monotonicity. Flat free words appear in Release and
+	// Deflate events; their counters must be non-decreasing in history
+	// order. Each flat acquire captures the counter its episode must
+	// advance; an Inflate or Wait hands the episode over to the monitor
+	// (the advance is then owed by the eventual deflation).
+	lastCounter := uint64(0)
+	haveLast := false
+	pending := make(map[uint64]uint64) // tid -> counter captured at flat acquire
+	for _, e := range events {
+		switch e.Kind {
+		case Acquire:
+			if flatFree(e.Word) {
+				pending[e.TID] = lockword.SoleroCounter(e.Word)
+			} else {
+				delete(pending, e.TID)
+			}
+		case Inflate, Wait:
+			delete(pending, e.TID)
+		case Release, Deflate:
+			if !flatFree(e.Word) {
+				delete(pending, e.TID)
+				continue
+			}
+			c := lockword.SoleroCounter(e.Word)
+			if haveLast && c < lastCounter {
+				v = append(v, fmt.Sprintf(
+					"counter monotonicity: t%d published counter %d after %d had been published (seq %d)",
+					e.TID, c, lastCounter, e.Seq))
+			}
+			lastCounter, haveLast = c, true
+			if acq, ok := pending[e.TID]; ok && e.Kind == Release {
+				if c == acq {
+					v = append(v, fmt.Sprintf(
+						"counter monotonicity: t%d's writing episode released counter %d unchanged — a release must advance the counter (seq %d)",
+						e.TID, c, e.Seq))
+				}
+				delete(pending, e.TID)
+			}
+		}
+	}
+	return v
+}
+
+// flatFree reports whether w is a flat word with the lock bit clear (the
+// shape whose high field is the sequence counter).
+func flatFree(w uint64) bool {
+	return !lockword.Inflated(w) && w&lockword.LockBit == 0
+}
+
+// Summary returns per-kind event counts, for reports.
+func (r *Recorder) Summary() map[string]int {
+	out := make(map[string]int)
+	for _, e := range r.Events() {
+		out[e.Kind.String()]++
+	}
+	return out
+}
+
+// Format renders the tail of the history (up to max events) for failure
+// reports.
+func (r *Recorder) Format(max int) string {
+	events := r.Events()
+	if len(events) > max && max > 0 {
+		events = events[len(events)-max:]
+	}
+	if len(events) == 0 {
+		return "(no events)\n"
+	}
+	var b []byte
+	for _, e := range events {
+		switch e.Kind {
+		case ReadObserved, UpgradeObserved:
+			b = append(b, fmt.Sprintf("%5d t%-3d %-16s a=%d b=%d\n", e.Seq, e.TID, e.Kind, e.A, e.B)...)
+		case ViolationEv:
+			b = append(b, fmt.Sprintf("%5d t%-3d %-16s %s\n", e.Seq, e.TID, e.Kind, e.Msg)...)
+		default:
+			b = append(b, fmt.Sprintf("%5d t%-3d %-16s word=%s\n", e.Seq, e.TID, e.Kind, lockword.String(e.Word))...)
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,147 @@
+package history
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lockword"
+)
+
+func free(c uint64) uint64 { return lockword.SoleroFreeWord(c) }
+
+// TestNilRecorder pins the production configuration: a nil recorder must
+// accept every call and report an empty, clean history.
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	r.Record(Acquire, 1, 0)
+	r.RecordData(ReadObserved, 1, 1, 2)
+	r.RecordViolation(1, "x")
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder recorded something")
+	}
+}
+
+// TestCleanHistory drives a well-formed run through the checker.
+func TestCleanHistory(t *testing.T) {
+	r := New()
+	// t1 writes (counter 0 -> 1), t2 reads consistently, t1 writes again.
+	r.Record(Acquire, 1, free(0))
+	r.RecordData(EnterCS, 1, 0, 0)
+	r.RecordData(ExitCS, 1, 0, 0)
+	r.Record(Release, 1, free(1))
+	r.RecordData(ReadObserved, 2, 7, 7)
+	r.Record(ReadSuccess, 2, free(1))
+	r.Record(Acquire, 1, free(1))
+	r.RecordData(EnterCS, 1, 0, 0)
+	r.RecordData(ExitCS, 1, 0, 0)
+	r.Record(Release, 1, free(2))
+	if v := r.Check(); v != nil {
+		t.Fatalf("clean history flagged: %v", v)
+	}
+	if n := r.Summary()["acquire"]; n != 2 {
+		t.Fatalf("summary acquire = %d, want 2", n)
+	}
+}
+
+// TestMutualExclusionViolation overlaps two sections.
+func TestMutualExclusionViolation(t *testing.T) {
+	r := New()
+	r.RecordData(EnterCS, 1, 0, 0)
+	r.RecordData(EnterCS, 2, 0, 0)
+	r.RecordData(ExitCS, 2, 0, 0)
+	r.RecordData(ExitCS, 1, 0, 0)
+	v := r.Check()
+	if len(v) != 1 || !strings.Contains(v[0], "mutual exclusion") {
+		t.Fatalf("want one mutual-exclusion violation, got %v", v)
+	}
+}
+
+// TestTornRead flags an inconsistent observed pair.
+func TestTornRead(t *testing.T) {
+	r := New()
+	r.RecordData(ReadObserved, 3, 5, 6)
+	v := r.Check()
+	if len(v) != 1 || !strings.Contains(v[0], "reader soundness") {
+		t.Fatalf("want one reader-soundness violation, got %v", v)
+	}
+}
+
+// TestStaleUpgrade flags a mismatched upgrade pair.
+func TestStaleUpgrade(t *testing.T) {
+	r := New()
+	r.RecordData(UpgradeObserved, 4, 5, 9)
+	v := r.Check()
+	if len(v) != 1 || !strings.Contains(v[0], "upgrade soundness") {
+		t.Fatalf("want one upgrade-soundness violation, got %v", v)
+	}
+}
+
+// TestCounterNotAdvanced is the oracle view of the injected
+// no-counter-bump bug: an episode that republishes the counter it
+// acquired must be flagged even though the word is well-formed.
+func TestCounterNotAdvanced(t *testing.T) {
+	r := New()
+	r.Record(Acquire, 1, free(3))
+	r.Record(Release, 1, free(3)) // should have been free(4)
+	v := r.Check()
+	if len(v) != 1 || !strings.Contains(v[0], "must advance") {
+		t.Fatalf("want one stuck-counter violation, got %v", v)
+	}
+}
+
+// TestCounterRegression flags a counter that moves backwards.
+func TestCounterRegression(t *testing.T) {
+	r := New()
+	r.Record(Acquire, 1, free(5))
+	r.Record(Release, 1, free(6))
+	r.Record(Acquire, 2, free(6))
+	r.Record(Release, 2, free(2))
+	v := r.Check()
+	found := false
+	for _, m := range v {
+		if strings.Contains(m, "after 6 had been published") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want a counter-regression violation, got %v", v)
+	}
+}
+
+// TestInflationCancelsPairing: an episode that inflates owes its advance
+// to the deflation, so no stuck-counter report for the acquirer.
+func TestInflationCancelsPairing(t *testing.T) {
+	r := New()
+	r.Record(Acquire, 1, free(2))
+	r.Record(Inflate, 1, lockword.InflatedWord(9))
+	r.Record(Release, 1, lockword.InflatedWord(9)) // fat exit, no counter word
+	r.Record(Deflate, 1, free(3))                  // monitor republishes advanced counter
+	if v := r.Check(); v != nil {
+		t.Fatalf("inflated episode flagged: %v", v)
+	}
+}
+
+// TestViolationEventPropagates: immediate violations surface in Check.
+func TestViolationEventPropagates(t *testing.T) {
+	r := New()
+	r.RecordViolation(2, "cs oracle: overlap")
+	v := r.Check()
+	if len(v) != 1 || !strings.Contains(v[0], "cs oracle") {
+		t.Fatalf("want the recorded violation, got %v", v)
+	}
+}
+
+// TestFormatTail bounds and renders the report tail.
+func TestFormatTail(t *testing.T) {
+	r := New()
+	for i := uint64(0); i < 10; i++ {
+		r.Record(Acquire, 1, free(i))
+	}
+	out := r.Format(3)
+	if strings.Count(out, "\n") != 3 {
+		t.Fatalf("Format(3) rendered %q", out)
+	}
+	if !strings.Contains(out, "acquire") {
+		t.Fatalf("Format missing kind name: %q", out)
+	}
+}

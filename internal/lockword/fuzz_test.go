@@ -1,0 +1,123 @@
+package lockword
+
+import "testing"
+
+// Native Go fuzzing over the SOLERO word encoding. The properties mirror
+// Figure 5 of the paper: every 64-bit value classifies exclusively as
+// inflated, held, or free, and reconstructing the word from its decoded
+// fields (plus the bits the classification ignores) is the identity —
+// i.e. encode and decode are mutual inverses over the whole word space,
+// not just the values the lock happens to produce.
+
+// figure5Seeds are the paper's edge words: the zero word, small and
+// saturated counters, held words at recursion 0 and the 31-recursion
+// ceiling, FLC combinations, inflated words, and the counter wraparound
+// boundary.
+const soleroRecMax = SoleroRecMask >> 3
+
+func figure5Seeds(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(SoleroFreeWord(1))
+	f.Add(SoleroFreeWord(2))
+	f.Add(SoleroFreeWord((1 << 56) - 1)) // counter saturated: next bump wraps
+	f.Add(SoleroOwned(3, 0))
+	f.Add(SoleroOwned(3, soleroRecMax))
+	f.Add(SoleroOwned(3, 0) | FLCBit)
+	f.Add(SoleroFreeWord(7) | FLCBit)
+	f.Add(InflatedWord(1))
+	f.Add(InflatedWord(42) | FLCBit)
+	f.Add(LockBit)
+	f.Add(SoleroNextFree(SoleroFreeWord((1 << 56) - 1)))
+}
+
+func FuzzSoleroRoundTrip(f *testing.F) {
+	figure5Seeds(f)
+	f.Fuzz(func(t *testing.T, w uint64) {
+		// Exclusive classification.
+		inflated, held, free := Inflated(w), SoleroHeld(w), SoleroFree(w)
+		n := 0
+		for _, c := range []bool{inflated, held, free} {
+			if c {
+				n++
+			}
+		}
+		// A word with FLC or recursion bits but neither InflationBit nor
+		// LockBit classifies as neither held nor free nor inflated —
+		// the protocol never publishes such words, but the predicates
+		// must still not claim two classes at once.
+		if n > 1 {
+			t.Fatalf("word %#x classifies as %d of {inflated,held,free}", w, n)
+		}
+
+		switch {
+		case inflated:
+			// MonitorID plus the bits InflatedWord does not encode must
+			// reconstruct the word exactly.
+			if got := InflatedWord(MonitorID(w)) | (w & (FLCBit | LockBit | SoleroRecMask)); got != w {
+				t.Fatalf("inflated round trip: %#x -> %#x", w, got)
+			}
+		case held:
+			if got := SoleroOwned(Field(w), SoleroRec(w)) | (w & FLCBit); got != w {
+				t.Fatalf("held round trip: %#x -> %#x", w, got)
+			}
+			// The paper's fast-release test is exactly "flat, held, rec 0,
+			// no FLC".
+			want := SoleroRec(w) == 0 && !FLC(w)
+			if SoleroFastReleasable(w) != want {
+				t.Fatalf("fast-releasable mismatch for %#x: got %v want %v",
+					w, SoleroFastReleasable(w), want)
+			}
+		case free:
+			// SoleroFree is a low-bits mask test: recursion bits are not
+			// part of the mask, so a free word's reconstruction carries
+			// them through (the protocol itself only publishes free words
+			// with a clean low byte).
+			if got := SoleroFreeWord(SoleroCounter(w)) | (w & SoleroRecMask); got != w {
+				t.Fatalf("free round trip: %#x -> %#x", w, got)
+			}
+			if SoleroFastReleasable(w) {
+				t.Fatalf("free word %#x claims fast-releasable", w)
+			}
+			// Release advances the counter by exactly one, modulo the
+			// 56-bit field, and publishes a clean low byte.
+			next := SoleroNextFree(w)
+			if next&LowByte != 0 {
+				t.Fatalf("released word %#x has dirty low byte", next)
+			}
+			if got, want := SoleroCounter(next), (SoleroCounter(w)+1)&((1<<56)-1); got != want {
+				t.Fatalf("counter after release of %#x: got %d want %d", w, got, want)
+			}
+		}
+	})
+}
+
+func FuzzSoleroEncode(f *testing.F) {
+	f.Add(uint64(1), uint64(0), false)
+	f.Add(uint64(1), uint64(31), true)
+	f.Add(uint64((1<<56)-1), uint64(17), false)
+	f.Add(uint64(0), uint64(0), false) // tid 0 is reserved but must still encode
+	f.Fuzz(func(t *testing.T, tid, rec uint64, flc bool) {
+		tid &= (1 << 56) - 1
+		rec &= soleroRecMax
+		w := SoleroOwned(tid, rec)
+		if flc {
+			w |= FLCBit
+		}
+		if !SoleroHeld(w) {
+			t.Fatalf("SoleroOwned(%d,%d) not held: %#x", tid, rec, w)
+		}
+		if Inflated(w) || SoleroFree(w) {
+			t.Fatalf("SoleroOwned(%d,%d) misclassified: %#x", tid, rec, w)
+		}
+		if Field(w) != tid || SoleroRec(w) != rec || FLC(w) != flc {
+			t.Fatalf("decode(%#x) = (tid=%d rec=%d flc=%v), want (%d,%d,%v)",
+				w, Field(w), SoleroRec(w), FLC(w), tid, rec, flc)
+		}
+		if !SoleroHeldBy(w, tid) {
+			t.Fatalf("SoleroHeldBy(%#x, %d) false", w, tid)
+		}
+		if tid > 0 && SoleroHeldBy(w, tid-1) {
+			t.Fatalf("SoleroHeldBy(%#x, %d) true for wrong tid", w, tid-1)
+		}
+	})
+}

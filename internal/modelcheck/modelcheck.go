@@ -34,11 +34,16 @@ const (
 	// Upgrader: read-mostly section — snapshot, read a, upgrade CAS,
 	// write a, write b, release; on CAS failure, retry/fallback.
 	Upgrader
+	// Inflator: acquire, inflate (stash counter+1 on the monitor), write
+	// a, write b, then deflate-release republishing the stashed counter —
+	// the §3.2 rule that keeps concurrent elided readers sound across an
+	// inflate/deflate cycle.
+	Inflator
 )
 
 // Config sizes the exploration.
 type Config struct {
-	Writers, Readers, Upgraders int
+	Writers, Readers, Upgraders, Inflators int
 	// MaxRetries bounds speculation retries before fallback (paper: 1).
 	MaxRetries uint8
 	// Mutation selects a deliberately broken protocol variant (tests).
@@ -63,13 +68,19 @@ const (
 	// word currently held by a writer (the paper's check is that the
 	// whole word — including the lock bit — is unchanged).
 	MutValidateIgnoresHeld
+	// MutDeflateStaleCounter deflates republishing the pre-inflation
+	// counter instead of the advanced one stashed at inflation — a reader
+	// that saved the pre-inflation word then validates successfully over
+	// a whole inflate/write/deflate cycle.
+	MutDeflateStaleCounter
 )
 
 // word is the abstract SOLERO lock word.
 type word struct {
-	held    bool
-	owner   int8
-	counter uint8
+	held     bool
+	owner    int8
+	counter  uint8
+	inflated bool
 }
 
 // tstate is one thread's state.
@@ -78,6 +89,9 @@ type tstate struct {
 	saved   word
 	ra, rb  uint8
 	retries uint8
+	// msaved models the monitor's SavedCounter: the counter stashed at
+	// inflation that deflation republishes.
+	msaved uint8
 }
 
 // state is a full system state. It is comparable, enabling memoization.
@@ -110,7 +124,7 @@ type checker struct {
 
 // Run explores every interleaving of the configured thread mix.
 func Run(cfg Config) (*Result, error) {
-	n := cfg.Writers + cfg.Readers + cfg.Upgraders
+	n := cfg.Writers + cfg.Readers + cfg.Upgraders + cfg.Inflators
 	if n == 0 || n > maxThreads {
 		return nil, fmt.Errorf("modelcheck: thread count %d out of range [1,%d]", n, maxThreads)
 	}
@@ -123,6 +137,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	for i := 0; i < cfg.Upgraders; i++ {
 		roles = append(roles, Upgrader)
+	}
+	for i := 0; i < cfg.Inflators; i++ {
+		roles = append(roles, Inflator)
 	}
 	ck := &checker{cfg: cfg, roles: roles, visited: make(map[state]bool), res: &Result{}}
 	var init state
@@ -179,6 +196,8 @@ func (ck *checker) step(s state, i int) (state, bool) {
 		moved = ck.stepWriter(&s, i)
 	case Reader:
 		moved = ck.stepReader(&s, i)
+	case Inflator:
+		moved = ck.stepInflator(&s, i)
 	default:
 		moved = ck.stepUpgrader(&s, i)
 	}
@@ -295,6 +314,50 @@ func (ck *checker) stepReader(s *state, i int) bool {
 		t.pc = 7
 	case 7:
 		ck.release(s, i)
+		t.pc = pcDone
+	}
+	return true
+}
+
+// stepInflator runs the inflate/deflate episode: a flat acquire, an
+// inflation that stashes the advanced counter on the monitor (msaved,
+// mirroring monitor.SavedCounter), writes under the fat lock, then a
+// deflating release that republishes the stash. The faithful protocol
+// stashes counter+1 precisely so the deflated word differs from anything
+// an eliding reader saved before inflation.
+func (ck *checker) stepInflator(s *state, i int) bool {
+	t := &s.threads[i]
+	switch t.pc {
+	case 0:
+		if !ck.acquire(s, i) {
+			return false
+		}
+		t.pc = 1
+	case 1: // inflate: publish the inflated word, stash the counter
+		s.w.inflated = true
+		if ck.cfg.Mutation == MutDeflateStaleCounter {
+			t.msaved = t.saved.counter
+		} else {
+			t.msaved = t.saved.counter + 1
+		}
+		t.pc = 2
+	case 2:
+		s.a++
+		t.pc = 3
+	case 3:
+		s.b++
+		t.pc = 4
+	case 4: // deflate-release: republish the stashed counter as a flat free word
+		if !s.w.held || s.w.owner != int8(i) || !s.w.inflated {
+			ck.violate("inflator %d deflated a word it does not own inflated", i)
+		}
+		if ck.cfg.Mutation == MutNone && t.msaved == t.saved.counter {
+			ck.violate("deflation republished an unchanged counter")
+		}
+		s.w.held = false
+		s.w.owner = -1
+		s.w.inflated = false
+		s.w.counter = t.msaved
 		t.pc = pcDone
 	}
 	return true

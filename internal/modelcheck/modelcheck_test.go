@@ -22,6 +22,10 @@ func TestFaithfulProtocolSafeSmall(t *testing.T) {
 		{Writers: 1, Upgraders: 1, MaxRetries: 1},
 		{Writers: 1, Readers: 1, Upgraders: 1, MaxRetries: 1},
 		{Upgraders: 2, MaxRetries: 1},
+		{Inflators: 1, Readers: 1, MaxRetries: 1},
+		{Inflators: 1, Writers: 1, Readers: 1, MaxRetries: 1},
+		{Inflators: 2, Readers: 1, MaxRetries: 1},
+		{Inflators: 1, Readers: 1, Upgraders: 1, MaxRetries: 1},
 	}
 	for _, cfg := range cases {
 		res := run(t, cfg)
@@ -76,6 +80,14 @@ func TestMutationsAreCaught(t *testing.T) {
 			name: "blind upgrade",
 			cfg:  Config{Writers: 1, Upgraders: 1, MaxRetries: 1, Mutation: MutBlindUpgrade},
 			want: "stale read",
+		},
+		{
+			// The §3.2 deflation rule: republishing the pre-inflation
+			// counter lets a reader that saved it validate across a whole
+			// inflate/write/deflate cycle.
+			name: "deflate republishes stale counter",
+			cfg:  Config{Inflators: 1, Readers: 1, MaxRetries: 1, Mutation: MutDeflateStaleCounter},
+			want: "torn snapshot",
 		},
 	}
 	for _, c := range cases {

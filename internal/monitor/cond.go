@@ -1,6 +1,10 @@
 package monitor
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/sched"
+)
 
 // Condition-queue support: Object.wait/notify/notifyAll. As in production
 // JVMs, waiting requires the fat lock — a flat lock inflates before its
@@ -70,6 +74,7 @@ func (m *Monitor) NotifyOne() {
 	w := m.condq[0]
 	m.condq = m.condq[1:]
 	close(w.ch)
+	sched.NoteWake()
 }
 
 // NotifyAllCond wakes every condition waiter.
@@ -78,6 +83,9 @@ func (m *Monitor) NotifyAllCond() {
 	defer m.mu.Unlock()
 	for _, w := range m.condq {
 		close(w.ch)
+	}
+	if len(m.condq) > 0 {
+		sched.NoteWake()
 	}
 	m.condq = nil
 }

@@ -25,6 +25,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/sched"
 )
 
 // DefaultWaitTimeout bounds FLC parking so a clobbered FLC bit costs at most
@@ -41,6 +43,15 @@ type Monitor struct {
 	waitq   chan struct{}
 	waiters int
 	condq   []*condWaiter // Object.wait queue
+
+	// FIFO entry tickets: contended Enter calls are served strictly in
+	// arrival order. Besides being a fair policy, this makes the handoff
+	// order a deterministic function of the Enter call order, which the
+	// schedule-injection harness (internal/sched) relies on — a broadcast
+	// waking two queued enterers must not let the mutex race pick the
+	// winner.
+	nextTicket  uint64 // next ticket to hand out
+	serveTicket uint64 // lowest ticket not yet served
 
 	// SavedCounter holds, while the associated lock is inflated, the
 	// pre-inflation SOLERO word advanced by one counter unit. Deflation
@@ -99,6 +110,7 @@ func (m *Monitor) BroadcastLocked() {
 	if m.waitq != nil {
 		close(m.waitq)
 		m.waitq = nil
+		sched.NoteWake()
 	}
 	m.broadcasts.Add(1)
 }
@@ -117,12 +129,20 @@ func (m *Monitor) Enter(tid uint64) {
 		m.mu.Unlock()
 		return
 	}
-	if m.owner != 0 {
-		m.contendedEnters.Add(1)
+	if m.owner == 0 && m.nextTicket == m.serveTicket {
+		// Unowned with an empty queue: enter directly.
+		m.owner = tid
+		m.rec = 0
+		m.mu.Unlock()
+		return
 	}
-	for m.owner != 0 {
+	m.contendedEnters.Add(1)
+	ticket := m.nextTicket
+	m.nextTicket++
+	for m.owner != 0 || m.serveTicket != ticket {
 		m.WaitLocked(0)
 	}
+	m.serveTicket++
 	m.owner = tid
 	m.rec = 0
 	m.mu.Unlock()
@@ -206,7 +226,10 @@ func (m *Monitor) ExitDeflating(tid uint64, deflate func()) (released, deflated 
 		m.rec--
 		return false, false
 	}
-	if deflate != nil && m.waiters == 0 {
+	// Queued enterers are counted by their tickets, not by waiters: a
+	// queued thread is committed to entering even while it is between
+	// timed parks, so deflation must not yank the monitor from under it.
+	if deflate != nil && m.waiters == 0 && m.nextTicket == m.serveTicket {
 		deflate()
 		deflated = true
 	}

@@ -1,0 +1,56 @@
+package sched
+
+// Minimize shrinks a failing decision sequence to a short replayable
+// schedule. run must re-execute the scenario under a Replay of the given
+// decisions and report whether the failure still reproduces; budget bounds
+// the number of re-executions (<= 0 selects a default).
+//
+// Two reductions are applied, both keeping only candidates that still
+// fail:
+//
+//  1. prefix truncation — binary search for the shortest failing prefix
+//     (the replayer's deterministic first-runnable tail completes the
+//     run), which discards everything after the violation was forced;
+//  2. preemption coalescing — for every context switch dec[i-1] != dec[i],
+//     try keeping the previous thread running instead, which melts
+//     incidental switches and leaves only the preemptions the bug needs.
+//
+// The result is the final failing candidate (at worst the input).
+func Minimize(dec []uint64, run func([]uint64) bool, budget int) []uint64 {
+	if budget <= 0 {
+		budget = 200
+	}
+	best := append([]uint64(nil), dec...)
+	spend := func(cand []uint64) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		return run(cand)
+	}
+
+	// 1. Shortest failing prefix, by binary search on the prefix length.
+	lo, hi := 0, len(best) // fail known at hi; lo known (assumed) passing
+	for lo+1 < hi && budget > 0 {
+		mid := (lo + hi) / 2
+		if spend(best[:mid]) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	best = append([]uint64(nil), best[:hi]...)
+
+	// 2. Coalesce context switches front to back.
+	for i := 1; i < len(best) && budget > 0; i++ {
+		if best[i] == best[i-1] {
+			continue
+		}
+		cand := append([]uint64(nil), best...)
+		cand[i] = cand[i-1]
+		if spend(cand) {
+			best = cand
+		}
+	}
+	return best
+}

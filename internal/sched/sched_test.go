@@ -1,0 +1,219 @@
+package sched
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestNilHooksNoOp pins the production configuration: nil hooks must be
+// callable and free of side effects.
+func TestNilHooksNoOp(t *testing.T) {
+	var h *Hooks
+	h.Point(1, PReadEnter) // must not panic
+	ran := false
+	h.Block(1, PWaitPark, func() { ran = true })
+	if !ran {
+		t.Fatal("nil Block did not run fn")
+	}
+}
+
+// workers runs n workers of body under strategy and returns the scheduler.
+func workers(t *testing.T, strat Strategy, n int, body func(h *Hooks, tid uint64)) *Scheduler {
+	t.Helper()
+	s := NewScheduler(strat, 0)
+	for tid := uint64(1); tid <= uint64(n); tid++ {
+		s.Register(tid)
+	}
+	h := s.Hooks()
+	var wg sync.WaitGroup
+	for tid := uint64(1); tid <= uint64(n); tid++ {
+		wg.Add(1)
+		go func(tid uint64) {
+			defer wg.Done()
+			s.ThreadStart(tid)
+			body(h, tid)
+			s.ThreadDone(tid)
+		}(tid)
+	}
+	wg.Wait()
+	return s
+}
+
+// TestSerializesThreads checks the core kernel property: between schedule
+// points at most one registered thread runs. The shared counter is a plain
+// int, so the race detector independently verifies the happens-before
+// edges the token passing is supposed to create.
+func TestSerializesThreads(t *testing.T) {
+	const n, iters = 4, 200
+	shared := 0
+	s := workers(t, RandomWalk(42), n, func(h *Hooks, tid uint64) {
+		for i := 0; i < iters; i++ {
+			h.Point(tid, PBody)
+			shared++
+		}
+	})
+	if shared != n*iters {
+		t.Fatalf("lost updates under the scheduler: %d != %d", shared, n*iters)
+	}
+	if s.Aborted() {
+		t.Fatal("run aborted unexpectedly")
+	}
+	if got := len(s.Decisions()); got != s.Steps() {
+		t.Fatalf("decisions %d != steps %d", got, s.Steps())
+	}
+}
+
+// TestBlockReleasesToken checks that a thread inside a Block region stops
+// holding the token: another thread must be able to run and unblock it.
+func TestBlockReleasesToken(t *testing.T) {
+	release := make(chan struct{})
+	done := make(chan struct{})
+	s := NewScheduler(Priorities(1, 2), 0)
+	s.Register(1)
+	s.Register(2)
+	h := s.Hooks()
+	go func() {
+		s.ThreadStart(1)
+		// Highest priority thread blocks on something only t2 can supply.
+		h.Block(1, PWaitPark, func() { <-release })
+		s.ThreadDone(1)
+		close(done)
+	}()
+	go func() {
+		s.ThreadStart(2)
+		h.Point(2, PBody)
+		close(release)
+		s.ThreadDone(2)
+	}()
+	<-done
+}
+
+// TestSeededDeterminism runs the same contended scenario twice under one
+// seed and requires identical decision sequences, then replays the
+// recording and requires the same schedule again.
+func TestSeededDeterminism(t *testing.T) {
+	scenario := func(strat Strategy) []uint64 {
+		s := workers(t, strat, 3, func(h *Hooks, tid uint64) {
+			for i := 0; i < 50; i++ {
+				h.Point(tid, PBody)
+			}
+		})
+		return s.Decisions()
+	}
+	d1 := scenario(RandomWalk(7))
+	d2 := scenario(RandomWalk(7))
+	if !reflect.DeepEqual(d1, d2) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", d1, d2)
+	}
+	d3 := scenario(Replay(d1))
+	if !reflect.DeepEqual(d1, d3) {
+		t.Fatalf("replay diverged:\n%v\n%v", d1, d3)
+	}
+	if reflect.DeepEqual(d1, scenario(RandomWalk(8))) {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+}
+
+// TestPCTDeterminism pins PCT to the same property.
+func TestPCTDeterminism(t *testing.T) {
+	scenario := func(strat Strategy) []uint64 {
+		s := workers(t, strat, 3, func(h *Hooks, tid uint64) {
+			for i := 0; i < 30; i++ {
+				h.Point(tid, PBody)
+			}
+		})
+		return s.Decisions()
+	}
+	if !reflect.DeepEqual(scenario(PCT(11, 3, 0)), scenario(PCT(11, 3, 0))) {
+		t.Fatal("PCT not deterministic for a fixed seed")
+	}
+}
+
+// TestPrioritiesOrder checks the fixed-priority strategy runs the listed
+// threads strictly in order when they never block.
+func TestPrioritiesOrder(t *testing.T) {
+	var mu sync.Mutex
+	var finished []uint64
+	workers(t, Priorities(3, 1, 2), 3, func(h *Hooks, tid uint64) {
+		for i := 0; i < 10; i++ {
+			h.Point(tid, PBody)
+		}
+		mu.Lock()
+		finished = append(finished, tid)
+		mu.Unlock()
+	})
+	if !reflect.DeepEqual(finished, []uint64{3, 1, 2}) {
+		t.Fatalf("completion order %v, want [3 1 2]", finished)
+	}
+}
+
+// TestMaxStepsAborts checks the livelock watchdog opens the gates.
+func TestMaxStepsAborts(t *testing.T) {
+	s := NewScheduler(RandomWalk(1), 10)
+	s.Register(1)
+	done := make(chan struct{})
+	go func() {
+		s.ThreadStart(1)
+		for i := 0; i < 1000; i++ {
+			s.Hooks().Point(1, PSpin)
+		}
+		s.ThreadDone(1)
+		close(done)
+	}()
+	<-done
+	if !s.Aborted() {
+		t.Fatal("run did not abort at maxSteps")
+	}
+}
+
+// TestMinimize shrinks a synthetic failing schedule: the "bug" needs a
+// single preemption to thread 2 somewhere in the first 40 decisions.
+func TestMinimize(t *testing.T) {
+	fails := func(dec []uint64) bool {
+		for i, d := range dec {
+			if i >= 40 {
+				break
+			}
+			if d == 2 {
+				return true
+			}
+		}
+		return false
+	}
+	long := make([]uint64, 100)
+	for i := range long {
+		long[i] = 1
+	}
+	long[25] = 2
+	long[70] = 2
+	min := Minimize(long, fails, 0)
+	if !fails(min) {
+		t.Fatal("minimized schedule no longer fails")
+	}
+	if len(min) > 26 {
+		t.Fatalf("minimization left %d decisions, want <= 26", len(min))
+	}
+}
+
+// TestDecisionRoundTrip pins the CLI replay format.
+func TestDecisionRoundTrip(t *testing.T) {
+	in := []uint64{1, 1, 3, 2, 1}
+	out, err := ParseDecisions(FormatDecisions(in))
+	if err != nil || !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip %v -> %v (%v)", in, out, err)
+	}
+	if _, err := ParseDecisions("1,x,3"); err == nil {
+		t.Fatal("bad decision list accepted")
+	}
+}
+
+// TestFormatTrace pins the compact rendering used in failure reports.
+func TestFormatTrace(t *testing.T) {
+	s := []Step{{1, PAcquireCAS}, {1, PRelease}, {2, PReadEnter}}
+	got := FormatTrace(s)
+	want := "t1:acquire-cas>release t2:read-enter"
+	if got != want {
+		t.Fatalf("FormatTrace = %q, want %q", got, want)
+	}
+}

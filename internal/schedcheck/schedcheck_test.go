@@ -1,0 +1,105 @@
+package schedcheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// TestCleanRuns: the correct lock survives schedule exploration across a
+// spread of seeds and both strategies with a clean oracle.
+func TestCleanRuns(t *testing.T) {
+	for _, strat := range []string{"random", "pct"} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			out := Run(Options{
+				Writers: 2, Readers: 2, Upgraders: 1, Ops: 10,
+				Seed: seed, Strategy: strat,
+			})
+			if out.Aborted {
+				t.Fatalf("%s seed %d: aborted after %d steps", strat, seed, out.Steps)
+			}
+			if out.Failed() {
+				t.Fatalf("%s seed %d: false violations: %v\n%s",
+					strat, seed, out.Violations, out.HistoryTail)
+			}
+			if out.Steps == 0 || out.Events == 0 {
+				t.Fatalf("%s seed %d: nothing happened (steps=%d events=%d)",
+					strat, seed, out.Steps, out.Events)
+			}
+		}
+	}
+}
+
+// TestBugCaught: the injected no-counter-bump release is detected — the
+// counter-pairing oracle fires on the very first buggy release, so any
+// seed catches it within one episode.
+func TestBugCaught(t *testing.T) {
+	out := Run(Options{
+		Writers: 2, Readers: 2, Ops: 10,
+		Seed: 1, Bug: core.BugNoCounterBump,
+	})
+	if !out.Failed() {
+		t.Fatal("BugNoCounterBump not caught")
+	}
+	found := false
+	for _, v := range out.Violations {
+		if strings.Contains(v, "must advance") || strings.Contains(v, "torn") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unexpected violation set: %v", out.Violations)
+	}
+}
+
+// TestReplayDeterminism: replaying a run's decision sequence reproduces
+// the identical schedule and verdict.
+func TestReplayDeterminism(t *testing.T) {
+	opts := Options{Writers: 2, Readers: 2, Upgraders: 1, Ops: 8, Seed: 42}
+	first := Run(opts)
+	again := Run(opts)
+	if sched.FormatDecisions(first.Decisions) != sched.FormatDecisions(again.Decisions) {
+		t.Fatal("same seed produced different schedules")
+	}
+	replayed := Replay(opts, first.Decisions)
+	if sched.FormatDecisions(replayed.Decisions) != sched.FormatDecisions(first.Decisions) {
+		t.Fatal("replay diverged from the recording")
+	}
+	if replayed.Failed() != first.Failed() {
+		t.Fatal("replay changed the verdict")
+	}
+}
+
+// TestExploreFindsAndMinimizes: exploration stops at the first failing
+// episode and the minimized schedule still reproduces a violation.
+func TestExploreFindsAndMinimizes(t *testing.T) {
+	opts := Options{Writers: 2, Readers: 2, Ops: 10, Seed: 7, Bug: core.BugNoCounterBump}
+	res := Explore(opts, 5, 0, nil)
+	if res.Failing == nil {
+		t.Fatal("exploration missed the injected bug")
+	}
+	if len(res.Minimized) > len(res.Failing.Decisions) {
+		t.Fatalf("minimization grew the schedule: %d -> %d",
+			len(res.Failing.Decisions), len(res.Minimized))
+	}
+	ep := opts
+	ep.Seed = res.EpisodeSeed
+	if out := Replay(ep, res.Minimized); !out.Failed() {
+		t.Fatal("minimized schedule no longer fails")
+	}
+}
+
+// TestExploreCleanSweep: a clean lock sweeps a few episodes without a
+// false positive.
+func TestExploreCleanSweep(t *testing.T) {
+	res := Explore(Options{Writers: 1, Readers: 2, Upgraders: 1, Ops: 8, Seed: 3}, 8, 0, nil)
+	if res.Failing != nil {
+		t.Fatalf("false positive in episode %d (seed %d): %v",
+			res.Episode, res.EpisodeSeed, res.Failing.Violations)
+	}
+	if res.Episodes != 8 {
+		t.Fatalf("ran %d episodes, want 8", res.Episodes)
+	}
+}
