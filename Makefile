@@ -6,13 +6,15 @@
 #   make race      - race-detector pass over the lock core + schedule kernel
 #   make bench     - reader-scaling + alloc-free benchmarks
 #   make check     - tier-1 gate: build + vet + test
+#   make lint      - solerovet speculation-safety analyzers over the module
+#   make lintcatch - inverted lint: seeded violations MUST be reported
 #   make schedsmoke - fixed-seed schedule-exploration smoke + inverted bug-catch
 #   make schedfuzz  - longer schedule exploration across both strategies
 #   make fuzz      - native Go fuzzing of the lock-word encoding
 
 GO ?= go
 
-.PHONY: build vet test race bench check schedsmoke schedfuzz fuzz
+.PHONY: build vet test race bench check lint lintcatch schedsmoke schedfuzz fuzz
 
 build:
 	$(GO) build ./...
@@ -32,6 +34,24 @@ bench:
 	$(GO) test -bench 'BenchmarkReaderScaling|BenchmarkReadOnlyAllocFree' -benchtime 200ms .
 
 check: build vet test
+
+# The whole module must be clean: critical-section closures proven
+# speculation-safe, ReadMostly stores dominated by BeforeWrite, elided
+# loads atomic where the lock writes.
+lint:
+	$(GO) run ./cmd/solerovet ./...
+
+# Inverted lint: the golden testdata packages carry known violations of
+# every analyzer; solerovet reporting nothing there would mean the
+# analyzers rotted. A green build certifies both directions.
+lintcatch:
+	@for pkg in specsafety beforewrite atomicread elide; do \
+		$(GO) run ./cmd/solerovet repro/internal/govet/testdata/src/$$pkg >/dev/null 2>&1; rc=$$?; \
+		if [ $$rc -ne 1 ]; then \
+			echo "FAIL: solerovet did not report seeded violations in $$pkg (exit $$rc, want 1)"; exit 1; \
+		fi; \
+		echo "OK: $$pkg violations caught"; \
+	done
 
 # Fixed-seed smoke: a clean 30s exploration must pass, and a run with an
 # injected release-without-counter-bump bug must FAIL (the inverted step:

@@ -1,0 +1,173 @@
+// Command solerovet runs the SOLERO speculation-safety analyzer suite.
+//
+// Standalone:
+//
+//	solerovet ./examples/... ./solero/...
+//	solerovet -checks specsafety,atomicread ./...
+//
+// As a vet tool (per-package units driven by the go command):
+//
+//	go vet -vettool=$(which solerovet) ./...
+//
+// The vet integration implements the unitchecker handshake the go command
+// speaks: `-V=full` prints a version fingerprint, `-flags` advertises
+// supported flags, and a trailing *.cfg argument names a JSON unit config
+// whose ImportPath is re-analyzed whole-program (solerovet's checks are
+// interprocedural, so it reloads the surrounding module instead of using
+// vet's per-package export data).
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/govet"
+	"repro/internal/govet/analysis"
+	"repro/internal/govet/checks"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("solerovet", flag.ExitOnError)
+	var (
+		vFlag      = fs.String("V", "", "print version and exit (go vet handshake)")
+		flagsFlag  = fs.Bool("flags", false, "print flag metadata and exit (go vet handshake)")
+		checksFlag = fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
+		listFlag   = fs.Bool("list", false, "list analyzers and exit")
+		jsonFlag   = fs.Bool("json", false, "emit diagnostics as JSON")
+	)
+	fs.Parse(args)
+
+	if *vFlag != "" {
+		// The go command parses `-V=full` output as "name version devel
+		// ... buildID=<content id>" (cmd/go/internal/work.toolID) and uses
+		// the buildID to key vet's action cache, so the fingerprint must
+		// change whenever the binary does: hash the executable itself.
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "solerovet: %v\n", err)
+			return 2
+		}
+		data, err := os.ReadFile(exe)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "solerovet: %v\n", err)
+			return 2
+		}
+		h := sha256.Sum256(data)
+		fmt.Printf("solerovet version devel buildID=%02x\n", h[:16])
+		return 0
+	}
+	if *flagsFlag {
+		// Empty flag list: solerovet accepts no per-unit flags from vet.
+		fmt.Println("[]")
+		return 0
+	}
+	if *listFlag {
+		for _, a := range checks.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := checks.All()
+	if *checksFlag != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*checksFlag, ",") {
+			a := checks.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "solerovet: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 1 && strings.HasSuffix(patterns[0], ".cfg") {
+		return runVetUnit(patterns[0], analyzers)
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := govet.Run("", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "solerovet: %v\n", err)
+		return 2
+	}
+	return report(diags, *jsonFlag)
+}
+
+func report(diags []govet.Diagnostic, asJSON bool) int {
+	if asJSON {
+		json.NewEncoder(os.Stdout).Encode(diags)
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+			for _, f := range d.Fixes {
+				fmt.Fprintf(os.Stderr, "\tfix: %s\n", f)
+			}
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the subset of the go command's unitchecker config we use.
+type vetConfig struct {
+	ID         string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	VetxOutput string
+}
+
+// runVetUnit analyzes one vet unit. The go command expects facts output
+// at cfg.VetxOutput (we write an empty placeholder — solerovet carries
+// its state whole-program, not through vet facts) and diagnostics on
+// stderr with a non-zero exit.
+func runVetUnit(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "solerovet: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "solerovet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "solerovet: %v\n", err)
+			return 2
+		}
+	}
+	// Only module packages get source-level analysis; vet also drives
+	// tools over the standard library's dependencies of the build, over
+	// per-test package variants ("pkg [pkg.test]", "pkg_test"), and over
+	// generated test mains ("pkg.test") — none of which are listable
+	// import paths. The base package covers each of them.
+	ip := cfg.ImportPath
+	if !strings.HasPrefix(ip, "repro") ||
+		strings.Contains(ip, " ") ||
+		strings.HasSuffix(ip, "_test") ||
+		strings.HasSuffix(ip, ".test") {
+		return 0
+	}
+	diags, err := govet.Run(cfg.Dir, []string{cfg.ImportPath}, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "solerovet: %v\n", err)
+		return 2
+	}
+	return report(diags, false)
+}

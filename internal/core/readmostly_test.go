@@ -262,3 +262,57 @@ func TestReadMostlyTornNeverEscapes(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestReadMostlyBeforeWriteTwiceAfterFailedUpgrade pins the two
+// BeforeWrite edge cases the static beforewrite analyzer reasons about:
+// the first execution's upgrade fails (the snapshot is invalidated by
+// another thread mid-section), the section unwinds and re-executes
+// holding the lock, and calling BeforeWrite again — twice — on the held
+// run must be a pure no-op: no second acquisition, no upgrade counted,
+// and exactly one counter advance from the held re-execution.
+func TestReadMostlyBeforeWriteTwiceAfterFailedUpgrade(t *testing.T) {
+	ths := newT(t, 2)
+	l := New(nil)
+	before := lockword.SoleroCounter(l.Word())
+	runs := 0
+	l.ReadMostly(ths[0], func(s *Section) {
+		runs++
+		if runs == 1 {
+			// Invalidate the snapshot before the upgrade attempt.
+			l.Lock(ths[1])
+			l.Unlock(ths[1])
+		}
+		s.BeforeWrite()
+		if !s.Holding() {
+			t.Errorf("not holding after BeforeWrite on run %d", runs)
+		}
+		s.BeforeWrite() // second call must be a no-op in every regime
+		if runs == 2 && s.Upgraded() {
+			t.Errorf("re-executed section holds from entry; it must not report an in-place upgrade")
+		}
+		if !l.HeldBy(ths[0]) {
+			t.Errorf("lock not actually held inside section on run %d", runs)
+		}
+	})
+	if runs != 2 {
+		t.Fatalf("failed upgrade must re-execute exactly once: runs=%d", runs)
+	}
+	st := l.Stats()
+	if got := st.UpgradeFailures.Load(); got != 1 {
+		t.Fatalf("upgrade failures = %d, want 1", got)
+	}
+	if got := st.Upgrades.Load(); got != 0 {
+		t.Fatalf("upgrades = %d, want 0 (a failed upgrade must not also count as an upgrade)", got)
+	}
+	if l.HeldBy(ths[0]) {
+		t.Fatalf("lock leaked")
+	}
+	// One advance from the invalidating Lock/Unlock, one from releasing
+	// the held re-execution.
+	if got := lockword.SoleroCounter(l.Word()); got != before+2 {
+		t.Fatalf("counter advanced %d times, want 2", got-before)
+	}
+	if ths[0].SpecDepth() != 0 {
+		t.Fatalf("speculative frames leaked")
+	}
+}

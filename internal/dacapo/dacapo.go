@@ -126,10 +126,15 @@ func (b *Bench) Op(th *jthread.Thread, rnd uint64) {
 		g, m := b.guards[gi], b.data[gi]
 		k := int64(x >> 8 % 128)
 		if x>>32%1000 < roThreshold {
+			// The in-section spin stays (it models critical-section
+			// length); the sink update moves out so the speculative
+			// section stays write-free and idempotent.
+			var got uint64
 			g.Read(th, func() {
 				v, _ := m.Get(k)
-				sink.Add(uint64(v) + work(p.CSWork))
+				got = uint64(v) + work(p.CSWork)
 			})
+			sink.Add(got)
 		} else {
 			g.Write(th, func() {
 				v, _ := m.Get(k)

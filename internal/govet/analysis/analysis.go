@@ -1,0 +1,74 @@
+// Package analysis is a self-contained miniature of golang.org/x/tools'
+// go/analysis model, carrying just what the solerovet suite needs. The
+// repo builds offline, so the real x/tools module is not available; the
+// shape (Analyzer, Pass, Diagnostic, suggested fixes) is kept close enough
+// that migrating to the upstream framework later is mechanical.
+//
+// The one deliberate divergence: solerovet's checks are *whole-program* —
+// an effect summary of a helper two packages away decides whether a
+// closure is speculation-safe — so a Pass carries the fully loaded program
+// and the interprocedural effect analysis alongside the usual per-package
+// syntax and type information, where upstream would thread serialized
+// facts between per-package invocations.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one named check of the suite.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, flags, and directives.
+	Name string
+	// Doc is a one-paragraph description, shown by `solerovet -list`.
+	Doc string
+	// Run applies the analyzer to one package of the program.
+	Run func(*Pass) error
+}
+
+// Pass carries the inputs and the report sink for one (analyzer, package)
+// unit of work. Program-wide context (the loaded program, effect
+// summaries, section sites) is attached by the driver before Run.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Fset maps positions for every file of the whole program.
+	Fset *token.FileSet
+	// Files is the syntax of the package under analysis.
+	Files []*ast.File
+	// Pkg and TypesInfo are the package's type-checked form.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Context is the program-wide analysis context (typed as any to keep
+	// this leaf package dependency-free; the driver sets it to a
+	// *govet.Context and analyzers use govet.PassContext to retrieve it).
+	Context any
+
+	// Report emits one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos
+	Category string // analyzer name
+	Message  string
+	// Fixes carries suggested remediations (rendered as notes; the suite
+	// does not rewrite source).
+	Fixes []SuggestedFix
+}
+
+// SuggestedFix is a human-applicable remediation suggestion.
+type SuggestedFix struct {
+	Message string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, end token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, End: end, Category: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}

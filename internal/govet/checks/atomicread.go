@@ -1,0 +1,118 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/govet/analysis"
+	"repro/internal/govet/effects"
+	"repro/internal/govet/sections"
+)
+
+// Atomicread enforces the documented Go-memory-model rule from
+// solero/solero.go: a struct field that writers mutate under the lock and
+// that elided (speculative) sections load concurrently must be a
+// sync/atomic cell — the validation-by-lock-word protocol only bounds
+// *when* a racing write happened, not the atomicity of the racing load
+// itself.
+//
+// The check intersects two sets: fields loaded non-atomically inside
+// ReadOnly sections (and the pre-upgrade region of ReadMostly sections)
+// against fields written anywhere under the lock's writing protocols
+// (Sync sections, ReadMostly upgrade regions, and everything they call).
+// Fields never written under the lock — immutable configuration — read
+// freely.
+var Atomicread = &analysis.Analyzer{
+	Name: "atomicread",
+	Doc: "check that shared struct fields loaded inside elided sections are sync/atomic typed " +
+		"when they are also written under the lock",
+	Run: runAtomicread,
+}
+
+func runAtomicread(pass *analysis.Pass) error {
+	ctx, pkg, err := passContext(pass)
+	if err != nil {
+		return err
+	}
+	locked := lockedWriteSet(ctx)
+	reported := map[token.Pos]bool{}
+	for _, site := range ctx.Sections.PkgSites(pkg) {
+		if site.Mode == sections.ModeSync || site.Lit == nil {
+			continue
+		}
+		w := sectionWalker(ctx, site)
+		w.RecordReads = true
+		sink := &readSink{w: w}
+		sections.Interpret(site.Pkg, site.Lit.Body, site.SectionParam, sink)
+		for _, r := range w.Reads() {
+			if r.Atomic || reported[r.Pos] {
+				continue
+			}
+			if _, written := locked[r.Field]; !written {
+				continue
+			}
+			reported[r.Pos] = true
+			pass.Report(analysis.Diagnostic{
+				Pos: r.Pos, End: r.End, Category: pass.Analyzer.Name,
+				Message: "field " + r.Field.Name() + " is loaded non-atomically inside a " +
+					site.Mode.String() + " section but written under the lock",
+				Fixes: []analysis.SuggestedFix{{
+					Message: "declare " + r.Field.Name() + " as a sync/atomic type (e.g. atomic.Int64, atomic.Pointer) " +
+						"and load it with .Load() here",
+				}},
+			})
+		}
+	}
+	return nil
+}
+
+// lockedWriteSet unions the fields written by every section that may hold
+// the lock: Sync closures, ReadMostly closures (their post-upgrade
+// stores), named section functions, and all their callees via summaries.
+func lockedWriteSet(ctx *Context) map[*types.Var]token.Pos {
+	out := map[*types.Var]token.Pos{}
+	for _, site := range ctx.Sections.Sites {
+		if site.Mode == sections.ModeReadOnly {
+			continue
+		}
+		switch {
+		case site.Lit != nil:
+			w := sectionWalker(ctx, site)
+			w.WalkBody(site.Lit.Body)
+			for f, pos := range w.Fields() {
+				if _, ok := out[f]; !ok {
+					out[f] = pos
+				}
+			}
+		case site.Named != nil:
+			if sum := ctx.Effects.SummaryOf(site.Named); sum != nil {
+				for f, pos := range sum.Fields {
+					if _, ok := out[f]; !ok {
+						out[f] = pos
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// readSink mutes the walker over held (post-upgrade) leaves so only
+// speculative-region loads are recorded.
+type readSink struct{ w *effects.Walker }
+
+func (s *readSink) LeafStmt(st ast.Stmt, held, guarded bool) {
+	s.w.Mute = held
+	s.w.WalkStmt(st, guarded)
+	s.w.Mute = false
+}
+
+func (s *readSink) LeafExpr(e ast.Expr, held, guarded bool) {
+	if e == nil {
+		return
+	}
+	s.LeafStmt(&ast.ExprStmt{X: e}, held, guarded)
+}
+
+func (s *readSink) BeforeWriteCall(call *ast.CallExpr, held bool) {}

@@ -1,0 +1,100 @@
+package checks
+
+import (
+	"go/ast"
+
+	"repro/internal/govet/analysis"
+	"repro/internal/govet/effects"
+	"repro/internal/govet/sections"
+)
+
+// Beforewrite enforces the §5 read-mostly protocol contract: inside a
+// ReadMostly section, every path that stores shared state (or performs
+// any other effect) must first pass through (*Section).BeforeWrite — the
+// upgrade point where the runtime trades the speculative snapshot for the
+// real lock. A store on a path not dominated by BeforeWrite executes
+// while other readers may be running speculatively against the old lock
+// word: a silent data race.
+var Beforewrite = &analysis.Analyzer{
+	Name: "beforewrite",
+	Doc: "check that every effectful path of a (*Lock).ReadMostly closure is dominated " +
+		"by an (*core.Section).BeforeWrite upgrade call",
+	Run: runBeforewrite,
+}
+
+func runBeforewrite(pass *analysis.Pass) error {
+	ctx, pkg, err := passContext(pass)
+	if err != nil {
+		return err
+	}
+	for _, site := range ctx.Sections.PkgSites(pkg) {
+		if site.Mode != sections.ModeReadMostly {
+			continue
+		}
+		var (
+			w    *effects.Walker
+			body *ast.BlockStmt
+			sp   = site.SectionParam
+			spkg = site.Pkg
+		)
+		switch {
+		case site.Lit != nil:
+			w = sectionWalker(ctx, site)
+			body = site.Lit.Body
+		case site.Named != nil:
+			dpkg, decl := ctx.Effects.DeclOf(site.Named)
+			if decl == nil {
+				pass.Reportf(site.Arg.Pos(), site.Arg.End(),
+					"ReadMostly section runs %s, which has no analyzable body", site.Named.Name())
+				continue
+			}
+			w = effects.NewWalker(ctx.Effects, dpkg, decl, effects.SectionMode)
+			body = decl.Body
+			spkg = dpkg
+			sp = sections.SectionParamOf(dpkg, decl.Type)
+		default:
+			pass.Reportf(site.Arg.Pos(), site.Arg.End(),
+				"ReadMostly section runs a function value that cannot be analyzed; pass a closure or named function")
+			continue
+		}
+		sink := &bwSink{pass: pass, w: w}
+		sections.Interpret(spkg, body, sp, sink)
+	}
+	return nil
+}
+
+// bwSink reports walker violations found on leaves the lock is not yet
+// provably held at.
+type bwSink struct {
+	pass *analysis.Pass
+	w    *effects.Walker
+	seen int
+}
+
+func (s *bwSink) drain(held, guarded bool) {
+	vs := s.w.Violations()
+	for ; s.seen < len(vs); s.seen++ {
+		v := vs[s.seen]
+		if held {
+			continue
+		}
+		s.pass.Reportf(v.Pos, v.End, "ReadMostly section: %s on a path not dominated by BeforeWrite", v.Msg)
+	}
+}
+
+func (s *bwSink) LeafStmt(st ast.Stmt, held, guarded bool) {
+	s.w.Mute = false
+	s.w.WalkStmt(st, guarded)
+	s.drain(held, guarded)
+}
+
+func (s *bwSink) LeafExpr(e ast.Expr, held, guarded bool) {
+	if e == nil {
+		return
+	}
+	s.w.Mute = false
+	s.w.WalkStmt(&ast.ExprStmt{X: e}, guarded)
+	s.drain(held, guarded)
+}
+
+func (s *bwSink) BeforeWriteCall(call *ast.CallExpr, held bool) {}

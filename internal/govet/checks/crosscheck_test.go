@@ -1,0 +1,94 @@
+package checks_test
+
+// The corpus cross-check: internal/govet/testdata/src/corpus holds Go
+// transliterations of the mini-Java programs in internal/jit/testdata,
+// and this test asserts that solerovet's elide classifier grades each
+// transliterated Sync section exactly the way the JIT's bytecode
+// analysis grades the original synchronized method. The two analyses
+// share no code — one walks Go ASTs with go/types, the other walks
+// mini-Java IR — so agreement here pins down that the vet suite really
+// restates the paper's elision criterion rather than some approximation
+// of it.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/govet/checks"
+	"repro/internal/govet/load"
+	"repro/internal/govet/sections"
+	"repro/internal/jit"
+	"repro/internal/jit/codegen"
+)
+
+const corpusPrefix = "repro/internal/govet/testdata/src/corpus/"
+
+var corpus = []struct {
+	name string // Go package under testdata/src/corpus/
+	mj   string // mini-Java original under internal/jit/testdata/
+}{
+	{"counterbank", "counterbank.mj"},
+	{"linkedlist", "linkedlist.mj"},
+	{"annotated", "annotated.mj"},
+	{"cache", "cache.mj"},
+}
+
+func TestElideMatchesJITCorpus(t *testing.T) {
+	patterns := make([]string, len(corpus))
+	for i, c := range corpus {
+		patterns[i] = corpusPrefix + c.name
+	}
+	prog, err := load.Load("../../..", patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := checks.NewContext(prog)
+
+	for _, c := range corpus {
+		t.Run(c.name, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join("..", "..", "jit", "testdata", c.mj))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _, rep, err := jit.Build(string(src), codegen.DefaultOptions)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			pkg := prog.ByPath(corpusPrefix + c.name)
+			if pkg == nil {
+				t.Fatalf("corpus package %s not loaded", c.name)
+			}
+			if len(pkg.TypeErrors) > 0 {
+				t.Fatalf("corpus package %s has type errors: %v", c.name, pkg.TypeErrors)
+			}
+
+			var elided, readMostly, writing, total int
+			for _, site := range ctx.Sections.PkgSites(pkg) {
+				if site.Mode != sections.ModeSync || !site.Direct {
+					t.Fatalf("corpus packages must use direct Sync sections only; found %v at %v",
+						site.Mode, prog.Fset.Position(site.Call.Pos()))
+				}
+				total++
+				switch cl := checks.Classify(ctx, site); cl {
+				case checks.ClassReadOnly, checks.ClassAnnotated:
+					elided++
+				case checks.ClassReadMostly:
+					readMostly++
+				case checks.ClassWriting:
+					writing++
+				default:
+					t.Fatalf("unknown class %v", cl)
+				}
+			}
+			if total == 0 {
+				t.Fatalf("no Sync sites discovered in %s", c.name)
+			}
+			if elided != rep.Elided || readMostly != rep.ReadMostly || writing != rep.Writing {
+				t.Fatalf("solerovet classifies %s as %d/%d/%d, JIT classifies %s as %d/%d/%d (elide/read-mostly/write)",
+					c.name, elided, readMostly, writing, c.mj, rep.Elided, rep.ReadMostly, rep.Writing)
+			}
+		})
+	}
+}

@@ -1,0 +1,94 @@
+package checks
+
+import (
+	"repro/internal/govet/analysis"
+	"repro/internal/govet/effects"
+	"repro/internal/govet/sections"
+)
+
+// Elide is the suggestion-side mirror of the JIT's automatic elision
+// detection (internal/jit/analysis): a closure passed to (*Lock).Sync
+// whose effect summary is provably read-only would have been elided by
+// the paper's JIT, so the analyzer suggests (*Lock).ReadOnly; one whose
+// only shared writes sit on guarded (conditional) paths matches the §5
+// read-mostly shape and gets a ReadMostly suggestion. Sections carrying a
+// //solerovet:readonly directive (the @SoleroReadOnly analogue) are
+// treated as already-asserted read-only and left alone.
+var Elide = &analysis.Analyzer{
+	Name: "elide",
+	Doc: "suggest (*Lock).ReadOnly or (*Lock).ReadMostly for Sync closures the effect " +
+		"analysis proves read-only or read-mostly, mirroring the JIT's elision decision",
+	Run: runElide,
+}
+
+// Class is the elision classification of one Sync section, mirroring
+// internal/jit/analysis classifications over mini-Java bytecode.
+type Class uint8
+
+const (
+	// ClassWriting sections keep the lock.
+	ClassWriting Class = iota
+	// ClassReadOnly sections are provably effect-free: elidable.
+	ClassReadOnly
+	// ClassReadMostly sections write only on guarded paths: §5 protocol.
+	ClassReadMostly
+	// ClassAnnotated sections carry //solerovet:readonly: elided on the
+	// author's assertion, like the paper's @SoleroReadOnly.
+	ClassAnnotated
+)
+
+func runElide(pass *analysis.Pass) error {
+	ctx, pkg, err := passContext(pass)
+	if err != nil {
+		return err
+	}
+	for _, site := range ctx.Sections.PkgSites(pkg) {
+		if site.Mode != sections.ModeSync || !site.Direct {
+			continue
+		}
+		switch Classify(ctx, site) {
+		case ClassReadOnly:
+			pass.Reportf(site.Call.Pos(), site.Call.End(),
+				"Sync closure is provably read-only; use (*Lock).ReadOnly to elide the lock")
+		case ClassReadMostly:
+			pass.Reportf(site.Call.Pos(), site.Call.End(),
+				"Sync closure writes shared state only on guarded paths; consider (*Lock).ReadMostly with BeforeWrite")
+		}
+	}
+	return nil
+}
+
+// Classify grades one Sync site exactly the way the JIT grades a
+// synchronized block: read-only if no violation survives, read-mostly if
+// every violation is a guarded shared write (and there is at least one),
+// writing otherwise. Exported for the corpus cross-check test against
+// internal/jit/analysis.
+func Classify(ctx *Context, site *sections.Site) Class {
+	if site.Annotated {
+		return ClassAnnotated
+	}
+	var vs []effects.Violation
+	switch {
+	case site.Lit != nil:
+		w := sectionWalker(ctx, site)
+		w.WalkBody(site.Lit.Body)
+		vs = w.Violations()
+	case site.Named != nil:
+		sum := ctx.Effects.SummaryOf(site.Named)
+		if sum == nil || sum.Effect != effects.Pure {
+			return ClassWriting
+		}
+		return ClassReadOnly
+	default:
+		return ClassWriting
+	}
+	if len(vs) == 0 {
+		return ClassReadOnly
+	}
+	for _, v := range vs {
+		if v.Kind != effects.KindWrite || !v.Guarded {
+			return ClassWriting
+		}
+	}
+	return ClassReadMostly
+}

@@ -1,0 +1,26 @@
+package checks_test
+
+import (
+	"testing"
+
+	"repro/internal/govet/checks"
+	"repro/internal/govet/vettest"
+)
+
+const testdataPrefix = "repro/internal/govet/testdata/src/"
+
+func TestSpecsafetyGolden(t *testing.T) {
+	vettest.Check(t, testdataPrefix+"specsafety", checks.Specsafety)
+}
+
+func TestBeforewriteGolden(t *testing.T) {
+	vettest.Check(t, testdataPrefix+"beforewrite", checks.Beforewrite)
+}
+
+func TestAtomicreadGolden(t *testing.T) {
+	vettest.Check(t, testdataPrefix+"atomicread", checks.Atomicread)
+}
+
+func TestElideGolden(t *testing.T) {
+	vettest.Check(t, testdataPrefix+"elide", checks.Elide)
+}

@@ -1,0 +1,130 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/govet/analysis"
+	"repro/internal/govet/effects"
+	"repro/internal/govet/load"
+	"repro/internal/govet/sections"
+)
+
+// Specsafety proves ReadOnly closures speculation-safe: no stores to
+// non-local memory, no channel/map/slice mutation, no I/O, no calls to
+// functions whose effect summary is writing or unknown. This is the exact
+// obligation the paper's JIT checks over bytecode before eliding a
+// synchronized block — a closure that fails it would leak effects every
+// time speculation aborts and re-executes.
+var Specsafety = &analysis.Analyzer{
+	Name: "specsafety",
+	Doc: "check that solero.ReadOnly / (*Lock).ReadOnly closures are speculation-safe: " +
+		"side-effect free up to frame-private state, with all reachable callees proven pure",
+	Run: runSpecsafety,
+}
+
+func runSpecsafety(pass *analysis.Pass) error {
+	ctx, pkg, err := passContext(pass)
+	if err != nil {
+		return err
+	}
+	for _, site := range ctx.Sections.PkgSites(pkg) {
+		if site.Mode != sections.ModeReadOnly {
+			continue
+		}
+		switch {
+		case site.Lit != nil:
+			w := sectionWalker(ctx, site)
+			w.WalkBody(site.Lit.Body)
+			for _, v := range w.Violations() {
+				pass.Reportf(v.Pos, v.End, "ReadOnly section: %s", v.Msg)
+			}
+		case site.Named != nil:
+			sum := ctx.Effects.SummaryOf(site.Named)
+			switch {
+			case sum == nil:
+				pass.Reportf(site.Arg.Pos(), site.Arg.End(),
+					"ReadOnly section runs %s, which has no analyzable body", site.Named.Name())
+			case sum.Effect == effects.Writes:
+				pass.Reportf(site.Arg.Pos(), site.Arg.End(),
+					"ReadOnly section runs %s, which writes shared state (%s)", site.Named.Name(), sum.Reason)
+			case sum.Effect == effects.Unknown:
+				pass.Reportf(site.Arg.Pos(), site.Arg.End(),
+					"ReadOnly section runs %s, whose effects cannot be proven (%s)", site.Named.Name(), sum.Reason)
+			}
+		default:
+			pass.Reportf(site.Arg.Pos(), site.Arg.End(),
+				"ReadOnly section runs a function value that cannot be analyzed; pass a closure or named function")
+		}
+	}
+	checkThreadSharing(pass, pkg)
+	return nil
+}
+
+// checkThreadSharing flags a *jthread.Thread variable handed to more than
+// one goroutine: Thread carries per-thread speculation frames and
+// checkpoint bookkeeping, so two goroutines sharing one corrupt each
+// other's abort state. The satellite rule: a Thread-typed variable
+// referenced from two or more distinct go statements in one function is
+// misuse (each goroutine must Attach its own).
+func checkThreadSharing(pass *analysis.Pass, pkg *load.Package) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			uses := map[*types.Var][]*ast.GoStmt{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				for _, v := range threadVarsUsed(pkg, g) {
+					uses[v] = append(uses[v], g)
+				}
+				return true
+			})
+			for v, gs := range uses {
+				if len(gs) < 2 {
+					continue
+				}
+				pass.Reportf(gs[1].Pos(), gs[1].End(),
+					"thread %s is shared by %d goroutines; each goroutine must attach its own *Thread", v.Name(), len(gs))
+			}
+		}
+	}
+}
+
+// threadVarsUsed collects *jthread.Thread variables referenced inside a
+// go statement but declared outside it.
+func threadVarsUsed(pkg *load.Package, g *ast.GoStmt) []*types.Var {
+	seen := map[*types.Var]bool{}
+	var out []*types.Var
+	ast.Inspect(g, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || seen[v] || !isThreadPtr(v.Type()) {
+			return true
+		}
+		// Declared inside the go statement itself: goroutine-private.
+		if v.Pos() >= g.Pos() && v.Pos() <= g.End() {
+			return true
+		}
+		seen[v] = true
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+func isThreadPtr(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "repro/internal/jthread" && n.Obj().Name() == "Thread"
+}

@@ -1,0 +1,418 @@
+package effects
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// modulePath is the module whose functions get source-level summaries;
+// everything else must be whitelisted or is treated as unknown.
+const modulePath = "repro"
+
+// pureStdlibPkgs are standard-library packages whose package-level
+// functions are allocation-at-worst: calling them cannot touch shared
+// state the program can observe.
+var pureStdlibPkgs = map[string]bool{
+	"strings":       true,
+	"strconv":       true,
+	"unicode":       true,
+	"unicode/utf8":  true,
+	"unicode/utf16": true,
+	"math":          true,
+	"math/bits":     true,
+	"bytes":         true,
+	"errors":        true,
+	"cmp":           true,
+	"sort":          false, // sort.Slice mutates its argument
+}
+
+// pureStdlibFuncs whitelists individual package-level functions from
+// packages that are not wholesale pure.
+var pureStdlibFuncs = map[string]bool{
+	"fmt.Sprintf":  true,
+	"fmt.Sprint":   true,
+	"fmt.Sprintln": true,
+	"fmt.Errorf":   true,
+	"time.Now":     true,
+	"time.Since":   true,
+	"time.Until":   true,
+	"time.Date":    true,
+	"time.Unix":    true,
+}
+
+// pureMethodRecvTypes whitelists all methods on value types that are
+// semantically immutable.
+var pureMethodRecvTypes = map[string]bool{
+	"time.Time":     true,
+	"time.Duration": true,
+	"time.Month":    true,
+	"time.Weekday":  true,
+}
+
+// pureModuleMethods whitelists module methods whose writes are private to
+// the executing thread or that the runtime explicitly permits inside
+// speculative sections. Keyed "pkgpath.Recv.Name".
+var pureModuleMethods = map[string]bool{
+	// The safepoint poll: it mutates only the polling thread's own
+	// bookkeeping and is the mechanism the paper REQUIRES speculative
+	// sections to keep executing (async-event checkpoints, §4.2).
+	"repro/internal/jthread.Thread.Checkpoint": true,
+}
+
+// atomicWriteMethods are the sync/atomic cell methods that store.
+var atomicWriteMethods = map[string]bool{
+	"Store": true, "Swap": true, "Add": true, "And": true, "Or": true,
+	"CompareAndSwap": true,
+}
+
+// walkCall judges one call expression.
+func (w *Walker) walkCall(call *ast.CallExpr, guarded bool) {
+	// Conversion? Just a value operation.
+	if tv, ok := w.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		for _, a := range call.Args {
+			w.walkExpr(a, guarded)
+		}
+		return
+	}
+
+	fun := ast.Unparen(call.Fun)
+	// Strip explicit generic instantiation.
+	switch x := fun.(type) {
+	case *ast.IndexExpr:
+		if tv, ok := w.pkg.Info.Types[x.X]; ok && !tv.IsType() {
+			fun = ast.Unparen(x.X)
+		}
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(x.X)
+	}
+
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		switch obj := w.pkg.Info.Uses[fn].(type) {
+		case *types.Builtin:
+			w.walkBuiltin(obj.Name(), call, guarded)
+			return
+		case *types.Func:
+			w.applyCallee(obj, call, nil, guarded)
+			return
+		case *types.Var:
+			w.applyFuncVar(obj, call, guarded)
+			return
+		case *types.TypeName:
+			for _, a := range call.Args {
+				w.walkExpr(a, guarded)
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := w.pkg.Info.Selections[fn]; ok {
+			switch sel.Kind() {
+			case types.MethodVal:
+				if m, ok := sel.Obj().(*types.Func); ok {
+					w.applyCallee(m, call, fn.X, guarded)
+					return
+				}
+			case types.FieldVal:
+				// Calling a func-typed field: dynamic.
+				w.walkExpr(fn.X, guarded)
+				w.walkArgs(call, guarded)
+				w.violatef(call, KindUnknown, guarded, nil, "calls function-typed field %s, which cannot be analyzed", fn.Sel.Name)
+				return
+			}
+		}
+		// Qualified identifier pkg.Fn, or method expression T.M.
+		switch obj := w.pkg.Info.Uses[fn.Sel].(type) {
+		case *types.Func:
+			w.applyCallee(obj, call, nil, guarded)
+			return
+		case *types.Var:
+			w.applyFuncVar(obj, call, guarded)
+			return
+		case *types.TypeName:
+			for _, a := range call.Args {
+				w.walkExpr(a, guarded)
+			}
+			return
+		}
+	}
+
+	// Anything else (immediate closure call, call of a call's result).
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		w.walkLit(lit, guarded)
+		w.walkArgs(call, guarded)
+		return
+	}
+	w.walkExpr(fun, guarded)
+	w.walkArgs(call, guarded)
+	w.violatef(call, KindUnknown, guarded, nil, "calls a dynamic function value that cannot be analyzed")
+}
+
+func (w *Walker) walkArgs(call *ast.CallExpr, guarded bool) {
+	for _, a := range call.Args {
+		w.walkExpr(a, guarded)
+	}
+}
+
+func (w *Walker) walkBuiltin(name string, call *ast.CallExpr, guarded bool) {
+	switch name {
+	case "delete", "clear":
+		if len(call.Args) > 0 {
+			w.handleWrite(call.Args[0], call, false, guarded)
+		}
+	case "copy":
+		if len(call.Args) > 0 {
+			w.handleWrite(call.Args[0], call, false, guarded)
+		}
+		if len(call.Args) > 1 {
+			w.walkExpr(call.Args[1], guarded)
+		}
+		return
+	case "close":
+		w.violatef(call, KindEffect, guarded, nil, "closes a channel")
+	case "print", "println":
+		w.violatef(call, KindUnknown, guarded, nil, "performs I/O (%s)", name)
+	}
+	w.walkArgs(call, guarded)
+}
+
+// applyFuncVar handles a call through a func-typed variable.
+func (w *Walker) applyFuncVar(v *types.Var, call *ast.CallExpr, guarded bool) {
+	w.walkArgs(call, guarded)
+	if idx, ok := w.params[v]; ok && w.mode == SummaryMode {
+		if w.Mute {
+			return
+		}
+		w.paramCalls[idx] = true
+		return
+	}
+	if lit, ok := w.litVars[v]; ok {
+		w.walkLit(lit, guarded)
+		return
+	}
+	w.violatef(call, KindUnknown, guarded, nil, "calls %s, a function value that cannot be analyzed", v.Name())
+}
+
+// applyCallee judges a call to a resolved function or method.
+func (w *Walker) applyCallee(fn *types.Func, call *ast.CallExpr, recv ast.Expr, guarded bool) {
+	fn = origin(fn)
+	if recv != nil {
+		w.walkExpr(recv, guarded)
+	}
+
+	pkg := fn.Pkg()
+	if pkg == nil {
+		// Universe-scope methods: error.Error is a pure accessor.
+		if fn.Name() == "Error" {
+			w.walkArgs(call, guarded)
+			return
+		}
+		w.walkArgs(call, guarded)
+		w.violatef(call, KindUnknown, guarded, nil, "calls %s, which cannot be analyzed", fn.Name())
+		return
+	}
+
+	if pkg.Path() == "sync/atomic" {
+		w.applyAtomic(fn, call, recv, guarded)
+		return
+	}
+
+	recvType := namedRecv(fn)
+	if recvType != "" {
+		if fn.Name() == "Error" {
+			// Concrete error types' Error methods: pure accessors.
+			w.walkArgs(call, guarded)
+			return
+		}
+		if pureMethodRecvTypes[pkg.Path()+"."+recvType] {
+			w.walkArgs(call, guarded)
+			return
+		}
+		if pureModuleMethods[pkg.Path()+"."+recvType+"."+fn.Name()] {
+			w.walkArgs(call, guarded)
+			return
+		}
+	} else {
+		if pureStdlibPkgs[pkg.Path()] || pureStdlibFuncs[pkg.Path()+"."+fn.Name()] {
+			w.walkArgs(call, guarded)
+			return
+		}
+	}
+
+	if !strings.HasPrefix(pkg.Path(), modulePath) {
+		w.walkArgs(call, guarded)
+		w.violatef(call, KindUnknown, guarded, nil, "calls %s, which is outside the analyzed module and not known to be pure", calleeName(pkg, recvType, fn))
+		return
+	}
+
+	sum := w.a.SummaryOf(fn)
+	if sum == nil {
+		w.walkArgs(call, guarded)
+		w.violatef(call, KindUnknown, guarded, nil, "calls %s, which has no analyzable body", calleeName(pkg, recvType, fn))
+		return
+	}
+
+	// Judge closure arguments the callee may invoke, in place.
+	for i, arg := range call.Args {
+		argE := ast.Unparen(arg)
+		if sum.ParamCalls[i] {
+			switch a := argE.(type) {
+			case *ast.FuncLit:
+				w.walkLit(a, true)
+				continue
+			case *ast.Ident:
+				switch obj := w.pkg.Info.Uses[a].(type) {
+				case *types.Var:
+					if idx, ok := w.params[obj]; ok && w.mode == SummaryMode {
+						if !w.Mute {
+							w.paramCalls[idx] = true
+						}
+						continue
+					}
+					if lit, ok := w.litVars[obj]; ok {
+						w.walkLit(lit, true)
+						continue
+					}
+				case *types.Func:
+					w.applySummaryOnly(obj, call, guarded)
+					continue
+				}
+				w.violatef(arg, KindUnknown, guarded, nil, "passes a function that cannot be analyzed to %s", fn.Name())
+				continue
+			case *ast.SelectorExpr:
+				if m, ok := w.pkg.Info.Uses[a.Sel].(*types.Func); ok {
+					w.walkExpr(a.X, guarded)
+					w.applySummaryOnly(m, call, guarded)
+					continue
+				}
+				if sel, ok := w.pkg.Info.Selections[a]; ok && sel.Kind() == types.MethodVal {
+					if m, ok := sel.Obj().(*types.Func); ok {
+						w.walkExpr(a.X, guarded)
+						w.applySummaryOnly(m, call, guarded)
+						continue
+					}
+				}
+				w.violatef(arg, KindUnknown, guarded, nil, "passes a function that cannot be analyzed to %s", fn.Name())
+				continue
+			default:
+				w.violatef(arg, KindUnknown, guarded, nil, "passes a function that cannot be analyzed to %s", fn.Name())
+				continue
+			}
+		}
+		if _, isLit := argE.(*ast.FuncLit); !isLit {
+			w.walkExpr(arg, guarded)
+		}
+	}
+
+	w.applySummaryAt(sum, pkg, recvType, fn, call, guarded)
+}
+
+// applySummaryOnly applies a named function's summary without arg walking
+// (used for function values passed onward).
+func (w *Walker) applySummaryOnly(fn *types.Func, at ast.Node, guarded bool) {
+	fn = origin(fn)
+	pkg := fn.Pkg()
+	if pkg == nil || !strings.HasPrefix(pkg.Path(), modulePath) {
+		w.violatef(at, KindUnknown, guarded, nil, "passes %s, which is outside the analyzed module", fn.Name())
+		return
+	}
+	sum := w.a.SummaryOf(fn)
+	if sum == nil {
+		w.violatef(at, KindUnknown, guarded, nil, "passes %s, which has no analyzable body", fn.Name())
+		return
+	}
+	w.applySummaryAt(sum, pkg, namedRecv(fn), fn, at, true)
+}
+
+func (w *Walker) applySummaryAt(sum *Summary, pkg *types.Package, recvType string, fn *types.Func, at ast.Node, guarded bool) {
+	for f, pos := range sum.Fields {
+		w.recordField(f, pos)
+	}
+	switch sum.Effect {
+	case Pure:
+	case Writes:
+		w.violatef(at, KindWrite, guarded, firstField(sum), "calls %s, which writes shared state (%s)", calleeName(pkg, recvType, fn), sum.Reason)
+	default:
+		w.violatef(at, KindUnknown, guarded, nil, "calls %s, whose effects cannot be proven (%s)", calleeName(pkg, recvType, fn), sum.Reason)
+	}
+}
+
+func firstField(sum *Summary) *types.Var {
+	for f := range sum.Fields {
+		return f
+	}
+	return nil
+}
+
+// applyAtomic classifies sync/atomic operations.
+func (w *Walker) applyAtomic(fn *types.Func, call *ast.CallExpr, recv ast.Expr, guarded bool) {
+	name := fn.Name()
+	if recv != nil {
+		// Method on an atomic cell.
+		base := strings.TrimSuffix(name, "Weak")
+		if atomicWriteMethods[base] {
+			ch := w.classifyChain(ast.Unparen(recv))
+			if ch.class != classLocal && ch.class != classFresh {
+				w.recordField(ch.field, call.Pos())
+				w.violatef(call, KindWrite, guarded, ch.field,
+					"performs an atomic write (%s.%s) to shared state", atomicTargetName(ch, recv), name)
+			}
+		}
+		w.walkArgs(call, guarded)
+		return
+	}
+	// Package-level atomic.XxxTNN(&v, ...).
+	switch {
+	case strings.HasPrefix(name, "Load"):
+	default:
+		if len(call.Args) > 0 {
+			target := ast.Unparen(call.Args[0])
+			if u, ok := target.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				target = ast.Unparen(u.X)
+			}
+			ch := w.classifyChain(target)
+			if ch.class != classLocal && ch.class != classFresh {
+				w.recordField(ch.field, call.Pos())
+				w.violatef(call, KindWrite, guarded, ch.field,
+					"performs an atomic write (atomic.%s) to shared state", name)
+			}
+		}
+	}
+	w.walkArgs(call, guarded)
+}
+
+func atomicTargetName(ch chain, recv ast.Expr) string {
+	if ch.field != nil {
+		return ch.field.Name()
+	}
+	if ch.base != nil {
+		return ch.base.Name()
+	}
+	if id, ok := ast.Unparen(recv).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "cell"
+}
+
+func namedRecv(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := types.Unalias(t).(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+func calleeName(pkg *types.Package, recvType string, fn *types.Func) string {
+	if recvType != "" {
+		return "(" + pkg.Name() + "." + recvType + ")." + fn.Name()
+	}
+	return pkg.Name() + "." + fn.Name()
+}

@@ -1,0 +1,198 @@
+// Package effects computes interprocedural effect summaries for every
+// function of the loaded program — the vet-time analogue of the purity
+// grading the paper's JIT performs over bytecode (§3.2, and
+// internal/jit/analysis over mini-Java): a function is *pure* (safe to run
+// speculatively: it writes nothing but its own frame), *writing* (stores
+// to shared state — fields, globals, array/map elements, atomic cells), or
+// *unknown* (effects that cannot be proven, e.g. I/O, dynamic calls,
+// unanalyzed standard-library code).
+//
+// The summary is a fixed point over the static call graph: a function
+// inherits the worst effect of its callees, exactly like methodImpurity in
+// internal/jit/analysis/readonly.go, with two refinements the Go port
+// needs:
+//
+//   - Higher-order parameter tracking. A function that is pure except for
+//     invoking one of its func-typed parameters (hashmap.Range, say)
+//     records those parameter indices instead of going unknown; at a call
+//     site that passes a closure there, the closure's own body is judged
+//     in place.
+//
+//   - Written-field attribution. Writes are attributed to the struct
+//     field they target (e.val.Store(x) writes `val`; m.shards[i] = s
+//     writes `shards`), so the atomicread analyzer can intersect "fields
+//     written under the lock's writing protocol" with "fields read inside
+//     elided sections".
+//
+// Frame-private state is free: writes to locals, and to objects freshly
+// allocated in the same function (composite literals, new, make) that the
+// paper notes "rarely occur in read-only blocks", do not count.
+package effects
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/govet/load"
+)
+
+// Effect is the summary lattice: Pure < Writes < Unknown.
+type Effect uint8
+
+const (
+	// Pure functions write nothing outside their own frame.
+	Pure Effect = iota
+	// Writes functions store to shared memory (fields, globals,
+	// elements, atomic cells) but have no unprovable effects.
+	Writes
+	// Unknown functions have effects the analysis cannot bound (I/O,
+	// dynamic dispatch, unanalyzed dependencies).
+	Unknown
+)
+
+// String names the effect.
+func (e Effect) String() string {
+	switch e {
+	case Pure:
+		return "pure"
+	case Writes:
+		return "writing"
+	default:
+		return "unknown"
+	}
+}
+
+// Summary is one function's effect summary.
+type Summary struct {
+	Fn     *types.Func
+	Effect Effect
+	// Reason is the first cause, positioned ("file.go:12:3: store to
+	// shared field x"), for diagnostics that blame a callee.
+	Reason string
+	// ParamCalls lists the indices of func-typed parameters the function
+	// may invoke (directly or by forwarding to another param-caller).
+	ParamCalls map[int]bool
+	// Fields records struct fields the function (transitively) writes.
+	Fields map[*types.Var]token.Pos
+}
+
+// Analysis is the program-wide effect table.
+type Analysis struct {
+	Prog      *load.Program
+	summaries map[*types.Func]*Summary
+	decls     map[*types.Func]*declInfo
+}
+
+type declInfo struct {
+	pkg  *load.Package
+	decl *ast.FuncDecl
+}
+
+// Analyze computes summaries for every function declared in the program's
+// module packages.
+func Analyze(prog *load.Program) *Analysis {
+	a := &Analysis{
+		Prog:      prog,
+		summaries: map[*types.Func]*Summary{},
+		decls:     map[*types.Func]*declInfo{},
+	}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				a.decls[origin(obj)] = &declInfo{pkg: pkg, decl: fd}
+			}
+		}
+	}
+	// Kleene iteration to a fixed point: summaries only ever escalate
+	// (Pure -> Writes -> Unknown), param-call and field sets only grow,
+	// so this terminates; the module call graph converges in a few
+	// rounds.
+	for fn := range a.decls {
+		a.summaries[origin(fn)] = &Summary{Fn: fn, ParamCalls: map[int]bool{}, Fields: map[*types.Var]token.Pos{}}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, di := range a.decls {
+			if a.recompute(fn, di) {
+				changed = true
+			}
+		}
+	}
+	return a
+}
+
+// SummaryOf returns the summary for fn (resolved through Origin for
+// instantiated generics), or nil for functions outside the module.
+func (a *Analysis) SummaryOf(fn *types.Func) *Summary {
+	return a.summaries[origin(fn)]
+}
+
+// DeclOf returns the syntax and owning package of a module function, for
+// analyzers that interpret named section functions body-level.
+func (a *Analysis) DeclOf(fn *types.Func) (*load.Package, *ast.FuncDecl) {
+	di := a.decls[origin(fn)]
+	if di == nil {
+		return nil, nil
+	}
+	return di.pkg, di.decl
+}
+
+// recompute re-walks one function body against the current table and
+// reports whether its summary grew.
+func (a *Analysis) recompute(fn *types.Func, di *declInfo) bool {
+	w := NewWalker(a, di.pkg, di.decl, SummaryMode)
+	w.WalkBody(di.decl.Body)
+
+	s := a.summaries[origin(fn)]
+	changed := false
+	eff, reason := w.Result()
+	if eff > s.Effect {
+		s.Effect, s.Reason = eff, reason
+		changed = true
+	}
+	for i := range w.paramCalls {
+		if !s.ParamCalls[i] {
+			s.ParamCalls[i] = true
+			changed = true
+		}
+	}
+	for f, pos := range w.fields {
+		if _, ok := s.Fields[f]; !ok {
+			s.Fields[f] = pos
+			changed = true
+		}
+	}
+	return changed
+}
+
+// position renders pos for messages.
+func (a *Analysis) position(pos token.Pos) string {
+	p := a.Prog.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d:%d", shortPath(p.Filename), p.Line, p.Column)
+}
+
+func shortPath(f string) string {
+	for i := len(f) - 1; i >= 0; i-- {
+		if f[i] == '/' {
+			return f[i+1:]
+		}
+	}
+	return f
+}
+
+func origin(fn *types.Func) *types.Func {
+	if fn == nil {
+		return nil
+	}
+	return fn.Origin()
+}

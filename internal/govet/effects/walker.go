@@ -1,0 +1,638 @@
+package effects
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/govet/load"
+)
+
+// Mode selects what the walker is judging.
+type Mode uint8
+
+const (
+	// SummaryMode walks a named function body to build its effect
+	// summary: everything declared inside the function (including
+	// closure-captured locals of it) is frame-private.
+	SummaryMode Mode = iota
+	// SectionMode walks a critical-section closure: variables captured
+	// from the enclosing frame are tolerated for plain re-assignment (the
+	// out-parameter idiom `v = load()` is idempotent, so a speculative
+	// re-execution just overwrites) but flagged for non-idempotent
+	// updates; everything else shared is a violation.
+	SectionMode
+)
+
+// Kind classifies a violation.
+type Kind uint8
+
+const (
+	// KindWrite is a store to shared memory (field, global, element,
+	// atomic cell). The jit analogue is a heap write: a section whose
+	// only violations are guarded writes may still qualify for the §5
+	// read-mostly protocol.
+	KindWrite Kind = iota
+	// KindEffect is a definite non-write side effect: channel operation,
+	// goroutine spawn, close. Never speculation-safe.
+	KindEffect
+	// KindUnknown is an effect the analysis cannot bound: I/O, a call
+	// into unanalyzed code, dynamic dispatch.
+	KindUnknown
+)
+
+// Violation is one speculation-safety finding inside a walked body.
+type Violation struct {
+	Pos  token.Pos
+	End  token.Pos
+	Kind Kind
+	// Guarded reports the violation sits under a conditional or loop —
+	// the jit's guarded-write distinction that feeds the read-mostly
+	// suggestion.
+	Guarded bool
+	// Field is the struct field written, when one could be attributed.
+	Field *types.Var
+	Msg   string
+}
+
+// FieldRead is one shared struct-field load observed while RecordReads is
+// set (the atomicread analyzer's input).
+type FieldRead struct {
+	Pos   token.Pos
+	End   token.Pos
+	Field *types.Var
+	// Atomic reports the field's type is a sync/atomic cell (the safe
+	// case under the documented memory-model rule).
+	Atomic bool
+}
+
+// Walker judges one function body (SummaryMode) or one critical-section
+// closure (SectionMode).
+type Walker struct {
+	a    *Analysis
+	pkg  *load.Package
+	mode Mode
+	root ast.Node // *ast.FuncDecl or *ast.FuncLit
+
+	// RecordReads additionally collects shared struct-field loads.
+	RecordReads bool
+	// Mute suppresses violation/read recording (used for the upgraded
+	// region of a ReadMostly section, where the lock is held and
+	// everything is permitted) while keeping freshness tracking going.
+	Mute bool
+
+	violations []Violation
+	reads      []FieldRead
+	paramCalls map[int]bool
+	fields     map[*types.Var]token.Pos
+
+	params     map[*types.Var]int
+	fresh      map[*types.Var]bool
+	aliasField map[*types.Var]*types.Var
+	litVars    map[*types.Var]*ast.FuncLit
+	walking    map[*ast.FuncLit]bool
+}
+
+// walkLit judges a closure body in place, guarding against recursive
+// closures (a lit that calls itself through its binding variable): the
+// first walk already accounts for all of its effects.
+func (w *Walker) walkLit(lit *ast.FuncLit, guarded bool) {
+	if w.walking[lit] {
+		return
+	}
+	w.walking[lit] = true
+	w.WalkStmt(lit.Body, guarded)
+	delete(w.walking, lit)
+}
+
+// NewWalker prepares a walker over root (a *ast.FuncDecl or *ast.FuncLit)
+// in the given package.
+func NewWalker(a *Analysis, pkg *load.Package, root ast.Node, mode Mode) *Walker {
+	w := &Walker{
+		a: a, pkg: pkg, mode: mode, root: root,
+		paramCalls: map[int]bool{},
+		fields:     map[*types.Var]token.Pos{},
+		params:     map[*types.Var]int{},
+		fresh:      map[*types.Var]bool{},
+		aliasField: map[*types.Var]*types.Var{},
+		litVars:    map[*types.Var]*ast.FuncLit{},
+		walking:    map[*ast.FuncLit]bool{},
+	}
+	var ft *ast.FuncType
+	switch n := root.(type) {
+	case *ast.FuncDecl:
+		ft = n.Type
+	case *ast.FuncLit:
+		ft = n.Type
+	}
+	if ft != nil && ft.Params != nil {
+		i := 0
+		for _, f := range ft.Params.List {
+			for _, name := range f.Names {
+				if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+					w.params[v] = i
+				}
+				i++
+			}
+			if len(f.Names) == 0 {
+				i++
+			}
+		}
+	}
+	return w
+}
+
+// BindLit registers a func-typed variable of the *enclosing* scope as
+// bound to a known closure, so calls to it from inside the section can be
+// judged in place (the treemapindex `read := func(...)` wrapper idiom).
+func (w *Walker) BindLit(v *types.Var, lit *ast.FuncLit) { w.litVars[v] = lit }
+
+// Violations returns the findings, in source order.
+func (w *Walker) Violations() []Violation { return w.violations }
+
+// Reads returns the recorded shared field loads (RecordReads mode).
+func (w *Walker) Reads() []FieldRead { return w.reads }
+
+// Fields returns the attributed written-field set.
+func (w *Walker) Fields() map[*types.Var]token.Pos { return w.fields }
+
+// Result folds the violations into a summary effect and a blame string.
+func (w *Walker) Result() (Effect, string) {
+	eff, reason := Pure, ""
+	for _, v := range w.violations {
+		var e Effect
+		switch v.Kind {
+		case KindWrite:
+			e = Writes
+		default:
+			e = Unknown
+		}
+		if e > eff {
+			eff, reason = e, w.a.position(v.Pos)+": "+v.Msg
+		}
+	}
+	return eff, reason
+}
+
+// WalkBody walks a whole block with no guard context.
+func (w *Walker) WalkBody(body *ast.BlockStmt) {
+	for _, s := range body.List {
+		w.WalkStmt(s, false)
+	}
+}
+
+func (w *Walker) report(v Violation) {
+	if w.Mute {
+		return
+	}
+	w.violations = append(w.violations, v)
+}
+
+func (w *Walker) violatef(n ast.Node, kind Kind, guarded bool, field *types.Var, format string, args ...any) {
+	w.report(Violation{Pos: n.Pos(), End: n.End(), Kind: kind, Guarded: guarded, Field: field, Msg: fmt.Sprintf(format, args...)})
+}
+
+// ---- statements ----
+
+// WalkStmt walks one statement; guarded marks conditional context.
+func (w *Walker) WalkStmt(s ast.Stmt, guarded bool) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			w.WalkStmt(st, guarded)
+		}
+	case *ast.ExprStmt:
+		w.walkExpr(s.X, guarded)
+	case *ast.AssignStmt:
+		w.walkAssign(s, guarded)
+	case *ast.IncDecStmt:
+		w.handleWrite(s.X, s, false, guarded)
+	case *ast.DeclStmt:
+		w.walkDecl(s, guarded)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.walkExpr(r, guarded)
+		}
+	case *ast.IfStmt:
+		w.WalkStmt(s.Init, guarded)
+		w.walkExpr(s.Cond, guarded)
+		w.WalkStmt(s.Body, true)
+		w.WalkStmt(s.Else, true)
+	case *ast.ForStmt:
+		w.WalkStmt(s.Init, guarded)
+		w.walkExpr(s.Cond, true)
+		w.WalkStmt(s.Post, true)
+		w.WalkStmt(s.Body, true)
+	case *ast.RangeStmt:
+		if t, ok := w.pkg.Info.Types[s.X]; ok {
+			switch t.Type.Underlying().(type) {
+			case *types.Chan:
+				w.violatef(s, KindEffect, guarded, nil, "receives from a channel (range)")
+			case *types.Signature:
+				w.violatef(s, KindUnknown, guarded, nil, "ranges over a function value that cannot be analyzed")
+			}
+		}
+		w.walkExpr(s.X, guarded)
+		if s.Tok == token.ASSIGN {
+			w.handleWrite(s.Key, s, true, guarded)
+			w.handleWrite(s.Value, s, true, guarded)
+		}
+		w.WalkStmt(s.Body, true)
+	case *ast.SwitchStmt:
+		w.WalkStmt(s.Init, guarded)
+		w.walkExpr(s.Tag, guarded)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.walkExpr(e, guarded)
+			}
+			for _, st := range cc.Body {
+				w.WalkStmt(st, true)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.WalkStmt(s.Init, guarded)
+		w.WalkStmt(s.Assign, guarded)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, st := range cc.Body {
+				w.WalkStmt(st, true)
+			}
+		}
+	case *ast.SelectStmt:
+		w.violatef(s, KindEffect, guarded, nil, "selects on channels")
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			for _, st := range cc.Body {
+				w.WalkStmt(st, true)
+			}
+		}
+	case *ast.SendStmt:
+		w.violatef(s, KindEffect, guarded, nil, "sends on a channel")
+		w.walkExpr(s.Chan, guarded)
+		w.walkExpr(s.Value, guarded)
+	case *ast.GoStmt:
+		w.violatef(s, KindEffect, guarded, nil, "starts a goroutine")
+		w.walkCall(s.Call, true)
+	case *ast.DeferStmt:
+		// Deferred calls run even when the speculative attempt aborts by
+		// panic, so they are held to the same standard.
+		w.walkCall(s.Call, guarded)
+	case *ast.LabeledStmt:
+		w.WalkStmt(s.Stmt, guarded)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	default:
+		w.violatef(s, KindUnknown, guarded, nil, "contains a statement the analysis does not model")
+	}
+}
+
+func (w *Walker) walkDecl(s *ast.DeclStmt, guarded bool) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			v, _ := w.pkg.Info.Defs[name].(*types.Var)
+			if v == nil || i >= len(vs.Values) {
+				continue
+			}
+			w.trackBinding(v, vs.Values[i])
+		}
+		for _, val := range vs.Values {
+			if _, isLit := val.(*ast.FuncLit); !isLit {
+				w.walkExpr(val, guarded)
+			}
+		}
+	}
+}
+
+func (w *Walker) walkAssign(s *ast.AssignStmt, guarded bool) {
+	plain := s.Tok == token.ASSIGN || s.Tok == token.DEFINE
+	// Track freshness / closure bindings for simple ident targets first,
+	// then judge the stores. Compound assignments read-modify-write.
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				if v := w.localVarOf(id); v != nil {
+					w.trackBinding(v, s.Rhs[i])
+				}
+			}
+		}
+	}
+	for _, rhs := range s.Rhs {
+		if _, isLit := rhs.(*ast.FuncLit); isLit && len(s.Lhs) == len(s.Rhs) {
+			// A closure bound to a variable is judged where it is called.
+			continue
+		}
+		w.walkExpr(rhs, guarded)
+	}
+	for _, lhs := range s.Lhs {
+		w.handleWrite(lhs, s, plain, guarded)
+	}
+}
+
+// localVarOf resolves an ident to a variable declared within the walk
+// root, or nil.
+func (w *Walker) localVarOf(id *ast.Ident) *types.Var {
+	obj := w.pkg.Info.Defs[id]
+	if obj == nil {
+		obj = w.pkg.Info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || !w.within(v) {
+		return nil
+	}
+	return v
+}
+
+func (w *Walker) within(obj types.Object) bool {
+	return obj.Pos() >= w.root.Pos() && obj.Pos() <= w.root.End()
+}
+
+func (w *Walker) isGlobal(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// trackBinding updates freshness, pointer-alias, and closure-binding state
+// for `v := rhs` / `v = rhs`.
+func (w *Walker) trackBinding(v *types.Var, rhs ast.Expr) {
+	delete(w.fresh, v)
+	delete(w.aliasField, v)
+	delete(w.litVars, v)
+	switch r := ast.Unparen(rhs).(type) {
+	case *ast.FuncLit:
+		w.litVars[v] = r
+		return
+	case *ast.CompositeLit:
+		w.fresh[v] = true
+		return
+	case *ast.UnaryExpr:
+		if r.Op == token.AND {
+			if _, ok := ast.Unparen(r.X).(*ast.CompositeLit); ok {
+				w.fresh[v] = true
+				return
+			}
+			// v := &x.f — remember the field for write attribution.
+			ch := w.classifyChain(r.X)
+			if ch.field != nil {
+				w.aliasField[v] = ch.field
+			}
+			if ch.class == classFresh {
+				w.fresh[v] = true
+			}
+			return
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(r.Fun).(*ast.Ident); ok {
+			if b, ok := w.pkg.Info.Uses[id].(*types.Builtin); ok && (b.Name() == "new" || b.Name() == "make") {
+				w.fresh[v] = true
+				return
+			}
+		}
+	case *ast.SelectorExpr:
+		ch := w.classifyChain(r)
+		if ch.field != nil && pointerish(w.pkg.Info.TypeOf(r)) {
+			w.aliasField[v] = ch.field
+		}
+	}
+}
+
+func pointerish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// ---- write targets ----
+
+type chainClass uint8
+
+const (
+	classLocal    chainClass = iota // frame-private, no indirection
+	classFresh                      // reached through a freshly allocated local
+	classCaptured                   // enclosing-frame variable, no indirection
+	classGlobal                     // package-level variable
+	classShared                     // shared memory (indirection from a non-fresh base, or unknown)
+)
+
+type chain struct {
+	class chainClass
+	base  *types.Var // nil when the base is not a simple variable
+	field *types.Var // innermost field in the access path, if any
+}
+
+// classifyChain peels an lvalue/selector chain down to its base and
+// decides whether the memory it designates is frame-private.
+func (w *Walker) classifyChain(e ast.Expr) chain {
+	var field *types.Var
+	indirect := false
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			indirect = true
+			e = x.X
+		case *ast.IndexExpr:
+			if pointerish(w.pkg.Info.TypeOf(x.X)) {
+				indirect = true
+			}
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			indirect = true
+			e = x.X
+		case *ast.SelectorExpr:
+			if sel, ok := w.pkg.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if field == nil {
+					field, _ = sel.Obj().(*types.Var)
+				}
+				if sel.Indirect() || pointerish(w.pkg.Info.TypeOf(x.X)) {
+					indirect = true
+				}
+				e = x.X
+				continue
+			}
+			// Qualified identifier pkg.Var.
+			if v, ok := w.pkg.Info.Uses[x.Sel].(*types.Var); ok && w.isGlobal(v) {
+				return chain{class: classGlobal, base: v, field: field}
+			}
+			return chain{class: classShared, field: field}
+		case *ast.Ident:
+			if x.Name == "_" {
+				return chain{class: classLocal}
+			}
+			obj := w.pkg.Info.Uses[x]
+			if obj == nil {
+				obj = w.pkg.Info.Defs[x]
+			}
+			v, ok := obj.(*types.Var)
+			if !ok {
+				return chain{class: classShared, field: field}
+			}
+			if w.isGlobal(v) {
+				return chain{class: classGlobal, base: v, field: field}
+			}
+			if !w.within(v) {
+				if indirect {
+					return chain{class: classShared, base: v, field: field}
+				}
+				return chain{class: classCaptured, base: v, field: field}
+			}
+			if !indirect {
+				return chain{class: classLocal, base: v, field: field}
+			}
+			if w.fresh[v] {
+				return chain{class: classFresh, base: v, field: field}
+			}
+			if field == nil {
+				field = w.aliasField[v]
+			}
+			return chain{class: classShared, base: v, field: field}
+		default:
+			return chain{class: classShared, field: field}
+		}
+	}
+}
+
+// handleWrite judges one store target.
+func (w *Walker) handleWrite(target ast.Expr, at ast.Node, plain bool, guarded bool) {
+	if target == nil {
+		return
+	}
+	if id, ok := ast.Unparen(target).(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	ch := w.classifyChain(ast.Unparen(target))
+	switch ch.class {
+	case classLocal, classFresh:
+		return
+	case classCaptured:
+		if plain {
+			// Out-parameter idiom: `v = computed()` is idempotent under
+			// re-execution; the final attempt's value wins.
+			return
+		}
+		w.violatef(at, KindWrite, guarded, ch.field,
+			"updates captured variable %s in place (not idempotent under speculative re-execution)", ch.base.Name())
+	case classGlobal:
+		w.recordField(ch.field, at.Pos())
+		w.violatef(at, KindWrite, guarded, ch.field, "stores to package-level variable %s", ch.base.Name())
+	default:
+		w.recordField(ch.field, at.Pos())
+		if ch.field != nil {
+			w.violatef(at, KindWrite, guarded, ch.field, "stores to shared field %s", ch.field.Name())
+		} else {
+			w.violatef(at, KindWrite, guarded, nil, "stores through shared memory")
+		}
+	}
+}
+
+func (w *Walker) recordField(f *types.Var, pos token.Pos) {
+	if f == nil || w.Mute {
+		return
+	}
+	if _, ok := w.fields[f]; !ok {
+		w.fields[f] = pos
+	}
+}
+
+// ---- expressions ----
+
+func (w *Walker) walkExpr(e ast.Expr, guarded bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.BasicLit:
+	case *ast.Ident:
+	case *ast.ParenExpr:
+		w.walkExpr(e.X, guarded)
+	case *ast.SelectorExpr:
+		w.maybeRecordRead(e)
+		w.walkExpr(e.X, guarded)
+	case *ast.StarExpr:
+		w.walkExpr(e.X, guarded)
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			w.violatef(e, KindEffect, guarded, nil, "receives from a channel")
+		}
+		w.walkExpr(e.X, guarded)
+	case *ast.BinaryExpr:
+		w.walkExpr(e.X, guarded)
+		w.walkExpr(e.Y, guarded)
+	case *ast.IndexExpr:
+		w.walkExpr(e.X, guarded)
+		w.walkExpr(e.Index, guarded)
+	case *ast.IndexListExpr:
+		w.walkExpr(e.X, guarded)
+	case *ast.SliceExpr:
+		w.walkExpr(e.X, guarded)
+		w.walkExpr(e.Low, guarded)
+		w.walkExpr(e.High, guarded)
+		w.walkExpr(e.Max, guarded)
+	case *ast.TypeAssertExpr:
+		w.walkExpr(e.X, guarded)
+	case *ast.CallExpr:
+		w.walkCall(e, guarded)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.walkExpr(el, guarded)
+		}
+	case *ast.KeyValueExpr:
+		w.walkExpr(e.Key, guarded)
+		w.walkExpr(e.Value, guarded)
+	case *ast.FuncLit:
+		// A closure used as a plain value (stored, returned): judge its
+		// body in place — if it escapes, its effects may happen.
+		w.walkLit(e, guarded)
+	}
+}
+
+// maybeRecordRead records a shared struct-field load for atomicread.
+func (w *Walker) maybeRecordRead(e *ast.SelectorExpr) {
+	if !w.RecordReads || w.Mute {
+		return
+	}
+	sel, ok := w.pkg.Info.Selections[e]
+	if !ok || sel.Kind() != types.FieldVal {
+		return
+	}
+	f, ok := sel.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	ch := w.classifyChain(e)
+	if ch.class != classShared && ch.class != classGlobal && ch.class != classCaptured {
+		return
+	}
+	w.reads = append(w.reads, FieldRead{Pos: e.Sel.Pos(), End: e.Sel.End(), Field: f, Atomic: isAtomicType(f.Type())})
+}
+
+// isAtomicType reports whether t is (a pointer to) a sync/atomic cell
+// type.
+func isAtomicType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		if a, ok2 := types.Unalias(t).(*types.Named); ok2 {
+			n = a
+		} else {
+			return false
+		}
+	}
+	return n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,126 @@
+// Package govet is the solerovet driver: it loads a whole program, builds
+// the shared analysis context (effect summaries + section sites), runs a
+// set of analyzers over the target packages, and returns position-sorted
+// diagnostics. Both the standalone binary and the `go vet -vettool=`
+// entry go through Run.
+package govet
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/govet/analysis"
+	"repro/internal/govet/checks"
+	"repro/internal/govet/load"
+)
+
+// Diagnostic is one rendered finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	Fixes    []string
+}
+
+// String renders the canonical "file:line:col: [analyzer] message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run loads patterns (resolved from dir; "" means the current directory)
+// and applies the analyzers to every target package.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	prog, err := load.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return RunProgram(prog, analyzers)
+}
+
+// RunProgram applies the analyzers to an already-loaded program.
+func RunProgram(prog *load.Program, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	ctx := checks.NewContext(prog)
+	ignores := ignoreLines(prog)
+	var diags []Diagnostic
+	for _, pkg := range prog.Targets() {
+		if pkg.Types == nil {
+			continue
+		}
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      prog.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Context:   ctx,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				out := Diagnostic{
+					Pos:      prog.Fset.Position(d.Pos),
+					Analyzer: d.Category,
+					Message:  d.Message,
+				}
+				if ignores[out.Pos.Filename][out.Pos.Line] {
+					return
+				}
+				for _, f := range d.Fixes {
+					out.Fixes = append(out.Fixes, f.Message)
+				}
+				diags = append(diags, out)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// ignoreLines collects //solerovet:ignore directives: a diagnostic whose
+// position lands on the directive's line, or on the line directly below a
+// standalone directive comment, is suppressed. Reserved for code that
+// deliberately violates the section contract at the meta level (the jit
+// interpreter running simulated programs inside real sections, the
+// schedule-injection harness); client code should be fixed, not ignored.
+func ignoreLines(prog *load.Program) map[string]map[int]bool {
+	out := map[string]map[int]bool{}
+	for _, pkg := range prog.Packages {
+		if !pkg.Target {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if c.Text != "//solerovet:ignore" && !strings.HasPrefix(c.Text, "//solerovet:ignore ") {
+						continue
+					}
+					p := prog.Fset.Position(c.Pos())
+					m := out[p.Filename]
+					if m == nil {
+						m = map[int]bool{}
+						out[p.Filename] = m
+					}
+					m[p.Line] = true
+					m[p.Line+1] = true
+				}
+			}
+		}
+	}
+	return out
+}

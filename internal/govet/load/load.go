@@ -1,0 +1,247 @@
+// Package load turns `go list` package patterns into fully type-checked
+// syntax for the solerovet suite, without depending on
+// golang.org/x/tools/go/packages (the repo builds offline).
+//
+// Strategy: one `go list -export -json -deps` invocation enumerates the
+// import closure and — as a side effect of -export — compiles export data
+// for every dependency. Packages of this module are then parsed and
+// type-checked from source in dependency order (the analyzers need
+// function bodies module-wide for the interprocedural effect analysis);
+// everything else (the standard library) is imported from the compiler's
+// export data via go/importer's lookup hook, which is cheap and exact.
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the loaded program.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	// Target marks packages named by the load patterns (the ones
+	// analyzers report on); the rest are module dependencies loaded for
+	// effect summaries only.
+	Target bool
+	// TypeErrors holds type-checker soft failures. A package with type
+	// errors is kept (best effort) but its diagnostics may be incomplete.
+	TypeErrors []error
+}
+
+// Program is a loaded, type-checked package set plus shared position info.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package // module packages, dependency order
+	byPath   map[string]*Package
+}
+
+// ByPath returns the module package with the given import path, or nil.
+func (p *Program) ByPath(path string) *Package { return p.byPath[path] }
+
+// Targets returns the packages named by the load patterns.
+func (p *Program) Targets() []*Package {
+	var out []*Package
+	for _, pkg := range p.Packages {
+		if pkg.Target {
+			out = append(out, pkg)
+		}
+	}
+	return out
+}
+
+// listedPackage mirrors the `go list -json` fields we consume.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	DepOnly    bool
+	Standard   bool
+	Module     *struct{ Path, Dir string }
+	Error      *struct{ Err string }
+}
+
+// Load runs `go list` on patterns (from dir, "" meaning the process cwd)
+// and returns the type-checked program.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	args := append([]string{
+		"list", "-e", "-export",
+		"-json=ImportPath,Dir,Name,Export,GoFiles,Imports,DepOnly,Standard,Module,Error",
+		"-deps", "--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w", strings.Join(patterns, " "), err)
+	}
+	listed, err := decodeList(out)
+	if err != nil {
+		return nil, err
+	}
+	return typeCheck(listed)
+}
+
+func decodeList(out []byte) ([]*listedPackage, error) {
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	var listed []*listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		listed = append(listed, &p)
+	}
+	return listed, nil
+}
+
+// typeCheck builds the Program from a `go list -deps` closure.
+func typeCheck(listed []*listedPackage) (*Program, error) {
+	prog := &Program{Fset: token.NewFileSet(), byPath: map[string]*Package{}}
+
+	exports := map[string]string{}
+	module := map[string]*listedPackage{}
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.Standard && lp.Module != nil {
+			module[lp.ImportPath] = lp
+		}
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	gcImporter := importer.ForCompiler(prog.Fset, "gc", lookup)
+
+	// The go/types importer for module packages: source-checked packages
+	// take priority so every module package shares one object identity;
+	// the standard library resolves through export data.
+	imp := &programImporter{prog: prog, fallback: gcImporter}
+
+	for _, lp := range topoSort(listed, module) {
+		pkg, err := checkOne(prog, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+		prog.byPath[pkg.PkgPath] = pkg
+	}
+	return prog, nil
+}
+
+// topoSort orders the module packages dependency-first.
+func topoSort(listed []*listedPackage, module map[string]*listedPackage) []*listedPackage {
+	var order []*listedPackage
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(lp *listedPackage)
+	visit = func(lp *listedPackage) {
+		switch state[lp.ImportPath] {
+		case 1, 2:
+			return
+		}
+		state[lp.ImportPath] = 1
+		imports := append([]string(nil), lp.Imports...)
+		sort.Strings(imports)
+		for _, dep := range imports {
+			if mlp, ok := module[dep]; ok {
+				visit(mlp)
+			}
+		}
+		state[lp.ImportPath] = 2
+		order = append(order, lp)
+	}
+	// Deterministic root order.
+	paths := make([]string, 0, len(module))
+	for path := range module {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		visit(module[path])
+	}
+	_ = listed
+	return order
+}
+
+func checkOne(prog *Program, imp types.Importer, lp *listedPackage) (*Package, error) {
+	pkg := &Package{
+		PkgPath: lp.ImportPath,
+		Dir:     lp.Dir,
+		Target:  !lp.DepOnly,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Implicits:  map[ast.Node]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+			Instances:  map[*ast.Ident]types.Instance{},
+		},
+	}
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(prog.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(lp.ImportPath, prog.Fset, pkg.Files, pkg.Info)
+	if tpkg == nil {
+		return nil, fmt.Errorf("typecheck %s: %w", lp.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// programImporter resolves module packages to their source-checked form
+// and delegates the rest to the export-data importer.
+type programImporter struct {
+	prog     *Program
+	fallback types.Importer
+}
+
+func (pi *programImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg := pi.prog.ByPath(path); pkg != nil && pkg.Types != nil {
+		return pkg.Types, nil
+	}
+	return pi.fallback.Import(path)
+}

@@ -1,0 +1,244 @@
+package sections
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/govet/load"
+)
+
+// Sink receives the leaf statements and expressions of a section body in
+// control-flow order, along with whether the lock is provably held at
+// that point (every path to it passed through BeforeWrite, a successful
+// Holding() guard, or the section's upgraded region).
+//
+// beforewrite plugs in a sink that flags shared stores when !held;
+// atomicread plugs in one that collects non-atomic shared loads when
+// !held; for ReadOnly sections held is always false.
+type Sink interface {
+	LeafStmt(s ast.Stmt, held bool, guarded bool)
+	LeafExpr(e ast.Expr, held bool, guarded bool)
+	// BeforeWriteCall observes an upgrade call (held reports the state
+	// *before* it, so a sink can flag double upgrades if it cares).
+	BeforeWriteCall(call *ast.CallExpr, held bool)
+}
+
+// Interpret walks the body of a section closure, tracking BeforeWrite
+// domination path-sensitively:
+//
+//   - sequencing: a BeforeWrite statement makes the rest of the block held
+//   - if/else: the join is held only if every non-terminated branch is
+//   - `if s.Holding() { ... }` counts the then-branch as held
+//   - loop bodies re-enter, so they only inherit the entry state, and a
+//     BeforeWrite inside a loop does not dominate statements after it
+//   - panic/return terminate a path
+//
+// secVar is the closure's *core.Section parameter (nil for ReadOnly
+// sections, which never become held).
+func Interpret(pkg *load.Package, body *ast.BlockStmt, secVar *types.Var, sink Sink) {
+	in := &interp{pkg: pkg, secVar: secVar, sink: sink}
+	in.block(body, state{}, false)
+}
+
+type state struct {
+	held       bool
+	terminated bool
+}
+
+func join(a, b state) state {
+	switch {
+	case a.terminated && b.terminated:
+		return state{held: true, terminated: true}
+	case a.terminated:
+		return b
+	case b.terminated:
+		return a
+	}
+	return state{held: a.held && b.held}
+}
+
+type interp struct {
+	pkg    *load.Package
+	secVar *types.Var
+	sink   Sink
+}
+
+func (in *interp) block(b *ast.BlockStmt, st state, guarded bool) state {
+	for _, s := range b.List {
+		st = in.stmt(s, st, guarded)
+	}
+	return st
+}
+
+func (in *interp) stmt(s ast.Stmt, st state, guarded bool) state {
+	if st.terminated {
+		return st
+	}
+	switch s := s.(type) {
+	case nil:
+		return st
+	case *ast.BlockStmt:
+		return in.block(s, st, guarded)
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if in.isBeforeWrite(call) {
+				in.sink.BeforeWriteCall(call, st.held)
+				st.held = true
+				return st
+			}
+			if isPanic(in.pkg, call) {
+				in.sink.LeafStmt(s, st.held, guarded)
+				st.terminated = true
+				return st
+			}
+		}
+		in.sink.LeafStmt(s, st.held, guarded)
+		return st
+	case *ast.ReturnStmt:
+		in.sink.LeafStmt(s, st.held, guarded)
+		st.terminated = true
+		return st
+	case *ast.IfStmt:
+		st = in.stmt(s.Init, st, guarded)
+		in.sink.LeafExpr(s.Cond, st.held, guarded)
+		thenEntry, elseEntry := st, st
+		if in.secVar != nil {
+			if pos := in.holdingCond(s.Cond); pos == +1 {
+				thenEntry.held = true
+			} else if pos == -1 {
+				elseEntry.held = true
+			}
+		}
+		thenOut := in.block(s.Body, thenEntry, true)
+		elseOut := elseEntry
+		if s.Else != nil {
+			elseOut = in.stmt(s.Else, elseEntry, true)
+		}
+		return join(thenOut, elseOut)
+	case *ast.ForStmt:
+		st = in.stmt(s.Init, st, guarded)
+		in.sink.LeafExpr(s.Cond, st.held, true)
+		in.stmt(s.Post, st, true)
+		// The body may run zero or many times; it inherits only the
+		// entry state and contributes nothing to domination after the
+		// loop (a BeforeWrite inside might not have executed).
+		in.block(s.Body, st, true)
+		return st
+	case *ast.RangeStmt:
+		in.sink.LeafStmt(leafRangeHeader(s), st.held, guarded)
+		in.block(s.Body, st, true)
+		return st
+	case *ast.SwitchStmt:
+		st = in.stmt(s.Init, st, guarded)
+		in.sink.LeafExpr(s.Tag, st.held, guarded)
+		out := state{held: true, terminated: true}
+		hasDefault := false
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				in.sink.LeafExpr(e, st.held, guarded)
+			}
+			caseOut := st
+			for _, cs := range cc.Body {
+				caseOut = in.stmt(cs, caseOut, true)
+			}
+			out = join(out, caseOut)
+		}
+		if !hasDefault {
+			out = join(out, st)
+		}
+		return out
+	case *ast.TypeSwitchStmt:
+		st = in.stmt(s.Init, st, guarded)
+		in.sink.LeafStmt(s.Assign, st.held, guarded)
+		out := state{held: true, terminated: true}
+		hasDefault := false
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			caseOut := st
+			for _, cs := range cc.Body {
+				caseOut = in.stmt(cs, caseOut, true)
+			}
+			out = join(out, caseOut)
+		}
+		if !hasDefault {
+			out = join(out, st)
+		}
+		return out
+	case *ast.LabeledStmt:
+		return in.stmt(s.Stmt, st, guarded)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+		return st
+	default:
+		// Assignments, declarations, sends, go/defer, selects: leaf.
+		in.sink.LeafStmt(s, st.held, guarded)
+		return st
+	}
+}
+
+// leafRangeHeader rebuilds a range statement with an empty body so the
+// sink judges only its header.
+func leafRangeHeader(s *ast.RangeStmt) ast.Stmt {
+	hdr := *s
+	hdr.Body = &ast.BlockStmt{Lbrace: s.Body.Lbrace, Rbrace: s.Body.Lbrace}
+	return &hdr
+}
+
+// isBeforeWrite recognizes s.BeforeWrite() on the section parameter (or
+// any *core.Section value — aliasing a section is vanishingly rare).
+func (in *interp) isBeforeWrite(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := in.pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	return ok && IsSectionMethod(fn, "BeforeWrite")
+}
+
+// holdingCond recognizes `s.Holding()` (+1), `!s.Holding()` (-1), else 0.
+func (in *interp) holdingCond(cond ast.Expr) int {
+	cond = ast.Unparen(cond)
+	if u, ok := cond.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		if in.holdingCond(u.X) == +1 {
+			return -1
+		}
+		return 0
+	}
+	call, ok := cond.(*ast.CallExpr)
+	if !ok {
+		return 0
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return 0
+	}
+	s, ok := in.pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return 0
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if ok && (IsSectionMethod(fn, "Holding") || IsSectionMethod(fn, "Upgraded")) {
+		return +1
+	}
+	return 0
+}
+
+func isPanic(pkg *load.Package, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

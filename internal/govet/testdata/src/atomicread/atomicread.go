@@ -1,0 +1,60 @@
+// Package atomicread is golden testdata for the atomicread analyzer:
+// fields loaded inside elided (speculative) sections while also written
+// under the lock must be sync/atomic cells; fields written nowhere under
+// the lock — immutable configuration — read freely as plain types.
+package atomicread
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/jthread"
+)
+
+type stats struct {
+	mu   *core.Lock
+	hits atomic.Int64 // written under the lock, read elided: must be atomic
+	raw  int64        // written under the lock, read elided: flagged
+	cfg  int64        // never written under the lock: plain is fine
+}
+
+// update is the writing side: it runs under the real lock and defines
+// the locked-write set {hits, raw}.
+func update(s *stats, t *jthread.Thread) {
+	s.mu.Sync(t, func() {
+		s.hits.Add(1)
+		s.raw = s.raw + 1
+	})
+}
+
+// snapshot is the elided reading side.
+func snapshot(s *stats, t *jthread.Thread) int64 {
+	var out int64
+	s.mu.ReadOnly(t, func() {
+		a := s.hits.Load()
+		b := s.raw // want `field raw is loaded non-atomically inside a ReadOnly section but written under the lock`
+		c := s.cfg
+		out = a + b + c
+	})
+	return out
+}
+
+// preUpgrade reads raw in the speculative region of a ReadMostly
+// section: the same torn-load hazard as a ReadOnly body.
+func preUpgrade(s *stats, t *jthread.Thread) {
+	s.mu.ReadMostly(t, func(sec *core.Section) {
+		if s.raw > 10 { // want `field raw is loaded non-atomically inside a ReadMostly section`
+			sec.BeforeWrite()
+			s.raw = 0
+		}
+	})
+}
+
+// postUpgrade loads raw only after BeforeWrite: the lock is held, the
+// load cannot tear, and no diagnostic is wanted.
+func postUpgrade(s *stats, t *jthread.Thread) {
+	s.mu.ReadMostly(t, func(sec *core.Section) {
+		sec.BeforeWrite()
+		s.raw = s.raw + 1
+	})
+}

@@ -1,0 +1,77 @@
+// Package beforewrite is golden testdata for the beforewrite analyzer:
+// every shared store inside a (*Lock).ReadMostly closure must sit on a
+// path dominated by the (*Section).BeforeWrite upgrade call.
+package beforewrite
+
+import (
+	"repro/internal/core"
+	"repro/internal/jthread"
+)
+
+type box struct {
+	mu *core.Lock
+	n  int64
+}
+
+// goodLinear: upgrade first, then write — the canonical §5 shape.
+func goodLinear(b *box, t *jthread.Thread) {
+	b.mu.ReadMostly(t, func(sec *core.Section) {
+		sec.BeforeWrite()
+		b.n = 1
+	})
+}
+
+// goodConditionalUpgrade: read speculatively, upgrade only on the
+// branch that writes.
+func goodConditionalUpgrade(b *box, t *jthread.Thread) {
+	b.mu.ReadMostly(t, func(sec *core.Section) {
+		if b.n == 0 {
+			sec.BeforeWrite()
+			b.n = 1
+		}
+	})
+}
+
+// goodHoldingGuard: a write guarded by the runtime's own Holding query
+// is dominated by definition.
+func goodHoldingGuard(b *box, t *jthread.Thread) {
+	b.mu.ReadMostly(t, func(sec *core.Section) {
+		sec.BeforeWrite()
+		if sec.Upgraded() {
+			b.n = b.n + 1
+		}
+	})
+}
+
+// badStoreBeforeUpgrade: the store races other speculative readers —
+// the upgrade arrives one line too late.
+func badStoreBeforeUpgrade(b *box, t *jthread.Thread) {
+	b.mu.ReadMostly(t, func(sec *core.Section) {
+		b.n = 1 // want `on a path not dominated by BeforeWrite`
+		sec.BeforeWrite()
+	})
+}
+
+// badElseBranch: only the then-branch upgrades; the else-branch store
+// is undominated.
+func badElseBranch(b *box, t *jthread.Thread) {
+	b.mu.ReadMostly(t, func(sec *core.Section) {
+		if b.n > 10 {
+			sec.BeforeWrite()
+			b.n = 0
+		} else {
+			b.n = b.n // want `on a path not dominated by BeforeWrite`
+		}
+	})
+}
+
+// badJoin: an if/else where only one arm upgrades does not dominate the
+// code after the join.
+func badJoin(b *box, t *jthread.Thread, hot bool) {
+	b.mu.ReadMostly(t, func(sec *core.Section) {
+		if hot {
+			sec.BeforeWrite()
+		}
+		b.n = 2 // want `on a path not dominated by BeforeWrite`
+	})
+}

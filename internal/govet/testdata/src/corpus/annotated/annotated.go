@@ -1,0 +1,63 @@
+// Package annotated is the Go encoding of internal/jit/testdata/
+// annotated.mj: dynamic dispatch defeats the static read-only analysis
+// (an implementation writes a field), and the //solerovet:readonly
+// directive — the @SoleroReadOnly analogue — restores elision on the
+// author's assertion.
+package annotated
+
+import (
+	"repro/internal/core"
+	"repro/internal/jthread"
+)
+
+// Probe mirrors class Probe's virtual probe(int): in Go, an interface.
+type Probe interface {
+	ProbeVal(x int64) int64
+}
+
+// PlainProbe mirrors the pure base implementation.
+type PlainProbe struct{}
+
+// ProbeVal returns its argument unchanged.
+func (PlainProbe) ProbeVal(x int64) int64 { return x }
+
+// CountingProbe mirrors the impure override.
+type CountingProbe struct{ Hits int64 }
+
+// ProbeVal counts calls — the write that poisons the dispatch set.
+func (c *CountingProbe) ProbeVal(x int64) int64 {
+	c.Hits = c.Hits + 1
+	return x + 1
+}
+
+// Host mirrors class Host.
+type Host struct {
+	l     *core.Lock
+	value int64
+}
+
+// New builds a host.
+func New() *Host {
+	return &Host{l: core.New(nil)}
+}
+
+// ReadViaVirtual mirrors readViaVirtual: the interface call cannot be
+// proven pure, so the section classifies as writing.
+func (h *Host) ReadViaVirtual(t *jthread.Thread, p Probe) int64 {
+	var out int64
+	h.l.Sync(t, func() {
+		out = p.ProbeVal(h.value)
+	})
+	return out
+}
+
+// ReadViaVirtualAnnotated mirrors the @SoleroReadOnly method: the
+// directive vouches for the call site.
+func (h *Host) ReadViaVirtualAnnotated(t *jthread.Thread, p Probe) int64 {
+	var out int64
+	//solerovet:readonly
+	h.l.Sync(t, func() {
+		out = p.ProbeVal(h.value)
+	})
+	return out
+}

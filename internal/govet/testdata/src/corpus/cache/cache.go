@@ -1,0 +1,53 @@
+// Package cache is the Go encoding of internal/jit/testdata/cache.mj: a
+// memoizing cache whose lookup writes only on miss — the §5 read-mostly
+// classification: every shared store sits on a guarded path, so the JIT
+// (and the elide analyzer) suggest the upgradable protocol rather than
+// keeping the lock.
+package cache
+
+import (
+	"repro/internal/core"
+	"repro/internal/jthread"
+)
+
+// MemoCache mirrors class MemoCache.
+type MemoCache struct {
+	l        *core.Lock
+	keys     []int64
+	vals     []int64
+	capacity int64
+}
+
+// New builds a cache.
+func New() *MemoCache {
+	return &MemoCache{l: core.New(nil)}
+}
+
+// Init mirrors synchronized init(n): unguarded stores, writing.
+func (c *MemoCache) Init(t *jthread.Thread, n int) {
+	c.l.Sync(t, func() {
+		c.keys = make([]int64, n)
+		c.vals = make([]int64, n)
+		c.capacity = int64(n)
+		for i := range c.keys {
+			c.keys[i] = -1
+		}
+	})
+}
+
+func (c *MemoCache) compute(k int64) int64 { return k*k + 7 }
+
+// Lookup mirrors synchronized lookup(k): the miss-path stores are
+// conditionally guarded, everything else reads — read-mostly.
+func (c *MemoCache) Lookup(t *jthread.Thread, k int64) int64 {
+	var out int64
+	c.l.Sync(t, func() {
+		slot := k % c.capacity
+		if c.keys[slot] != k {
+			c.keys[slot] = k
+			c.vals[slot] = c.compute(k)
+		}
+		out = c.vals[slot]
+	})
+	return out
+}

@@ -1,0 +1,65 @@
+// Package counterbank is the Go encoding of internal/jit/testdata/
+// counterbank.mj: a bank of counters behind synchronized methods. The
+// solerovet elide analyzer must classify these four Sync sections exactly
+// as the JIT classifies the mini-Java original: get and total elide
+// (read-only), init and add keep the lock (writing).
+package counterbank
+
+import (
+	"repro/internal/core"
+	"repro/internal/jthread"
+)
+
+// CounterBank mirrors class CounterBank: plain (non-atomic) fields,
+// because the .mj original predates the Go port's atomic-field rule; the
+// cross-check compares classification only.
+type CounterBank struct {
+	l     *core.Lock
+	slots []int64
+	size  int64
+}
+
+// New builds a bank guarded by one SOLERO lock.
+func New() *CounterBank {
+	return &CounterBank{l: core.New(nil)}
+}
+
+// Init mirrors synchronized init(n): two unguarded field stores.
+func (b *CounterBank) Init(t *jthread.Thread, n int) {
+	b.l.Sync(t, func() {
+		b.slots = make([]int64, n)
+		b.size = int64(n)
+	})
+}
+
+// Get mirrors synchronized get(i): read-only with a throwing guard.
+func (b *CounterBank) Get(t *jthread.Thread, i int) int64 {
+	var out int64
+	b.l.Sync(t, func() {
+		if i < 0 {
+			panic("index out of bounds")
+		}
+		out = b.slots[i]
+	})
+	return out
+}
+
+// Add mirrors synchronized add(i, v): an unguarded element store.
+func (b *CounterBank) Add(t *jthread.Thread, i int, v int64) {
+	b.l.Sync(t, func() {
+		b.slots[i] = b.slots[i] + v
+	})
+}
+
+// Total mirrors synchronized total(): a read-only loop.
+func (b *CounterBank) Total(t *jthread.Thread) int64 {
+	var out int64
+	b.l.Sync(t, func() {
+		s := int64(0)
+		for i := 0; i < int(b.size); i++ {
+			s = s + b.slots[i]
+		}
+		out = s
+	})
+	return out
+}

@@ -1,0 +1,80 @@
+// Package linkedlist is the Go encoding of internal/jit/testdata/
+// linkedlist.mj: a sorted singly-linked list under one lock. Expected
+// classification, matching the JIT: contains and length elide, insert
+// keeps the lock.
+package linkedlist
+
+import (
+	"repro/internal/core"
+	"repro/internal/jthread"
+)
+
+type node struct {
+	key  int64
+	next *node
+}
+
+// SortedList mirrors class SortedList.
+type SortedList struct {
+	l    *core.Lock
+	head *node
+	size int64
+}
+
+// New builds an empty list.
+func New() *SortedList {
+	return &SortedList{l: core.New(nil)}
+}
+
+// Contains mirrors synchronized contains(k): a pointer-chasing loop —
+// legal in SOLERO's elided sections, illegal under a raw seqlock.
+func (sl *SortedList) Contains(t *jthread.Thread, k int64) bool {
+	var found bool
+	sl.l.Sync(t, func() {
+		cur := sl.head
+		for cur != nil {
+			if cur.key == k {
+				found = true
+				return
+			}
+			if cur.key > k {
+				found = false
+				return
+			}
+			cur = cur.next
+		}
+		found = false
+	})
+	return found
+}
+
+// Insert mirrors synchronized insert(k): fresh-node initialization is
+// frame-private, but the splice into the shared list is a real store on
+// an unguarded path, so the section stays writing.
+func (sl *SortedList) Insert(t *jthread.Thread, k int64) {
+	sl.l.Sync(t, func() {
+		n := &node{key: k}
+		if sl.head == nil || sl.head.key >= k {
+			n.next = sl.head
+			sl.head = n
+			sl.size = sl.size + 1
+			return
+		}
+		cur := sl.head
+		for cur.next != nil && cur.next.key < k {
+			cur = cur.next
+		}
+		n.next = cur.next
+		cur.next = n
+		sl.size = sl.size + 1
+	})
+}
+
+// Length mirrors synchronized length().
+func (sl *SortedList) Length(t *jthread.Thread) int64 {
+	var out int64
+	sl.l.Sync(t, func() {
+		out = sl.size
+	})
+	return out
+}

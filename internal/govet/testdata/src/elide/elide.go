@@ -1,0 +1,68 @@
+// Package elide is golden testdata for the elide analyzer: Sync
+// closures the effect analysis proves read-only (or read-mostly) get an
+// elision suggestion, mirroring the JIT's automatic decision; writing
+// closures and //solerovet:readonly-annotated ones stay silent.
+package elide
+
+import (
+	"repro/internal/core"
+	"repro/internal/jthread"
+)
+
+type table struct {
+	mu   *core.Lock
+	vals []int64
+	n    int64
+}
+
+// lookup is provably read-only: the paper's JIT would elide this lock,
+// so the analyzer tells the author to.
+func lookup(tb *table, t *jthread.Thread, i int) int64 {
+	var out int64
+	tb.mu.Sync(t, func() { // want `Sync closure is provably read-only; use \(\*Lock\)\.ReadOnly`
+		out = tb.vals[i]
+	})
+	return out
+}
+
+// memoize writes only on a guarded path — the §5 read-mostly shape.
+func memoize(tb *table, t *jthread.Thread, i int) int64 {
+	var out int64
+	tb.mu.Sync(t, func() { // want `writes shared state only on guarded paths; consider \(\*Lock\)\.ReadMostly`
+		if tb.vals[i] == 0 {
+			tb.vals[i] = int64(i)
+		}
+		out = tb.vals[i]
+	})
+	return out
+}
+
+// store writes unconditionally: Sync is the right protocol, no
+// suggestion.
+func store(tb *table, t *jthread.Thread, i int) {
+	tb.mu.Sync(t, func() {
+		tb.vals[i] = 7
+		tb.n = tb.n + 1
+	})
+}
+
+// annotatedReadOnly would classify read-only, but the author already
+// asserted it with the directive — suggesting a rewrite would nag.
+func annotatedReadOnly(tb *table, t *jthread.Thread) int64 {
+	var out int64
+	//solerovet:readonly
+	tb.mu.Sync(t, func() {
+		out = tb.n
+	})
+	return out
+}
+
+// indirect flows the closure through (*Lock).Sync via a local variable:
+// the sections index resolves the binding, so the read-only proof — and
+// the suggestion — still land.
+func indirect(tb *table, t *jthread.Thread) int64 {
+	var out int64
+	body := func() { out = tb.n }
+	tb.mu.Sync(t, body) // want `Sync closure is provably read-only; use \(\*Lock\)\.ReadOnly`
+	return out
+}

