@@ -11,10 +11,12 @@
 #   make schedsmoke - fixed-seed schedule-exploration smoke + inverted bug-catch
 #   make schedfuzz  - longer schedule exploration across both strategies
 #   make fuzz      - native Go fuzzing of the lock-word encoding
+#   make obs-smoke - live observability smoke: lockstats -serve + curl asserts
+#   make json-smoke - solerobench -json writes valid snapshot bundles
 
 GO ?= go
 
-.PHONY: build vet test race bench check lint lintcatch schedsmoke schedfuzz fuzz
+.PHONY: build vet test race bench check lint lintcatch schedsmoke schedfuzz fuzz obs-smoke json-smoke
 
 build:
 	$(GO) build ./...
@@ -28,7 +30,8 @@ test:
 race:
 	$(GO) test -race ./internal/core/... ./internal/stats/... \
 		./internal/sched/... ./internal/history/... ./internal/schedcheck/... \
-		./internal/monitor/...
+		./internal/monitor/... ./internal/metrics/... ./internal/export/... \
+		./internal/trace/...
 
 bench:
 	$(GO) test -bench 'BenchmarkReaderScaling|BenchmarkReadOnlyAllocFree' -benchtime 200ms .
@@ -72,3 +75,30 @@ schedfuzz:
 fuzz:
 	$(GO) test ./internal/lockword/ -fuzz FuzzSoleroRoundTrip -fuzztime 30s
 	$(GO) test ./internal/lockword/ -fuzz FuzzSoleroEncode -fuzztime 30s
+
+# Live-endpoint smoke: start `lockstats -serve`, poll /metrics until it
+# answers, assert the known gauges/buckets are exposed, check the expvar
+# bundle and snapshot schema, then shut the server down.
+OBS_PORT ?= 18321
+obs-smoke:
+	$(GO) build -o /tmp/solero-lockstats ./cmd/lockstats
+	@/tmp/solero-lockstats -bench empty -threads 2 -duration 100ms -serve :$(OBS_PORT) >/tmp/solero-obs.log 2>&1 & \
+	pid=$$!; trap 'kill $$pid 2>/dev/null' EXIT; \
+	ok=0; for i in $$(seq 1 50); do \
+		if curl -sf localhost:$(OBS_PORT)/metrics >/tmp/solero-metrics.txt 2>/dev/null; then ok=1; break; fi; \
+		sleep 0.2; \
+	done; \
+	[ $$ok -eq 1 ] || { echo "FAIL: /metrics never came up"; cat /tmp/solero-obs.log; exit 1; }; \
+	grep -q '^solero_ops_total ' /tmp/solero-metrics.txt || { echo "FAIL: solero_ops_total gauge missing"; exit 1; }; \
+	grep -q 'solero_aborts_total{cause="writer-raced"}' /tmp/solero-metrics.txt || { echo "FAIL: abort taxonomy missing"; exit 1; }; \
+	grep -q 'solero_cs_duration_nanoseconds_bucket{le="255"}' /tmp/solero-metrics.txt || { echo "FAIL: histogram buckets missing"; exit 1; }; \
+	curl -sf localhost:$(OBS_PORT)/debug/vars | grep -q '"solero"' || { echo "FAIL: expvar bundle missing"; exit 1; }; \
+	curl -sf localhost:$(OBS_PORT)/snapshot.json | grep -q 'solero-snapshot/v1' || { echo "FAIL: snapshot schema missing"; exit 1; }; \
+	curl -sf localhost:$(OBS_PORT)/trace.json | grep -q 'traceEvents' || { echo "FAIL: Perfetto trace missing"; exit 1; }; \
+	echo "OK: obs-smoke (/metrics, /debug/vars, /snapshot.json, /trace.json)"
+
+# The instrumented suite must emit parseable solero-snapshot/v1 bundles.
+json-smoke:
+	$(GO) run ./cmd/solerobench -json /tmp/solero-suite.json -duration 20ms -runs 1 -inner 1 -threads 1,2
+	@grep -q '"schema": "solero-snapshot/v1"' /tmp/solero-suite.json || { echo "FAIL: schema missing from bundles"; exit 1; }
+	@echo "OK: json-smoke"

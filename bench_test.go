@@ -26,6 +26,7 @@ import (
 	"repro/internal/jthread"
 	"repro/internal/lockword"
 	"repro/internal/memmodel"
+	"repro/internal/metrics"
 	"repro/internal/rwlock"
 	"repro/internal/seqlock"
 	"repro/internal/simcoherence"
@@ -564,7 +565,15 @@ func BenchmarkReaderScaling(b *testing.B) {
 	modes := []struct {
 		name    string
 		stripes int
-	}{{"sharedStats", 1}, {"shardedStats", 0}}
+		metrics bool
+	}{
+		{"sharedStats", 1, false},
+		{"shardedStats", 0, false},
+		// The observability pipeline on: per-stripe histograms and abort
+		// taxonomy behind a sampled gate. Must track shardedStats — the
+		// registry adds no shared cache-line writes to the success path.
+		{"shardedStatsMetrics", 0, true},
+	}
 	sections := []struct {
 		name string
 		mk   func(cfg *core.Config) func(th *jthread.Thread, rnd uint64)
@@ -608,6 +617,9 @@ func BenchmarkReaderScaling(b *testing.B) {
 				b.Run(fmt.Sprintf("%s/%s/r%d", sec.name, mode.name, n), func(b *testing.B) {
 					cfg := *core.DefaultConfig
 					cfg.StatsStripes = mode.stripes
+					if mode.metrics {
+						cfg.Metrics = metrics.New(0)
+					}
 					op := sec.mk(&cfg)
 					vm := jthread.NewVM()
 					seeds := make([]uint64, n)
@@ -688,6 +700,71 @@ func BenchmarkReaderScalingSeparation(b *testing.B) {
 	}
 }
 
+// BenchmarkReaderScalingMetricsOverhead asserts the observability claim the
+// metrics registry makes: recording latency histograms and the abort
+// taxonomy costs the write-free read fast path at most 10% throughput at
+// full reader parallelism. The registry's only success-path work is one
+// nil-check plus a per-stripe sampled gate, so metrics-on must stay within
+// noise of metrics-off; a bigger gap means a shared cache-line write crept
+// onto the elided path. Fewer than 4 CPUs cannot exhibit the contention
+// this guards against, so the benchmark skips there. Each mode's
+// throughput is the best of 3 fixed wall-clock windows (as in
+// BenchmarkReaderScalingSeparation).
+func BenchmarkReaderScalingMetricsOverhead(b *testing.B) {
+	if runtime.NumCPU() < 4 {
+		b.Skipf("need >= 4 CPUs for a meaningful overhead bound, have %d", runtime.NumCPU())
+	}
+	readers := runtime.GOMAXPROCS(0)
+	const window = 100 * time.Millisecond
+
+	measure := func(reg *metrics.Registry) float64 {
+		cfg := *core.DefaultConfig
+		cfg.Metrics = reg
+		l := core.New(&cfg)
+		best := 0.0
+		for round := 0; round < 3; round++ {
+			var stop atomic.Bool
+			var ops atomic.Uint64
+			vm := jthread.NewVM()
+			var wg sync.WaitGroup
+			for g := 0; g < readers; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					th := vm.Attach("bench")
+					defer th.Detach()
+					n := uint64(0)
+					for !stop.Load() {
+						l.ReadOnly(th, func() {})
+						n++
+					}
+					ops.Add(n)
+				}()
+			}
+			start := time.Now()
+			time.Sleep(window)
+			stop.Store(true)
+			wg.Wait()
+			if rate := float64(ops.Load()) / time.Since(start).Seconds(); rate > best {
+				best = rate
+			}
+		}
+		return best
+	}
+
+	b.ResetTimer()
+	off := measure(nil)
+	on := measure(metrics.New(0))
+	ratio := on / off
+	b.ReportMetric(ratio, "on/off")
+	b.ReportMetric(on, "metricsOn-ops/s")
+	b.ReportMetric(off, "metricsOff-ops/s")
+	if ratio < 0.90 {
+		b.Fatalf("metrics-on read path lost %.1f%% throughput at %d readers (on %.0f ops/s, off %.0f ops/s); budget is 10%%",
+			100*(1-ratio), readers, on, off)
+	}
+}
+
 // BenchmarkReadOnlyAllocFree asserts the elided read fast path performs
 // zero heap allocations (testing.AllocsPerRun), then times it.
 func BenchmarkReadOnlyAllocFree(b *testing.B) {
@@ -699,6 +776,31 @@ func BenchmarkReadOnlyAllocFree(b *testing.B) {
 	l.ReadOnly(th, fn) // warm the thread's speculative-frame stack
 	if allocs := testing.AllocsPerRun(1000, func() { l.ReadOnly(th, fn) }); allocs != 0 {
 		b.Fatalf("elided read fast path allocates: %v allocs/run", allocs)
+	}
+	b.ReportMetric(0, "allocs/run")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.ReadOnly(th, fn)
+	}
+}
+
+// BenchmarkReadOnlyAllocFreeMetrics repeats the allocation proof with the
+// metrics registry wired in and sampling forced to every section — the
+// worst case where each read pushes the EndCS defer and records into the
+// cs_duration histogram. Still zero heap allocations.
+func BenchmarkReadOnlyAllocFreeMetrics(b *testing.B) {
+	vm := jthread.NewVM()
+	th := vm.Attach("bench")
+	defer th.Detach()
+	reg := metrics.New(0)
+	reg.SetSamplePeriod(1)
+	cfg := *core.DefaultConfig
+	cfg.Metrics = reg
+	l := core.New(&cfg)
+	fn := func() {}
+	l.ReadOnly(th, fn)
+	if allocs := testing.AllocsPerRun(1000, func() { l.ReadOnly(th, fn) }); allocs != 0 {
+		b.Fatalf("metrics-on elided read path allocates: %v allocs/run", allocs)
 	}
 	b.ReportMetric(0, "allocs/run")
 	b.ResetTimer()

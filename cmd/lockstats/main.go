@@ -1,27 +1,39 @@
 // Command lockstats runs one microbenchmark under SOLERO and dumps the
 // full protocol counter block — elisions, failures, fallbacks, inflations,
-// recovery events — the instrumentation behind Table 1 and Figure 15.
+// recovery events — the instrumentation behind Table 1 and Figure 15. A
+// metrics registry is always wired through the lock configuration, so every
+// run also yields the latency histograms and the abort-cause taxonomy.
 //
 // Usage:
 //
 //	lockstats [-bench hashmap|treemap|empty|jbb] [-threads N] [-writes PCT]
-//	          [-duration D] [-stripes]
+//	          [-duration D] [-trace N] [-stripes] [-sites]
+//	          [-json out.json] [-perfetto out.json] [-serve :PORT]
 //
 // -stripes additionally prints per-stripe occupancy of the sharded stat
-// engine, making skew across thread ids visible.
+// engine, making skew across thread ids visible. -sites prints the sampled
+// abort call sites. -json writes the solero-snapshot/v1 bundle, -perfetto
+// writes the flight recorder as Chrome trace-event JSON for Perfetto.
+//
+// -serve :PORT switches to live mode: the workload runs continuously while
+// an HTTP endpoint serves /metrics (Prometheus), /debug/vars (expvar),
+// /snapshot.json, and /trace.json until interrupted.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/export"
 	"repro/internal/harness"
 	"repro/internal/jbb"
 	"repro/internal/jthread"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -35,12 +47,22 @@ func main() {
 	duration := flag.Duration("duration", 200*time.Millisecond, "measurement window")
 	traceN := flag.Int("trace", 0, "record and print the last N protocol events")
 	stripes := flag.Bool("stripes", false, "print per-stripe stat occupancy alongside the aggregated snapshot")
+	sites := flag.Bool("sites", false, "print sampled abort call sites")
+	jsonOut := flag.String("json", "", "write the solero-snapshot/v1 JSON bundle to this file")
+	perfettoOut := flag.String("perfetto", "", "write the flight recorder as Perfetto trace-event JSON to this file")
+	serve := flag.String("serve", "", "serve live observability HTTP on this address (e.g. :8080) while the workload runs")
 	flag.Parse()
 
-	var ring *trace.Ring
+	reg := metrics.New(0)
 	lockCfg := *core.DefaultConfig
-	if *traceN > 0 {
-		ring = trace.New(*traceN)
+	lockCfg.Metrics = reg
+	var ring *trace.Ring
+	ringSize := *traceN
+	if ringSize == 0 && (*serve != "" || *perfettoOut != "") {
+		ringSize = 4096 // the exports need a recorder even without -trace
+	}
+	if ringSize > 0 {
+		ring = trace.New(ringSize)
 		lockCfg.Tracer = ring
 	}
 
@@ -48,6 +70,7 @@ func main() {
 	opts := harness.Options{
 		Threads: *threads, Duration: *duration, Runs: 1, InnerMeasures: 1,
 		AsyncEventInterval: 2 * time.Millisecond,
+		Metrics:            reg,
 	}
 
 	var worker harness.Worker
@@ -67,7 +90,7 @@ func main() {
 		if *bench == "treemap" {
 			kind = workload.Tree
 		}
-		b := workload.NewMapBench(kind, workload.ImplSolero, "none", *writes, *entries, *shards)
+		b := workload.NewMapBenchConfig(kind, workload.ImplSolero, "none", *writes, *entries, *shards, &lockCfg)
 		worker = b.Worker()
 		snap = func() (map[string]uint64, float64) {
 			agg := map[string]uint64{}
@@ -85,7 +108,7 @@ func main() {
 			return out
 		}
 	case "jbb":
-		b := jbb.New(workload.ImplSolero, "none", *threads)
+		b := jbb.NewWithConfig(workload.ImplSolero, "none", *threads, &lockCfg)
 		worker = b.Worker()
 		snap = func() (map[string]uint64, float64) {
 			agg := map[string]uint64{}
@@ -99,10 +122,38 @@ func main() {
 		os.Exit(1)
 	}
 
+	src := export.NewSource(*bench, *threads, reg)
+	src.Ring = ring
+	src.Counters = func() map[string]uint64 {
+		maps := make([]map[string]uint64, 0, 4)
+		for _, st := range statBlocks() {
+			maps = append(maps, st.Snapshot())
+		}
+		return export.MergeCounters(maps...)
+	}
+	src.FailureRatio = func() float64 { _, fr := snap(); return fr }
+
+	if *serve != "" {
+		go func() {
+			for {
+				harness.Measure(vm, opts, worker)
+			}
+		}()
+		fmt.Printf("lockstats: running %s (threads=%d) and serving on %s\n", *bench, *threads, *serve)
+		fmt.Printf("  curl http://localhost%s/metrics\n", portSuffix(*serve))
+		if err := http.ListenAndServe(*serve, src.Mux()); err != nil {
+			fmt.Fprintf(os.Stderr, "lockstats: serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	res := harness.Measure(vm, opts, worker)
 	counters, failureRatio := snap()
 
-	if ring != nil {
+	if *traceN > 0 {
+		// Dump merges the retained events by sequence number and reports
+		// how many older events the ring has already overwritten.
 		fmt.Printf("last protocol events:\n%s\n", ring.Dump())
 	}
 
@@ -117,8 +168,78 @@ func main() {
 	for _, k := range keys {
 		fmt.Printf("%-18s %d\n", k+":", counters[k])
 	}
+	printHistograms(reg)
+	printAborts(reg)
 	if *stripes {
 		printStripes(statBlocks())
+	}
+	if *sites {
+		printSites(reg)
+	}
+	if *jsonOut != "" {
+		data, err := src.Bundle(res.OpsPerSec).MarshalIndent()
+		if err != nil {
+			fatalf("bundle: %v", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote snapshot bundle to %s\n", *jsonOut)
+	}
+	if *perfettoOut != "" {
+		data, err := export.Perfetto(ring)
+		if err != nil {
+			fatalf("perfetto: %v", err)
+		}
+		if err := os.WriteFile(*perfettoOut, append(data, '\n'), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote Perfetto trace to %s (open in https://ui.perfetto.dev)\n", *perfettoOut)
+	}
+}
+
+// printHistograms summarizes each latency histogram that saw samples.
+func printHistograms(reg *metrics.Registry) {
+	fmt.Printf("latency histograms (sampled):\n")
+	any := false
+	for _, h := range reg.Histograms() {
+		s := h.Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		any = true
+		fmt.Printf("  %-12s n=%-8d mean=%-10.0f p50=%-8d p99=%-8d max=%d ns\n",
+			h.Name(), s.Count, s.Mean(), s.Quantile(0.50), s.Quantile(0.99), s.Max)
+	}
+	if !any {
+		fmt.Printf("  (no samples)\n")
+	}
+}
+
+// printAborts renders the abort-cause taxonomy.
+func printAborts(reg *metrics.Registry) {
+	counts := reg.AbortCounts()
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("abort taxonomy:\n")
+	for _, k := range keys {
+		fmt.Printf("  %-20s %d\n", k+":", counts[k])
+	}
+}
+
+// printSites ranks the sampled abort call sites.
+func printSites(reg *metrics.Registry) {
+	sites := reg.Sites()
+	if len(sites) == 0 {
+		fmt.Printf("abort call sites: none sampled\n")
+		return
+	}
+	fmt.Printf("abort call sites (1/%d sampled):\n", reg.SiteSamplePeriod())
+	for _, s := range sites {
+		fmt.Printf("  %6d  %-18s %s (%s:%d)\n", s.Total, s.TopCause(), s.Function, s.File, s.Line)
 	}
 }
 
@@ -157,4 +278,19 @@ func printStripes(blocks []*core.Stats) {
 		fmt.Printf("  stripe %2d: %10d events  %10d elision attempts  %5.1f%%\n",
 			i, events[i], attempts[i], share)
 	}
+}
+
+// portSuffix turns a listen address into the ":PORT" part for the curl hint.
+func portSuffix(addr string) string {
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			return addr[i:]
+		}
+	}
+	return addr
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lockstats: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -10,9 +10,15 @@
 // Real-execution sweeps (-sim absent) exercise the actual lock protocols
 // under goroutines; -sim regenerates the 16-way Power6 shapes on the
 // coherence model (see DESIGN.md §3 for the substitution rationale).
+//
+// -json out.json instead runs the instrumented benchmark suite and writes
+// one solero-snapshot/v1 bundle per benchmark — the schema shared with
+// `lockstats -json` and the live /snapshot.json endpoint (EXPERIMENTS.md
+// documents the fields).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +41,7 @@ func main() {
 	entries := flag.Int("entries", 1024, "map entries (paper: 1K)")
 	simCycles := flag.Int64("simcycles", 2_000_000, "simulated cycles per point (-sim)")
 	format := flag.String("format", "text", "output format: text|csv")
+	jsonOut := flag.String("json", "", "run the instrumented suite and write solero-snapshot/v1 bundles to this file")
 	flag.Parse()
 	if *format != "text" && *format != "csv" {
 		fatalf("unknown format %q", *format)
@@ -110,6 +117,15 @@ func main() {
 		default:
 			fatalf("unknown experiment %q", name)
 		}
+	}
+
+	if *jsonOut != "" {
+		bundles := experiments.JSONSuite(o)
+		data, err := json.MarshalIndent(bundles, "", "  ")
+		check(err)
+		check(os.WriteFile(*jsonOut, append(data, '\n'), 0o644))
+		fmt.Printf("wrote %d snapshot bundles to %s\n", len(bundles), *jsonOut)
+		return
 	}
 
 	if *exp == "all" {

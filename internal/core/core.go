@@ -30,6 +30,7 @@ import (
 	"repro/internal/jthread"
 	"repro/internal/lockword"
 	"repro/internal/memmodel"
+	"repro/internal/metrics"
 	"repro/internal/monitor"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -96,6 +97,11 @@ type Config struct {
 	// Tracer, when non-nil, records protocol transitions into a ring
 	// buffer (see internal/trace; `lockstats -trace` prints it).
 	Tracer *trace.Ring
+	// Metrics, when non-nil, feeds the observability registry: latency
+	// histograms for the slow paths, the abort-cause taxonomy, and sampled
+	// critical-section durations (see internal/metrics). Nil costs one
+	// predictable branch per hook and keeps the read fast path write-free.
+	Metrics *metrics.Registry
 
 	// Sched, when non-nil, yields to a deterministic schedule-injection
 	// controller at named points inside the protocol (internal/sched). In

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/history"
 	"repro/internal/jthread"
 	"repro/internal/lockword"
@@ -99,6 +101,7 @@ type specOutcome uint8
 const (
 	specOK specOutcome = iota
 	specFailed
+	specFailedAsync
 	specRestartHolding
 )
 
@@ -107,6 +110,11 @@ const (
 // calling BeforeWrite on its Section. The common no-write execution never
 // touches the lock variable; an execution that writes upgrades in place.
 func (l *Lock) ReadMostly(t *jthread.Thread, fn func(*Section)) {
+	// Same sampled CS-duration gate as ReadOnly: thread-local, write-free.
+	if m := l.cfg.Metrics; m != nil && t.SampleTick(m.CSSampleMask()) {
+		start := time.Now()
+		defer m.EndCS(t.StripeIndex(), start)
+	}
 	if l.cfg.DisableElision {
 		l.Lock(t)
 		defer l.Unlock(t)
@@ -130,7 +138,8 @@ func (l *Lock) ReadMostly(t *jthread.Thread, fn func(*Section)) {
 			return
 		}
 		s := &Section{l: l, t: t, v: v}
-		switch l.runSpecUpgradable(t, v, fn, s) {
+		outcome := l.runSpecUpgradable(t, v, fn, s)
+		switch outcome {
 		case specOK:
 			if s.upgraded {
 				// The section wrote: release the upgraded hold,
@@ -157,10 +166,11 @@ func (l *Lock) ReadMostly(t *jthread.Thread, fn func(*Section)) {
 			defer l.Unlock(t)
 			fn(&Section{l: l, t: t, holding: true, framePopped: true})
 			return
-		case specFailed:
+		case specFailed, specFailedAsync:
 			// fall through to the retry/fallback accounting
 		}
 		l.st.stripeFor(t).inc(cElisionFailures)
+		l.recordAbort(t, outcome == specFailedAsync)
 		failures++
 		if failures >= l.cfg.MaxElisionFailures {
 			l.st.stripeFor(t).inc(cFallbacks)
@@ -211,7 +221,7 @@ func (l *Lock) runSpecUpgradable(t *jthread.Thread, v uint64, fn func(*Section),
 		if ire, isIRE := r.(*jthread.InconsistentReadError); isIRE {
 			if ire.Word == &l.word {
 				l.st.stripeFor(t).inc(cAsyncAborts)
-				outcome = specFailed
+				outcome = specFailedAsync
 				return
 			}
 			panic(r)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/history"
 	"repro/internal/jthread"
 	"repro/internal/lockword"
@@ -25,6 +27,14 @@ import (
 // After MaxElisionFailures failed speculations, the section falls back to
 // real lock acquisition, which bounds starvation.
 func (l *Lock) ReadOnly(t *jthread.Thread, fn func()) {
+	// Sampled CS-duration timing: the gate is one predicted branch (nil
+	// registry) or a thread-local counter test, so the metrics-on fast
+	// path stays write-free; only the selected 1/period executions pay
+	// for a timestamp and a striped histogram record.
+	if m := l.cfg.Metrics; m != nil && t.SampleTick(m.CSSampleMask()) {
+		start := time.Now()
+		defer m.EndCS(t.StripeIndex(), start)
+	}
 	if l.cfg.DisableElision || l.adaptiveSkip(t) {
 		// Unelided-SOLERO (Figure 10), or an adaptive backoff window:
 		// the read section pays the full writing protocol.
@@ -46,7 +56,8 @@ func (l *Lock) ReadOnly(t *jthread.Thread, fn func()) {
 			l.runHolding(t, fn)
 			return
 		}
-		if l.runSpeculative(t, v, fn) {
+		ok, async := l.runSpeculative(t, v, fn)
+		if ok {
 			l.cfg.Model.Charge(l.cfg.Plan.ReadExit)
 			l.cfg.Sched.Point(t.ID(), sched.PReadValidate)
 			if l.word.Load() == v {
@@ -66,6 +77,7 @@ func (l *Lock) ReadOnly(t *jthread.Thread, fn func()) {
 		}
 		l.st.stripeFor(t).inc(cElisionFailures)
 		l.cfg.Tracer.Record(trace.EvElideFailure, t.ID(), v)
+		l.recordAbort(t, async)
 		l.adaptiveRecord(t, true)
 		failures++
 		if failures >= l.cfg.MaxElisionFailures {
@@ -113,10 +125,12 @@ func (l *Lock) runHolding(t *jthread.Thread, fn func()) {
 // §3.3 armed: a speculative frame for asynchronous checkpoint validation,
 // and a catch-all handler that classifies any fault as inconsistent
 // (suppress and retry) or genuine (rethrow) by re-validating the lock word.
-// It returns false when the section must be retried. Charges the ReadEnter
+// It returns ok == false when the section must be retried; async
+// distinguishes an asynchronous checkpoint abort from a word-change fault
+// (the abort-taxonomy split the failure arm records). Charges the ReadEnter
 // fence — on a real weak machine the entry fence is what makes the
 // validation sound, see internal/memmodel.
-func (l *Lock) runSpeculative(t *jthread.Thread, v uint64, fn func()) (ok bool) {
+func (l *Lock) runSpeculative(t *jthread.Thread, v uint64, fn func()) (ok, async bool) {
 	l.st.stripeFor(t).inc(cElisionAttempts)
 	l.cfg.Model.Charge(l.cfg.Plan.ReadEnter)
 	t.PushSpec(&l.word, v)
@@ -131,6 +145,7 @@ func (l *Lock) runSpeculative(t *jthread.Thread, v uint64, fn func()) (ok bool) 
 				// An asynchronous checkpoint aborted our
 				// speculation: retry.
 				l.st.stripeFor(t).inc(cAsyncAborts)
+				async = true
 				return
 			}
 			// An enclosing section's speculation is stale; let its
@@ -149,5 +164,5 @@ func (l *Lock) runSpeculative(t *jthread.Thread, v uint64, fn func()) (ok bool) 
 		panic(r)
 	}()
 	fn()
-	return true
+	return true, false
 }

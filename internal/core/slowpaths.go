@@ -1,12 +1,13 @@
 package core
 
 import (
-	"runtime"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/history"
 	"repro/internal/jthread"
 	"repro/internal/lockword"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
@@ -19,6 +20,10 @@ func sub(w *atomic.Uint64, delta uint64) { w.Add(^delta + 1) }
 func (l *Lock) slowEnter(t *jthread.Thread, v uint64) {
 	l.st.stripeFor(t).inc(cSlowAcquires)
 	l.cfg.Tracer.Record(trace.EvAcquireSlow, t.ID(), v)
+	if m := l.cfg.Metrics; m != nil {
+		start := time.Now()
+		defer func() { m.Acquire.Record(t.StripeIndex(), time.Since(start).Nanoseconds()) }()
+	}
 	tid := t.ID()
 	for {
 		switch {
@@ -54,6 +59,11 @@ func (l *Lock) slowEnter(t *jthread.Thread, v uint64) {
 // pre-acquire word is stored as the local lock variable.
 func (l *Lock) spinAcquire(t *jthread.Thread) bool {
 	tid := t.ID()
+	var spinStart time.Time
+	if l.cfg.Metrics != nil {
+		spinStart = time.Now()
+	}
+	defer l.spinDwell(t, spinStart)
 	for i := 0; i < l.cfg.Tier3; i++ {
 		for j := 0; j < l.cfg.Tier2; j++ {
 			l.cfg.Sched.Point(tid, sched.PSpin)
@@ -70,7 +80,7 @@ func (l *Lock) spinAcquire(t *jthread.Thread) bool {
 			}
 			spinBackoff(l.cfg.Tier1)
 		}
-		runtime.Gosched()
+		l.yieldTimed(t)
 	}
 	return false
 }
@@ -96,6 +106,10 @@ func (l *Lock) contendAndInflate(t *jthread.Thread) {
 			// the token must travel while this thread sleeps, or the
 			// releasing thread could never run to wake it.
 			l.word.Or(lockword.FLCBit)
+			var parkStart time.Time
+			if l.cfg.Metrics != nil {
+				parkStart = time.Now()
+			}
 			l.cfg.Sched.Block(tid, sched.PFLCPark, func() {
 				m.RawLock()
 				if w := l.word.Load(); lockword.SoleroHeld(w) {
@@ -104,6 +118,9 @@ func (l *Lock) contendAndInflate(t *jthread.Thread) {
 				}
 				m.RawUnlock()
 			})
+			if mr := l.cfg.Metrics; mr != nil {
+				mr.Park.Record(t.StripeIndex(), time.Since(parkStart).Nanoseconds())
+			}
 		default:
 			// Free, possibly with a stale FLC bit: grab the flat
 			// lock (clearing FLC), then publish the inflated word.
@@ -133,7 +150,14 @@ func (l *Lock) contendAndInflate(t *jthread.Thread) {
 func (l *Lock) fatEnter(t *jthread.Thread) bool {
 	m := l.monitorFor()
 	tid := t.ID()
+	var parkStart time.Time
+	if l.cfg.Metrics != nil {
+		parkStart = time.Now()
+	}
 	l.cfg.Sched.Block(tid, sched.PMonitorEnter, func() { m.Enter(tid) })
+	if mr := l.cfg.Metrics; mr != nil {
+		mr.Park.Record(t.StripeIndex(), time.Since(parkStart).Nanoseconds())
+	}
 	if l.word.Load() == lockword.InflatedWord(m.ID()) {
 		l.st.stripeFor(t).inc(cFatEnters)
 		l.cfg.History.Record(history.Acquire, tid, lockword.InflatedWord(m.ID()))
@@ -220,11 +244,15 @@ func (l *Lock) slowExit(t *jthread.Thread, v2 uint64) {
 // instead of overloading the counter-0 free word.)
 func (l *Lock) slowReadEnter(t *jthread.Thread) (v uint64, holding bool) {
 	tid := t.ID()
+	var spinStart time.Time
 	v = l.word.Load()
 	// test_recursion: the thread already holds the flat lock.
 	if lockword.SoleroHeldBy(v, tid) {
 		l.st.stripeFor(t).inc(cReadRecursions)
 		if lockword.SoleroRec(v) >= lockword.SoleroRecMax {
+			if m := l.cfg.Metrics; m != nil {
+				m.RecordAbort(t.StripeIndex(), metrics.AbortRecursionOverflow)
+			}
 			l.inflateAsOwner(t, v, 1)
 			return 0, true
 		}
@@ -232,11 +260,15 @@ func (l *Lock) slowReadEnter(t *jthread.Thread) (v uint64, holding bool) {
 		return 0, true
 	}
 	// Three-tier wait for the word to become elidable.
+	if l.cfg.Metrics != nil {
+		spinStart = time.Now()
+	}
 	for i := 0; i < l.cfg.Tier3; i++ {
 		for j := 0; j < l.cfg.Tier2; j++ {
 			l.cfg.Sched.Point(tid, sched.PSpin)
 			v = l.word.Load()
 			if lockword.SoleroFree(v) {
+				l.spinDwell(t, spinStart)
 				return v, false
 			}
 			if v&(lockword.InflationBit|lockword.FLCBit) != 0 {
@@ -244,10 +276,15 @@ func (l *Lock) slowReadEnter(t *jthread.Thread) (v uint64, holding bool) {
 			}
 			spinBackoff(l.cfg.Tier1)
 		}
-		runtime.Gosched()
+		l.yieldTimed(t)
 	}
 inflation:
-	// The lock stayed busy (or is already fat): acquire it for real.
+	// The lock stayed busy (or is already fat): the elision is preempted —
+	// record why (a fat word vs. a writer holding on) — and acquire for real.
+	l.spinDwell(t, spinStart)
+	if m := l.cfg.Metrics; m != nil {
+		m.RecordAbort(t.StripeIndex(), abortCauseFor(v))
+	}
 	l.contendForRead(t)
 	l.st.stripeFor(t).inc(cReadFatEnters)
 	return 0, true

@@ -1,0 +1,63 @@
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// PerfettoEvent is one Chrome trace-event ("JSON Array Format" object).
+// Protocol transitions are instants (ph "i") scoped to their thread, so
+// Perfetto renders each lock event as a tick on the emitting thread's track.
+type PerfettoEvent struct {
+	Name  string `json:"name"`
+	Phase string `json:"ph"`
+	// TS is microseconds from the ring's start (the trace-event clock unit).
+	TS    float64       `json:"ts"`
+	PID   int           `json:"pid"`
+	TID   uint64        `json:"tid"`
+	Scope string        `json:"s"`
+	Args  *PerfettoArgs `json:"args,omitempty"`
+}
+
+// PerfettoArgs carries the protocol detail for one event.
+type PerfettoArgs struct {
+	Seq  uint64 `json:"seq"`
+	Word string `json:"word"`
+}
+
+// PerfettoTrace is the top-level JSON Object Format document.
+type PerfettoTrace struct {
+	TraceEvents     []PerfettoEvent   `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// Perfetto renders the ring's retained events as trace-event JSON accepted
+// by Perfetto and chrome://tracing. Events come out in sequence order; the
+// number of overwritten (dropped) events rides along in otherData.
+func Perfetto(r *trace.Ring) ([]byte, error) {
+	doc := PerfettoTrace{
+		TraceEvents:     []PerfettoEvent{},
+		DisplayTimeUnit: "ns",
+	}
+	if r != nil {
+		for _, e := range r.Snapshot() {
+			doc.TraceEvents = append(doc.TraceEvents, PerfettoEvent{
+				Name:  e.Kind.String(),
+				Phase: "i",
+				TS:    float64(e.Nano) / 1e3,
+				PID:   1,
+				TID:   e.TID,
+				Scope: "t",
+				Args:  &PerfettoArgs{Seq: e.Seq, Word: fmt.Sprintf("%#x", e.Word)},
+			})
+		}
+		doc.OtherData = map[string]string{
+			"dropped":  fmt.Sprintf("%d", r.Dropped()),
+			"recorded": fmt.Sprintf("%d", r.Len()),
+		}
+	}
+	return json.MarshalIndent(&doc, "", " ")
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/jthread"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 )
 
@@ -34,6 +35,12 @@ type Options struct {
 	// validation event source during measurement (SOLERO's infinite-loop
 	// recovery). Zero disables it.
 	AsyncEventInterval time.Duration
+	// Metrics, when non-nil, accumulates every window's completed
+	// operations (including warmup) into the registry's striped ops
+	// counter — the live `lockstats -serve` endpoint derives its
+	// throughput from it. Each worker adds its own count once per window,
+	// on its own stripe, so measurement stays write-free per thread.
+	Metrics *metrics.Registry
 }
 
 // DefaultOptions keeps the paper's 5×best-of-5 protocol with windows sized
@@ -87,13 +94,13 @@ func Measure(vm *jthread.VM, opts Options, worker Worker) Result {
 		defer vm.StopAsyncEvents()
 	}
 	if opts.Warmup > 0 {
-		runWindow(vm, opts.Threads, opts.Warmup, worker)
+		runWindow(vm, opts.Threads, opts.Warmup, worker, opts.Metrics)
 	}
 	res := Result{}
 	for r := 0; r < opts.Runs; r++ {
 		windows := make([]float64, 0, opts.InnerMeasures)
 		for m := 0; m < opts.InnerMeasures; m++ {
-			ops, elapsed := runWindow(vm, opts.Threads, opts.Duration, worker)
+			ops, elapsed := runWindow(vm, opts.Threads, opts.Duration, worker, opts.Metrics)
 			windows = append(windows, stats.Throughput(ops, elapsed))
 		}
 		res.Windows = append(res.Windows, windows...)
@@ -105,7 +112,7 @@ func Measure(vm *jthread.VM, opts Options, worker Worker) Result {
 
 // runWindow executes one measurement window and returns total operations
 // and the actual elapsed time.
-func runWindow(vm *jthread.VM, threads int, d time.Duration, worker Worker) (uint64, time.Duration) {
+func runWindow(vm *jthread.VM, threads int, d time.Duration, worker Worker, reg *metrics.Registry) (uint64, time.Duration) {
 	var stop atomic.Bool
 	var total atomic.Uint64
 	var wg sync.WaitGroup
@@ -116,7 +123,9 @@ func runWindow(vm *jthread.VM, threads int, d time.Duration, worker Worker) (uin
 			defer wg.Done()
 			th := vm.Attach("bench")
 			defer th.Detach()
-			total.Add(worker(i, th, &stop))
+			ops := worker(i, th, &stop)
+			total.Add(ops)
+			reg.AddOps(th.StripeIndex(), ops)
 		}(i)
 	}
 	time.Sleep(d)

@@ -53,9 +53,9 @@ type Warehouse struct {
 	history   atomic.Uint64
 }
 
-func newWarehouse(impl workload.Impl, arch string) *Warehouse {
+func newWarehouse(impl workload.Impl, arch string, base *core.Config) *Warehouse {
 	w := &Warehouse{
-		guard:     workload.NewGuard(impl, arch),
+		guard:     workload.NewGuardConfig(impl, arch, base),
 		stock:     treemap.New[int64](),
 		customers: hashmap.New[int64](customers * 2),
 		orders:    hashmap.New[int64](1024),
@@ -78,9 +78,15 @@ type Bench struct {
 
 // New creates a bench with capacity for maxThreads warehouses.
 func New(impl workload.Impl, arch string, maxThreads int) *Bench {
+	return NewWithConfig(impl, arch, maxThreads, nil)
+}
+
+// NewWithConfig is New with an explicit SOLERO base lock configuration for
+// every warehouse guard (see workload.NewGuardConfig).
+func NewWithConfig(impl workload.Impl, arch string, maxThreads int, base *core.Config) *Bench {
 	b := &Bench{Impl: impl, arch: arch}
 	for i := 0; i < maxThreads; i++ {
-		b.warehouses = append(b.warehouses, newWarehouse(impl, arch))
+		b.warehouses = append(b.warehouses, newWarehouse(impl, arch, base))
 	}
 	return b
 }

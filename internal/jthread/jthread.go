@@ -77,6 +77,11 @@ type Thread struct {
 	forceEvery  uint64
 	checkpoints uint64
 
+	// sampleTick is the thread-local counter behind the metrics CS-duration
+	// sampling gate. Plain (non-atomic) by the Thread's single-goroutine
+	// contract.
+	sampleTick uint32
+
 	// Checkpoints observed with a pending event (stats).
 	eventsSeen uint64
 	// Speculations aborted by checkpoint validation (stats).
@@ -87,6 +92,17 @@ type Thread struct {
 
 // ID returns the thread's 56-bit id (>= 1).
 func (t *Thread) ID() uint64 { return t.id }
+
+// SampleTick advances the thread-local sampling counter and reports whether
+// this event is selected — true on every (mask+1)'th call, where mask is a
+// sampling period minus one (a power of two minus one, e.g. from
+// metrics.Registry.CSSampleMask). It is deliberately free of atomics and
+// shared state: a Thread is single-goroutine by contract, which makes this
+// the cheapest sampling gate the elided read fast path can carry.
+func (t *Thread) SampleTick(mask uint32) bool {
+	t.sampleTick++
+	return t.sampleTick&mask == 0
+}
 
 // StripeIndex returns the thread's precomputed stripe index, used by
 // sharded per-lock statistics to pick a cache-line-padded counter stripe

@@ -201,3 +201,25 @@ func TestStripeIndexRoundRobin(t *testing.T) {
 		prev = th
 	}
 }
+
+func TestSampleTickSelectsEveryPeriod(t *testing.T) {
+	vm := NewVM()
+	th := vm.Attach("sampler")
+	// Mask 7 = period 8: exactly one in eight calls selected, at a fixed
+	// phase (ticks 8, 16, ...).
+	sampled := 0
+	for i := 0; i < 64; i++ {
+		if th.SampleTick(7) {
+			sampled++
+		}
+	}
+	if sampled != 8 {
+		t.Fatalf("sampled %d of 64 with mask 7", sampled)
+	}
+	// Mask 0 = period 1: every call selected.
+	for i := 0; i < 10; i++ {
+		if !th.SampleTick(0) {
+			t.Fatalf("mask 0 skipped a tick")
+		}
+	}
+}

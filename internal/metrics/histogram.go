@@ -1,0 +1,190 @@
+package metrics
+
+// Log-linear latency histograms. Latencies span seven orders of magnitude
+// (a 20ns elided read, a 10ms park), so linear buckets waste space and
+// exponential buckets lose resolution; the standard compromise (HdrHistogram,
+// Prometheus native histograms) is log-linear: each power-of-two octave is
+// split into a fixed number of linear sub-buckets, giving a bounded relative
+// error (here <= 12.5%) everywhere on the scale.
+//
+// Recording follows the same striping discipline as the protocol counters
+// (internal/stats, internal/core/sharded.go): each stripe owns a padded
+// bucket block and a thread only ever writes its own stripe, so recording
+// from the lock's slow paths never bounces a shared cache line between
+// threads. Merging happens only when a snapshot is read.
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+const (
+	// histSubBits is the log2 of the sub-buckets per octave.
+	histSubBits = 3
+	// histSubBuckets linear sub-buckets split each power-of-two octave,
+	// bounding the relative quantization error at 1/histSubBuckets.
+	histSubBuckets = 1 << histSubBits
+
+	// NumBuckets covers the full uint64 range: values 0..7 exactly, then
+	// 8 sub-buckets per octave up to 2^64-1 (bits.Len64 up to 64 yields a
+	// top exponent of 60, so the last index is (60+1)*8+7 = 495).
+	NumBuckets = 496
+)
+
+// bucketIndex maps a value to its log-linear bucket.
+func bucketIndex(v uint64) int {
+	if v < histSubBuckets {
+		return int(v)
+	}
+	exp := uint(bits.Len64(v)) - histSubBits - 1
+	return int(exp+1)<<histSubBits + int(v>>exp&(histSubBuckets-1))
+}
+
+// BucketUpper returns bucket i's inclusive upper bound (the value reported
+// for quantiles that land in the bucket).
+func BucketUpper(i int) uint64 {
+	if i < histSubBuckets {
+		return uint64(i)
+	}
+	exp := uint(i>>histSubBits) - 1
+	sub := uint64(i & (histSubBuckets - 1))
+	return 1<<(exp+histSubBits) + (sub+1)<<exp - 1
+}
+
+// histPad rounds the stripe up to a multiple of the false-sharing range.
+const (
+	histRawBytes = 8 * (NumBuckets + 3) // buckets + count + sum + max
+	histPad      = (stats.FalseSharingRange - histRawBytes%stats.FalseSharingRange) % stats.FalseSharingRange
+)
+
+// histStripe is one thread-stripe's bucket block. Only the owning stripe's
+// threads write it; all fields are monotone, so concurrent merges never
+// observe a decreasing view.
+type histStripe struct {
+	buckets [NumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	_       [histPad]byte
+}
+
+// Histogram is a striped log-linear histogram of non-negative int64 samples
+// (latencies in nanoseconds). The zero value is not ready; use newHistogram.
+type Histogram struct {
+	name    string
+	stripes []histStripe
+	mask    uint32
+}
+
+// newHistogram creates a histogram with nstripes stripes (a power of two).
+func newHistogram(name string, nstripes int) *Histogram {
+	return &Histogram{name: name, stripes: make([]histStripe, nstripes), mask: uint32(nstripes - 1)}
+}
+
+// Name returns the histogram's registry name (e.g. "cs_duration").
+func (h *Histogram) Name() string { return h.name }
+
+// Record adds one sample to the stripe selected by index (masked, so any
+// precomputed per-thread value is valid). Negative samples clamp to zero.
+// nil-safe: a nil histogram records nothing.
+func (h *Histogram) Record(stripe uint32, v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	sp := &h.stripes[stripe&h.mask]
+	sp.buckets[bucketIndex(uint64(v))].Add(1)
+	sp.count.Add(1)
+	sp.sum.Add(uint64(v))
+	for {
+		old := sp.max.Load()
+		if uint64(v) <= old || sp.max.CompareAndSwap(old, uint64(v)) {
+			break
+		}
+	}
+}
+
+// HistogramSnapshot is a merged plain-value copy of a histogram. Count and
+// the bucket sums are exact once writers are quiescent; a concurrent
+// snapshot may miss in-flight samples but never invents any.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+	Buckets [NumBuckets]uint64
+}
+
+// Snapshot merges all stripes. nil-safe: returns a zero snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.stripes {
+		sp := &h.stripes[i]
+		s.Count += sp.count.Load()
+		s.Sum += sp.sum.Load()
+		if m := sp.max.Load(); m > s.Max {
+			s.Max = m
+		}
+		for b := 0; b < NumBuckets; b++ {
+			s.Buckets[b] += sp.buckets[b].Load()
+		}
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of the recorded samples (0 when empty).
+func (s *HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns the value at quantile q in [0,1]: the upper bound of the
+// first bucket whose cumulative count reaches q*Count (0 when empty). The
+// log-linear bucketing bounds the relative error at 12.5%.
+func (s *HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < NumBuckets; i++ {
+		cum += s.Buckets[i]
+		if cum >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(NumBuckets - 1)
+}
+
+// CumulativeLE returns how many recorded samples are <= bound — the
+// Prometheus cumulative-bucket view. Bounds that fall inside a bucket count
+// the whole bucket iff the bucket's upper bound is <= bound, so exact
+// results need bounds aligned with BucketUpper (exporters use 2^k-1).
+func (s *HistogramSnapshot) CumulativeLE(bound uint64) uint64 {
+	var cum uint64
+	for i := 0; i < NumBuckets; i++ {
+		if BucketUpper(i) > bound {
+			break
+		}
+		cum += s.Buckets[i]
+	}
+	return cum
+}

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.RecordAbort(1, AbortInflated)
+	r.AddOps(0, 10)
+	if r.Ops() != 0 || r.AbortCount(AbortInflated) != 0 {
+		t.Fatalf("nil registry counted")
+	}
+	if r.Sites() != nil || r.Histograms() != nil {
+		t.Fatalf("nil registry returned data")
+	}
+	counts := r.AbortCounts()
+	if len(counts) != int(NumAbortCauses) {
+		t.Fatalf("AbortCounts keys = %d", len(counts))
+	}
+	for k, v := range counts {
+		if v != 0 {
+			t.Fatalf("nil registry abort %s = %d", k, v)
+		}
+	}
+}
+
+func TestAbortCauseNames(t *testing.T) {
+	seen := map[string]bool{}
+	for c := AbortCause(0); c < NumAbortCauses; c++ {
+		name := c.String()
+		if name == "" || strings.Contains(name, "?") {
+			t.Fatalf("cause %d unnamed", c)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate cause name %q", name)
+		}
+		seen[name] = true
+	}
+	if AbortCause(200).String() != "cause(?)" {
+		t.Fatalf("unknown cause string wrong")
+	}
+}
+
+func TestSamplingPeriod(t *testing.T) {
+	r := New(1)
+	if got := r.CSSampleMask(); got != DefaultSamplePeriod-1 {
+		t.Fatalf("default mask = %d, want %d", got, DefaultSamplePeriod-1)
+	}
+	r.SetSamplePeriod(8)
+	if got := r.CSSampleMask(); got != 7 {
+		t.Fatalf("mask for period 8 = %d, want 7", got)
+	}
+	// Periods round up to the next power of two; the minimum period is 1
+	// (mask 0: every section sampled).
+	r.SetSamplePeriod(5)
+	if got := r.CSSampleMask(); got != 7 {
+		t.Fatalf("mask for period 5 = %d, want 7", got)
+	}
+	r.SetSamplePeriod(0)
+	if got := r.CSSampleMask(); got != 0 {
+		t.Fatalf("mask for period 0 = %d, want 0", got)
+	}
+	for i := 0; i < 10; i++ {
+		r.EndCS(0, time.Now())
+	}
+	if s := r.CSDuration.Snapshot(); s.Count != 10 {
+		t.Fatalf("recorded %d sampled sections", s.Count)
+	}
+}
+
+func TestAbortTaxonomyCounts(t *testing.T) {
+	r := New(4)
+	r.RecordAbort(0, AbortWriterRaced)
+	r.RecordAbort(1, AbortWriterRaced)
+	r.RecordAbort(2, AbortAsync)
+	r.RecordAbort(3, AbortRecursionOverflow)
+	if got := r.AbortCount(AbortWriterRaced); got != 2 {
+		t.Fatalf("writer-raced = %d", got)
+	}
+	counts := r.AbortCounts()
+	if counts["writer-raced"] != 2 || counts["async-abort"] != 1 ||
+		counts["recursion-overflow"] != 1 || counts["inflated"] != 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+	// Out-of-range causes fold into writer-raced rather than panicking.
+	r.RecordAbort(0, AbortCause(99))
+	if got := r.AbortCount(AbortWriterRaced); got != 3 {
+		t.Fatalf("out-of-range cause not folded: %d", got)
+	}
+}
+
+// SetSiteSamplePeriodForTest makes every abort sample its site (tests).
+func (r *Registry) SetSiteSamplePeriodForTest() { r.sitePeriodMask = 0 }
+
+// TestRegistryConcurrentUse hammers every hot-path entry point from
+// concurrent goroutines (run under -race in make race).
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := New(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g uint32) {
+			defer wg.Done()
+			var tick uint32
+			mask := r.CSSampleMask()
+			for i := 0; i < 2000; i++ {
+				if tick++; tick&mask == 0 {
+					r.EndCS(g, time.Now())
+				}
+				r.RecordAbort(g, AbortCause(i%int(NumAbortCauses)))
+				r.AddOps(g, 1)
+				r.Acquire.Record(g, int64(i))
+			}
+		}(uint32(g))
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			_ = r.AbortCounts()
+			_ = r.CSDuration.Snapshot()
+			_ = r.Sites()
+			if r.Ops() == 8*2000 {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-readerDone
+	if r.Ops() != 8*2000 {
+		t.Fatalf("ops = %d", r.Ops())
+	}
+	var aborts uint64
+	for c := AbortCause(0); c < NumAbortCauses; c++ {
+		aborts += r.AbortCount(c)
+	}
+	if aborts != 8*2000 {
+		t.Fatalf("aborts = %d", aborts)
+	}
+	if s := r.Acquire.Snapshot(); s.Count != 8*2000 {
+		t.Fatalf("acquire samples = %d", s.Count)
+	}
+}

@@ -1,0 +1,166 @@
+package metrics
+
+// Sampled call-site attribution. Knowing that speculation aborted 40k times
+// is less useful than knowing *which lock site* burned the retries; the JVM
+// the paper instruments gets this from its profiler, we get it from
+// runtime.Callers. Capturing a stack is far too expensive for every abort,
+// so the site table is fed by a per-stripe sampling gate (1 in
+// defaultSitePeriod aborts) and the table itself — a mutex-guarded map —
+// is touched only by those sampled, already-slow executions.
+
+import (
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// defaultSitePeriod is the abort-site sampling period (power of two).
+const defaultSitePeriod = 16
+
+// siteDepth is how many user frames identify one site.
+const siteDepth = 3
+
+type siteKey [siteDepth]uintptr
+
+// siteTable maps sampled abort sites to per-cause hit counts.
+type siteTable struct {
+	mu     sync.Mutex
+	counts map[siteKey]*[NumAbortCauses]uint64
+}
+
+func newSiteTable() *siteTable {
+	return &siteTable{counts: make(map[siteKey]*[NumAbortCauses]uint64)}
+}
+
+// record captures the calling stack, drops the lock-internal frames, and
+// bumps the site's per-cause counter.
+func (t *siteTable) record(cause AbortCause) {
+	var pcs [16]uintptr
+	n := runtime.Callers(2, pcs[:])
+	key := siteKeyFor(pcs[:n])
+	t.mu.Lock()
+	c := t.counts[key]
+	if c == nil {
+		c = new([NumAbortCauses]uint64)
+		t.counts[key] = c
+	}
+	c[cause]++
+	t.mu.Unlock()
+}
+
+// internalFrame reports whether a function belongs to the lock machinery
+// itself (and so does not identify a *user* lock site).
+func internalFrame(fn string) bool {
+	for _, prefix := range []string{
+		"repro/internal/metrics.",
+		"repro/internal/core.",
+		"runtime.",
+	} {
+		if strings.HasPrefix(fn, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// siteKeyFor reduces a raw PC stack to the first siteDepth frames outside
+// the lock machinery. Frames inside closures passed *to* the lock (the
+// section bodies core re-invokes) resolve to their defining package, so a
+// site names the code that owns the critical section.
+func siteKeyFor(pcs []uintptr) siteKey {
+	var key siteKey
+	frames := runtime.CallersFrames(pcs)
+	i := 0
+	for i < siteDepth {
+		f, more := frames.Next()
+		if f.Function != "" && !internalFrame(f.Function) {
+			key[i] = f.PC
+			i++
+		}
+		if !more {
+			break
+		}
+	}
+	return key
+}
+
+// Site is one resolved abort site, ranked by sampled hit count.
+type Site struct {
+	// Function/File/Line identify the innermost user frame.
+	Function string
+	File     string
+	Line     int
+	// Total is the sampled abort count attributed to the site; multiply by
+	// the sampling period for an estimate of real aborts.
+	Total uint64
+	// ByCause breaks Total down by taxonomy cause (indexed by AbortCause).
+	ByCause [NumAbortCauses]uint64
+}
+
+// TopCause returns the site's dominant abort cause.
+func (s *Site) TopCause() AbortCause {
+	best := AbortCause(0)
+	for c := AbortCause(1); c < NumAbortCauses; c++ {
+		if s.ByCause[c] > s.ByCause[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Sites resolves and ranks the sampled abort sites, most-hit first.
+// nil-safe: returns nil.
+func (r *Registry) Sites() []Site {
+	if r == nil {
+		return nil
+	}
+	r.sites.mu.Lock()
+	type entry struct {
+		key siteKey
+		c   [NumAbortCauses]uint64
+	}
+	entries := make([]entry, 0, len(r.sites.counts))
+	for k, c := range r.sites.counts {
+		entries = append(entries, entry{key: k, c: *c})
+	}
+	r.sites.mu.Unlock()
+
+	out := make([]Site, 0, len(entries))
+	for _, e := range entries {
+		s := Site{ByCause: e.c}
+		for _, n := range e.c {
+			s.Total += n
+		}
+		// Resolve the innermost captured frame.
+		var pcs []uintptr
+		for _, pc := range e.key {
+			if pc != 0 {
+				pcs = append(pcs, pc)
+			}
+		}
+		if len(pcs) > 0 {
+			f, _ := runtime.CallersFrames(pcs[:1]).Next()
+			s.Function, s.File, s.Line = f.Function, f.File, f.Line
+		} else {
+			s.Function = "(unresolved)"
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Function < out[j].Function
+	})
+	return out
+}
+
+// SiteSamplePeriod returns the abort-site sampling period (for scaling
+// sampled counts back to estimates). nil-safe.
+func (r *Registry) SiteSamplePeriod() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.sitePeriodMask + 1
+}

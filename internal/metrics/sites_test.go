@@ -1,0 +1,42 @@
+// Site attribution resolves the first frame *outside* the lock machinery,
+// which includes this package — so the test that asserts on resolved frames
+// must live in the external test package to be visible as a "user" site.
+package metrics_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestSiteAttribution(t *testing.T) {
+	r := metrics.New(1)
+	r.SetSiteSamplePeriodForTest() // sample every abort
+	for i := 0; i < 5; i++ {
+		recordAbortFromHere(r)
+	}
+	sites := r.Sites()
+	if len(sites) == 0 {
+		t.Fatalf("no sites recorded")
+	}
+	top := sites[0]
+	if top.Total != 5 {
+		t.Fatalf("top site total = %d", top.Total)
+	}
+	if top.TopCause() != metrics.AbortLockBitSet {
+		t.Fatalf("top cause = %s", top.TopCause())
+	}
+	// The resolved frame must be this test package, not the lock internals.
+	if !strings.Contains(top.Function, "recordAbortFromHere") {
+		t.Fatalf("site resolved to %q", top.Function)
+	}
+	if top.Line == 0 || top.File == "" {
+		t.Fatalf("site missing file/line: %+v", top)
+	}
+}
+
+//go:noinline
+func recordAbortFromHere(r *metrics.Registry) {
+	r.RecordAbort(0, metrics.AbortLockBitSet)
+}

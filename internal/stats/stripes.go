@@ -58,6 +58,10 @@ type PaddedCounter struct {
 // Add atomically adds n.
 func (c *PaddedCounter) Add(n uint64) { c.v.Add(n) }
 
+// Inc atomically adds 1 and returns the new value — the building block for
+// per-stripe sampling gates (value & mask == 0 selects every Nth event).
+func (c *PaddedCounter) Inc() uint64 { return c.v.Add(1) }
+
 // Load returns the current value.
 func (c *PaddedCounter) Load() uint64 { return c.v.Load() }
 

@@ -51,7 +51,9 @@ func (k Kind) String() string {
 	return fmt.Sprintf("ev(%d)", uint8(k))
 }
 
-// Event is one recorded transition.
+// Event is one recorded transition. Nano is monotonic: nanoseconds since the
+// ring was created (wall-clock UnixNano is not monotonic across NTP steps,
+// which breaks ordering in exported traces).
 type Event struct {
 	Seq  uint64
 	Nano int64
@@ -64,6 +66,7 @@ type Event struct {
 type Ring struct {
 	slots []atomic.Pointer[Event]
 	next  atomic.Uint64
+	start time.Time
 }
 
 // New creates a ring keeping the last size events (size is rounded up to a
@@ -73,7 +76,7 @@ func New(size int) *Ring {
 	for n < size {
 		n <<= 1
 	}
-	return &Ring{slots: make([]atomic.Pointer[Event], n)}
+	return &Ring{slots: make([]atomic.Pointer[Event], n), start: time.Now()}
 }
 
 // Record appends an event. Safe for concurrent use; nil-safe.
@@ -82,7 +85,7 @@ func (r *Ring) Record(kind Kind, tid, word uint64) {
 		return
 	}
 	seq := r.next.Add(1) - 1
-	e := &Event{Seq: seq, Nano: time.Now().UnixNano(), Kind: kind, TID: tid, Word: word}
+	e := &Event{Seq: seq, Nano: time.Since(r.start).Nanoseconds(), Kind: kind, TID: tid, Word: word}
 	r.slots[seq&uint64(len(r.slots)-1)].Store(e)
 }
 
@@ -93,6 +96,29 @@ func (r *Ring) Len() uint64 {
 		return 0
 	}
 	return r.next.Load()
+}
+
+// Cap returns the ring capacity in events. nil-safe.
+func (r *Ring) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Dropped returns how many events have been overwritten (recorded but no
+// longer retained). The flight recorder intentionally keeps only the most
+// recent Cap() events; this counter tells exporters — and readers of Dump
+// output — that the visible window is a suffix, and how long the full run
+// was. nil-safe.
+func (r *Ring) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	if n := r.next.Load(); n > uint64(len(r.slots)) {
+		return n - uint64(len(r.slots))
+	}
+	return 0
 }
 
 // Snapshot returns the retained events in sequence order. Events being
@@ -116,13 +142,17 @@ func (r *Ring) Snapshot() []Event {
 	return out
 }
 
-// Dump renders the retained events, one per line.
+// Dump renders the retained events, one per line, preceded by a summary of
+// how many earlier events the ring has already overwritten.
 func (r *Ring) Dump() string {
 	events := r.Snapshot()
 	if len(events) == 0 {
 		return "(no events)\n"
 	}
 	var b strings.Builder
+	if d := r.Dropped(); d > 0 {
+		fmt.Fprintf(&b, "(%d earlier events dropped by the ring)\n", d)
+	}
 	base := events[0].Nano
 	for _, e := range events {
 		fmt.Fprintf(&b, "%6d %+9.3fus t%-3d %-12s word=%#x\n",

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestNilRingIsNoOp(t *testing.T) {
@@ -92,6 +93,51 @@ func TestDumpFormat(t *testing.T) {
 	}
 	if New(16).Dump() != "(no events)\n" {
 		t.Fatalf("empty dump wrong")
+	}
+}
+
+func TestDroppedCount(t *testing.T) {
+	r := New(16)
+	if r.Dropped() != 0 {
+		t.Fatalf("fresh ring dropped %d", r.Dropped())
+	}
+	for i := uint64(0); i < 16; i++ {
+		r.Record(EvRelease, i, 0)
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("exactly-full ring dropped %d", r.Dropped())
+	}
+	for i := uint64(0); i < 84; i++ {
+		r.Record(EvRelease, i, 0)
+	}
+	if r.Dropped() != 84 {
+		t.Fatalf("dropped = %d, want 84", r.Dropped())
+	}
+	out := r.Dump()
+	if !strings.Contains(out, "84 earlier events dropped") {
+		t.Fatalf("dump missing dropped summary:\n%s", out)
+	}
+	var nilr *Ring
+	if nilr.Dropped() != 0 || nilr.Cap() != 0 {
+		t.Fatalf("nil ring reported capacity/drops")
+	}
+}
+
+func TestTimestampsMonotonic(t *testing.T) {
+	r := New(64)
+	for i := 0; i < 32; i++ {
+		r.Record(EvElideSuccess, 1, 0)
+	}
+	events := r.Snapshot()
+	for i := 1; i < len(events); i++ {
+		if events[i].Nano < events[i-1].Nano {
+			t.Fatalf("timestamps regressed at %d: %d < %d",
+				i, events[i].Nano, events[i-1].Nano)
+		}
+	}
+	// Monotonic-since-start timestamps are small offsets, not wall epochs.
+	if events[0].Nano < 0 || events[0].Nano > int64(time.Hour) {
+		t.Fatalf("timestamp not ring-relative: %d", events[0].Nano)
 	}
 }
 

@@ -77,6 +77,14 @@ type Guard struct {
 // NewGuard creates a guard for impl with the fence model of arch ("none",
 // "power", or "tso"; the WeakBarrier impl forces its weak plan on Power).
 func NewGuard(impl Impl, arch string) *Guard {
+	return NewGuardConfig(impl, arch, nil)
+}
+
+// NewGuardConfig is NewGuard with an explicit SOLERO base configuration:
+// the base's observability wiring (Metrics, Tracer, Sched) and tuning ride
+// along while arch still selects the fence model and plan. A nil base means
+// core.DefaultConfig; non-SOLERO impls ignore it.
+func NewGuardConfig(impl Impl, arch string, base *core.Config) *Guard {
 	g := &Guard{impl: impl}
 	var model *memmodel.Model
 	convPlan, solPlan := memmodel.NoFences, memmodel.NoFences
@@ -101,6 +109,9 @@ func NewGuard(impl Impl, arch string) *Guard {
 		g.rw = &rwlock.RWLock{Model: model}
 	default:
 		cfg := *core.DefaultConfig
+		if base != nil {
+			cfg = *base
+		}
 		cfg.Model = model
 		cfg.Plan = solPlan
 		switch impl {
@@ -175,6 +186,12 @@ func NewEmpty(impl Impl, arch string) *Empty {
 	return &Empty{G: NewGuard(impl, arch)}
 }
 
+// NewEmptyConfig is NewEmpty with an explicit SOLERO base lock
+// configuration (see NewGuardConfig).
+func NewEmptyConfig(impl Impl, arch string, base *core.Config) *Empty {
+	return &Empty{G: NewGuardConfig(impl, arch, base)}
+}
+
 // NewEmptyWithConfig creates the SOLERO Empty benchmark with an explicit
 // lock configuration (tracing, adaptive mode, custom tiers).
 func NewEmptyWithConfig(cfg *core.Config) *Empty {
@@ -232,12 +249,18 @@ type MapBench struct {
 // write percentages 0 and 5, and shards equal to the thread count for the
 // fine-grained variant (1 otherwise).
 func NewMapBench(kind MapKind, impl Impl, arch string, writePct, entries, shards int) *MapBench {
+	return NewMapBenchConfig(kind, impl, arch, writePct, entries, shards, nil)
+}
+
+// NewMapBenchConfig is NewMapBench with an explicit SOLERO base lock
+// configuration for every shard guard (see NewGuardConfig).
+func NewMapBenchConfig(kind MapKind, impl Impl, arch string, writePct, entries, shards int, base *core.Config) *MapBench {
 	if shards < 1 {
 		shards = 1
 	}
 	b := &MapBench{Kind: kind, WritePct: writePct, Entries: entries, Shards: shards}
 	for s := 0; s < shards; s++ {
-		b.guards = append(b.guards, NewGuard(impl, arch))
+		b.guards = append(b.guards, NewGuardConfig(impl, arch, base))
 		if kind == Hash {
 			b.hms = append(b.hms, hashmap.New[int64](entries*2))
 		} else {
