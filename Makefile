@@ -8,6 +8,9 @@
 #   make check     - tier-1 gate: build + vet + test
 #   make lint      - solerovet speculation-safety analyzers over the module
 #   make lintcatch - inverted lint: seeded violations MUST be reported
+#   make factsmoke - proof-carrying pipeline: solerovet -facts feeds
+#                    solerojit -facts over the corpus; agreement gate
+#   make lockorder-catch - inverted lockorder: a seeded ABBA cycle MUST fail
 #   make schedsmoke - fixed-seed schedule-exploration smoke + inverted bug-catch
 #   make schedfuzz  - longer schedule exploration across both strategies
 #   make fuzz      - native Go fuzzing of the lock-word encoding
@@ -16,7 +19,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench check lint lintcatch schedsmoke schedfuzz fuzz obs-smoke json-smoke
+.PHONY: build vet test race bench check lint lintcatch factsmoke lockorder-catch schedsmoke schedfuzz fuzz obs-smoke json-smoke
 
 build:
 	$(GO) build ./...
@@ -48,13 +51,45 @@ lint:
 # every analyzer; solerovet reporting nothing there would mean the
 # analyzers rotted. A green build certifies both directions.
 lintcatch:
-	@for pkg in specsafety beforewrite atomicread elide; do \
+	@for pkg in specsafety beforewrite atomicread elide lockorder; do \
 		$(GO) run ./cmd/solerovet repro/internal/govet/testdata/src/$$pkg >/dev/null 2>&1; rc=$$?; \
 		if [ $$rc -ne 1 ]; then \
 			echo "FAIL: solerovet did not report seeded violations in $$pkg (exit $$rc, want 1)"; exit 1; \
 		fi; \
 		echo "OK: $$pkg violations caught"; \
 	done
+
+# Proof-carrying pipeline smoke: solerovet -facts writes the corpus
+# verdicts, solerojit -facts rebuilds each .mj program with them — every
+# block must seed from the file (re-analyzed 0) and every carried verdict
+# must agree with fresh analysis (exit 0 is the agreement gate). The
+# corpus packages are listed explicitly: Go's `...` wildcards never match
+# paths containing "testdata".
+CORPUS_PKGS = repro/internal/govet/testdata/src/corpus/annotated \
+	repro/internal/govet/testdata/src/corpus/cache \
+	repro/internal/govet/testdata/src/corpus/counterbank \
+	repro/internal/govet/testdata/src/corpus/linkedlist
+factsmoke:
+	$(GO) build -o /tmp/solerovet ./cmd/solerovet
+	$(GO) build -o /tmp/solerojit ./cmd/solerojit
+	/tmp/solerovet -facts /tmp/solero.facts.json $(CORPUS_PKGS)
+	@for mj in internal/jit/testdata/*.mj; do \
+		out=$$(/tmp/solerojit -facts /tmp/solero.facts.json $$mj) || { echo "FAIL: agreement gate tripped for $$mj"; exit 1; }; \
+		echo "$$out" | grep -q 're-analyzed 0$$' || { echo "FAIL: $$mj was re-analyzed despite carried facts"; echo "$$out"; exit 1; }; \
+		echo "OK: $$mj seeded from facts"; \
+	done
+	@echo "OK: factsmoke"
+
+# Inverted lockorder: testdata/src/lockorderseed is nothing but a seeded
+# two-lock ABBA cycle (it lives under testdata, so the module build never
+# sees it); the analyzer MUST flag it. The clean tree producing zero
+# findings is certified by `make lint`; this certifies the other direction.
+lockorder-catch:
+	@$(GO) run ./cmd/solerovet -checks lockorder repro/internal/govet/testdata/src/lockorderseed >/dev/null 2>&1; rc=$$?; \
+	if [ $$rc -ne 1 ]; then \
+		echo "FAIL: lockorder did not flag the seeded ABBA cycle (exit $$rc, want 1)"; exit 1; \
+	fi; \
+	echo "OK: seeded lock-order cycle caught"
 
 # Fixed-seed smoke: a clean 30s exploration must pass, and a run with an
 # injected release-without-counter-bump bug must FAIL (the inverted step:

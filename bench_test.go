@@ -19,6 +19,7 @@ import (
 	"repro/internal/collections/treemap"
 	"repro/internal/core"
 	"repro/internal/dacapo"
+	"repro/internal/govet/facts"
 	"repro/internal/jbb"
 	"repro/internal/jit"
 	"repro/internal/jit/codegen"
@@ -763,6 +764,57 @@ func BenchmarkReaderScalingMetricsOverhead(b *testing.B) {
 		b.Fatalf("metrics-on read path lost %.1f%% throughput at %d readers (on %.0f ops/s, off %.0f ops/s); budget is 10%%",
 			100*(1-ratio), readers, on, off)
 	}
+}
+
+// --- Proof-carrying elision (solerovet facts → runtime) ---
+
+// BenchmarkReadOnly measures the read-only section entry through the
+// proof-carrying SectionRegistry and asserts the facts pipeline's
+// acceptance property: a statically proven section performs zero dynamic
+// classifications, while the unproven twin pays the probe window. The
+// proven variant also exercises the recovery-free lean path (no
+// speculative frame, no panic handler).
+func BenchmarkReadOnly(b *testing.B) {
+	proofs := &facts.File{
+		Module: "bench",
+		Sections: []facts.Section{{
+			ID: "bench:get", Pkg: "bench", Func: "get", Mode: "ReadOnlySection",
+			Class: facts.ClassElidable, RecoveryFree: true, MaxRetries: 1,
+		}},
+	}
+	run := func(b *testing.B, reg *core.SectionRegistry) {
+		vm := jthread.NewVM()
+		th := vm.Attach("bench")
+		defer th.Detach()
+		l := core.New(nil)
+		info := reg.Section("bench:get")
+		var v uint64
+		fn := func() { benchSink.Add(v) }
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l.ReadOnlySection(th, info, fn)
+		}
+	}
+
+	b.Run("unproven", func(b *testing.B) {
+		reg := core.NewSectionRegistry(false, 0, nil)
+		run(b, reg)
+		if got := reg.DynamicClassifications(); got == 0 {
+			b.Fatal("unproven section paid no dynamic classifications; the probe window is gone")
+		}
+		b.ReportMetric(float64(reg.DynamicClassifications()), "dynclass")
+	})
+	b.Run("factsProven", func(b *testing.B) {
+		reg := core.NewSectionRegistry(false, 0, nil)
+		if n := facts.SeedRegistry(reg, proofs); n != 1 {
+			b.Fatalf("seeded %d sections, want 1", n)
+		}
+		run(b, reg)
+		if got := reg.DynamicClassifications(); got != 0 {
+			b.Fatalf("facts-proven section paid %d dynamic classifications, want 0", got)
+		}
+		b.ReportMetric(0, "dynclass")
+	})
 }
 
 // BenchmarkReadOnlyAllocFree asserts the elided read fast path performs

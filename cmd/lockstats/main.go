@@ -21,11 +21,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -141,7 +144,7 @@ func main() {
 		}()
 		fmt.Printf("lockstats: running %s (threads=%d) and serving on %s\n", *bench, *threads, *serve)
 		fmt.Printf("  curl http://localhost%s/metrics\n", portSuffix(*serve))
-		if err := http.ListenAndServe(*serve, src.Mux()); err != nil {
+		if err := serveUntilSignal(*serve, src.Mux()); err != nil {
 			fmt.Fprintf(os.Stderr, "lockstats: serve: %v\n", err)
 			os.Exit(1)
 		}
@@ -278,6 +281,35 @@ func printStripes(blocks []*core.Stats) {
 		fmt.Printf("  stripe %2d: %10d events  %10d elision attempts  %5.1f%%\n",
 			i, events[i], attempts[i], share)
 	}
+}
+
+// serveUntilSignal runs the observability endpoint until SIGINT/SIGTERM,
+// then drains in-flight scrapes: a snapshot request racing the shutdown
+// completes instead of seeing a reset connection, and a second signal
+// still kills the process the hard way (NotifyContext restores default
+// delivery once the context fires).
+func serveUntilSignal(addr string, mux *http.ServeMux) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{Addr: addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		return err // bind failure or other listener error
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling for an impatient second ^C
+	fmt.Printf("lockstats: shutting down\n")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	<-errc // ListenAndServe has returned http.ErrServerClosed by now
+	return nil
 }
 
 // portSuffix turns a listen address into the ":PORT" part for the curl hint.

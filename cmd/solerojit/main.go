@@ -4,20 +4,26 @@
 //
 // Usage:
 //
-//	solerojit [-disasm] [-no-elision] [-run Class.method] [-args 1,2] [file.mj]
+//	solerojit [-disasm] [-no-elision] [-run Class.method] [-args 1,2]
+//	          [-facts proofs.json] [file.mj]
 //
 // With no file, a built-in demo program is compiled. -disasm also prints
 // the bytecode of every method; -run executes a static int method and
-// prints its result.
+// prints its result. -facts pre-seeds the classifier from a
+// solero-facts/v1 proof file (`solerovet -facts` output, or - for stdin):
+// proven blocks skip re-analysis, and any carried verdict that disagrees
+// with fresh analysis exits 1 — the proof-carrying agreement gate.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
+	"repro/internal/govet/facts"
 	"repro/internal/jit"
 	"repro/internal/jit/codegen"
 	"repro/internal/jit/interp"
@@ -79,6 +85,7 @@ func main() {
 	noElide := flag.Bool("no-elision", false, "plan every block as writing (Unelided configuration)")
 	runTarget := flag.String("run", "", "execute a static method, e.g. -run Registry.driver")
 	runArgs := flag.String("args", "", "comma-separated int arguments for -run")
+	factsPath := flag.String("facts", "", "pre-seed the classifier from a solero-facts/v1 file (- for stdin); exits 1 if a carried fact disagrees with fresh analysis")
 	flag.Parse()
 
 	src := demo
@@ -100,6 +107,48 @@ func main() {
 	prog, res, rep, err := jit.Build(src, opts)
 	if err != nil {
 		fatalf("%s: %v", name, err)
+	}
+
+	if *factsPath != "" {
+		// The agreement gate: rebuild with the carried proofs pre-seeding
+		// the classifier, then cross-check every seeded verdict against
+		// the fresh analysis above. Facts and analyzer drifting apart is
+		// exactly the failure this exit code exists to catch.
+		var data []byte
+		if *factsPath == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(*factsPath)
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+		f, err := facts.Decode(data)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		progF, resF, repF, seeded, err := jit.BuildWithFacts(src, opts, f)
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		if len(resF.Order) != len(res.Order) {
+			fatalf("facts build classified %d blocks, fresh build %d", len(resF.Order), len(res.Order))
+		}
+		disagree := 0
+		for i, fresh := range res.Order {
+			carried := resF.Order[i]
+			if carried.Class != fresh.Class {
+				disagree++
+				fmt.Fprintf(os.Stderr, "solerojit: facts disagree at %s @%s: carried %s, analysis says %s\n",
+					fresh.Method.QName(), fresh.Sync.Pos, carried.Class, fresh.Class)
+			}
+		}
+		fmt.Printf("facts: seeded %d/%d blocks, re-analyzed %d\n\n",
+			seeded, len(resF.Order), len(resF.Order)-seeded)
+		if disagree > 0 {
+			fatalf("%d carried fact(s) disagree with fresh analysis", disagree)
+		}
+		prog, res, rep = progF, resF, repF
 	}
 
 	fmt.Printf("compiled %s: %d classes, %d methods, %d synchronized blocks\n\n",

@@ -4,6 +4,8 @@
 //
 //	solerovet ./examples/... ./solero/...
 //	solerovet -checks specsafety,atomicread ./...
+//	solerovet -facts proofs.json ./...   # write the solero-facts/v1 proof file
+//	solerovet -fix ./...                 # apply mechanical suggested fixes
 //
 // As a vet tool (per-package units driven by the go command):
 //
@@ -28,6 +30,8 @@ import (
 	"repro/internal/govet"
 	"repro/internal/govet/analysis"
 	"repro/internal/govet/checks"
+	"repro/internal/govet/facts"
+	"repro/internal/govet/load"
 )
 
 func main() {
@@ -42,6 +46,8 @@ func run(args []string) int {
 		checksFlag = fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
 		listFlag   = fs.Bool("list", false, "list analyzers and exit")
 		jsonFlag   = fs.Bool("json", false, "emit diagnostics as JSON")
+		factsFlag  = fs.String("facts", "", "write the solero-facts/v1 proof file to this path (- for stdout) and exit 0; diagnostics still print on stderr")
+		fixFlag    = fs.Bool("fix", false, "apply suggested fixes that carry textual edits, rewriting the affected files")
 	)
 	fs.Parse(args)
 
@@ -97,12 +103,72 @@ func run(args []string) int {
 		patterns = []string{"./..."}
 	}
 
-	diags, err := govet.Run("", patterns, analyzers)
+	prog, err := load.Load("", patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "solerovet: %v\n", err)
 		return 2
 	}
+	ctx := checks.NewContext(prog)
+	diags, err := govet.RunProgramContext(prog, ctx, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "solerovet: %v\n", err)
+		return 2
+	}
+
+	if *factsFlag != "" {
+		// Facts generation: the proofs are the product, diagnostics are
+		// advisory (stderr), and the exit code reports generation only —
+		// a pipeline writing facts for the JIT must not fail because a
+		// section elsewhere deserves a suggestion.
+		if code := writeFacts(ctx, *factsFlag); code != 0 {
+			return code
+		}
+		report(diags, *jsonFlag)
+		return 0
+	}
+	if *fixFlag {
+		if code := applyFixes(diags); code != 0 {
+			return code
+		}
+	}
 	return report(diags, *jsonFlag)
+}
+
+// writeFacts serializes the program's section verdicts to path ("-" for
+// stdout).
+func writeFacts(ctx *checks.Context, path string) int {
+	data, err := facts.Encode(facts.Build(ctx, "repro"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "solerovet: encoding facts: %v\n", err)
+		return 2
+	}
+	if path == "-" {
+		os.Stdout.Write(data)
+		return 0
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "solerovet: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+// applyFixes rewrites the files touched by the diagnostics' mechanical
+// fixes.
+func applyFixes(diags []govet.Diagnostic) int {
+	fixed, err := govet.ApplyFixes(diags)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "solerovet: %v\n", err)
+		return 2
+	}
+	for file, content := range fixed {
+		if err := os.WriteFile(file, content, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "solerovet: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "solerovet: fixed %s\n", file)
+	}
+	return 0
 }
 
 func report(diags []govet.Diagnostic, asJSON bool) int {

@@ -41,6 +41,18 @@ func (l *Lock) ReadOnly(t *jthread.Thread, fn func()) {
 		l.Sync(t, fn)
 		return
 	}
+	l.readOnlyImpl(t, fn, l.cfg.MaxElisionFailures, false)
+}
+
+// readOnlyImpl is the elision loop of Figure 7 shared by ReadOnly and the
+// proof-carrying ReadOnlySection. maxFailures bounds failed speculations
+// before the real-acquisition fallback; lean selects the recovery-free
+// speculation path (no speculative frame, no panic handler) that statically
+// proven fault-free sections may use. It reports whether the *final*
+// execution of fn was a successful speculation — false when the section
+// ultimately ran holding the lock (reentrant entry, fat-mode entry, or
+// fallback), which is the signal the dynamic classification probes record.
+func (l *Lock) readOnlyImpl(t *jthread.Thread, fn func(), maxFailures int, lean bool) bool {
 	v := l.word.Load()
 	l.cfg.Sched.Point(t.ID(), sched.PReadEnter)
 	holding := false
@@ -54,9 +66,14 @@ func (l *Lock) ReadOnly(t *jthread.Thread, fn func()) {
 			// fat-mode entry): run non-speculatively.
 			l.cfg.History.Record(history.ReadFallback, t.ID(), l.word.Load())
 			l.runHolding(t, fn)
-			return
+			return false
 		}
-		ok, async := l.runSpeculative(t, v, fn)
+		var ok, async bool
+		if lean {
+			ok = l.runSpeculativeLean(t, fn)
+		} else {
+			ok, async = l.runSpeculative(t, v, fn)
+		}
 		if ok {
 			l.cfg.Model.Charge(l.cfg.Plan.ReadExit)
 			l.cfg.Sched.Point(t.ID(), sched.PReadValidate)
@@ -65,14 +82,14 @@ func (l *Lock) ReadOnly(t *jthread.Thread, fn func()) {
 				l.cfg.Tracer.Record(trace.EvElideSuccess, t.ID(), v)
 				l.cfg.History.Record(history.ReadSuccess, t.ID(), v)
 				l.adaptiveRecord(t, false)
-				return
+				return true
 			}
 			if l.slowReadExit(t, v) {
 				l.st.stripeFor(t).inc(cElisionSuccesses)
 				l.cfg.Tracer.Record(trace.EvElideSuccess, t.ID(), v)
 				l.cfg.History.Record(history.ReadSuccess, t.ID(), v)
 				l.adaptiveRecord(t, false)
-				return
+				return true
 			}
 		}
 		l.st.stripeFor(t).inc(cElisionFailures)
@@ -80,7 +97,7 @@ func (l *Lock) ReadOnly(t *jthread.Thread, fn func()) {
 		l.recordAbort(t, async)
 		l.adaptiveRecord(t, true)
 		failures++
-		if failures >= l.cfg.MaxElisionFailures {
+		if failures >= maxFailures {
 			// Fallback (Figure 7's solero_slow_enter arm): run the
 			// section holding the lock.
 			l.st.stripeFor(t).inc(cFallbacks)
@@ -90,7 +107,7 @@ func (l *Lock) ReadOnly(t *jthread.Thread, fn func()) {
 			l.Lock(t)
 			defer l.Unlock(t)
 			fn()
-			return
+			return false
 		}
 		v = l.word.Load()
 		if !lockword.SoleroFree(v) {
@@ -130,6 +147,20 @@ func (l *Lock) runHolding(t *jthread.Thread, fn func()) {
 // (the abort-taxonomy split the failure arm records). Charges the ReadEnter
 // fence — on a real weak machine the entry fence is what makes the
 // validation sound, see internal/memmodel.
+// runSpeculativeLean runs fn speculatively with none of the §3.3 recovery
+// machinery: no speculative frame (asynchronous checkpoints cannot abort
+// it) and no panic handler. Sound only for sections the static analysis
+// proved recovery-free — unable to fault (no indexing, division, calls, or
+// deeper-than-one-hop dereferences) and unable to loop (an inconsistent
+// snapshot cannot spin without a checkpoint to break it). For those the
+// word-unchanged validation in readOnlyImpl is the entire protocol.
+func (l *Lock) runSpeculativeLean(t *jthread.Thread, fn func()) bool {
+	l.st.stripeFor(t).inc(cElisionAttempts)
+	l.cfg.Model.Charge(l.cfg.Plan.ReadEnter)
+	fn()
+	return true
+}
+
 func (l *Lock) runSpeculative(t *jthread.Thread, v uint64, fn func()) (ok, async bool) {
 	l.st.stripeFor(t).inc(cElisionAttempts)
 	l.cfg.Model.Charge(l.cfg.Plan.ReadEnter)

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestSectionProofElidableSkipsDynamicClassification is the registry half
+// of the proof-carrying contract: a seeded proof means the section never
+// touches the dynamic classification arm.
+func TestSectionProofElidableSkipsDynamicClassification(t *testing.T) {
+	ths := newT(t, 1)
+	l := New(nil)
+	reg := NewSectionRegistry(false, 0, nil)
+
+	for _, rf := range []bool{false, true} {
+		info := reg.Seed("s", ProofElidable, rf, 0)
+		var n int64
+		for i := 0; i < 4*DefaultProbeWindow; i++ {
+			l.ReadOnlySection(ths[0], info, func() { n++ })
+		}
+		if n != 4*DefaultProbeWindow {
+			t.Fatalf("recoveryFree=%v: body ran %d times", rf, n)
+		}
+	}
+	if got := reg.DynamicClassifications(); got != 0 {
+		t.Fatalf("proven section paid %d dynamic classifications, want 0", got)
+	}
+	if got := reg.Divergences(); got != 0 {
+		t.Fatalf("divergences = %d, want 0", got)
+	}
+}
+
+// TestSectionProofNoneProbeWindow: an unproven section pays exactly one
+// dynamic classification per probe over the window, then settles (here on
+// trusted, since every probe speculates successfully single-threaded).
+func TestSectionProofNoneProbeWindow(t *testing.T) {
+	ths := newT(t, 1)
+	l := New(nil)
+	const window = 6
+	reg := NewSectionRegistry(false, window, nil)
+	info := reg.Section("s")
+	if info.Proof != ProofNone {
+		t.Fatalf("fresh section proof = %v, want none", info.Proof)
+	}
+
+	var n int64
+	for i := 0; i < 5*window; i++ {
+		l.ReadOnlySection(ths[0], info, func() { n++ })
+	}
+	if n != 5*window {
+		t.Fatalf("body ran %d times, want %d", n, 5*window)
+	}
+	if got := reg.DynamicClassifications(); got != window {
+		t.Fatalf("dynamic classifications = %d, want the probe window %d", got, window)
+	}
+	if s := info.state.Load(); s != sectionTrusted {
+		t.Fatalf("section state = %d after an all-read-only window, want trusted", s)
+	}
+}
+
+// TestSectionProofWritingDivergenceLatchesOnce is the trust-but-verify
+// canary: seed a fact that says writing over a closure that is actually
+// read-only, run in verify mode, and the disagreement must be counted
+// exactly once — in the registry and in the metrics family — no matter how
+// many executions follow the window.
+func TestSectionProofWritingDivergenceLatchesOnce(t *testing.T) {
+	ths := newT(t, 1)
+	m := metrics.New(1)
+	cfg := *DefaultConfig
+	cfg.Metrics = m
+	l := New(&cfg)
+	const window = 4
+	reg := NewSectionRegistry(true, window, m)
+	// The hand-edited (wrong) fact: proof says writing, body only reads.
+	info := reg.Seed("bogus", ProofWriting, false, 0)
+
+	shared := int64(7)
+	var sum int64
+	for i := 0; i < 6*window; i++ {
+		l.ReadOnlySection(ths[0], info, func() { sum += shared })
+	}
+	if sum != 6*window*7 {
+		t.Fatalf("body observed %d, want %d", sum, 6*window*7)
+	}
+	if got := reg.Divergences(); got != 1 {
+		t.Fatalf("divergences = %d, want exactly 1 (latched once)", got)
+	}
+	if !info.Diverged() {
+		t.Fatal("section not marked diverged")
+	}
+	if got := m.FactDivergences(); got != 1 {
+		t.Fatalf("metrics fact divergences = %d, want 1", got)
+	}
+	// Probing stops at the window: facts win, the section settles on Sync.
+	if got := reg.DynamicClassifications(); got != window {
+		t.Fatalf("dynamic classifications = %d, want %d (verify probes only)", got, window)
+	}
+	if s := info.state.Load(); s != sectionWriting {
+		t.Fatalf("section state = %d, want writing (the proof's plan)", s)
+	}
+}
+
+// TestSectionProofWritingNoVerifyNeverProbes: outside verify mode a
+// proof-writing section takes Sync immediately — no probes, no divergence
+// accounting, even when the fact is wrong.
+func TestSectionProofWritingNoVerifyNeverProbes(t *testing.T) {
+	ths := newT(t, 1)
+	l := New(nil)
+	reg := NewSectionRegistry(false, 0, nil)
+	info := reg.Seed("bogus", ProofWriting, false, 0)
+
+	var n int64
+	for i := 0; i < 3*DefaultProbeWindow; i++ {
+		l.ReadOnlySection(ths[0], info, func() { n++ })
+	}
+	if got := reg.DynamicClassifications(); got != 0 {
+		t.Fatalf("dynamic classifications = %d, want 0 outside verify mode", got)
+	}
+	if got := reg.Divergences(); got != 0 {
+		t.Fatalf("divergences = %d, want 0", got)
+	}
+}
+
+// TestSectionNilInfoDegenerates pins the documented nil contract.
+func TestSectionNilInfoDegenerates(t *testing.T) {
+	ths := newT(t, 1)
+	l := New(nil)
+	ran := false
+	l.ReadOnlySection(ths[0], nil, func() { ran = true })
+	if !ran {
+		t.Fatal("nil-info section body did not run")
+	}
+}

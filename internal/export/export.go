@@ -145,6 +145,10 @@ func (s *Source) Prometheus(w io.Writer) error {
 		}
 	}
 
+	fmt.Fprintf(w, "# HELP solero_fact_divergences_total Trust-but-verify disagreements: sections whose carried proof the dynamic classifier contradicted.\n")
+	fmt.Fprintf(w, "# TYPE solero_fact_divergences_total counter\n")
+	fmt.Fprintf(w, "solero_fact_divergences_total %d\n", reg.FactDivergences())
+
 	if s.Ring != nil {
 		fmt.Fprintf(w, "# HELP solero_trace_events_dropped_total Flight-recorder events overwritten by the ring.\n")
 		fmt.Fprintf(w, "# TYPE solero_trace_events_dropped_total counter\n")

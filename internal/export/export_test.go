@@ -22,6 +22,7 @@ func testSource() *Source {
 	reg.CSDuration.Record(0, 100)
 	reg.CSDuration.Record(0, 5000)
 	reg.Acquire.Record(0, 900)
+	reg.RecordFactDivergence(0)
 	return &Source{
 		Benchmark: "hashmap",
 		Threads:   4,
@@ -74,6 +75,7 @@ solero_protocol_events_total{event="fallbacks"} 3
 		`solero_cs_duration_nanoseconds_count 2`,
 		`solero_acquire_wait_nanoseconds_bucket{le="1023"} 1`,
 		`solero_spin_dwell_nanoseconds_count 0`,
+		`solero_fact_divergences_total 1`,
 	} {
 		if !strings.Contains(got, line+"\n") {
 			t.Errorf("exposition missing line %q", line)

@@ -63,9 +63,22 @@ type Diagnostic struct {
 	Fixes []SuggestedFix
 }
 
-// SuggestedFix is a human-applicable remediation suggestion.
+// SuggestedFix is a remediation suggestion. A fix with TextEdits can be
+// applied mechanically by `solerovet -fix`; one without is rendered as a
+// note only.
 type SuggestedFix struct {
 	Message string
+	// TextEdits are the source changes that implement the fix. Edits of
+	// one fix must not overlap.
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText. Pos == End
+// inserts.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
 }
 
 // Reportf formats and reports a diagnostic at pos.

@@ -1,15 +1,17 @@
 // Package checks implements the solerovet analyzer suite: the vet-time
 // restatement of the proof obligation the paper's JIT discharges before
-// eliding a lock. Four analyzers share one whole-program context:
+// eliding a lock. Five analyzers share one whole-program context:
 //
 //	specsafety  — ReadOnly closures must be speculation-safe
 //	beforewrite — ReadMostly stores must be dominated by BeforeWrite
 //	atomicread  — elided sections must read contended fields atomically
 //	elide       — Sync closures that are provably read-only should elide
+//	lockorder   — lock acquisition orders must be acyclic (no ABBA deadlocks)
 package checks
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/govet/analysis"
 	"repro/internal/govet/effects"
@@ -22,6 +24,11 @@ type Context struct {
 	Prog     *load.Program
 	Effects  *effects.Analysis
 	Sections *sections.Index
+
+	// lockGraph is the whole-program lock-order graph, built lazily by the
+	// first lockorder pass and shared by the rest.
+	lockOnce  sync.Once
+	lockGraph *lockGraph
 }
 
 // NewContext computes effect summaries and section sites for a loaded
@@ -36,7 +43,7 @@ func NewContext(prog *load.Program) *Context {
 
 // All returns the full suite in reporting order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Specsafety, Beforewrite, Atomicread, Elide}
+	return []*analysis.Analyzer{Specsafety, Beforewrite, Atomicread, Elide, Lockorder}
 }
 
 // ByName resolves a comma-free analyzer name, or nil.

@@ -1,6 +1,9 @@
 package checks
 
 import (
+	"go/ast"
+	"strings"
+
 	"repro/internal/govet/analysis"
 	"repro/internal/govet/effects"
 	"repro/internal/govet/sections"
@@ -46,16 +49,82 @@ func runElide(pass *analysis.Pass) error {
 		if site.Mode != sections.ModeSync || !site.Direct {
 			continue
 		}
-		switch Classify(ctx, site) {
+		cls, vs := classify(ctx, site)
+		switch cls {
 		case ClassReadOnly:
-			pass.Reportf(site.Call.Pos(), site.Call.End(),
-				"Sync closure is provably read-only; use (*Lock).ReadOnly to elide the lock")
+			pass.Report(analysis.Diagnostic{
+				Pos: site.Call.Pos(), End: site.Call.End(), Category: pass.Analyzer.Name,
+				Message: "Sync closure is provably read-only; use (*Lock).ReadOnly to elide the lock",
+				Fixes:   readOnlyRewrite(site),
+			})
 		case ClassReadMostly:
-			pass.Reportf(site.Call.Pos(), site.Call.End(),
-				"Sync closure writes shared state only on guarded paths; consider (*Lock).ReadMostly with BeforeWrite")
+			pass.Report(analysis.Diagnostic{
+				Pos: site.Call.Pos(), End: site.Call.End(), Category: pass.Analyzer.Name,
+				Message: "Sync closure writes shared state only on guarded paths; consider (*Lock).ReadMostly with BeforeWrite",
+				Fixes: []analysis.SuggestedFix{{
+					Message: "change the closure to func(s *core.Section), call s.BeforeWrite before each guarded store, and switch Sync to ReadMostly",
+				}},
+			})
+		case ClassWriting:
+			if len(vs) > 0 && allUnknown(vs) {
+				pass.Report(analysis.Diagnostic{
+					Pos: site.Call.Pos(), End: site.Call.End(), Category: pass.Analyzer.Name,
+					Message: "Sync closure has no witnessed shared write, only effects the analysis cannot bound; " +
+						"if it is read-only by contract, assert it with //solerovet:readonly",
+					Fixes: directiveInsert(ctx, site),
+				})
+			}
 		}
 	}
 	return nil
+}
+
+// allUnknown reports that no violation is a witnessed shared write — every
+// obstacle to elision is un-analyzability, the case the paper resolves
+// with the @SoleroReadOnly assertion.
+func allUnknown(vs []effects.Violation) bool {
+	for _, v := range vs {
+		if v.Kind != effects.KindUnknown {
+			return false
+		}
+	}
+	return true
+}
+
+// readOnlyRewrite builds the mechanical Sync → ReadOnly rewrite: the two
+// entry points take the same (t, func()) arguments, so renaming the
+// selector is the whole fix.
+func readOnlyRewrite(site *sections.Site) []analysis.SuggestedFix {
+	sel, ok := ast.Unparen(site.Call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sync" {
+		return nil
+	}
+	return []analysis.SuggestedFix{{
+		Message: "replace (*Lock).Sync with (*Lock).ReadOnly",
+		TextEdits: []analysis.TextEdit{{
+			Pos: sel.Sel.Pos(), End: sel.Sel.End(), NewText: "ReadOnly",
+		}},
+	}}
+}
+
+// directiveInsert builds the //solerovet:readonly insertion: a standalone
+// directive line directly above the call, at the call's indentation
+// (go/token columns count a tab as one, so column-1 is the tab depth in
+// gofmt-ed source).
+func directiveInsert(ctx *Context, site *sections.Site) []analysis.SuggestedFix {
+	tf := ctx.Prog.Fset.File(site.Call.Pos())
+	if tf == nil {
+		return nil
+	}
+	pos := ctx.Prog.Fset.Position(site.Call.Pos())
+	lineStart := tf.LineStart(pos.Line)
+	indent := strings.Repeat("\t", pos.Column-1)
+	return []analysis.SuggestedFix{{
+		Message: "assert the section read-only with a //solerovet:readonly directive",
+		TextEdits: []analysis.TextEdit{{
+			Pos: lineStart, End: lineStart, NewText: indent + "//solerovet:readonly\n",
+		}},
+	}}
 }
 
 // Classify grades one Sync site exactly the way the JIT grades a
@@ -64,8 +133,15 @@ func runElide(pass *analysis.Pass) error {
 // writing otherwise. Exported for the corpus cross-check test against
 // internal/jit/analysis.
 func Classify(ctx *Context, site *sections.Site) Class {
+	cls, _ := classify(ctx, site)
+	return cls
+}
+
+// classify is Classify plus the violations the verdict rests on (the fix
+// builder needs them to tell "witnessed write" from "cannot analyze").
+func classify(ctx *Context, site *sections.Site) (Class, []effects.Violation) {
 	if site.Annotated {
-		return ClassAnnotated
+		return ClassAnnotated, nil
 	}
 	var vs []effects.Violation
 	switch {
@@ -76,19 +152,19 @@ func Classify(ctx *Context, site *sections.Site) Class {
 	case site.Named != nil:
 		sum := ctx.Effects.SummaryOf(site.Named)
 		if sum == nil || sum.Effect != effects.Pure {
-			return ClassWriting
+			return ClassWriting, nil
 		}
-		return ClassReadOnly
+		return ClassReadOnly, nil
 	default:
-		return ClassWriting
+		return ClassWriting, nil
 	}
 	if len(vs) == 0 {
-		return ClassReadOnly
+		return ClassReadOnly, vs
 	}
 	for _, v := range vs {
 		if v.Kind != effects.KindWrite || !v.Guarded {
-			return ClassWriting
+			return ClassWriting, vs
 		}
 	}
-	return ClassReadMostly
+	return ClassReadMostly, vs
 }

@@ -24,3 +24,7 @@ func TestAtomicreadGolden(t *testing.T) {
 func TestElideGolden(t *testing.T) {
 	vettest.Check(t, testdataPrefix+"elide", checks.Elide)
 }
+
+func TestLockorderGolden(t *testing.T) {
+	vettest.Check(t, testdataPrefix+"lockorder", checks.Lockorder)
+}

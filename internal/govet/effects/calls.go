@@ -312,6 +312,12 @@ func (w *Walker) applyCallee(fn *types.Func, call *ast.CallExpr, recv ast.Expr, 
 // (used for function values passed onward).
 func (w *Walker) applySummaryOnly(fn *types.Func, at ast.Node, guarded bool) {
 	fn = origin(fn)
+	// A declaration-level //solerovet:readonly is the author's assertion
+	// that fn is read-only — the method-value analogue of annotating the
+	// call site — so it passes as pure here.
+	if w.a.Annotated(fn) {
+		return
+	}
 	pkg := fn.Pkg()
 	if pkg == nil || !strings.HasPrefix(pkg.Path(), modulePath) {
 		w.violatef(at, KindUnknown, guarded, nil, "passes %s, which is outside the analyzed module", fn.Name())

@@ -83,6 +83,11 @@ type Analysis struct {
 	Prog      *load.Program
 	summaries map[*types.Func]*Summary
 	decls     map[*types.Func]*declInfo
+	// annotated marks declarations carrying //solerovet:readonly in their
+	// doc comment: the author asserts the function is read-only (the
+	// declaration-level analogue of annotating a call site), so passing it
+	// where a closure would be judged treats it as pure.
+	annotated map[*types.Func]bool
 }
 
 type declInfo struct {
@@ -97,6 +102,7 @@ func Analyze(prog *load.Program) *Analysis {
 		Prog:      prog,
 		summaries: map[*types.Func]*Summary{},
 		decls:     map[*types.Func]*declInfo{},
+		annotated: map[*types.Func]bool{},
 	}
 	for _, pkg := range prog.Packages {
 		for _, file := range pkg.Files {
@@ -110,6 +116,9 @@ func Analyze(prog *load.Program) *Analysis {
 					continue
 				}
 				a.decls[origin(obj)] = &declInfo{pkg: pkg, decl: fd}
+				if DeclAnnotated(fd) {
+					a.annotated[origin(obj)] = true
+				}
 			}
 		}
 	}
@@ -135,6 +144,25 @@ func Analyze(prog *load.Program) *Analysis {
 // instantiated generics), or nil for functions outside the module.
 func (a *Analysis) SummaryOf(fn *types.Func) *Summary {
 	return a.summaries[origin(fn)]
+}
+
+// Annotated reports whether fn's declaration carries //solerovet:readonly.
+func (a *Analysis) Annotated(fn *types.Func) bool {
+	return a.annotated[origin(fn)]
+}
+
+// DeclAnnotated reports a //solerovet:readonly directive in a
+// declaration's doc comment.
+func DeclAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == "//solerovet:readonly" {
+			return true
+		}
+	}
+	return false
 }
 
 // DeclOf returns the syntax and owning package of a module function, for

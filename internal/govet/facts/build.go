@@ -1,0 +1,293 @@
+package facts
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"unicode"
+
+	"repro/internal/govet/checks"
+	"repro/internal/govet/effects"
+	"repro/internal/govet/load"
+	"repro/internal/govet/sections"
+)
+
+// Build serializes the verdicts for every direct section site of the
+// program's target packages. The proof class is computed by the same
+// checks.Classify the elide analyzer uses, so facts never disagree with
+// the diagnostics.
+func Build(ctx *checks.Context, module string) *File {
+	f := &File{Schema: Schema, Module: module}
+	for _, pkg := range ctx.Prog.Targets() {
+		if pkg.Types == nil {
+			continue
+		}
+		// Per-method ordinals for the JIT key: count direct sites in
+		// source order within each enclosing declaration.
+		ordinals := map[*ast.FuncDecl]int{}
+		for _, site := range ctx.Sections.PkgSites(pkg) {
+			if !site.Direct {
+				continue
+			}
+			decl := enclosingDecl(pkg, site.Call.Pos())
+			idx := 0
+			if decl != nil {
+				idx = ordinals[decl]
+				ordinals[decl]++
+			}
+			f.Sections = append(f.Sections, buildSection(ctx, pkg, site, decl, idx))
+		}
+	}
+	f.Sort()
+	return f
+}
+
+func buildSection(ctx *checks.Context, pkg *load.Package, site *sections.Site, decl *ast.FuncDecl, idx int) Section {
+	pos := ctx.Prog.Fset.Position(site.Call.Pos())
+	s := Section{
+		ID:   fmt.Sprintf("%s:%s:%d:%d", pkg.PkgPath, filepath.Base(pos.Filename), pos.Line, pos.Column),
+		Pkg:  pkg.PkgPath,
+		Mode: site.Mode.String(),
+	}
+	if decl != nil {
+		s.Func = funcName(pkg, decl)
+		if key := jitKey(pkg, decl, idx); key != "" {
+			s.JitKey = key
+		}
+	}
+	switch checks.Classify(ctx, site) {
+	case checks.ClassReadOnly:
+		s.Class = ClassElidable
+		s.MaxRetries = 1
+		s.RecoveryFree = site.Lit != nil && recoveryFree(pkg, site.Lit)
+	case checks.ClassAnnotated:
+		s.Class = ClassAnnotated
+		s.Annotated = true
+		s.MaxRetries = 2
+	case checks.ClassReadMostly:
+		s.Class = ClassReadMostly
+	default:
+		s.Class = ClassWriting
+	}
+	if site.Lit != nil && (s.Class == ClassReadMostly || s.Class == ClassWriting) {
+		s.WrittenFields = writtenFields(ctx, site)
+	}
+	return s
+}
+
+// writtenFields renders the section walker's attributed written-field set
+// as sorted "Type.field" names.
+func writtenFields(ctx *checks.Context, site *sections.Site) []string {
+	w := effects.NewWalker(ctx.Effects, site.Pkg, site.Lit, effects.SectionMode)
+	for v, lit := range site.EnclosingLits {
+		if lit != site.Lit {
+			w.BindLit(v, lit)
+		}
+	}
+	w.WalkBody(site.Lit.Body)
+	var out []string
+	for f := range w.Fields() {
+		out = append(out, fieldName(f))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fieldName(f *types.Var) string {
+	name := f.Name()
+	// Attribute the field to its owning struct type when the scope chain
+	// exposes one; fall back to the bare name.
+	if owner := ownerTypeName(f); owner != "" {
+		return owner + "." + name
+	}
+	return name
+}
+
+// ownerTypeName finds the named type declaring field f, by scanning the
+// package scope for a struct type that contains it.
+func ownerTypeName(f *types.Var) string {
+	pkg := f.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	for _, name := range pkg.Scope().Names() {
+		tn, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == f {
+				return tn.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// enclosingDecl finds the function declaration containing pos.
+func enclosingDecl(pkg *load.Package, pos token.Pos) *ast.FuncDecl {
+	for _, file := range pkg.Files {
+		if pos < file.Pos() || pos > file.End() {
+			continue
+		}
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// funcName renders "Recv.Method" or "Func".
+func funcName(pkg *load.Package, fd *ast.FuncDecl) string {
+	if r := recvTypeName(pkg, fd); r != "" {
+		return r + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+func recvTypeName(pkg *load.Package, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := pkg.Info.TypeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := types.Unalias(t).(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// jitKey maps a Go corpus method to its mini-Java original: the corpus
+// naming convention exports Go methods whose mj originals are the same
+// name with a lowercase first letter ((*MemoCache).Lookup ↔
+// MemoCache.lookup), and sync blocks are numbered per method in source
+// order. Only methods qualify — package-level functions have no mj class.
+func jitKey(pkg *load.Package, fd *ast.FuncDecl, idx int) string {
+	recv := recvTypeName(pkg, fd)
+	if recv == "" {
+		return ""
+	}
+	return fmt.Sprintf("%s.%s#%d", recv, lowerFirst(fd.Name.Name), idx)
+}
+
+func lowerFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	r := []rune(s)
+	r[0] = unicode.ToLower(r[0])
+	return string(r)
+}
+
+// recoveryFree reports whether a proven-read-only closure body is also
+// proven unable to fault or diverge under inconsistent speculative reads:
+// no indexing or slicing (bounds faults), no division or modulo (zero
+// faults), no pointer dereferences beyond a single captured-variable field
+// hop (nil faults), no calls (unbounded behavior), no loops (an
+// inconsistent snapshot could spin forever without a checkpoint), no
+// channel or type-assertion operations. Such a section needs neither the
+// panic/recover wrapper nor a speculative frame: the lean path in
+// internal/core runs it bare.
+func recoveryFree(pkg *load.Package, lit *ast.FuncLit) bool {
+	if lit.Type.Params != nil && len(lit.Type.Params.List) > 0 {
+		return false
+	}
+	ok := true
+	for _, s := range lit.Body.List {
+		if !recoveryFreeStmt(s) {
+			ok = false
+			break
+		}
+	}
+	return ok
+}
+
+func recoveryFreeStmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+		return true
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			if !recoveryFreeStmt(st) {
+				return false
+			}
+		}
+		return true
+	case *ast.ExprStmt:
+		return recoveryFreeExpr(s.X)
+	case *ast.AssignStmt:
+		if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+			return false
+		}
+		for _, e := range s.Lhs {
+			if !recoveryFreeTarget(e) {
+				return false
+			}
+		}
+		for _, e := range s.Rhs {
+			if !recoveryFreeExpr(e) {
+				return false
+			}
+		}
+		return true
+	case *ast.IfStmt:
+		return s.Init == nil && recoveryFreeExpr(s.Cond) &&
+			recoveryFreeStmt(s.Body) && recoveryFreeStmt(s.Else)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			if !recoveryFreeExpr(e) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// recoveryFreeTarget allows only stores to plain identifiers (locals and
+// the out-parameter idiom's captured variables).
+func recoveryFreeTarget(e ast.Expr) bool {
+	_, ok := ast.Unparen(e).(*ast.Ident)
+	return ok
+}
+
+func recoveryFreeExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case nil:
+		return true
+	case *ast.BasicLit, *ast.Ident:
+		return true
+	case *ast.ParenExpr:
+		return recoveryFreeExpr(e.X)
+	case *ast.SelectorExpr:
+		// One field hop off a simple variable (the captured receiver):
+		// deeper chains could dereference a nil intermediate.
+		_, ok := ast.Unparen(e.X).(*ast.Ident)
+		return ok
+	case *ast.BinaryExpr:
+		if e.Op == token.QUO || e.Op == token.REM {
+			return false
+		}
+		return recoveryFreeExpr(e.X) && recoveryFreeExpr(e.Y)
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			return false
+		}
+		return recoveryFreeExpr(e.X)
+	}
+	return false
+}

@@ -1,0 +1,89 @@
+package facts
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *File {
+	return &File{
+		Module: "repro",
+		Sections: []Section{
+			{
+				ID: "repro/pkg:b.go:9:2", Pkg: "repro/pkg", Func: "T.Put", Mode: "Sync",
+				Class: ClassWriting, WrittenFields: []string{"T.val"}, JitKey: "T.put#0",
+			},
+			{
+				ID: "repro/pkg:a.go:12:2", Pkg: "repro/pkg", Func: "T.Get", Mode: "Sync",
+				Class: ClassElidable, RecoveryFree: true, MaxRetries: 1, JitKey: "T.get#0",
+			},
+			{
+				ID: "repro/pkg:c.go:3:2", Pkg: "repro/pkg", Func: "T.Peek", Mode: "Sync",
+				Class: ClassAnnotated, Annotated: true, MaxRetries: 2,
+			},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	data, err := Encode(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || got.Module != "repro" || len(got.Sections) != 3 {
+		t.Fatalf("round trip lost shape: %+v", got)
+	}
+	// Encode sorts by ID: a.go before b.go before c.go.
+	if got.Sections[0].Func != "T.Get" || got.Sections[1].Func != "T.Put" {
+		t.Fatalf("sections not sorted by ID: %v, %v", got.Sections[0].ID, got.Sections[1].ID)
+	}
+	s := got.ByJitKey()["T.get#0"]
+	if s == nil || s.Class != ClassElidable || !s.RecoveryFree || s.MaxRetries != 1 {
+		t.Fatalf("ByJitKey lost the elidable verdict: %+v", s)
+	}
+	if got.ByID()["repro/pkg:c.go:3:2"].Class != ClassAnnotated {
+		t.Fatal("ByID lost the annotated verdict")
+	}
+	// Determinism: a second encode of the decoded file is byte-identical.
+	again, err := Encode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("Encode is not deterministic:\n%s\n---\n%s", data, again)
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	if _, err := Decode([]byte(`{"schema":"bogus/v9"}`)); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong-schema decode: %v", err)
+	}
+	if _, err := Decode([]byte(`{"schema":"solero-facts/v1","sections":[{"id":"","class":"elidable"}]}`)); err == nil || !strings.Contains(err.Error(), "no id") {
+		t.Fatalf("empty-id decode: %v", err)
+	}
+	if _, err := Decode([]byte(`{"schema":"solero-facts/v1","sections":[{"id":"x","class":"mystery"}]}`)); err == nil || !strings.Contains(err.Error(), "unknown class") {
+		t.Fatalf("unknown-class decode: %v", err)
+	}
+	if _, err := Decode([]byte(`not json`)); err == nil {
+		t.Fatal("garbage decode succeeded")
+	}
+}
+
+func TestProofOf(t *testing.T) {
+	cases := map[Class]string{
+		ClassElidable:   "elidable",
+		ClassReadMostly: "read-mostly",
+		ClassWriting:    "writing",
+		ClassAnnotated:  "annotated",
+	}
+	for c, want := range cases {
+		if got := ProofOf(c).String(); got != want {
+			t.Errorf("ProofOf(%s) = %s, want %s", c, got, want)
+		}
+	}
+}

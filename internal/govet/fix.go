@@ -1,0 +1,67 @@
+package govet
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ApplyFixes merges the suggested-fix edits of the diagnostics and applies
+// them to the affected files' current contents, returning the rewritten
+// contents keyed by filename. Nothing is written to disk — the caller
+// (`solerovet -fix`) decides that. Overlapping edits are an error;
+// duplicate identical edits (the same fix reported twice) collapse.
+func ApplyFixes(diags []Diagnostic) (map[string][]byte, error) {
+	byFile := map[string][]Edit{}
+	for _, d := range diags {
+		for _, e := range d.Edits {
+			byFile[e.File] = append(byFile[e.File], e)
+		}
+	}
+	out := map[string][]byte{}
+	for file, edits := range byFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("applying fixes: %w", err)
+		}
+		fixed, err := applyEdits(src, edits)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", file, err)
+		}
+		out[file] = fixed
+	}
+	return out, nil
+}
+
+// applyEdits splices the edits into src, back to front so earlier offsets
+// stay valid.
+func applyEdits(src []byte, edits []Edit) ([]byte, error) {
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].Start != edits[j].Start {
+			return edits[i].Start < edits[j].Start
+		}
+		return edits[i].End < edits[j].End
+	})
+	// Dedupe identical edits, then reject overlaps.
+	uniq := edits[:0]
+	for i, e := range edits {
+		if i > 0 && e == edits[i-1] {
+			continue
+		}
+		uniq = append(uniq, e)
+	}
+	edits = uniq
+	for i := 1; i < len(edits); i++ {
+		if edits[i].Start < edits[i-1].End {
+			return nil, fmt.Errorf("overlapping fixes at offsets %d and %d", edits[i-1].Start, edits[i].Start)
+		}
+	}
+	for i := len(edits) - 1; i >= 0; i-- {
+		e := edits[i]
+		if e.Start < 0 || e.End > len(src) || e.Start > e.End {
+			return nil, fmt.Errorf("fix range [%d,%d) out of bounds (file is %d bytes)", e.Start, e.End, len(src))
+		}
+		src = append(src[:e.Start], append([]byte(e.New), src[e.End:]...)...)
+	}
+	return src, nil
+}

@@ -1,0 +1,46 @@
+package govet_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/govet"
+	"repro/internal/govet/analysis"
+	"repro/internal/govet/checks"
+)
+
+// TestApplyFixesGolden runs the elide analyzer over the fixes testdata
+// package and applies every suggested edit in memory: the result must
+// match fixes.go.golden byte for byte (regenerate by updating the golden
+// after inspecting a real `solerovet -fix` run).
+func TestApplyFixesGolden(t *testing.T) {
+	diags, err := govet.Run("", []string{"repro/internal/govet/testdata/src/fixes"},
+		[]*analysis.Analyzer{checks.Elide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2:\n%v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if len(d.Edits) == 0 {
+			t.Errorf("%s: diagnostic carries no edits", d)
+		}
+	}
+	fixed, err := govet.ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) != 1 {
+		t.Fatalf("fixes touch %d files, want 1", len(fixed))
+	}
+	want, err := os.ReadFile("testdata/src/fixes/fixes.go.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for file, got := range fixed {
+		if string(got) != string(want) {
+			t.Errorf("%s: fixed output differs from fixes.go.golden:\n%s", file, string(got))
+		}
+	}
+}

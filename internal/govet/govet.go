@@ -22,6 +22,18 @@ type Diagnostic struct {
 	Analyzer string
 	Message  string
 	Fixes    []string
+	// Edits are the mechanical source changes of the diagnostic's
+	// suggested fixes, resolved to file byte offsets; `solerovet -fix`
+	// applies them via ApplyFixes.
+	Edits []Edit
+}
+
+// Edit is one resolved textual change: replace File[Start:End) with New.
+type Edit struct {
+	File  string
+	Start int
+	End   int
+	New   string
 }
 
 // String renders the canonical "file:line:col: [analyzer] message" form.
@@ -41,7 +53,13 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagn
 
 // RunProgram applies the analyzers to an already-loaded program.
 func RunProgram(prog *load.Program, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
-	ctx := checks.NewContext(prog)
+	return RunProgramContext(prog, checks.NewContext(prog), analyzers)
+}
+
+// RunProgramContext is RunProgram with a caller-built context, so a
+// driver that also generates facts (`solerovet -facts`) shares one effect
+// analysis between the two.
+func RunProgramContext(prog *load.Program, ctx *checks.Context, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
 	ignores := ignoreLines(prog)
 	var diags []Diagnostic
 	for _, pkg := range prog.Targets() {
@@ -68,6 +86,16 @@ func RunProgram(prog *load.Program, analyzers []*analysis.Analyzer) ([]Diagnosti
 				}
 				for _, f := range d.Fixes {
 					out.Fixes = append(out.Fixes, f.Message)
+					for _, e := range f.TextEdits {
+						start := prog.Fset.Position(e.Pos)
+						end := start
+						if e.End.IsValid() && e.End != e.Pos {
+							end = prog.Fset.Position(e.End)
+						}
+						out.Edits = append(out.Edits, Edit{
+							File: start.Filename, Start: start.Offset, End: end.Offset, New: e.NewText,
+						})
+					}
 				}
 				diags = append(diags, out)
 			}

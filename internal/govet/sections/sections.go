@@ -18,6 +18,7 @@ import (
 	"go/ast"
 	"go/types"
 
+	"repro/internal/govet/effects"
 	"repro/internal/govet/load"
 )
 
@@ -152,8 +153,24 @@ func recvName(fn *types.Func) string {
 // Discover builds the section index for the loaded program.
 func Discover(prog *load.Program) *Index {
 	d := &discoverer{
-		prog:     prog,
-		wrappers: map[types.Object]map[int]Mode{},
+		prog:      prog,
+		wrappers:  map[types.Object]map[int]Mode{},
+		annotated: map[*types.Func]bool{},
+	}
+	// Prescan declaration-level //solerovet:readonly directives: a method
+	// value passed to an entry point inherits its declaration's assertion.
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !effects.DeclAnnotated(fd) {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					d.annotated[fn.Origin()] = true
+				}
+			}
+		}
 	}
 	// Fixed point over the wrapper table: each round may discover new
 	// wrappers (wrappers of wrappers), which create new forwarding edges.
@@ -169,11 +186,12 @@ func Discover(prog *load.Program) *Index {
 }
 
 type discoverer struct {
-	prog     *load.Program
-	wrappers map[types.Object]map[int]Mode
-	changed  bool
-	final    bool
-	sites    []*Site
+	prog      *load.Program
+	wrappers  map[types.Object]map[int]Mode
+	annotated map[*types.Func]bool // decls carrying //solerovet:readonly
+	changed   bool
+	final     bool
+	sites     []*Site
 }
 
 func (d *discoverer) markWrapper(obj types.Object, idx int, mode Mode) {
@@ -391,7 +409,8 @@ func (fc *funcContext) record(call *ast.CallExpr, arg ast.Expr, mode Mode, direc
 		Pkg: fc.pkg, Call: call, Mode: mode, Direct: direct,
 		Lit: lit, Named: named, Arg: arg,
 		EnclosingLits: fc.litVars,
-		Annotated:     fc.annotated(call),
+		Annotated: fc.annotated(call) ||
+			(named != nil && fc.d.annotated[named.Origin()]),
 	}
 	if lit != nil && mode == ModeReadMostly {
 		site.SectionParam = sectionParam(fc.pkg, lit)

@@ -1,0 +1,34 @@
+// Command gen regenerates fixes.go.golden from a live ApplyFixes run:
+//
+//	go run ./internal/govet/testdata/gen
+//
+// from the module root, after changing the fixes testdata or the elide
+// analyzer's suggested fixes.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/govet"
+	"repro/internal/govet/analysis"
+	"repro/internal/govet/checks"
+)
+
+func main() {
+	diags, err := govet.Run("", []string{"repro/internal/govet/testdata/src/fixes"},
+		[]*analysis.Analyzer{checks.Elide})
+	if err != nil {
+		panic(err)
+	}
+	fixed, err := govet.ApplyFixes(diags)
+	if err != nil {
+		panic(err)
+	}
+	for _, b := range fixed {
+		if err := os.WriteFile("internal/govet/testdata/src/fixes/fixes.go.golden", b, 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Println("wrote fixes.go.golden,", len(b), "bytes")
+	}
+}

@@ -66,3 +66,18 @@ func indirect(tb *table, t *jthread.Thread) int64 {
 	tb.mu.Sync(t, body) // want `Sync closure is provably read-only; use \(\*Lock\)\.ReadOnly`
 	return out
 }
+
+// touch is asserted read-only at the declaration — the method-value
+// analogue of annotating the call site.
+//
+//solerovet:readonly
+func (tb *table) touch() {
+	_ = tb.n
+}
+
+// annotatedNamed passes the annotated method value directly: the site
+// inherits the declaration's assertion and is left alone (no rewrite
+// suggestion for an author who already committed to the contract).
+func annotatedNamed(tb *table, t *jthread.Thread) {
+	tb.mu.Sync(t, tb.touch)
+}

@@ -1,0 +1,44 @@
+// Package fixes is golden testdata for `solerovet -fix`: the elide
+// analyzer's two mechanical fixes — the Sync→ReadOnly rewrite for a
+// proven read-only closure and the //solerovet:readonly insertion for a
+// closure blocked only by un-analyzability — applied against fixes.go
+// must reproduce fixes.go.golden byte for byte.
+package fixes
+
+import (
+	"repro/internal/core"
+	"repro/internal/jthread"
+)
+
+type table struct {
+	mu   *core.Lock
+	n    int64
+	hook func() int64
+}
+
+// readSum is provably read-only: the fix renames Sync to ReadOnly.
+func readSum(tb *table, t *jthread.Thread) int64 {
+	var out int64
+	tb.mu.Sync(t, func() {
+		out = tb.n
+	})
+	return out
+}
+
+// viaHook calls a function-typed field: nothing witnesses a write, but
+// the analysis cannot bound the callee — the fix asserts the contract
+// with a directive line.
+func viaHook(tb *table, t *jthread.Thread) int64 {
+	var out int64
+	tb.mu.Sync(t, func() {
+		out = tb.hook()
+	})
+	return out
+}
+
+// bump writes shared state: correctly left alone.
+func bump(tb *table, t *jthread.Thread) {
+	tb.mu.Sync(t, func() {
+		tb.n++
+	})
+}

@@ -1,0 +1,31 @@
+// Package lockorderseed is the inverted-CI seed for the lockorder
+// analyzer: nothing but a two-lock ABBA deadlock. `make lockorder-catch`
+// runs the analyzer over this package and fails the build if the cycle is
+// NOT reported — the analyzer going silent here means it rotted. Living
+// under testdata keeps the seed out of the module build and out of `make
+// lint`'s clean-tree guarantee.
+package lockorderseed
+
+import (
+	"repro/internal/core"
+	"repro/internal/jthread"
+)
+
+var (
+	ledgerMu = core.New(nil)
+	auditMu  = core.New(nil)
+)
+
+func post(t *jthread.Thread) {
+	ledgerMu.Lock(t)
+	auditMu.Lock(t)
+	auditMu.Unlock(t)
+	ledgerMu.Unlock(t)
+}
+
+func reconcile(t *jthread.Thread) {
+	auditMu.Lock(t)
+	ledgerMu.Lock(t)
+	ledgerMu.Unlock(t)
+	auditMu.Unlock(t)
+}

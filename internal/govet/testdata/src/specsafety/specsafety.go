@@ -106,6 +106,43 @@ func badCallsWriter(c *counter, t *jthread.Thread) {
 	})
 }
 
+// apply is a param-caller: it invokes its func-typed parameter, so a
+// method value passed here is judged by its own summary.
+func apply(f func() int64) int64 { return f() }
+
+// loggedTotal does I/O — unprovable — but the declaration-level
+// directive asserts it read-only, the paper's @SoleroReadOnly placed on
+// the method instead of the call site.
+//
+//solerovet:readonly
+func (c *counter) loggedTotal() int64 {
+	fmt.Println("total")
+	return c.n
+}
+
+// ioTotal is the unannotated twin: still flagged through apply.
+func (c *counter) ioTotal() int64 {
+	fmt.Println("total")
+	return c.n
+}
+
+// goodAnnotatedMethodValue: the annotated method value passes as pure.
+func goodAnnotatedMethodValue(c *counter, t *jthread.Thread) int64 {
+	var out int64
+	c.mu.ReadOnly(t, func() {
+		out = apply(c.loggedTotal)
+	})
+	return out
+}
+
+func badMethodValue(c *counter, t *jthread.Thread) int64 {
+	var out int64
+	c.mu.ReadOnly(t, func() {
+		out = apply(c.ioTotal) // want `calls .*ioTotal, whose effects cannot be proven`
+	})
+	return out
+}
+
 // goodThreadPerGoroutine: each goroutine attaches its own *Thread.
 func goodThreadPerGoroutine(vm *jthread.VM, c *counter) {
 	for i := 0; i < 2; i++ {

@@ -1,0 +1,239 @@
+// Facts interchange: serialize this analysis's verdicts to the
+// solero-facts/v1 schema, and pre-seed a classification from a facts file
+// so proven blocks skip re-analysis entirely (`solerojit -facts`). The key
+// joining the two worlds is "Class.method#syncIndex" — a method's
+// synchronized blocks numbered in source order — which is also how the Go
+// corpus mirrors of the .mj programs derive their JitKey.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/govet/facts"
+	"repro/internal/jit/lang"
+	"repro/internal/jit/sema"
+)
+
+// factsClass maps a classification to the interchange class.
+func factsClass(rep *BlockReport) facts.Class {
+	if rep.Annotated {
+		return facts.ClassAnnotated
+	}
+	switch rep.Class {
+	case ReadOnly:
+		return facts.ClassElidable
+	case ReadMostly:
+		return facts.ClassReadMostly
+	default:
+		return facts.ClassWriting
+	}
+}
+
+// classOf maps an interchange class back to a classification.
+func classOf(c facts.Class) (Classification, bool) {
+	switch c {
+	case facts.ClassElidable, facts.ClassAnnotated:
+		return ReadOnly, c == facts.ClassAnnotated
+	case facts.ClassReadMostly:
+		return ReadMostly, false
+	default:
+		return Writing, false
+	}
+}
+
+// blockKey is the stable per-program identity of a synchronized block.
+func blockKey(mi *sema.MethodInfo, idx int) string {
+	return fmt.Sprintf("%s#%d", mi.QName(), idx)
+}
+
+// ToFacts serializes an analysis result as a facts file (module "mj").
+func ToFacts(ck *sema.Checked, res *Result) *facts.File {
+	f := &facts.File{Schema: facts.Schema, Module: "mj"}
+	for _, mi := range ck.Methods {
+		for idx, sb := range mi.SyncBlocks {
+			rep := res.Classify(sb)
+			if rep == nil {
+				continue
+			}
+			key := blockKey(mi, idx)
+			s := facts.Section{
+				ID:           "mj:" + key,
+				Pkg:          "mj",
+				Func:         mi.QName(),
+				Mode:         "Sync",
+				Class:        factsClass(rep),
+				Annotated:    rep.Annotated,
+				RecoveryFree: rep.RecoveryFree,
+				MaxRetries:   rep.MaxRetries,
+				JitKey:       key,
+			}
+			if s.Class == facts.ClassReadMostly || s.Class == facts.ClassWriting {
+				s.WrittenFields = writtenFieldsOf(ck, sb)
+			}
+			f.Sections = append(f.Sections, s)
+		}
+	}
+	f.Sort()
+	return f
+}
+
+// AnalyzeWithFacts classifies every synchronized block, taking proven
+// blocks' verdicts from the facts file (keyed by JitKey) and re-analyzing
+// only the rest. Returns the result and how many blocks were seeded.
+func AnalyzeWithFacts(ck *sema.Checked, f *facts.File) (*Result, int) {
+	byKey := f.ByJitKey()
+	a := &analyzer{ck: ck, purity: make(map[*sema.MethodInfo]purity)}
+	res := &Result{Blocks: make(map[*lang.Synchronized]*BlockReport)}
+	seeded := 0
+	for _, mi := range ck.Methods {
+		if len(mi.SyncBlocks) == 0 {
+			continue
+		}
+		var lv *liveness
+		for idx, sb := range mi.SyncBlocks {
+			var rep *BlockReport
+			if s := byKey[blockKey(mi, idx)]; s != nil {
+				rep = reportFromFact(mi, sb, s)
+				seeded++
+			} else {
+				if lv == nil {
+					lv = newLiveness(ck)
+					lv.method(mi)
+				}
+				rep = a.classify(mi, sb, lv.atEntry[sb])
+			}
+			res.Blocks[sb] = rep
+			res.Order = append(res.Order, rep)
+		}
+	}
+	return res, seeded
+}
+
+// reportFromFact reconstitutes a block report from a carried fact.
+// HeapWrites for read-mostly blocks is approximated by the written-field
+// count — it only feeds the diagnostic WriteCount, not the protocol.
+func reportFromFact(mi *sema.MethodInfo, sb *lang.Synchronized, s *facts.Section) *BlockReport {
+	cls, annotated := classOf(s.Class)
+	rep := &BlockReport{
+		Sync:         sb,
+		Method:       mi,
+		Class:        cls,
+		Annotated:    annotated || s.Annotated,
+		RecoveryFree: s.RecoveryFree,
+		MaxRetries:   s.MaxRetries,
+		FromFacts:    true,
+	}
+	if cls == ReadMostly {
+		rep.HeapWrites = len(s.WrittenFields)
+	}
+	return rep
+}
+
+// writtenFieldsOf collects the "Class.field" names a block may store to,
+// sorted, for the facts file's WrittenFields set.
+func writtenFieldsOf(ck *sema.Checked, sb *lang.Synchronized) []string {
+	set := map[string]bool{}
+	var stmt func(s lang.Stmt)
+	stmt = func(s lang.Stmt) {
+		switch s := s.(type) {
+		case nil:
+		case *lang.Block:
+			for _, st := range s.Stmts {
+				stmt(st)
+			}
+		case *lang.If:
+			stmt(s.Then)
+			stmt(s.Else)
+		case *lang.While:
+			stmt(s.Body)
+		case *lang.For:
+			stmt(s.Init)
+			stmt(s.Step)
+			stmt(s.Body)
+		case *lang.Synchronized:
+			stmt(s.Body)
+		case *lang.Assign:
+			if r := ck.Resolutions[s.Target]; r != nil && r.Field != nil {
+				set[r.Field.Class.Name+"."+r.Field.Name] = true
+			}
+		}
+	}
+	stmt(sb.Body)
+	var out []string
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// recoveryFreeBlock reports whether a read-only block is proven unable to
+// fault or diverge under inconsistent speculative reads: no array indexing
+// (bounds faults), no division or modulo (zero faults), no calls or
+// allocation (unbounded behavior, constructor invocation), no throws, no
+// loops (an inconsistent snapshot could spin forever with no checkpoint to
+// break it), and field access only one hop off a simple operand (a deeper
+// chain could dereference a null intermediate loaded from a torn
+// snapshot). Mirrors the Go-side scan in internal/govet/facts.
+func recoveryFreeBlock(sb *lang.Synchronized) bool {
+	ok := true
+	var stmt func(s lang.Stmt) bool
+	var expr func(e lang.Expr) bool
+	expr = func(e lang.Expr) bool {
+		switch e := e.(type) {
+		case nil, *lang.IntLit, *lang.BoolLit, *lang.NullLit, *lang.This, *lang.Ident:
+			return true
+		case *lang.FieldAccess:
+			switch e.X.(type) {
+			case *lang.This, *lang.Ident:
+				return true
+			}
+			return false
+		case *lang.Binary:
+			if e.Op == lang.Slash || e.Op == lang.Percent {
+				return false
+			}
+			return expr(e.L) && expr(e.R)
+		case *lang.Unary:
+			return expr(e.X)
+		}
+		return false
+	}
+	stmt = func(s lang.Stmt) bool {
+		switch s := s.(type) {
+		case nil:
+			return true
+		case *lang.Block:
+			for _, st := range s.Stmts {
+				if !stmt(st) {
+					return false
+				}
+			}
+			return true
+		case *lang.If:
+			return expr(s.Cond) && stmt(s.Then) && stmt(s.Else)
+		case *lang.Return:
+			return expr(s.E)
+		case *lang.LocalDecl:
+			return expr(s.Init)
+		case *lang.Assign:
+			// The block is already proven read-only, so an Ident target is
+			// a local; anything else would be a field/element write.
+			if _, isIdent := s.Target.(*lang.Ident); !isIdent {
+				return false
+			}
+			return expr(s.Value)
+		case *lang.ExprStmt:
+			return expr(s.E)
+		}
+		return false
+	}
+	for _, s := range sb.Body.Stmts {
+		if !stmt(s) {
+			ok = false
+			break
+		}
+	}
+	return ok
+}

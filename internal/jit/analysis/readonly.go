@@ -58,6 +58,17 @@ type BlockReport struct {
 	// SideEffects counts violations speculation cannot recover from
 	// (side-effecting builtins/callees, nested sync, non-runtime throws).
 	SideEffects int
+	// RecoveryFree marks read-only blocks additionally proven unable to
+	// fault or loop under inconsistent speculative reads (no indexing,
+	// division, calls, allocation, throws, or loops): the runtime may run
+	// them with no recovery machinery at all.
+	RecoveryFree bool
+	// MaxRetries is the static retry bound carried to the runtime via the
+	// facts file (0 means the runtime default).
+	MaxRetries int
+	// FromFacts marks reports seeded from a solero-facts file
+	// (AnalyzeWithFacts) rather than computed by this run.
+	FromFacts bool
 }
 
 // ProfileEligible reports whether the block could run under the read-mostly
@@ -124,6 +135,7 @@ func (a *analyzer) classify(mi *sema.MethodInfo, sb *lang.Synchronized, liveIn s
 	if mi.Decl.HasAnnotation(AnnotationReadOnly) {
 		rep.Class = ReadOnly
 		rep.Annotated = true
+		rep.MaxRetries = 2
 		return rep
 	}
 	w := &blockWalker{a: a, liveIn: liveIn, rep: rep}
@@ -131,6 +143,8 @@ func (a *analyzer) classify(mi *sema.MethodInfo, sb *lang.Synchronized, liveIn s
 	switch {
 	case len(rep.Violations) == 0:
 		rep.Class = ReadOnly
+		rep.RecoveryFree = recoveryFreeBlock(sb)
+		rep.MaxRetries = 1
 	case mi.Decl.HasAnnotation(AnnotationReadMostly):
 		rep.Class = ReadMostly
 		rep.Annotated = true

@@ -59,6 +59,9 @@ func Apply(p *ir.Program, res *analysis.Result, opts Options) *Report {
 				if br.Annotated {
 					note = " (annotated)"
 				}
+				sb.Proven = br.FromFacts
+				sb.RecoveryFree = plan == ir.PlanElide && br.RecoveryFree && !br.Annotated
+				sb.MaxRetries = br.MaxRetries
 			}
 			sb.Plan = plan
 			switch plan {

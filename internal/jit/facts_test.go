@@ -1,0 +1,120 @@
+package jit
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/govet/facts"
+	"repro/internal/jit/analysis"
+	"repro/internal/jit/codegen"
+)
+
+var updateFacts = flag.Bool("update-facts", false, "rewrite testdata/corpus.facts.json from the current analysis")
+
+// corpusFacts builds every corpus program and merges the exported verdicts
+// into one facts file, the way `solerovet -facts` does for Go packages.
+func corpusFacts(t *testing.T) *facts.File {
+	t.Helper()
+	merged := &facts.File{Module: "mj"}
+	for _, c := range corpus {
+		prog, res, _, err := BuildUnoptimized(loadCorpus(t, c.file), codegen.DefaultOptions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := analysis.ToFacts(prog.Checked, res)
+		merged.Sections = append(merged.Sections, f.Sections...)
+	}
+	return merged
+}
+
+// TestCorpusFactsGolden pins the serialized verdicts for the whole corpus:
+// the facts format is an interchange contract (solerovet -facts →
+// solerojit -facts), so accidental drift must show up as a diff. Rebuild
+// with `go test ./internal/jit -run FactsGolden -update-facts` after an
+// intentional analysis change.
+func TestCorpusFactsGolden(t *testing.T) {
+	data, err := facts.Encode(corpusFacts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "corpus.facts.json")
+	if *updateFacts {
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("corpus facts drifted from %s:\n%s", golden, data)
+	}
+}
+
+// TestAnalyzeWithFactsRoundTrip feeds the corpus its own facts back:
+// every block must seed from the file (zero re-analysis), carry the same
+// classification the fresh analysis computes, and be stamped Proven so
+// the interpreter registers it under its proof class.
+func TestAnalyzeWithFactsRoundTrip(t *testing.T) {
+	f := corpusFacts(t)
+	for _, c := range corpus {
+		t.Run(c.file, func(t *testing.T) {
+			src := loadCorpus(t, c.file)
+			_, fresh, _, err := Build(src, codegen.DefaultOptions)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, seededRes, rep, seeded, err := BuildWithFacts(src, codegen.DefaultOptions, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seeded != len(seededRes.Order) {
+				t.Fatalf("seeded %d of %d blocks; facts should cover the whole corpus", seeded, len(seededRes.Order))
+			}
+			if len(seededRes.Order) != len(fresh.Order) {
+				t.Fatalf("block count drifted: %d seeded vs %d fresh", len(seededRes.Order), len(fresh.Order))
+			}
+			for i, br := range seededRes.Order {
+				if !br.FromFacts {
+					t.Errorf("%s @%s: not marked FromFacts", br.Method.QName(), br.Sync.Pos)
+				}
+				if br.Class != fresh.Order[i].Class {
+					t.Errorf("%s @%s: carried %v, fresh analysis %v",
+						br.Method.QName(), br.Sync.Pos, br.Class, fresh.Order[i].Class)
+				}
+			}
+			if rep.Elided != c.elided || rep.ReadMostly != c.readMostly || rep.Writing != c.writing {
+				t.Fatalf("seeded plans = %d/%d/%d, want %d/%d/%d",
+					rep.Elided, rep.ReadMostly, rep.Writing, c.elided, c.readMostly, c.writing)
+			}
+			for _, cm := range prog.Methods {
+				for _, sb := range cm.Syncs {
+					if !sb.Proven {
+						t.Errorf("%s: block not stamped Proven", cm.Info.QName())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusExecutionWithFacts runs every corpus driver on the
+// facts-seeded build: carrying proofs must be semantically invisible.
+func TestCorpusExecutionWithFacts(t *testing.T) {
+	f := corpusFacts(t)
+	for _, c := range corpus {
+		t.Run(c.file, func(t *testing.T) {
+			prog, _, _, _, err := BuildWithFacts(loadCorpus(t, c.file), codegen.DefaultOptions, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := runDriver(t, prog, c); got != c.want {
+				t.Fatalf("facts-seeded driver = %d, want %d", got, c.want)
+			}
+		})
+	}
+}

@@ -49,6 +49,12 @@ type Options struct {
 	LockCfg *core.Config
 	// ConvCfg configures per-object conventional locks (nil for defaults).
 	ConvCfg *vmlock.Config
+	// Sections, when non-nil, registers every synchronized block in a
+	// proof-carrying section registry: facts-proven blocks are seeded
+	// under their proof class (skipping the runtime's dynamic
+	// classification arm entirely), while unproven elide-plan blocks pay
+	// the registry's probe window. Nil runs the plain entry points.
+	Sections *core.SectionRegistry
 	// Out receives print output (nil for io.Discard).
 	Out io.Writer
 }
@@ -72,6 +78,9 @@ type Machine struct {
 	// §5 profile-guided reclassification.
 	plans    atomic.Pointer[map[*ir.SyncBlock]ir.LockPlanKind]
 	profiles map[*ir.SyncBlock]*BlockProfile
+	// sections maps blocks to their registered proof-carrying identity
+	// (nil map / nil entries when Options.Sections is unset).
+	sections map[*ir.SyncBlock]*core.SectionInfo
 
 	outMu sync.Mutex
 }
@@ -122,13 +131,43 @@ func NewMachine(prog *ir.Program, vm *jthread.VM, opts Options) *Machine {
 	m.profiles = make(map[*ir.SyncBlock]*BlockProfile)
 	plans := make(map[*ir.SyncBlock]ir.LockPlanKind)
 	for _, cm := range prog.Methods {
-		for _, sb := range cm.Syncs {
+		for idx, sb := range cm.Syncs {
 			plans[sb] = sb.Plan
 			m.profiles[sb] = &BlockProfile{}
+			if opts.Sections == nil {
+				continue
+			}
+			if m.sections == nil {
+				m.sections = make(map[*ir.SyncBlock]*core.SectionInfo)
+			}
+			id := fmt.Sprintf("mj:%s#%d", cm.Info.QName(), idx)
+			switch {
+			case sb.Proven:
+				m.sections[sb] = opts.Sections.Seed(id, proofOfPlan(sb.Plan), sb.RecoveryFree, sb.MaxRetries)
+			case sb.Plan == ir.PlanElide:
+				// Unproven elide-plan block: ProofNone — it pays the
+				// registry's dynamic classification window. Unproven
+				// writing/read-mostly blocks are not registered:
+				// trust-but-verify applies to carried facts, not to
+				// verdicts this build just computed.
+				m.sections[sb] = opts.Sections.Section(id)
+			}
 		}
 	}
 	m.plans.Store(&plans)
 	return m
+}
+
+// proofOfPlan maps a codegen lock plan to the runtime proof class.
+func proofOfPlan(p ir.LockPlanKind) core.ProofClass {
+	switch p {
+	case ir.PlanElide:
+		return core.ProofElidable
+	case ir.PlanReadMostly:
+		return core.ProofReadMostly
+	default:
+		return core.ProofWriting
+	}
 }
 
 // PlanOf returns the machine's current plan for a block.
@@ -598,7 +637,11 @@ func (m *Machine) execSync(t *jthread.Thread, cm *ir.CompiledMethod, sb *ir.Sync
 		lk := ls.soleroLock(m.opts.LockCfg)
 		switch m.PlanOf(sb) {
 		case ir.PlanElide:
-			lk.ReadOnly(t, run)
+			// With a section registry, run under the block's registered
+			// proof identity (nil info degenerates to plain ReadOnly):
+			// proven blocks speculate immediately — recovery-free ones on
+			// the lean path — and unproven ones pay the probe window.
+			lk.ReadOnlySection(t, m.sections[sb], run)
 		case ir.PlanReadMostly:
 			lk.ReadMostly(t, func(s *core.Section) {
 				// Threading the live Section through the frame is part
@@ -614,7 +657,18 @@ func (m *Machine) execSync(t *jthread.Thread, cm *ir.CompiledMethod, sb *ir.Sync
 				run()
 			})
 		default:
-			lk.Sync(t, run)
+			// Proven-writing blocks route through the registry so
+			// trust-but-verify can probe a carried fact; otherwise the
+			// plain writing protocol.
+			if si := m.sections[sb]; si != nil {
+				lk.ReadOnlySection(t, si, run)
+			} else {
+				// The body executes whatever the simulated program wrote;
+				// only the meta-level knows its plan. Same exemption as the
+				// closure above.
+				//solerovet:ignore
+				lk.Sync(t, run)
+			}
 		}
 	}
 	return fl, v

@@ -156,6 +156,17 @@ type SyncBlock struct {
 	// triggers the hook on the corresponding write opcodes instead, so
 	// this is diagnostic metadata.
 	WriteCount int
+	// Proven marks blocks whose classification was carried by a
+	// solero-facts file rather than computed in this build: the runtime
+	// registers them under their proof class so they skip the dynamic
+	// classification arm (see core.SectionRegistry).
+	Proven bool
+	// RecoveryFree marks elided blocks proven unable to fault or loop
+	// under inconsistent reads; the runtime may run them on the lean
+	// speculation path (no recovery machinery).
+	RecoveryFree bool
+	// MaxRetries is the static elision retry bound (0 = runtime default).
+	MaxRetries int
 }
 
 // CompiledMethod pairs a method with its code and synchronized blocks.

@@ -4,6 +4,7 @@
 package jit
 
 import (
+	"repro/internal/govet/facts"
 	"repro/internal/jit/analysis"
 	"repro/internal/jit/codegen"
 	"repro/internal/jit/ir"
@@ -41,6 +42,30 @@ func BuildUnoptimized(src string, opts codegen.Options) (*ir.Program, *analysis.
 	res := analysis.Analyze(ck)
 	rep := codegen.Apply(compiled, res, opts)
 	return compiled, res, rep, nil
+}
+
+// BuildWithFacts is Build with a solero-facts file pre-seeding the
+// classifier: blocks whose verdict the file carries (keyed by
+// "Class.method#syncIndex") skip re-analysis and are stamped Proven, so
+// the interpreter registers them under their proof class at run time. The
+// extra return value is the number of seeded blocks.
+func BuildWithFacts(src string, opts codegen.Options, f *facts.File) (*ir.Program, *analysis.Result, *codegen.Report, int, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	ck, err := sema.Check(prog)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	compiled, err := ir.Compile(ck)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	res, seeded := analysis.AnalyzeWithFacts(ck, f)
+	rep := codegen.Apply(compiled, res, opts)
+	opt.Program(compiled)
+	return compiled, res, rep, seeded, nil
 }
 
 // MustBuild is Build that panics on error (tests, benchmarks, examples

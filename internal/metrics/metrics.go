@@ -98,10 +98,11 @@ type Registry struct {
 	Yield *Histogram
 	Park  *Histogram
 
-	aborts  [NumAbortCauses]*stats.Striped
-	ops     *stats.Striped
-	samples []sampleStripe
-	mask    uint32
+	aborts   [NumAbortCauses]*stats.Striped
+	ops      *stats.Striped
+	factDivs *stats.Striped
+	samples  []sampleStripe
+	mask     uint32
 
 	samplePeriodMask uint32
 	sitePeriodMask   uint64
@@ -122,6 +123,7 @@ func New(nstripes int) *Registry {
 		Yield:            newHistogram(HistYield, nstripes),
 		Park:             newHistogram(HistPark, nstripes),
 		ops:              stats.NewStriped(nstripes),
+		factDivs:         stats.NewStriped(nstripes),
 		samples:          make([]sampleStripe, nstripes),
 		mask:             uint32(nstripes - 1),
 		samplePeriodMask: DefaultSamplePeriod - 1,
@@ -196,6 +198,27 @@ func (r *Registry) AbortCounts() map[string]uint64 {
 		out[c.String()] = n
 	}
 	return out
+}
+
+// RecordFactDivergence accounts one trust-but-verify disagreement: a
+// statically proven section whose dynamic classification probe contradicted
+// the carried proof (see core.SectionRegistry). Latched once per section by
+// the caller, so the counter reads as "number of wrong facts observed".
+// nil-safe.
+func (r *Registry) RecordFactDivergence(stripe uint32) {
+	if r == nil {
+		return
+	}
+	r.factDivs.Add(stripe, 1)
+}
+
+// FactDivergences returns the merged trust-but-verify disagreement count.
+// nil-safe.
+func (r *Registry) FactDivergences() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.factDivs.Load()
 }
 
 // AddOps accounts completed benchmark operations on the caller's stripe —
