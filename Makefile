@@ -16,10 +16,14 @@
 #   make fuzz      - native Go fuzzing of the lock-word encoding
 #   make obs-smoke - live observability smoke: lockstats -serve + curl asserts
 #   make json-smoke - solerobench -json writes valid snapshot bundles
+#   make bench-record - run the backend tournament, commit-ready
+#                    BENCH_<date>.json perf-trajectory record at the repo root
+#   make tournament-smoke - every lock backend through the schedule-kernel
+#                    oracle + a quick tournament sanity run
 
 GO ?= go
 
-.PHONY: build vet test race bench check lint lintcatch factsmoke lockorder-catch schedsmoke schedfuzz fuzz obs-smoke json-smoke
+.PHONY: build vet test race bench check lint lintcatch factsmoke lockorder-catch schedsmoke schedfuzz fuzz obs-smoke json-smoke bench-record tournament-smoke
 
 build:
 	$(GO) build ./...
@@ -34,10 +38,11 @@ race:
 	$(GO) test -race ./internal/core/... ./internal/stats/... \
 		./internal/sched/... ./internal/history/... ./internal/schedcheck/... \
 		./internal/monitor/... ./internal/metrics/... ./internal/export/... \
-		./internal/trace/...
+		./internal/trace/... ./internal/backend/... ./internal/bravo/... \
+		./internal/rwlock/...
 
 bench:
-	$(GO) test -bench 'BenchmarkReaderScaling|BenchmarkReadOnlyAllocFree' -benchtime 200ms .
+	$(GO) test -bench 'BenchmarkReaderScaling|BenchmarkReadOnlyAllocFree|BenchmarkBackendTournament' -benchtime 200ms .
 
 check: build vet test
 
@@ -131,6 +136,33 @@ obs-smoke:
 	curl -sf localhost:$(OBS_PORT)/snapshot.json | grep -q 'solero-snapshot/v1' || { echo "FAIL: snapshot schema missing"; exit 1; }; \
 	curl -sf localhost:$(OBS_PORT)/trace.json | grep -q 'traceEvents' || { echo "FAIL: Perfetto trace missing"; exit 1; }; \
 	echo "OK: obs-smoke (/metrics, /debug/vars, /snapshot.json, /trace.json)"
+
+# The backend tournament's durable perf trajectory: one solero-bench/v1
+# JSON record per date at the repo root, commit it so throughput is
+# diffable across the repo's history (EXPERIMENTS.md documents the
+# schema). The date stamp is injected here — BENCH_DATE=YYYY-MM-DD
+# overrides today — because the harness itself never reads a clock for
+# record identity.
+BENCH_DATE ?= $(shell date +%F)
+bench-record:
+	$(GO) run ./cmd/solerobench -exp tournament -threads 1,2,4,8 \
+		-duration 100ms -runs 3 -inner 3 \
+		-json BENCH_$(BENCH_DATE).json -date $(BENCH_DATE)
+	@grep -q '"schema": "solero-bench/v1"' BENCH_$(BENCH_DATE).json || { echo "FAIL: tournament schema missing"; exit 1; }
+	@echo "OK: wrote BENCH_$(BENCH_DATE).json"
+
+# Every lock backend must survive the same schedule-kernel oracle — the
+# deterministic revocation-window schedule included — and the tournament
+# itself must run end to end. This is the CI gate for the backend SPI.
+tournament-smoke:
+	$(GO) test -run 'TestAllBackendsPassOracle|TestBravoRevocationWindowPinned|TestOracleWorkloadAllBackends' \
+		./internal/schedcheck/ ./internal/backend/
+	@for be in vmlock rwlock solero bravo; do \
+		$(GO) run ./cmd/solerocheck -sched -backend $$be -writers 1 -readers 2 -upgraders 1 -ops 4 -episodes 25 \
+			|| { echo "FAIL: backend $$be violated the oracle"; exit 1; }; \
+	done
+	$(GO) run ./cmd/solerobench -exp tournament -threads 1,2 -duration 20ms -runs 1 -inner 1 >/dev/null
+	@echo "OK: tournament-smoke (4 backends, oracle + pinned revocation window + sweep)"
 
 # The instrumented suite must emit parseable solero-snapshot/v1 bundles.
 json-smoke:

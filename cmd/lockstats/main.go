@@ -6,9 +6,15 @@
 //
 // Usage:
 //
-//	lockstats [-bench hashmap|treemap|empty|jbb] [-threads N] [-writes PCT]
-//	          [-duration D] [-trace N] [-stripes] [-sites]
+//	lockstats [-bench hashmap|treemap|empty|jbb] [-backend NAME] [-threads N]
+//	          [-writes PCT] [-duration D] [-trace N] [-stripes] [-sites]
 //	          [-json out.json] [-perfetto out.json] [-serve :PORT]
+//
+// -backend selects the lock implementation under the benchmark (solero by
+// default; lock/vmlock, rwlock, bravo, solero-unelided, solero-weakbarrier
+// also work). Every backend's protocol counters flow through the same
+// snapshot/export pipeline; the SOLERO-only views (latency histograms,
+// abort taxonomy, -stripes, -sites, -trace) stay empty for the others.
 //
 // -stripes additionally prints per-stripe occupancy of the sharded stat
 // engine, making skew across thread ids visible. -sites prints the sampled
@@ -43,6 +49,7 @@ import (
 
 func main() {
 	bench := flag.String("bench", "hashmap", "benchmark: empty|hashmap|treemap|jbb")
+	backendName := flag.String("backend", "solero", "lock backend: lock|rwlock|solero|solero-unelided|solero-weakbarrier|bravo")
 	threads := flag.Int("threads", 4, "software threads")
 	writes := flag.Int("writes", 5, "write percentage (map benchmarks)")
 	entries := flag.Int("entries", 1024, "map entries")
@@ -55,6 +62,12 @@ func main() {
 	perfettoOut := flag.String("perfetto", "", "write the flight recorder as Perfetto trace-event JSON to this file")
 	serve := flag.String("serve", "", "serve live observability HTTP on this address (e.g. :8080) while the workload runs")
 	flag.Parse()
+
+	impl, err := workload.ParseImpl(*backendName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lockstats: %v\n", err)
+		os.Exit(1)
+	}
 
 	reg := metrics.New(0)
 	lockCfg := *core.DefaultConfig
@@ -79,58 +92,65 @@ func main() {
 	var worker harness.Worker
 	var snap func() (map[string]uint64, float64)
 	var statBlocks func() []*core.Stats
+	var guards func() []*workload.Guard
 	switch *bench {
 	case "empty":
-		b := workload.NewEmptyWithConfig(&lockCfg)
+		b := workload.NewEmptyConfig(impl, "none", &lockCfg)
 		worker = b.Worker()
+		guards = func() []*workload.Guard { return []*workload.Guard{b.G} }
 		snap = func() (map[string]uint64, float64) {
-			st := b.G.SoleroStats()
-			return st.Snapshot(), st.FailureRatio()
+			if st := b.G.SoleroStats(); st != nil {
+				return st.Snapshot(), st.FailureRatio()
+			}
+			return b.G.Backend().Stats(), 0
 		}
-		statBlocks = func() []*core.Stats { return []*core.Stats{b.G.SoleroStats()} }
 	case "hashmap", "treemap":
 		kind := workload.Hash
 		if *bench == "treemap" {
 			kind = workload.Tree
 		}
-		b := workload.NewMapBenchConfig(kind, workload.ImplSolero, "none", *writes, *entries, *shards, &lockCfg)
+		b := workload.NewMapBenchConfig(kind, impl, "none", *writes, *entries, *shards, &lockCfg)
 		worker = b.Worker()
+		guards = b.Guards
 		snap = func() (map[string]uint64, float64) {
 			agg := map[string]uint64{}
 			total, ro := b.LockOps()
 			agg["lockOpsTotal"], agg["lockOpsReadOnly"] = total, ro
 			return agg, b.FailureRatio()
-		}
-		statBlocks = func() []*core.Stats {
-			var out []*core.Stats
-			for _, g := range b.Guards() {
-				if st := g.SoleroStats(); st != nil {
-					out = append(out, st)
-				}
-			}
-			return out
 		}
 	case "jbb":
-		b := jbb.NewWithConfig(workload.ImplSolero, "none", *threads, &lockCfg)
+		b := jbb.NewWithConfig(impl, "none", *threads, &lockCfg)
 		worker = b.Worker()
+		guards = b.Guards
 		snap = func() (map[string]uint64, float64) {
 			agg := map[string]uint64{}
 			total, ro := b.LockOps()
 			agg["lockOpsTotal"], agg["lockOpsReadOnly"] = total, ro
 			return agg, b.FailureRatio()
 		}
-		statBlocks = b.SoleroStats
 	default:
 		fmt.Fprintf(os.Stderr, "lockstats: unknown benchmark %q\n", *bench)
 		os.Exit(1)
+	}
+	// The SOLERO-only views (-stripes, histogram wiring) read the striped
+	// counter blocks; the export pipeline below reads the backend SPI, so
+	// every implementation's counters reach -json / -serve.
+	statBlocks = func() []*core.Stats {
+		var out []*core.Stats
+		for _, g := range guards() {
+			if st := g.SoleroStats(); st != nil {
+				out = append(out, st)
+			}
+		}
+		return out
 	}
 
 	src := export.NewSource(*bench, *threads, reg)
 	src.Ring = ring
 	src.Counters = func() map[string]uint64 {
 		maps := make([]map[string]uint64, 0, 4)
-		for _, st := range statBlocks() {
-			maps = append(maps, st.Snapshot())
+		for _, g := range guards() {
+			maps = append(maps, g.Backend().Stats())
 		}
 		return export.MergeCounters(maps...)
 	}
@@ -160,7 +180,7 @@ func main() {
 		fmt.Printf("last protocol events:\n%s\n", ring.Dump())
 	}
 
-	fmt.Printf("benchmark:      %s (threads=%d writes=%d%% shards=%d)\n", *bench, *threads, *writes, *shards)
+	fmt.Printf("benchmark:      %s (backend=%s threads=%d writes=%d%% shards=%d)\n", *bench, impl, *threads, *writes, *shards)
 	fmt.Printf("throughput:     %.0f ops/s\n", res.OpsPerSec)
 	fmt.Printf("failure ratio:  %.2f%%\n", failureRatio)
 	keys := make([]string, 0, len(counters))

@@ -15,6 +15,12 @@
 // one solero-snapshot/v1 bundle per benchmark — the schema shared with
 // `lockstats -json` and the live /snapshot.json endpoint (EXPERIMENTS.md
 // documents the fields).
+//
+// -exp tournament runs the backend reader-scaling tournament (every
+// internal/backend contender × the -threads sweep); with -json it writes a
+// solero-bench/v1 record instead of snapshot bundles — the BENCH_<date>.json
+// perf trajectory `make bench-record` commits at the repo root. -date stamps
+// that record (injected here, never read from a clock inside the harness).
 package main
 
 import (
@@ -31,7 +37,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig10|fig11|fig12|fig13|fig14|fig15|fig16|crossover|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig10|fig11|fig12|fig13|fig14|fig15|fig16|crossover|tournament|all")
 	sim := flag.Bool("sim", false, "use the 16-way coherence simulator for multi-thread figures")
 	arch := flag.String("arch", "power", "fence model: none|power|tso")
 	threads := flag.String("threads", "1,2,4,8,16", "comma-separated thread counts for sweeps")
@@ -42,6 +48,8 @@ func main() {
 	simCycles := flag.Int64("simcycles", 2_000_000, "simulated cycles per point (-sim)")
 	format := flag.String("format", "text", "output format: text|csv")
 	jsonOut := flag.String("json", "", "run the instrumented suite and write solero-snapshot/v1 bundles to this file")
+	backends := flag.String("backends", "", "comma-separated backend names for -exp tournament (default: all registered)")
+	date := flag.String("date", "", "date stamp recorded in tournament JSON output (e.g. 2026-08-09)")
 	flag.Parse()
 	if *format != "text" && *format != "csv" {
 		fatalf("unknown format %q", *format)
@@ -117,6 +125,28 @@ func main() {
 		default:
 			fatalf("unknown experiment %q", name)
 		}
+	}
+
+	if *exp == "tournament" {
+		var names []string
+		if *backends != "" {
+			for _, part := range strings.Split(*backends, ",") {
+				names = append(names, strings.TrimSpace(part))
+			}
+		}
+		res := experiments.Tournament(o, names)
+		res.Date = *date
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			check(err)
+			check(os.WriteFile(*jsonOut, append(data, '\n'), 0o644))
+			fmt.Printf("wrote %s tournament record to %s\n", res.Schema, *jsonOut)
+			return
+		}
+		for _, f := range res.Figures() {
+			printFig(f)
+		}
+		return
 	}
 
 	if *jsonOut != "" {

@@ -16,6 +16,7 @@
 //
 //	solerocheck -sched -seed 1 -episodes 50
 //	solerocheck -sched -strategy pct -duration 30s
+//	solerocheck -sched -backend bravo -readers 2     # any internal/backend name
 //	solerocheck -sched -bug no-counter-bump          # must fail (CI inverts it)
 //	solerocheck -sched -seed 123 -replay 1,1,2,3,1   # replay a printed schedule
 package main
@@ -62,12 +63,13 @@ func main() {
 	pctD := flag.Int("pct-d", 3, "sched: PCT priority change points")
 	ops := flag.Int("ops", 20, "sched: critical sections per thread")
 	bugName := flag.String("bug", "none", "sched: inject a protocol bug: none|no-counter-bump")
+	backendName := flag.String("backend", "solero", "sched: lock backend under test: vmlock|rwlock|solero|bravo")
 	replay := flag.String("replay", "", "sched: replay a recorded decision sequence (comma list) instead of exploring")
 	flag.Parse()
 
 	if *schedMode {
 		os.Exit(runSched(*writers, *readers, *upgraders, *ops, *seed, *strategy,
-			*pctD, *bugName, *replay, *episodes, *duration))
+			*pctD, *bugName, *backendName, *replay, *episodes, *duration))
 	}
 	os.Exit(runModel(*writers, *readers, *upgraders, *inflators, *retries, *mutate))
 }
@@ -107,7 +109,7 @@ func runModel(writers, readers, upgraders, inflators, retries int, mutate string
 }
 
 func runSched(writers, readers, upgraders, ops int, seed uint64, strategy string,
-	pctD int, bugName, replay string, episodes int, budget time.Duration) int {
+	pctD int, bugName, backendName, replay string, episodes int, budget time.Duration) int {
 	if writers == 0 && upgraders == 0 {
 		writers = 2
 	}
@@ -117,6 +119,7 @@ func runSched(writers, readers, upgraders, ops int, seed uint64, strategy string
 		return 2
 	}
 	opts := schedcheck.Options{
+		Backend: backendName,
 		Writers: writers, Readers: readers, Upgraders: upgraders,
 		Ops: ops, Seed: seed, Strategy: strategy, PCTDepth: pctD, Bug: bug,
 	}
@@ -144,8 +147,8 @@ func runSched(writers, readers, upgraders, ops int, seed uint64, strategy string
 	start := time.Now()
 	res := schedcheck.Explore(opts, episodes, budget, nil)
 	elapsed := time.Since(start).Round(time.Millisecond)
-	fmt.Printf("explored %d episodes in %v (writers=%d readers=%d upgraders=%d ops=%d strategy=%s seed=%d bug=%s)\n",
-		res.Episodes, elapsed, writers, readers, upgraders, ops, strategy, seed, bugName)
+	fmt.Printf("explored %d episodes in %v (backend=%s writers=%d readers=%d upgraders=%d ops=%d strategy=%s seed=%d bug=%s)\n",
+		res.Episodes, elapsed, backendName, writers, readers, upgraders, ops, strategy, seed, bugName)
 	if res.Failing == nil {
 		fmt.Println("all explored schedules safe: mutual exclusion, reader soundness, upgrade soundness, counter monotonicity")
 		return 0
@@ -180,6 +183,9 @@ func reportFailure(opts schedcheck.Options, out *schedcheck.Outcome, dec []uint6
 	}
 	fmt.Printf("replay with: solerocheck -sched -seed %d -writers %d -readers %d -upgraders %d -ops %d",
 		opts.Seed, opts.Writers, opts.Readers, opts.Upgraders, opts.Ops)
+	if opts.Backend != "" && opts.Backend != "solero" {
+		fmt.Printf(" -backend %s", opts.Backend)
+	}
 	if opts.Bug != core.BugNone {
 		fmt.Print(" -bug no-counter-bump")
 	}

@@ -1,0 +1,228 @@
+package bravo
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/jthread"
+)
+
+// fakeClock is a deterministic now() source; step advances per read so a
+// revocation observes a known cost.
+type fakeClock struct {
+	mu   sync.Mutex
+	t    int64
+	step int64
+}
+
+func (c *fakeClock) now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t += c.step
+	return c.t
+}
+
+func (c *fakeClock) set(t int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = t
+}
+
+func newVM(n int) (*jthread.VM, []*jthread.Thread) {
+	vm := jthread.NewVM()
+	ts := make([]*jthread.Thread, n)
+	for i := range ts {
+		ts[i] = vm.Attach("t")
+	}
+	return vm, ts
+}
+
+func TestBiasLifecycle(t *testing.T) {
+	_, ts := newVM(2)
+	r, w := ts[0], ts[1]
+	l := New(&Config{Multiplier: -1})
+
+	if l.Biased() {
+		t.Fatal("new lock should start unbiased")
+	}
+	// First read goes slow and arms the bias.
+	l.ReadSync(r, func() {})
+	if !l.Biased() {
+		t.Fatal("first slow read should arm the bias")
+	}
+	if got := l.Stats()["rebiases"]; got != 1 {
+		t.Fatalf("rebiases = %d, want 1", got)
+	}
+	// Second read takes the biased fast path.
+	l.ReadSync(r, func() {})
+	if got := l.Stats()["biasedReads"]; got != 1 {
+		t.Fatalf("biasedReads = %d, want 1", got)
+	}
+	// A writer revokes.
+	l.WriteSync(w, func() {})
+	if l.Biased() {
+		t.Fatal("write acquisition should revoke the bias")
+	}
+	if got := l.Stats()["revocations"]; got != 1 {
+		t.Fatalf("revocations = %d, want 1", got)
+	}
+	// With the inhibit window disabled, the next slow read re-arms.
+	l.ReadSync(r, func() {})
+	if !l.Biased() {
+		t.Fatal("post-revocation slow read should rebias (window disabled)")
+	}
+}
+
+func TestRebiasInhibitWindow(t *testing.T) {
+	_, ts := newVM(2)
+	r, w := ts[0], ts[1]
+	clk := &fakeClock{step: 10}
+	l := New(&Config{Multiplier: 9, MaxInhibit: time.Hour})
+	l.now = clk.now
+
+	l.ReadSync(r, func() {})
+	if !l.Biased() {
+		t.Fatal("bias should arm on first read")
+	}
+	// Revocation: the two clock reads inside revoke are 10ns apart, so
+	// the measured cost is 10 and the window 90 past the scan's end.
+	l.WriteSync(w, func() {})
+	inhibit := l.inhibitUntil.Load()
+	if want := clk.t + 10*9; inhibit != want {
+		t.Fatalf("inhibitUntil = %d, want %d", inhibit, want)
+	}
+	// Inside the window: reads stay slow.
+	clk.step = 0
+	l.ReadSync(r, func() {})
+	if l.Biased() {
+		t.Fatal("rebias inside the inhibit window")
+	}
+	// Past the window: the next slow read rebiases.
+	clk.set(inhibit)
+	l.ReadSync(r, func() {})
+	if !l.Biased() {
+		t.Fatal("no rebias after the inhibit window elapsed")
+	}
+}
+
+func TestMaxInhibitCap(t *testing.T) {
+	_, ts := newVM(2)
+	r, w := ts[0], ts[1]
+	clk := &fakeClock{step: int64(time.Second)}
+	l := New(&Config{Multiplier: 9, MaxInhibit: time.Millisecond})
+	l.now = clk.now
+
+	l.ReadSync(r, func() {})
+	l.WriteSync(w, func() {}) // measured cost 1s, window capped at 1ms
+	win := l.inhibitUntil.Load() - clk.t
+	if win != int64(time.Millisecond) {
+		t.Fatalf("inhibit window = %d, want cap %d", win, int64(time.Millisecond))
+	}
+}
+
+func TestRevocationWaitsForPublishedReader(t *testing.T) {
+	_, ts := newVM(2)
+	r, w := ts[0], ts[1]
+	l := New(&Config{Multiplier: -1})
+
+	l.ReadSync(r, func() {}) // arm the bias
+	l.RLock(r)               // published fast-path reader
+	if got := l.Stats()["biasedReads"]; got != 1 {
+		t.Fatalf("setup: biasedReads = %d, want 1 (fast path not taken?)", got)
+	}
+
+	var writerIn, writerOut sync.WaitGroup
+	writerIn.Add(1)
+	writerOut.Add(1)
+	entered := make(chan struct{})
+	go func() {
+		writerIn.Done()
+		l.Lock(w)
+		close(entered)
+		l.Unlock(w)
+		writerOut.Done()
+	}()
+	writerIn.Wait()
+	// The writer must stall in its revocation scan while the reader is
+	// published.
+	select {
+	case <-entered:
+		t.Fatal("writer entered while a fast-path reader was published")
+	case <-time.After(50 * time.Millisecond):
+	}
+	l.RUnlock(r)
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer never entered after the reader left")
+	}
+	writerOut.Wait()
+	if got := l.Stats()["revocations"]; got != 1 {
+		t.Fatalf("revocations = %d, want 1", got)
+	}
+}
+
+func TestNestedReadsMixPaths(t *testing.T) {
+	_, ts := newVM(2)
+	r, w := ts[0], ts[1]
+	l := New(&Config{Multiplier: -1})
+
+	l.ReadSync(r, func() {}) // arm
+	l.RLock(r)               // fast: publishes the slot
+	l.RLock(r)               // nested: slot taken by ourselves, goes slow
+	if got := r.LockTokenDepth(); got != 2 {
+		t.Fatalf("token depth = %d, want 2", got)
+	}
+	l.RUnlock(r) // pops the slow token
+	l.RUnlock(r) // pops the slot token
+	if got := r.LockTokenDepth(); got != 0 {
+		t.Fatalf("token depth after release = %d, want 0", got)
+	}
+	// All slots for this lock must be empty again: a writer acquires
+	// without stalling.
+	done := make(chan struct{})
+	go func() {
+		l.WriteSync(w, func() {})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer stalled: a reader slot leaked")
+	}
+}
+
+func TestDowngradingWriterDoesNotRebias(t *testing.T) {
+	_, ts := newVM(1)
+	w := ts[0]
+	l := New(&Config{Multiplier: -1})
+
+	l.Lock(w)
+	l.RLock(w) // downgrade pattern: write holder takes a read hold
+	if l.Biased() {
+		t.Fatal("write holder's own read must not arm the bias")
+	}
+	l.Unlock(w)
+	l.RUnlock(w)
+	// With the write hold gone, an ordinary read may rebias again.
+	l.ReadSync(w, func() {})
+	if !l.Biased() {
+		t.Fatal("bias should re-arm once the write hold is released")
+	}
+}
+
+func TestDisableBias(t *testing.T) {
+	_, ts := newVM(1)
+	r := ts[0]
+	l := New(&Config{DisableBias: true})
+	for i := 0; i < 3; i++ {
+		l.ReadSync(r, func() {})
+	}
+	if l.Biased() {
+		t.Fatal("DisableBias lock armed its bias")
+	}
+	if got := l.Stats()["slowReads"]; got != 3 {
+		t.Fatalf("slowReads = %d, want 3", got)
+	}
+}

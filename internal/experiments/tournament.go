@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/backend"
+	"repro/internal/harness"
+	"repro/internal/jthread"
+	"repro/internal/memmodel"
+	"repro/internal/stats"
+)
+
+// TournamentSchema identifies the BENCH_<date>.json format (documented in
+// EXPERIMENTS.md).
+const TournamentSchema = "solero-bench/v1"
+
+// TournamentSeries is one backend's throughput curve over the thread sweep
+// of one workload, with its protocol counters at sweep end.
+type TournamentSeries struct {
+	Backend   string            `json:"backend"`
+	OpsPerSec []float64         `json:"opsPerSec"`
+	Counters  map[string]uint64 `json:"counters,omitempty"`
+}
+
+// TournamentWorkload is one workload's full sweep.
+type TournamentWorkload struct {
+	// Name is "read-only" or "mixed-<N>w".
+	Name     string             `json:"name"`
+	WritePct int                `json:"writePct"`
+	Threads  []int              `json:"threads"`
+	Series   []TournamentSeries `json:"series"`
+}
+
+// TournamentResult is the durable perf-trajectory record: the whole
+// tournament, environment facts included, serialized as BENCH_<date>.json.
+// Date is injected by the caller (solerobench -date / make bench-record),
+// never read from a clock inside the harness.
+type TournamentResult struct {
+	Schema     string               `json:"schema"`
+	Date       string               `json:"date,omitempty"`
+	GoVersion  string               `json:"goVersion"`
+	GOOS       string               `json:"goos"`
+	GOARCH     string               `json:"goarch"`
+	CPUs       int                  `json:"cpus"`
+	GoMaxProcs int                  `json:"gomaxprocs"`
+	Arch       string               `json:"arch"`
+	Workloads  []TournamentWorkload `json:"workloads"`
+}
+
+// archModel maps the arch name to its fence model. The tournament charges
+// only the per-operation atomic/indirection surcharges (no per-backend
+// fence placement plans): it measures relative read-path scaling, where
+// the RMW surcharge is the cost being compared.
+func archModel(arch string) *memmodel.Model {
+	switch arch {
+	case "power":
+		return memmodel.Power
+	case "tso":
+		return memmodel.TSO
+	}
+	return nil
+}
+
+// tournamentSink defeats dead-code elimination of the read bodies.
+var tournamentSink atomic.Uint64
+
+// tournamentWorker builds the reader-scaling worker: each op is a tiny
+// guarded read of shared state (the regime where per-acquisition lock
+// overhead dominates, i.e. where RWLock's centralized RMW pair collapses
+// and BRAVO's slot publish scales), with an optional write mix.
+func tournamentWorker(be backend.Backend, writePct int, data []atomic.Uint64) harness.Worker {
+	n := uint64(len(data))
+	return func(i int, th *jthread.Thread, stop *atomic.Bool) uint64 {
+		seed := uint64(i)*0x9e3779b97f4a7c15 + 1
+		next := func() uint64 {
+			seed += 0x9e3779b97f4a7c15
+			z := seed
+			z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+			z = (z ^ z>>27) * 0x94d049bb133111eb
+			return z ^ z>>31
+		}
+		var ops, acc uint64
+		for !stop.Load() {
+			x := next()
+			if writePct > 0 && int(x>>32%100) < writePct {
+				be.WriteSync(th, func() {
+					data[0].Add(1)
+					data[1].Add(1)
+				})
+			} else {
+				k := x % n
+				var v uint64
+				// Result leaves the section through a captured local:
+				// solero runs this body speculatively, so it must stay
+				// write-free and idempotent.
+				be.ReadSync(th, func() { v = data[k].Load() })
+				acc += v
+			}
+			ops++
+		}
+		tournamentSink.Add(acc)
+		return ops
+	}
+}
+
+// Tournament runs every named backend (nil: the full registry) over the
+// thread sweep on a pure reader-scaling workload and a 5%-writes mix. One
+// backend instance lives for a whole sweep, so adaptive state (BRAVO's
+// rebias policy) carries across thread counts exactly as it would in a
+// long-running process.
+func Tournament(o Options, backends []string) *TournamentResult {
+	if backends == nil {
+		backends = backend.Names()
+	}
+	res := &TournamentResult{
+		Schema:     TournamentSchema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Arch:       o.Arch,
+		Workloads: []TournamentWorkload{
+			{Name: "read-only", WritePct: 0, Threads: o.Threads},
+			{Name: "mixed-5w", WritePct: 5, Threads: o.Threads},
+		},
+	}
+	model := archModel(o.Arch)
+	for wi := range res.Workloads {
+		w := &res.Workloads[wi]
+		for _, name := range backends {
+			be, err := backend.New(name, backend.Options{Model: model})
+			if err != nil {
+				panic(err) // registry names only; a typo is a programming error
+			}
+			data := make([]atomic.Uint64, 64)
+			worker := tournamentWorker(be, w.WritePct, data)
+			curve := harness.Sweep(jthread.NewVM(), o.Harness, o.Threads, worker)
+			w.Series = append(w.Series, TournamentSeries{
+				Backend:   name,
+				OpsPerSec: curve,
+				Counters:  be.Stats(),
+			})
+		}
+	}
+	return res
+}
+
+// Figures renders the tournament as one stats.Figure per workload.
+func (r *TournamentResult) Figures() []*stats.Figure {
+	var figs []*stats.Figure
+	for _, w := range r.Workloads {
+		f := &stats.Figure{
+			Title:  fmt.Sprintf("Backend tournament (%s)", w.Name),
+			XLabel: "threads",
+			YLabel: "ops/s",
+		}
+		for _, n := range w.Threads {
+			f.X = append(f.X, float64(n))
+		}
+		for _, s := range w.Series {
+			f.Series = append(f.Series, stats.Series{Name: s.Backend, Y: s.OpsPerSec})
+		}
+		figs = append(figs, f)
+	}
+	return figs
+}

@@ -94,8 +94,9 @@ func (ix *Index) PkgSites(pkg *load.Package) []*Site {
 }
 
 const (
-	corePath   = "repro/internal/core"
-	soleroPath = "repro/solero"
+	corePath    = "repro/internal/core"
+	soleroPath  = "repro/solero"
+	backendPath = "repro/internal/backend"
 )
 
 // entrySpec describes one base entry point: which argument is the section
@@ -400,9 +401,10 @@ func (fc *funcContext) record(call *ast.CallExpr, arg ast.Expr, mode Mode, direc
 		return
 	}
 	// The runtime's own packages implement the protocol (ReadOnlyValue
-	// wraps the caller's closure in one of its own); their internals are
-	// machinery, not client sections.
-	if fc.pkg.PkgPath == corePath || fc.pkg.PkgPath == soleroPath {
+	// wraps the caller's closure in one of its own, and the backend SPI
+	// adapters re-wrap caller closures to fit the entry-point
+	// signatures); their internals are machinery, not client sections.
+	if fc.pkg.PkgPath == corePath || fc.pkg.PkgPath == soleroPath || fc.pkg.PkgPath == backendPath {
 		return
 	}
 	site := &Site{

@@ -226,6 +226,15 @@ func (b *Bench) SoleroStats() []*core.Stats {
 	return out
 }
 
+// Guards returns each warehouse's lock guard (backend stats export).
+func (b *Bench) Guards() []*workload.Guard {
+	var out []*workload.Guard
+	for _, w := range b.warehouses {
+		out = append(out, w.guard)
+	}
+	return out
+}
+
 // FailureRatio aggregates SOLERO speculation failures across warehouses.
 func (b *Bench) FailureRatio() float64 {
 	var attempts, failures uint64

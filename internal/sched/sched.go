@@ -65,6 +65,9 @@ const (
 	PMonitorEnter       // about to block entering the fat monitor
 	PFLCPark            // about to park on the FLC bit (blocking region)
 	PBody               // harness-injected point inside a section body
+	PGatePark           // rwlock: about to park on the state-change gate
+	PReadPublish        // bravo: slot published, bias recheck next
+	PRevokeScan         // bravo: writer waiting on an occupied reader slot
 	numPoints
 )
 
@@ -74,7 +77,8 @@ var pointNames = [numPoints]string{
 	PReadFallback: "read-fallback", PSpin: "spin", PInflate: "inflate",
 	PDeflate: "deflate", PUpgrade: "upgrade", PWaitPark: "wait-park",
 	PWaitWake: "wait-wake", PNotify: "notify", PMonitorEnter: "monitor-enter",
-	PFLCPark: "flc-park", PBody: "body",
+	PFLCPark: "flc-park", PBody: "body", PGatePark: "gate-park",
+	PReadPublish: "read-publish", PRevokeScan: "revoke-scan",
 }
 
 // String names the point.

@@ -1,12 +1,16 @@
 // Package schedcheck is the harness that points the schedule-injection
 // kernel (internal/sched) and the invariant oracle (internal/history) at
-// the *real* SOLERO lock. Where internal/modelcheck exhaustively explores
-// a hand-written abstraction of the protocol, schedcheck explores the
-// shipped implementation itself: a mix of writer, elided-reader, and
-// read-mostly upgrader threads runs against one core.Lock whose schedule
-// points are wired to a deterministic controller, and everything the lock
-// and the threads do is recorded and checked against the same four safety
-// invariants the model checker proves.
+// the *real* lock implementations. Where internal/modelcheck exhaustively
+// explores a hand-written abstraction of the protocol, schedcheck explores
+// the shipped code itself: a mix of writer, reader, and read-mostly
+// upgrader threads runs against any backend from the internal/backend SPI
+// (SOLERO by default, or the vmlock/rwlock baselines and the BRAVO biased
+// reader-writer lock) whose schedule points are wired to a deterministic
+// controller, and everything the lock and the threads do is recorded and
+// checked against the same safety invariants the model checker proves.
+// The SOLERO-word-specific counter-monotonicity checks apply only to the
+// solero backend (the others record no core protocol events); mutual
+// exclusion, reader soundness, and the final-state checks apply to all.
 //
 // A run is identified by (seed, strategy, thread mix, ops): replaying
 // those reproduces the exact interleaving, and a failing episode's
@@ -19,6 +23,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backend"
+	"repro/internal/bravo"
 	"repro/internal/core"
 	"repro/internal/history"
 	"repro/internal/jthread"
@@ -27,8 +33,13 @@ import (
 
 // Options configures one schedule-injected episode.
 type Options struct {
-	// Thread mix: writers take the lock, readers run elided read-only
-	// sections, upgraders run read-mostly sections that write.
+	// Backend names the lock under test (internal/backend registry);
+	// empty means "solero". Backends without an in-place upgrade run
+	// their upgrader threads as plain writers, preserving the write
+	// count the final-state oracle expects.
+	Backend string
+	// Thread mix: writers take the lock, readers run read sections
+	// (elided for solero), upgraders run read-mostly sections that write.
 	Writers, Readers, Upgraders int
 	// Ops is the number of critical sections each thread executes.
 	Ops int
@@ -50,6 +61,9 @@ type Options struct {
 func (o *Options) threads() int { return o.Writers + o.Readers + o.Upgraders }
 
 func (o *Options) normalize() {
+	if o.Backend == "" {
+		o.Backend = "solero"
+	}
 	if o.threads() == 0 {
 		o.Writers, o.Readers = 2, 2
 	}
@@ -90,6 +104,10 @@ type Outcome struct {
 	// Events is the recorded history length; HistoryTail renders its end.
 	Events      int
 	HistoryTail string
+	// BackendStats is the backend's counter snapshot at episode end
+	// (pinned-schedule tests assert the intended protocol window — e.g. a
+	// BRAVO revocation — was actually exercised).
+	BackendStats map[string]uint64
 }
 
 // Failed reports whether the episode found a violation.
@@ -118,18 +136,25 @@ func runWith(opts Options, strat sched.Strategy) Outcome {
 	n := opts.threads()
 	s := sched.NewScheduler(strat, opts.MaxSteps)
 	rec := history.New()
-	cfg := &core.Config{
+	be, err := backend.New(opts.Backend, backend.Options{
+		Sched:   s.Hooks(),
+		History: rec,
+		Bug:     opts.Bug,
 		// Tiny spin tiers: under schedule injection every spin iteration
 		// is a schedule point, so short loops keep episodes compact.
-		Tier1: 4, Tier2: 2, Tier3: 2,
-		Deflate:            true,
-		FLCTimeout:         200 * time.Microsecond,
-		MaxElisionFailures: 1,
-		Sched:              s.Hooks(),
-		History:            rec,
-		Bug:                opts.Bug,
+		Solero: &core.Config{
+			Tier1: 4, Tier2: 2, Tier3: 2,
+			Deflate:            true,
+			FLCTimeout:         200 * time.Microsecond,
+			MaxElisionFailures: 1,
+		},
+		// The rebias inhibit window is wall-clock-based; disabling it
+		// keeps episodes deterministic functions of the schedule alone.
+		Bravo: &bravo.Config{Multiplier: -1},
+	})
+	if err != nil {
+		return Outcome{Violations: []string{err.Error()}}
 	}
-	l := core.New(cfg)
 	vm := jthread.NewVM()
 	h := s.Hooks()
 
@@ -168,40 +193,53 @@ func runWith(opts Options, strat sched.Strategy) Outcome {
 	writer := func(t *jthread.Thread) {
 		tid := t.ID()
 		for i := 0; i < opts.Ops; i++ {
-			l.Lock(t)
-			enterCS(tid)
-			writeBody(tid)
-			exitCS(tid)
-			l.Unlock(t)
+			be.WriteSync(t, func() {
+				enterCS(tid)
+				writeBody(tid)
+				exitCS(tid)
+			})
 		}
 	}
 	reader := func(t *jthread.Thread) {
 		tid := t.ID()
 		for i := 0; i < opts.Ops; i++ {
 			var ra, rb uint64
-			l.ReadOnly(t, func() {
+			be.ReadSync(t, func() {
 				ra = a.Load()
 				// Deliberate schedule-injection point inside the
 				// section: the whole purpose of this harness is to
-				// preempt speculative readers mid-body.
+				// preempt readers mid-body (speculative for solero,
+				// biased-published for bravo).
 				//solerovet:ignore
 				h.Point(tid, sched.PBody)
 				rb = b.Load()
 			})
-			// Recorded after ReadOnly returns: only the final (validated
+			// Recorded after ReadSync returns: only the final (validated
 			// or lock-protected) execution's observation counts.
 			rec.RecordData(history.ReadObserved, tid, ra, rb)
 		}
 	}
+	// Upgraders use the in-place upgrade where the backend has one;
+	// elsewhere they are plain writers, so the final-state write count is
+	// the same for every backend.
 	upgrader := func(t *jthread.Thread) {
 		tid := t.ID()
+		rm, hasUpgrade := be.(backend.ReadMostlyBackend)
 		for i := 0; i < opts.Ops; i++ {
-			l.ReadMostly(t, func(sec *core.Section) {
+			if !hasUpgrade {
+				be.WriteSync(t, func() {
+					enterCS(tid)
+					writeBody(tid)
+					exitCS(tid)
+				})
+				continue
+			}
+			rm.ReadMostly(t, func(u backend.Upgrader) {
 				pre := a.Load()
 				//solerovet:ignore deliberate pre-upgrade injection point
 				h.Point(tid, sched.PBody)
-				sec.BeforeWrite()
-				if sec.Upgraded() {
+				u.BeforeWrite()
+				if u.Upgraded() {
 					// The in-place upgrade claims every read so far is
 					// still valid; the oracle checks the claim.
 					rec.RecordData(history.UpgradeObserved, tid, pre, a.Load())
@@ -255,11 +293,12 @@ func runWith(opts Options, strat sched.Strategy) Outcome {
 	dog.Stop()
 
 	out := Outcome{
-		Steps:     s.Steps(),
-		Aborted:   s.Aborted() || dogFired.Load(),
-		Decisions: s.Decisions(),
-		Trace:     s.Trace(),
-		Events:    rec.Len(),
+		Steps:        s.Steps(),
+		Aborted:      s.Aborted() || dogFired.Load(),
+		Decisions:    s.Decisions(),
+		Trace:        s.Trace(),
+		Events:       rec.Len(),
+		BackendStats: be.Stats(),
 	}
 	if out.Aborted {
 		// Gates were opened mid-run; threads finished racing for real,

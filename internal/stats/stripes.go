@@ -48,6 +48,21 @@ func DefaultStripeCount() int {
 	return n
 }
 
+// SlotHash mixes a thread id and a lock address into a slot index seed for
+// padded visible-reader/hold tables (BRAVO's `mix(tid, lock)`). The caller
+// masks the result down to its table size (a power of two). A
+// splitmix64-style finalizer spreads both inputs across the word so
+// sequentially assigned tids and heap-adjacent locks do not cluster.
+func SlotHash(tid uint64, addr uintptr) uint64 {
+	x := tid ^ (uint64(addr) >> 4) ^ (uint64(addr) << 32)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // PaddedCounter is a uint64 counter alone on its own false-sharing range,
 // safe to place in arrays without adjacent elements contending.
 type PaddedCounter struct {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/lockword"
 	"repro/internal/memmodel"
 	"repro/internal/monitor"
+	"repro/internal/sched"
 )
 
 // Config tunes contention management. The zero value is not usable; start
@@ -41,6 +42,10 @@ type Config struct {
 	// placement points. A nil Model charges nothing.
 	Model *memmodel.Model
 	Plan  memmodel.Plan
+	// Sched, when set, exposes the lock's decision points and parking
+	// regions to the schedule-injection kernel so the shared invariant
+	// oracle can explore this baseline too. Nil is the production setting.
+	Sched *sched.Hooks
 }
 
 // DefaultConfig mirrors a production three-tier setup scaled for tests.
@@ -132,6 +137,7 @@ func (l *Lock) monitorFor() *monitor.Monitor {
 func (l *Lock) Lock(t *jthread.Thread) {
 	tid := t.ID()
 	for {
+		l.cfg.Sched.Point(tid, sched.PAcquireCAS)
 		v := l.word.Load()
 		if v == 0 {
 			if l.word.CompareAndSwap(0, lockword.ConvOwned(tid, 0)) {
@@ -151,6 +157,7 @@ func (l *Lock) Lock(t *jthread.Thread) {
 // of zero when the low byte is clean, otherwise the slow path.
 func (l *Lock) Unlock(t *jthread.Thread) {
 	l.cfg.Model.Charge(l.cfg.Plan.WriteRelease)
+	l.cfg.Sched.Point(t.ID(), sched.PRelease)
 	v := l.word.Load()
 	if lockword.ConvFastReleasable(v) {
 		if !lockword.ConvHeldBy(v, t.ID()) {
@@ -212,6 +219,7 @@ func (l *Lock) spinAcquire(t *jthread.Thread) bool {
 	tid := t.ID()
 	for i := 0; i < l.cfg.Tier3; i++ {
 		for j := 0; j < l.cfg.Tier2; j++ {
+			l.cfg.Sched.Point(tid, sched.PSpin)
 			v := l.word.Load()
 			if v == 0 {
 				if l.word.CompareAndSwap(0, lockword.ConvOwned(tid, 0)) {
@@ -245,7 +253,9 @@ func (l *Lock) contendAndInflate(t *jthread.Thread) {
 			// Free (possibly with a stale FLC bit): grab it, then
 			// publish the inflated word. The CAS clears FLC.
 			if l.word.CompareAndSwap(v, lockword.ConvOwned(tid, 0)) {
-				m.Enter(tid)
+				l.cfg.Sched.Block(tid, sched.PMonitorEnter, func() {
+					m.Enter(tid)
+				})
 				l.st.Inflations.Add(1)
 				l.word.Store(lockword.InflatedWord(m.ID()))
 				m.RawLock()
@@ -255,15 +265,19 @@ func (l *Lock) contendAndInflate(t *jthread.Thread) {
 			}
 		default:
 			// Held: announce contention and park (timed — the FLC
-			// bit can be clobbered by a racing fast release).
+			// bit can be clobbered by a racing fast release). The whole
+			// park is a Block region: under schedule injection the
+			// token must travel while this thread sleeps.
 			l.word.Or(lockword.FLCBit)
-			m.RawLock()
-			v = l.word.Load()
-			if !lockword.Inflated(v) && lockword.Field(v) != 0 {
-				l.st.FLCWaits.Add(1)
-				m.WaitLocked(l.cfg.FLCTimeout)
-			}
-			m.RawUnlock()
+			l.cfg.Sched.Block(tid, sched.PFLCPark, func() {
+				m.RawLock()
+				v = l.word.Load()
+				if !lockword.Inflated(v) && lockword.Field(v) != 0 {
+					l.st.FLCWaits.Add(1)
+					m.WaitLocked(l.cfg.FLCTimeout)
+				}
+				m.RawUnlock()
+			})
 		}
 	}
 }
@@ -272,7 +286,9 @@ func (l *Lock) contendAndInflate(t *jthread.Thread) {
 // before the monitor was entered (the caller must then retry from the top).
 func (l *Lock) fatEnter(t *jthread.Thread) bool {
 	m := l.monitorFor()
-	m.Enter(t.ID())
+	l.cfg.Sched.Block(t.ID(), sched.PMonitorEnter, func() {
+		m.Enter(t.ID())
+	})
 	if l.word.Load() == lockword.InflatedWord(m.ID()) {
 		l.st.FatEnters.Add(1)
 		l.cfg.Model.Charge(l.cfg.Plan.WriteAcquire)
@@ -288,7 +304,9 @@ func (l *Lock) fatEnter(t *jthread.Thread) bool {
 func (l *Lock) inflateAsOwner(t *jthread.Thread, v uint64, extra uint32) {
 	tid := t.ID()
 	m := l.monitorFor()
-	m.Enter(tid)
+	l.cfg.Sched.Block(tid, sched.PMonitorEnter, func() {
+		m.Enter(tid)
+	})
 	m.SetRecursionOwned(tid, uint32(lockword.ConvRec(v))+extra)
 	l.st.Inflations.Add(1)
 	l.word.Store(lockword.InflatedWord(m.ID()))
@@ -309,7 +327,9 @@ func (l *Lock) slowExit(t *jthread.Thread, v uint64) {
 				l.word.Store(0)
 			}
 		}
-		m.ExitDeflating(tid, deflate)
+		l.cfg.Sched.Block(tid, sched.PDeflate, func() {
+			m.ExitDeflating(tid, deflate)
+		})
 	case lockword.ConvHeldBy(v, tid) && lockword.ConvRec(v) > 0:
 		sub(&l.word, lockword.ConvRecOne)
 	case lockword.ConvHeldBy(v, tid):

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/backend"
+	"repro/internal/bravo"
 	"repro/internal/collections/hashmap"
 	"repro/internal/collections/treemap"
 	"repro/internal/core"
@@ -39,6 +41,9 @@ const (
 	// cheaper (and on Power insufficient) fences (Figure 10's
 	// WeakBarrier-SOLERO). Only meaningful with the "power" arch.
 	ImplSoleroWeakBarrier
+	// ImplBravo is the BRAVO biased reader-writer lock (beyond the paper:
+	// the visible-reader-table contender from the backend tournament).
+	ImplBravo
 )
 
 // String names the implementation as the paper does.
@@ -54,9 +59,31 @@ func (im Impl) String() string {
 		return "Unelided-SOLERO"
 	case ImplSoleroWeakBarrier:
 		return "WeakBarrier-SOLERO"
+	case ImplBravo:
+		return "BRAVO"
 	default:
 		return "impl(?)"
 	}
+}
+
+// ParseImpl maps a backend/implementation name (as the CLIs spell them) to
+// an Impl.
+func ParseImpl(name string) (Impl, error) {
+	switch name {
+	case "lock", "vmlock":
+		return ImplLock, nil
+	case "rwlock":
+		return ImplRWLock, nil
+	case "solero":
+		return ImplSolero, nil
+	case "solero-unelided":
+		return ImplSoleroUnelided, nil
+	case "solero-weakbarrier":
+		return ImplSoleroWeakBarrier, nil
+	case "bravo":
+		return ImplBravo, nil
+	}
+	return 0, fmt.Errorf("workload: unknown implementation %q", name)
 }
 
 // PaperImpls are the three implementations of the main comparison.
@@ -72,6 +99,7 @@ type Guard struct {
 	conv *vmlock.Lock
 	rw   *rwlock.RWLock
 	sol  *core.Lock
+	brv  *bravo.Lock
 }
 
 // NewGuard creates a guard for impl with the fence model of arch ("none",
@@ -107,6 +135,8 @@ func NewGuardConfig(impl Impl, arch string, base *core.Config) *Guard {
 		g.conv = vmlock.New(&cfg)
 	case ImplRWLock:
 		g.rw = &rwlock.RWLock{Model: model}
+	case ImplBravo:
+		g.brv = bravo.New(&bravo.Config{Model: model})
 	default:
 		cfg := *core.DefaultConfig
 		if base != nil {
@@ -134,6 +164,8 @@ func (g *Guard) Read(t *jthread.Thread, fn func()) {
 		g.conv.Sync(t, fn)
 	case ImplRWLock:
 		g.rw.ReadSync(t, fn)
+	case ImplBravo:
+		g.brv.ReadSync(t, fn)
 	default:
 		g.sol.ReadOnly(t, fn)
 	}
@@ -146,8 +178,27 @@ func (g *Guard) Write(t *jthread.Thread, fn func()) {
 		g.conv.Sync(t, fn)
 	case ImplRWLock:
 		g.rw.WriteSync(t, fn)
+	case ImplBravo:
+		g.brv.WriteSync(t, fn)
 	default:
 		g.sol.Sync(t, fn)
+	}
+}
+
+// Backend returns the guard's lock behind the backend SPI (stats export
+// and tournament plumbing). The section-running paths above stay direct
+// calls: solerovet's wrapper discovery must keep seeing Guard.Read forward
+// to sol.ReadOnly.
+func (g *Guard) Backend() backend.Backend {
+	switch {
+	case g.conv != nil:
+		return backend.ForVMLock(g.conv)
+	case g.rw != nil:
+		return backend.ForRWLock(g.rw)
+	case g.brv != nil:
+		return backend.ForBravo(g.brv)
+	default:
+		return backend.ForSolero(g.sol)
 	}
 }
 
@@ -383,6 +434,11 @@ func (b *MapBench) LockOps() (total, readOnly uint64) {
 			st := g.rw.Stats()
 			total += st["readAcquires"] + st["writeAcquires"]
 			readOnly += st["readAcquires"]
+		case g.brv != nil:
+			st := g.brv.Stats()
+			reads := st["biasedReads"] + st["slowReads"]
+			total += reads + st["writeAcquires"]
+			readOnly += reads
 		}
 	}
 	return
