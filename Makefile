@@ -16,6 +16,8 @@
 #   make fuzz      - native Go fuzzing of the lock-word encoding
 #   make obs-smoke - live observability smoke: lockstats -serve + curl asserts
 #   make json-smoke - solerobench -json writes valid snapshot bundles
+#   make montable-smoke - compact monitor table: short churn torture,
+#                    1M-lock footprint assert, inverted lost-waiter catch
 #   make bench-record - run the backend tournament, commit-ready
 #                    BENCH_<date>.json perf-trajectory record at the repo root
 #   make tournament-smoke - every lock backend through the schedule-kernel
@@ -23,7 +25,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench check lint lintcatch factsmoke lockorder-catch schedsmoke schedfuzz fuzz obs-smoke json-smoke bench-record tournament-smoke
+.PHONY: build vet test race bench check lint lintcatch factsmoke lockorder-catch schedsmoke schedfuzz fuzz obs-smoke json-smoke bench-record tournament-smoke montable-smoke
 
 build:
 	$(GO) build ./...
@@ -40,6 +42,8 @@ race:
 		./internal/monitor/... ./internal/metrics/... ./internal/export/... \
 		./internal/trace/... ./internal/backend/... ./internal/bravo/... \
 		./internal/rwlock/...
+	$(GO) test -race -short ./internal/montable/... ./internal/vmlock/... \
+		./internal/lockword/...
 
 bench:
 	$(GO) test -bench 'BenchmarkReaderScaling|BenchmarkReadOnlyAllocFree|BenchmarkBackendTournament' -benchtime 200ms .
@@ -115,6 +119,7 @@ schedfuzz:
 fuzz:
 	$(GO) test ./internal/lockword/ -fuzz FuzzSoleroRoundTrip -fuzztime 30s
 	$(GO) test ./internal/lockword/ -fuzz FuzzSoleroEncode -fuzztime 30s
+	$(GO) test ./internal/lockword/ -fuzz FuzzTicketRoundTrip -fuzztime 30s
 
 # Live-endpoint smoke: start `lockstats -serve`, poll /metrics until it
 # answers, assert the known gauges/buckets are exposed, check the expvar
@@ -146,7 +151,7 @@ obs-smoke:
 BENCH_DATE ?= $(shell date +%F)
 bench-record:
 	$(GO) run ./cmd/solerobench -exp tournament -threads 1,2,4,8 \
-		-duration 100ms -runs 3 -inner 3 \
+		-duration 100ms -runs 3 -inner 3 -footprint 1000000,10000000 \
 		-json BENCH_$(BENCH_DATE).json -date $(BENCH_DATE)
 	@grep -q '"schema": "solero-bench/v1"' BENCH_$(BENCH_DATE).json || { echo "FAIL: tournament schema missing"; exit 1; }
 	@echo "OK: wrote BENCH_$(BENCH_DATE).json"
@@ -161,8 +166,31 @@ tournament-smoke:
 		$(GO) run ./cmd/solerocheck -sched -backend $$be -writers 1 -readers 2 -upgraders 1 -ops 4 -episodes 25 \
 			|| { echo "FAIL: backend $$be violated the oracle"; exit 1; }; \
 	done
+	@for be in vmlock-mt solero-mt; do \
+		$(GO) run ./cmd/solerocheck -sched -backend $$be -writers 2 -readers 1 -sweepers 1 -ops 3 -episodes 25 \
+			|| { echo "FAIL: table-backed backend $$be violated the oracle"; exit 1; }; \
+	done
 	$(GO) run ./cmd/solerobench -exp tournament -threads 1,2 -duration 20ms -runs 1 -inner 1 >/dev/null
-	@echo "OK: tournament-smoke (4 backends, oracle + pinned revocation window + sweep)"
+	@echo "OK: tournament-smoke (6 backends, oracle + pinned revocation window + sweep)"
+
+# Compact-monitor-table smoke: the short churn-torture/property pass, a
+# 1M-lock steady-state footprint assert (<64 bytes/lock — the scale
+# acceptance bound), and the inverted step: the seeded lost-waiter
+# sweeper bug MUST make the torture run fail. A green build certifies
+# the suite catches real deflation bugs, not just that the table works.
+montable-smoke:
+	$(GO) test -short -count 1 \
+		-run 'TestChurnTorture|TestRandomInterleavingsNeverLoseWaiters|TestCompactContention' \
+		./internal/montable/
+	@out=$$(MONTABLE_FOOTPRINT_LOCKS=1000000 $(GO) test -count 1 -run TestFootprintSteadyState -v ./internal/montable/) \
+		|| { echo "$$out"; echo "FAIL: 1M-lock footprint assert"; exit 1; }; \
+	echo "$$out" | grep -E 'bytes/lock|^ok'
+	@echo "--- inverted step: the seeded lost-waiter bug below MUST be caught ---"
+	@if MONTABLE_BUG=lost-waiter $(GO) test -short -count 1 -run TestChurnTorture ./internal/montable/ >/tmp/solero-montable-bug.log 2>&1; then \
+		echo "FAIL: seeded lost-waiter bug was NOT caught"; cat /tmp/solero-montable-bug.log; exit 1; \
+	else \
+		echo "OK: seeded lost-waiter bug caught"; \
+	fi
 
 # The instrumented suite must emit parseable solero-snapshot/v1 bundles.
 json-smoke:

@@ -15,6 +15,10 @@
 // also work). Every backend's protocol counters flow through the same
 // snapshot/export pipeline; the SOLERO-only views (latency histograms,
 // abort taxonomy, -stripes, -sites, -trace) stay empty for the others.
+// The table-backed variants (vmlock-mt, solero-mt) rent fat monitors from
+// a compact monitor table instead of allocating them per lock; for those
+// the report adds a monitor-table section (occupancy, deflation churn,
+// footprint bytes) and the sweep-latency histogram.
 //
 // -stripes additionally prints per-stripe occupancy of the sharded stat
 // engine, making skew across thread ids visible. -sites prints the sampled
@@ -49,7 +53,7 @@ import (
 
 func main() {
 	bench := flag.String("bench", "hashmap", "benchmark: empty|hashmap|treemap|jbb")
-	backendName := flag.String("backend", "solero", "lock backend: lock|rwlock|solero|solero-unelided|solero-weakbarrier|bravo")
+	backendName := flag.String("backend", "solero", "lock backend: lock|rwlock|solero|solero-unelided|solero-weakbarrier|bravo|vmlock-mt|solero-mt")
 	threads := flag.Int("threads", 4, "software threads")
 	writes := flag.Int("writes", 5, "write percentage (map benchmarks)")
 	entries := flag.Int("entries", 1024, "map entries")
@@ -172,6 +176,7 @@ func main() {
 	}
 
 	res := harness.Measure(vm, opts, worker)
+	quiesceTables(guards())
 	counters, failureRatio := snap()
 
 	if *traceN > 0 {
@@ -191,6 +196,7 @@ func main() {
 	for _, k := range keys {
 		fmt.Printf("%-18s %d\n", k+":", counters[k])
 	}
+	printMonitorTables(guards())
 	printHistograms(reg)
 	printAborts(reg)
 	if *stripes {
@@ -218,6 +224,50 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Printf("wrote Perfetto trace to %s (open in https://ui.perfetto.dev)\n", *perfettoOut)
+	}
+}
+
+// quiesceTables stops the background sweepers of any compact monitor
+// tables backing the benchmark guards and runs a few explicit sweep
+// passes, so the counter dump and occupancy report show steady state
+// rather than mid-churn residue. No-op for classic backends.
+func quiesceTables(gs []*workload.Guard) {
+	for _, g := range gs {
+		if tb := g.Table(); tb != nil {
+			tb.Stop()
+			for i := 0; i < 4; i++ {
+				tb.Sweep(0)
+			}
+		}
+	}
+}
+
+// printMonitorTables reports compact-monitor-table occupancy, deflation
+// churn, and the table's heap footprint for the -mt backends. Silent for
+// classic per-lock-monitor backends.
+func printMonitorTables(gs []*workload.Guard) {
+	first := true
+	for _, g := range gs {
+		tb := g.Table()
+		if tb == nil {
+			continue
+		}
+		if first {
+			fmt.Printf("monitor table (compact -mt backend):\n")
+			first = false
+		}
+		st := tb.Snapshot()
+		fmt.Printf("  occupancy: bound=%d capacity=%d pinned=%d freeList=%d shards=%d\n",
+			st.Bound, st.Capacity, st.Pinned, st.FreeListLen, st.Shards)
+		fmt.Printf("  churn:     binds=%d rebinds=%d sweepDeflations=%d reclaims=%d (sweep %d + release %d) stalePins=%d sweeps=%d\n",
+			st.Binds, st.Rebinds, st.SweepDeflations, st.SweepReclaims+st.ReleaseReclaims,
+			st.SweepReclaims, st.ReleaseReclaims, st.StalePins, st.Sweeps)
+		fb := tb.FootprintBytes()
+		fmt.Printf("  footprint: %d bytes", fb)
+		if st.Bound > 0 {
+			fmt.Printf(" (%.1f per bound monitor)", float64(fb)/float64(st.Bound))
+		}
+		fmt.Printf("\n")
 	}
 }
 

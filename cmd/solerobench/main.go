@@ -50,6 +50,7 @@ func main() {
 	jsonOut := flag.String("json", "", "run the instrumented suite and write solero-snapshot/v1 bundles to this file")
 	backends := flag.String("backends", "", "comma-separated backend names for -exp tournament (default: all registered)")
 	date := flag.String("date", "", "date stamp recorded in tournament JSON output (e.g. 2026-08-09)")
+	footprint := flag.String("footprint", "", "comma-separated lock populations for the session-footprint grid (-exp tournament, e.g. 1000000,10000000)")
 	flag.Parse()
 	if *format != "text" && *format != "csv" {
 		fatalf("unknown format %q", *format)
@@ -136,6 +137,17 @@ func main() {
 		}
 		res := experiments.Tournament(o, names)
 		res.Date = *date
+		if *footprint != "" {
+			var fo experiments.FootprintOptions
+			for _, part := range strings.Split(*footprint, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil || n < 2 {
+					fatalf("bad -footprint value %q", part)
+				}
+				fo.Locks = append(fo.Locks, n)
+			}
+			res.Footprint = experiments.Footprint(fo)
+		}
 		if *jsonOut != "" {
 			data, err := json.MarshalIndent(res, "", "  ")
 			check(err)
@@ -145,6 +157,9 @@ func main() {
 		}
 		for _, f := range res.Figures() {
 			printFig(f)
+		}
+		if len(res.Footprint) > 0 {
+			fmt.Print(experiments.FormatFootprint(res.Footprint))
 		}
 		return
 	}

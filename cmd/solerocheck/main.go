@@ -52,6 +52,8 @@ func main() {
 	writers := flag.Int("writers", 0, "writer threads (model default 1, sched default 2)")
 	readers := flag.Int("readers", 2, "speculative reader threads")
 	upgraders := flag.Int("upgraders", 0, "read-mostly upgrader threads")
+	sweepers := flag.Int("sweepers", 0, "sched: monitor-table sweeper threads (-mt backends)")
+	noDeflate := flag.Bool("nodeflate", false, "sched: disable on-release deflation (sweeper-only demotion)")
 	inflators := flag.Int("inflators", 0, "inflate/deflate threads (model mode only)")
 	retries := flag.Int("retries", 1, "speculation retries before fallback (paper: 1)")
 	mutate := flag.String("mutate", "none", "model mutation: none|no-counter-bump|no-validate|blind-upgrade|validate-ignores-held|deflate-stale-counter")
@@ -63,13 +65,27 @@ func main() {
 	pctD := flag.Int("pct-d", 3, "sched: PCT priority change points")
 	ops := flag.Int("ops", 20, "sched: critical sections per thread")
 	bugName := flag.String("bug", "none", "sched: inject a protocol bug: none|no-counter-bump")
-	backendName := flag.String("backend", "solero", "sched: lock backend under test: vmlock|rwlock|solero|bravo")
+	backendName := flag.String("backend", "solero", "sched: lock backend under test (internal/backend name, e.g. solero|vmlock-mt)")
 	replay := flag.String("replay", "", "sched: replay a recorded decision sequence (comma list) instead of exploring")
 	flag.Parse()
 
 	if *schedMode {
-		os.Exit(runSched(*writers, *readers, *upgraders, *ops, *seed, *strategy,
-			*pctD, *bugName, *backendName, *replay, *episodes, *duration))
+		bug, ok := bugs[*bugName]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "solerocheck: unknown bug %q\n", *bugName)
+			os.Exit(2)
+		}
+		w := *writers
+		if w == 0 && *upgraders == 0 {
+			w = 2
+		}
+		opts := schedcheck.Options{
+			Backend: *backendName,
+			Writers: w, Readers: *readers, Upgraders: *upgraders,
+			Sweepers: *sweepers, NoDeflate: *noDeflate,
+			Ops: *ops, Seed: *seed, Strategy: *strategy, PCTDepth: *pctD, Bug: bug,
+		}
+		os.Exit(runSched(opts, *replay, *episodes, *duration))
 	}
 	os.Exit(runModel(*writers, *readers, *upgraders, *inflators, *retries, *mutate))
 }
@@ -108,22 +124,7 @@ func runModel(writers, readers, upgraders, inflators, retries int, mutate string
 	return 1
 }
 
-func runSched(writers, readers, upgraders, ops int, seed uint64, strategy string,
-	pctD int, bugName, backendName, replay string, episodes int, budget time.Duration) int {
-	if writers == 0 && upgraders == 0 {
-		writers = 2
-	}
-	bug, ok := bugs[bugName]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "solerocheck: unknown bug %q\n", bugName)
-		return 2
-	}
-	opts := schedcheck.Options{
-		Backend: backendName,
-		Writers: writers, Readers: readers, Upgraders: upgraders,
-		Ops: ops, Seed: seed, Strategy: strategy, PCTDepth: pctD, Bug: bug,
-	}
-
+func runSched(opts schedcheck.Options, replay string, episodes int, budget time.Duration) int {
 	if replay != "" {
 		dec, err := sched.ParseDecisions(replay)
 		if err != nil {
@@ -147,8 +148,9 @@ func runSched(writers, readers, upgraders, ops int, seed uint64, strategy string
 	start := time.Now()
 	res := schedcheck.Explore(opts, episodes, budget, nil)
 	elapsed := time.Since(start).Round(time.Millisecond)
-	fmt.Printf("explored %d episodes in %v (backend=%s writers=%d readers=%d upgraders=%d ops=%d strategy=%s seed=%d bug=%s)\n",
-		res.Episodes, elapsed, backendName, writers, readers, upgraders, ops, strategy, seed, bugName)
+	fmt.Printf("explored %d episodes in %v (backend=%s writers=%d readers=%d upgraders=%d sweepers=%d ops=%d strategy=%s seed=%d nodeflate=%v)\n",
+		res.Episodes, elapsed, opts.Backend, opts.Writers, opts.Readers, opts.Upgraders,
+		opts.Sweepers, opts.Ops, opts.Strategy, opts.Seed, opts.NoDeflate)
 	if res.Failing == nil {
 		fmt.Println("all explored schedules safe: mutual exclusion, reader soundness, upgrade soundness, counter monotonicity")
 		return 0
@@ -185,6 +187,12 @@ func reportFailure(opts schedcheck.Options, out *schedcheck.Outcome, dec []uint6
 		opts.Seed, opts.Writers, opts.Readers, opts.Upgraders, opts.Ops)
 	if opts.Backend != "" && opts.Backend != "solero" {
 		fmt.Printf(" -backend %s", opts.Backend)
+	}
+	if opts.Sweepers > 0 {
+		fmt.Printf(" -sweepers %d", opts.Sweepers)
+	}
+	if opts.NoDeflate {
+		fmt.Print(" -nodeflate")
 	}
 	if opts.Bug != core.BugNone {
 		fmt.Print(" -bug no-counter-bump")

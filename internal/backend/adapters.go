@@ -4,6 +4,7 @@ import (
 	"repro/internal/bravo"
 	"repro/internal/core"
 	"repro/internal/jthread"
+	"repro/internal/montable"
 	"repro/internal/rwlock"
 	"repro/internal/vmlock"
 )
@@ -11,27 +12,60 @@ import (
 // ForVMLock wraps an existing conventional lock in the SPI.
 func ForVMLock(l *vmlock.Lock) Backend { return &vmlockBackend{l: l} }
 
+// ForVMLockTable wraps a conventional lock whose fat mode rents from the
+// given monitor table (its Stats merge the table's counters).
+func ForVMLockTable(l *vmlock.Lock, tb *montable.Table) Backend {
+	return &vmlockBackend{l: l, tb: tb}
+}
+
 // ForRWLock wraps an existing reader-writer baseline in the SPI.
 func ForRWLock(l *rwlock.RWLock) Backend { return &rwlockBackend{l: l} }
 
 // ForSolero wraps an existing SOLERO lock in the SPI.
 func ForSolero(l *core.Lock) Backend { return &soleroBackend{l: l} }
 
+// ForSoleroTable wraps a SOLERO lock whose fat mode rents from the given
+// monitor table (its Stats merge the table's counters).
+func ForSoleroTable(l *core.Lock, tb *montable.Table) Backend {
+	return &soleroBackend{l: l, tb: tb}
+}
+
 // ForBravo wraps an existing BRAVO lock in the SPI.
 func ForBravo(l *bravo.Lock) Backend { return &bravoBackend{l: l} }
 
 // vmlockBackend adapts the conventional tasuki lock. It has no read mode:
-// read acquisitions are exclusive acquisitions.
-type vmlockBackend struct{ l *vmlock.Lock }
+// read acquisitions are exclusive acquisitions. A non-nil tb marks the
+// table-backed "vmlock-mt" variant.
+type vmlockBackend struct {
+	l  *vmlock.Lock
+	tb *montable.Table
+}
 
-func (b *vmlockBackend) Name() string                            { return "vmlock" }
-func (b *vmlockBackend) Lock(t *jthread.Thread)                  { b.l.Lock(t) }
-func (b *vmlockBackend) Unlock(t *jthread.Thread)                { b.l.Unlock(t) }
-func (b *vmlockBackend) RLock(t *jthread.Thread)                 { b.l.Lock(t) }
-func (b *vmlockBackend) RUnlock(t *jthread.Thread)               { b.l.Unlock(t) }
-func (b *vmlockBackend) ReadSync(t *jthread.Thread, fn func())   { b.l.Sync(t, fn) }
-func (b *vmlockBackend) WriteSync(t *jthread.Thread, fn func())  { b.l.Sync(t, fn) }
-func (b *vmlockBackend) Stats() map[string]uint64                { return b.l.Stats().Snapshot() }
+func (b *vmlockBackend) Name() string {
+	if b.tb != nil {
+		return "vmlock-mt"
+	}
+	return "vmlock"
+}
+func (b *vmlockBackend) Lock(t *jthread.Thread)                 { b.l.Lock(t) }
+func (b *vmlockBackend) Unlock(t *jthread.Thread)               { b.l.Unlock(t) }
+func (b *vmlockBackend) RLock(t *jthread.Thread)                { b.l.Lock(t) }
+func (b *vmlockBackend) RUnlock(t *jthread.Thread)              { b.l.Unlock(t) }
+func (b *vmlockBackend) ReadSync(t *jthread.Thread, fn func())  { b.l.Sync(t, fn) }
+func (b *vmlockBackend) WriteSync(t *jthread.Thread, fn func()) { b.l.Sync(t, fn) }
+func (b *vmlockBackend) Stats() map[string]uint64 {
+	s := b.l.Stats().Snapshot()
+	if b.tb != nil {
+		for k, v := range b.tb.Snapshot().Map() {
+			s[k] = v
+		}
+	}
+	return s
+}
+
+// MonitorTable returns the compact monitor table ("vmlock-mt" only; nil
+// for the classic variant).
+func (b *vmlockBackend) MonitorTable() *montable.Table { return b.tb }
 
 // Underlying returns the wrapped lock (diagnostics).
 func (b *vmlockBackend) Underlying() *vmlock.Lock { return b.l }
@@ -55,16 +89,36 @@ func (b *rwlockBackend) Underlying() *rwlock.RWLock { return b.l }
 // closure-scoped speculation — the runtime must own the section body to
 // retry it — so ReadSync is the elided path while the pair form RLock
 // falls back to exclusive acquisition.
-type soleroBackend struct{ l *core.Lock }
+type soleroBackend struct {
+	l  *core.Lock
+	tb *montable.Table
+}
 
-func (b *soleroBackend) Name() string                           { return "solero" }
+func (b *soleroBackend) Name() string {
+	if b.tb != nil {
+		return "solero-mt"
+	}
+	return "solero"
+}
 func (b *soleroBackend) Lock(t *jthread.Thread)                 { b.l.Lock(t) }
 func (b *soleroBackend) Unlock(t *jthread.Thread)               { b.l.Unlock(t) }
 func (b *soleroBackend) RLock(t *jthread.Thread)                { b.l.Lock(t) }
 func (b *soleroBackend) RUnlock(t *jthread.Thread)              { b.l.Unlock(t) }
 func (b *soleroBackend) ReadSync(t *jthread.Thread, fn func())  { b.l.ReadOnly(t, fn) }
 func (b *soleroBackend) WriteSync(t *jthread.Thread, fn func()) { b.l.Sync(t, fn) }
-func (b *soleroBackend) Stats() map[string]uint64               { return b.l.Stats().Snapshot() }
+func (b *soleroBackend) Stats() map[string]uint64 {
+	s := b.l.Stats().Snapshot()
+	if b.tb != nil {
+		for k, v := range b.tb.Snapshot().Map() {
+			s[k] = v
+		}
+	}
+	return s
+}
+
+// MonitorTable returns the compact monitor table ("solero-mt" only; nil
+// for the classic variant).
+func (b *soleroBackend) MonitorTable() *montable.Table { return b.tb }
 
 func (b *soleroBackend) ReadMostly(t *jthread.Thread, fn func(u Upgrader)) {
 	b.l.ReadMostly(t, func(sec *core.Section) { fn(sec) })

@@ -23,6 +23,7 @@ import (
 	"repro/internal/history"
 	"repro/internal/jthread"
 	"repro/internal/memmodel"
+	"repro/internal/montable"
 	"repro/internal/rwlock"
 	"repro/internal/sched"
 	"repro/internal/vmlock"
@@ -72,6 +73,14 @@ type ReadMostlyBackend interface {
 	ReadMostly(t *jthread.Thread, fn func(u Upgrader))
 }
 
+// TableBacked is implemented by backends whose fat mode rents monitors
+// from a compact monitor table (the "-mt" variants). Harnesses use the
+// accessor to drive explicit sweeps and read occupancy.
+type TableBacked interface {
+	Backend
+	MonitorTable() *montable.Table
+}
+
 // Options configures backend construction. The zero value builds
 // production-tuned backends with no instrumentation.
 type Options struct {
@@ -85,29 +94,60 @@ type Options struct {
 	// History receives protocol events (consumed by the SOLERO backend;
 	// the others are oracle-checked purely from harness-recorded events).
 	History *history.Recorder
-	// Solero, when set, is the base core.Config for the "solero" backend
+	// Solero, when set, is the base core.Config for the "solero" backends
 	// (Model/Plan/Sched/History/Bug above are layered on top of a copy).
 	Solero *core.Config
+	// VMLock, when set, is the base vmlock.Config for the "vmlock"
+	// backends (Model/Plan/Sched layered on top of a copy).
+	VMLock *vmlock.Config
 	// Bravo, when set, tunes the "bravo" backend (Model/Sched layered on
 	// top of a copy).
 	Bravo *bravo.Config
+	// Montable, when set, tunes the compact monitor table behind the
+	// "-mt" backends (Sched/History layered on top of a copy).
+	Montable *montable.Config
 	// Bug injects a protocol defect into the SOLERO backend under test.
 	Bug core.Bug
 }
 
-// Names lists the registered backends in tournament order.
-func Names() []string { return []string{"vmlock", "rwlock", "solero", "bravo"} }
+// table builds the compact monitor table for an "-mt" backend.
+func (o Options) table() *montable.Table {
+	var cfg montable.Config
+	if o.Montable != nil {
+		cfg = *o.Montable
+	}
+	cfg.Sched, cfg.History = o.Sched, o.History
+	return montable.New(cfg)
+}
+
+// Names lists the registered backends in tournament order. The "-mt"
+// variants are the same protocols with fat mode backed by the compact
+// monitor table instead of per-lock monitor allocations.
+func Names() []string {
+	return []string{"vmlock", "rwlock", "solero", "bravo", "vmlock-mt", "solero-mt"}
+}
 
 // New builds the named backend.
 func New(name string, o Options) (Backend, error) {
 	switch name {
-	case "vmlock":
-		cfg := *vmlock.DefaultConfig
+	case "vmlock", "vmlock-mt":
+		var cfg vmlock.Config
+		if o.VMLock != nil {
+			cfg = *o.VMLock
+		} else {
+			cfg = *vmlock.DefaultConfig
+		}
 		cfg.Model, cfg.Plan, cfg.Sched = o.Model, o.Plan, o.Sched
-		return &vmlockBackend{l: vmlock.New(&cfg)}, nil
+		b := &vmlockBackend{}
+		if name == "vmlock-mt" {
+			b.tb = o.table()
+			cfg.Monitors = b.tb
+		}
+		b.l = vmlock.New(&cfg)
+		return b, nil
 	case "rwlock":
 		return &rwlockBackend{l: &rwlock.RWLock{Model: o.Model, Sched: o.Sched}}, nil
-	case "solero":
+	case "solero", "solero-mt":
 		var cfg core.Config
 		if o.Solero != nil {
 			cfg = *o.Solero
@@ -116,7 +156,13 @@ func New(name string, o Options) (Backend, error) {
 		}
 		cfg.Model, cfg.Plan = o.Model, o.Plan
 		cfg.Sched, cfg.History, cfg.Bug = o.Sched, o.History, o.Bug
-		return &soleroBackend{l: core.New(&cfg)}, nil
+		b := &soleroBackend{}
+		if name == "solero-mt" {
+			b.tb = o.table()
+			cfg.Monitors = b.tb
+		}
+		b.l = core.New(&cfg)
+		return b, nil
 	case "bravo":
 		var cfg bravo.Config
 		if o.Bravo != nil {

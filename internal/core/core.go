@@ -32,6 +32,7 @@ import (
 	"repro/internal/memmodel"
 	"repro/internal/metrics"
 	"repro/internal/monitor"
+	"repro/internal/montable"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -113,6 +114,14 @@ type Config struct {
 	History *history.Recorder
 	// Bug injects a protocol defect for oracle validation (see Bug).
 	Bug Bug
+	// Monitors, when set, backs fat mode with the shared compact monitor
+	// table instead of a per-lock monitor.Global allocation: inflation
+	// binds a table entry, the inflated word carries the entry's ticket,
+	// and deflation (on release or by the table's sweeper) returns the
+	// entry to the free list so the steady-state monitor count tracks
+	// contended locks, not allocated ones. Nil keeps the classic
+	// per-lock monitor.
+	Monitors *montable.Table
 }
 
 // DefaultConfig matches the paper's setup: three-tier contention
@@ -186,6 +195,9 @@ func (l *Lock) Inflated() bool { return lockword.Inflated(l.word.Load()) }
 func (l *Lock) HeldBy(t *jthread.Thread) bool {
 	v := l.word.Load()
 	if lockword.Inflated(v) {
+		if l.cfg.Monitors != nil {
+			return l.heldFatTable(t, v)
+		}
 		return l.monitorFor().HeldBy(t.ID())
 	}
 	return lockword.SoleroHeldBy(v, t.ID())

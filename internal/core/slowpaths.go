@@ -28,7 +28,11 @@ func (l *Lock) slowEnter(t *jthread.Thread, v uint64) {
 	for {
 		switch {
 		case lockword.Inflated(v):
-			if l.fatEnter(t) {
+			if l.cfg.Monitors != nil {
+				if l.fatEnterTable(t, v) {
+					return
+				}
+			} else if l.fatEnter(t) {
 				return
 			}
 		case lockword.SoleroHeldBy(v, tid):
@@ -90,6 +94,10 @@ func (l *Lock) spinAcquire(t *jthread.Thread) bool {
 // monitor so deflation publishes a changed word. The caller ends up owning
 // the fat lock.
 func (l *Lock) contendAndInflate(t *jthread.Thread) {
+	if l.cfg.Monitors != nil {
+		l.contendAndInflateTable(t)
+		return
+	}
 	tid := t.ID()
 	m := l.monitorFor()
 	for {
@@ -173,6 +181,10 @@ func (l *Lock) fatEnter(t *jthread.Thread) bool {
 // is in the middle of acquiring one more level — recursion saturation —
 // and 0 when the lock is inflated in place, e.g. before waiting).
 func (l *Lock) inflateAsOwner(t *jthread.Thread, v uint64, extra uint32) {
+	if l.cfg.Monitors != nil {
+		l.inflateAsOwnerTable(t, v, extra)
+		return
+	}
 	tid := t.ID()
 	m := l.monitorFor()
 	l.cfg.Sched.Block(tid, sched.PMonitorEnter, func() {
@@ -196,6 +208,10 @@ func (l *Lock) slowExit(t *jthread.Thread, v2 uint64) {
 	tid := t.ID()
 	switch {
 	case lockword.Inflated(v2):
+		if l.cfg.Monitors != nil {
+			l.fatExitTable(t, v2)
+			return
+		}
 		m := l.monitorFor()
 		var deflate func()
 		if l.cfg.Deflate {
@@ -220,9 +236,13 @@ func (l *Lock) slowExit(t *jthread.Thread, v2 uint64) {
 		// FLC is set: release under the monitor mutex and wake parked
 		// contenders. The release word clears the FLC bit (its low
 		// byte is zero), so waiters re-examine the lock.
-		m := l.monitorFor()
 		w := l.releaseWord(l.saved)
 		l.cfg.Sched.Point(tid, sched.PRelease)
+		if l.cfg.Monitors != nil {
+			l.flcReleaseTable(t, w)
+			return
+		}
+		m := l.monitorFor()
 		l.cfg.Sched.Block(tid, sched.PMonitorEnter, func() {
 			m.RawLock()
 			l.cfg.History.Record(history.Release, tid, w)
@@ -297,7 +317,11 @@ func (l *Lock) contendForRead(t *jthread.Thread) {
 	for {
 		v := l.word.Load()
 		if lockword.Inflated(v) {
-			if l.fatEnter(t) {
+			if l.cfg.Monitors != nil {
+				if l.fatEnterTable(t, v) {
+					return
+				}
+			} else if l.fatEnter(t) {
 				return
 			}
 			continue
@@ -325,6 +349,10 @@ func (l *Lock) slowReadExit(t *jthread.Thread, v uint64) bool {
 		rel := l.releaseWord(l.saved)
 		l.cfg.Sched.Point(tid, sched.PRelease)
 		if lockword.FLC(w) {
+			if l.cfg.Monitors != nil {
+				l.flcReleaseTable(t, rel)
+				return true
+			}
 			m := l.monitorFor()
 			l.cfg.Sched.Block(tid, sched.PMonitorEnter, func() {
 				m.RawLock()
@@ -338,7 +366,11 @@ func (l *Lock) slowReadExit(t *jthread.Thread, v uint64) bool {
 			l.word.Store(rel)
 		}
 		return true
-	case lockword.Inflated(w) && l.heldFat(tid):
+	case lockword.Inflated(w) && l.heldFatAny(t, w):
+		if l.cfg.Monitors != nil {
+			l.fatExitTable(t, w)
+			return true
+		}
 		m := l.monitorFor()
 		var deflate func()
 		if l.cfg.Deflate {
@@ -367,6 +399,14 @@ func (l *Lock) slowReadExit(t *jthread.Thread, v uint64) bool {
 func (l *Lock) heldFat(tid uint64) bool {
 	m := l.mon.Load()
 	return m != nil && m.HeldBy(tid)
+}
+
+// heldFatAny is heldFat for whichever fat backend the lock uses.
+func (l *Lock) heldFatAny(t *jthread.Thread, w uint64) bool {
+	if l.cfg.Monitors != nil {
+		return l.heldFatTable(t, w)
+	}
+	return l.heldFat(t.ID())
 }
 
 // spinBackoff wastes roughly n loop iterations (the tier-1 backoff).

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/lockword"
+	"repro/internal/montable"
+)
+
+func newTableCfg(tb *montable.Table) *Config {
+	cfg := *DefaultConfig
+	cfg.Monitors = tb
+	return &cfg
+}
+
+func TestTableModeSoleroCounterDiscipline(t *testing.T) {
+	ths := newT(t, 1)
+	tb := montable.New(montable.Config{Shards: 2})
+	l := New(newTableCfg(tb))
+
+	// Advance the counter a few times so deflation has a non-zero word to
+	// restore.
+	for i := 0; i < 3; i++ {
+		l.Lock(ths[0])
+		l.Unlock(ths[0])
+	}
+	before := l.Word()
+	if !lockword.SoleroFree(before) || lockword.SoleroCounter(before) == 0 {
+		t.Fatalf("setup: word = %#x, want free with advanced counter", before)
+	}
+
+	// Inflate through the table (recursion saturation), then fully release:
+	// the deflated word must be the displaced counter advanced by one unit —
+	// a changed word, so a concurrent elided reader would retry, exactly the
+	// SOLERO discipline the classic monitor's SavedCounter provides.
+	for i := 0; i <= int(lockword.SoleroRecMax)+1; i++ {
+		l.Lock(ths[0])
+	}
+	if !l.Inflated() {
+		t.Fatalf("word = %#x, want inflated after recursion saturation", l.Word())
+	}
+	for i := 0; i <= int(lockword.SoleroRecMax)+1; i++ {
+		l.Unlock(ths[0])
+	}
+	after := l.Word()
+	if want := lockword.SoleroNextFree(before); after != want {
+		t.Fatalf("deflated word = %#x, want %#x (SoleroNextFree of displaced counter)", after, want)
+	}
+	if st := tb.Snapshot(); st.Bound != 0 {
+		t.Fatalf("bound = %d after full release, want 0", st.Bound)
+	}
+}
+
+func TestTableModeReadOnlyUnderChurn(t *testing.T) {
+	ths := newT(t, 4)
+	tb := montable.New(montable.Config{Shards: 2, IdleEpochs: 1})
+	cfg := newTableCfg(tb)
+	cfg.Tier1, cfg.Tier2, cfg.Tier3 = 4, 2, 1
+	cfg.FLCTimeout = time.Millisecond
+	l := New(cfg)
+
+	// Writers force inflate/deflate churn through the table while readers
+	// elide; the invariant x == y must hold in every read-only section.
+	// Elided loads are atomic — the atomicread analyzer's rule — so the
+	// speculative reads stay race-clean while torn *pairs* are still
+	// observable and caught by the recovery path.
+	var x, y atomic.Int64
+	var wg sync.WaitGroup
+	const ops = 2000
+	for i := range ths {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			th := ths[idx]
+			for n := 0; n < ops; n++ {
+				if idx%2 == 0 {
+					l.Sync(th, func() {
+						x.Add(1)
+						if n%8 == 0 {
+							runtime.Gosched()
+						}
+						y.Add(1)
+					})
+				} else {
+					l.ReadOnly(th, func() {
+						if x.Load() != y.Load() {
+							panic("reader observed torn writer state")
+						}
+					})
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if x.Load() != 2*ops || y.Load() != 2*ops {
+		t.Fatalf("x=%d y=%d, want both %d", x.Load(), y.Load(), 2*ops)
+	}
+	for i := 0; i < 4; i++ {
+		tb.Sweep(0)
+	}
+	if st := tb.Snapshot(); st.Bound != 0 {
+		t.Fatalf("bound = %d after quiescence, want 0", st.Bound)
+	}
+}

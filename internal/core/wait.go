@@ -28,6 +28,9 @@ func (l *Lock) Wait(t *jthread.Thread) { l.WaitTimeout(t, 0) }
 // WaitTimeout is Wait with a bound (0 or negative waits indefinitely). It
 // reports whether the wakeup was a notification (false: timeout).
 func (l *Lock) WaitTimeout(t *jthread.Thread, d time.Duration) bool {
+	if l.cfg.Monitors != nil {
+		return l.waitTimeoutTable(t, d)
+	}
 	tid := t.ID()
 	v := l.word.Load()
 	switch {
@@ -84,6 +87,10 @@ func (l *Lock) Notify(t *jthread.Thread) {
 	l.cfg.Sched.Point(t.ID(), sched.PNotify)
 	l.cfg.Tracer.Record(trace.EvNotify, t.ID(), l.word.Load())
 	l.cfg.History.Record(history.Notify, t.ID(), l.word.Load())
+	if l.cfg.Monitors != nil {
+		l.notifyTable(t, false)
+		return
+	}
 	if m := l.mon.Load(); m != nil {
 		m.NotifyOne()
 	}
@@ -95,6 +102,10 @@ func (l *Lock) NotifyAll(t *jthread.Thread) {
 	l.requireHeld(t)
 	l.cfg.Sched.Point(t.ID(), sched.PNotify)
 	l.cfg.History.Record(history.Notify, t.ID(), l.word.Load())
+	if l.cfg.Monitors != nil {
+		l.notifyTable(t, true)
+		return
+	}
 	if m := l.mon.Load(); m != nil {
 		m.NotifyAllCond()
 	}

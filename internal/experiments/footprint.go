@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/montable"
+	"repro/internal/stats"
+)
+
+// FootprintOptions configures the session-object footprint benchmark: a
+// population of flyweight table-backed locks (one per simulated user
+// session) under skewed Zipf contention, measuring what a lock actually
+// costs at rest once monitor state deflates back into the shared table.
+type FootprintOptions struct {
+	// Locks is the population grid (e.g. 1_000_000, 10_000_000).
+	Locks []int
+	// Threads contend over the population (default 4).
+	Threads int
+	// Ops is the per-thread operation count (default 40_000).
+	Ops int
+	// Skew is the Zipf s parameter (default 1.2: a hot head that inflates
+	// and deflates constantly over a long flat tail).
+	Skew float64
+}
+
+// FootprintPoint is one population's measured steady state.
+type FootprintPoint struct {
+	Locks int `json:"locks"`
+	// AllocBytesPerLock is the heap cost of the freshly allocated
+	// population; SteadyBytesPerLock re-measures after the contention run
+	// and a quiescing sweep — the number the <64 bytes/lock acceptance
+	// bound constrains.
+	AllocBytesPerLock  float64 `json:"allocBytesPerLock"`
+	SteadyBytesPerLock float64 `json:"steadyBytesPerLock"`
+	// BoundMonitors is the table occupancy at steady state (0 when every
+	// inflation deflated and reclaimed).
+	BoundMonitors uint64 `json:"boundMonitors"`
+	TableCapacity uint64 `json:"tableCapacity"`
+	// Churn counters over the run.
+	Inflations      uint64 `json:"inflations"`
+	SweepDeflations uint64 `json:"sweepDeflations"`
+	SweepReclaims   uint64 `json:"sweepReclaims"`
+	ReleaseReclaims uint64 `json:"releaseReclaims"`
+	// Acquire-latency tail (sampled), nanoseconds.
+	LatencyP50Ns int64 `json:"latencyP50Ns"`
+	LatencyP99Ns int64 `json:"latencyP99Ns"`
+	LatencyMaxNs int64 `json:"latencyMaxNs"`
+}
+
+// footprintSession is the per-user object of the ROADMAP scale story: an
+// 8-byte flyweight lock plus payload.
+type footprintSession struct {
+	lock    montable.Compact
+	payload uint64
+}
+
+// Footprint runs the benchmark over each population in the grid.
+func Footprint(o FootprintOptions) []FootprintPoint {
+	if o.Threads <= 0 {
+		o.Threads = 4
+	}
+	if o.Ops <= 0 {
+		o.Ops = 40_000
+	}
+	if o.Skew <= 1 {
+		o.Skew = 1.2
+	}
+	var points []FootprintPoint
+	for _, n := range o.Locks {
+		if n > 1 {
+			points = append(points, footprintPoint(n, o))
+		}
+	}
+	return points
+}
+
+func footprintPoint(n int, o FootprintOptions) FootprintPoint {
+	tb := montable.New(montable.Config{Shards: 8, IdleEpochs: 2, SweepInterval: time.Millisecond})
+	sp := montable.NewSpace(tb, montable.SpaceConfig{Tier1: 8, Tier2: 4, Tier3: 2})
+
+	baseline := footprintHeap()
+	sessions := make([]footprintSession, n)
+	allocated := footprintHeap() - baseline
+
+	var lat []time.Duration
+	var latMu sync.Mutex
+	tb.Start()
+	var wg sync.WaitGroup
+	for i := 0; i < o.Threads; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			tid := uint64(idx + 1)
+			rng := rand.New(rand.NewSource(int64(idx) + 7))
+			zipf := rand.NewZipf(rng, o.Skew, 1.0, uint64(n-1))
+			samples := make([]time.Duration, 0, o.Ops/64+1)
+			for op := 0; op < o.Ops; op++ {
+				s := &sessions[zipf.Uint64()]
+				sampled := op%64 == 0
+				var start time.Time
+				if sampled {
+					start = time.Now()
+				}
+				sp.Lock(&s.lock, tid)
+				s.payload++
+				if op%8 == 0 {
+					runtime.Gosched()
+				}
+				sp.Unlock(&s.lock, tid)
+				if sampled {
+					samples = append(samples, time.Since(start))
+				}
+			}
+			latMu.Lock()
+			lat = append(lat, samples...)
+			latMu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	tb.Stop()
+	for i := 0; i < 5; i++ {
+		tb.Sweep(0)
+	}
+
+	steady := footprintHeap() - baseline
+	st := tb.Snapshot()
+	p := FootprintPoint{
+		Locks:              n,
+		AllocBytesPerLock:  float64(allocated) / float64(n),
+		SteadyBytesPerLock: float64(steady) / float64(n),
+		BoundMonitors:      uint64(st.Bound),
+		TableCapacity:      uint64(st.Capacity),
+		Inflations:         sp.Counters()["inflations"],
+		SweepDeflations:    st.SweepDeflations,
+		SweepReclaims:      st.SweepReclaims,
+		ReleaseReclaims:    st.ReleaseReclaims,
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		pick := func(q float64) int64 { return lat[int(q*float64(len(lat)-1))].Nanoseconds() }
+		p.LatencyP50Ns, p.LatencyP99Ns, p.LatencyMaxNs = pick(0.5), pick(0.99), lat[len(lat)-1].Nanoseconds()
+	}
+	runtime.KeepAlive(sessions)
+	return p
+}
+
+// footprintHeap returns live heap bytes after a forced collection.
+func footprintHeap() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// FootprintFigure renders the grid as bytes/lock over population size.
+func FootprintFigure(points []FootprintPoint) *stats.Figure {
+	f := &stats.Figure{
+		Title:  "Session-lock footprint (Zipf churn, steady state)",
+		XLabel: "locks",
+		YLabel: "bytes/lock",
+	}
+	var alloc, steady []float64
+	for _, p := range points {
+		f.X = append(f.X, float64(p.Locks))
+		alloc = append(alloc, p.AllocBytesPerLock)
+		steady = append(steady, p.SteadyBytesPerLock)
+	}
+	f.Series = append(f.Series,
+		stats.Series{Name: "allocated", Y: alloc},
+		stats.Series{Name: "steady", Y: steady})
+	return f
+}
+
+// FormatFootprint renders the grid as the text table solerobench prints.
+func FormatFootprint(points []FootprintPoint) string {
+	s := "Session-lock footprint (skewed Zipf churn)\n" +
+		"locks      alloc B/lock  steady B/lock  bound  inflations  deflations  reclaims  p50       p99       max\n"
+	for _, p := range points {
+		s += fmt.Sprintf("%-10d %-13.1f %-14.1f %-6d %-11d %-11d %-9d %-9v %-9v %v\n",
+			p.Locks, p.AllocBytesPerLock, p.SteadyBytesPerLock, p.BoundMonitors,
+			p.Inflations, p.SweepDeflations, p.SweepReclaims+p.ReleaseReclaims,
+			time.Duration(p.LatencyP50Ns), time.Duration(p.LatencyP99Ns), time.Duration(p.LatencyMaxNs))
+	}
+	return s
+}

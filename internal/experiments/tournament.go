@@ -47,6 +47,10 @@ type TournamentResult struct {
 	GoMaxProcs int                  `json:"gomaxprocs"`
 	Arch       string               `json:"arch"`
 	Workloads  []TournamentWorkload `json:"workloads"`
+	// Footprint is the session-lock footprint grid (solerobench
+	// -footprint), giving the perf trajectory a memory axis alongside
+	// throughput.
+	Footprint []FootprintPoint `json:"footprint,omitempty"`
 }
 
 // archModel maps the arch name to its fence model. The tournament charges

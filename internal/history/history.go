@@ -78,6 +78,17 @@ const (
 	// ViolationEv is an immediately-detected violation (Msg says what).
 	ViolationEv
 
+	// MonBind: the compact monitor table bound (or rebound) an entry to a
+	// lock. Word is the ticket word the binding publishes; recorded under
+	// the shard lock, so binding order matches recording order.
+	MonBind
+	// MonEnter: a thread resolved an observed ticket word to a live
+	// binding (table pin). Word is the resolved ticket word.
+	MonEnter
+	// MonReclaim: the table unbound an entry and recycled it (generation
+	// bumped). Word is the ticket word the binding had published.
+	MonReclaim
+
 	numKinds
 )
 
@@ -87,6 +98,7 @@ var kindNames = [numKinds]string{
 	Deflate: "deflate", Wait: "wait", Notify: "notify",
 	EnterCS: "enter-cs", ExitCS: "exit-cs", ReadObserved: "read-observed",
 	UpgradeObserved: "upgrade-observed", ViolationEv: "violation",
+	MonBind: "mon-bind", MonEnter: "mon-enter", MonReclaim: "mon-reclaim",
 }
 
 // String names the kind.
@@ -187,6 +199,10 @@ func (r *Recorder) PerThread() map[uint64][]Event {
 //  4. Counter monotonicity: published flat-free counters never decrease
 //     across the history, and every flat acquire→release episode
 //     advances the counter it captured at acquisition.
+//  5. Monitor identity: every MonEnter resolves a ticket word whose
+//     binding is live — bound by a MonBind and not yet retired by a
+//     MonReclaim. A MonEnter on a dead ticket means a thread entered a
+//     reclaimed (or generation-recycled) monitor under a stale ticket.
 func (r *Recorder) Check() []string {
 	var v []string
 	events := r.Events()
@@ -269,6 +285,36 @@ func (r *Recorder) Check() []string {
 				}
 				delete(pending, e.TID)
 			}
+		}
+	}
+
+	// 5. Monitor identity over compact-table bindings. The table records
+	// MonBind/MonEnter/MonReclaim under the shard lock, so the recorded
+	// order is the binding order and a set suffices: a ticket word is live
+	// between its MonBind and the matching MonReclaim.
+	live := make(map[uint64]bool) // ticket word -> bound
+	for _, e := range events {
+		switch e.Kind {
+		case MonBind:
+			if live[e.Word] {
+				v = append(v, fmt.Sprintf(
+					"monitor identity: ticket word %s bound twice without an intervening reclaim (t%d, seq %d)",
+					lockword.String(e.Word), e.TID, e.Seq))
+			}
+			live[e.Word] = true
+		case MonEnter:
+			if !live[e.Word] {
+				v = append(v, fmt.Sprintf(
+					"monitor identity: t%d entered a reclaimed/recycled monitor under stale ticket word %s (seq %d)",
+					e.TID, lockword.String(e.Word), e.Seq))
+			}
+		case MonReclaim:
+			if !live[e.Word] {
+				v = append(v, fmt.Sprintf(
+					"monitor identity: t%d reclaimed ticket word %s that was never bound (seq %d)",
+					e.TID, lockword.String(e.Word), e.Seq))
+			}
+			delete(live, e.Word)
 		}
 	}
 	return v

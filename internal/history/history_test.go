@@ -145,3 +145,60 @@ func TestFormatTail(t *testing.T) {
 		t.Fatalf("Format missing kind name: %q", out)
 	}
 }
+
+// TestMonitorIdentityClean drives a full bind→enter→reclaim→rebind cycle:
+// the recycled binding at the next generation is a fresh ticket word, so
+// entering it is sound.
+func TestMonitorIdentityClean(t *testing.T) {
+	r := New()
+	w5 := lockword.TicketWord(1, 7, 5)
+	w6 := lockword.TicketWord(1, 7, 6)
+	r.Record(MonBind, 1, w5)
+	r.Record(MonEnter, 2, w5)
+	r.Record(MonReclaim, 1, w5)
+	r.Record(MonBind, 3, w6)
+	r.Record(MonEnter, 3, w6)
+	r.Record(MonReclaim, 3, w6)
+	if v := r.Check(); v != nil {
+		t.Fatalf("clean monitor-identity history flagged: %v", v)
+	}
+}
+
+// TestMonitorIdentityStaleTicket pins check #5's core case: a thread that
+// resolves a ticket after its binding was reclaimed entered a recycled
+// monitor.
+func TestMonitorIdentityStaleTicket(t *testing.T) {
+	r := New()
+	w := lockword.TicketWord(0, 3, 1)
+	r.Record(MonBind, 1, w)
+	r.Record(MonReclaim, 1, w)
+	r.Record(MonEnter, 2, w) // stale: the gen-1 binding is gone
+	v := r.Check()
+	if len(v) != 1 || !strings.Contains(v[0], "reclaimed/recycled monitor under stale ticket") {
+		t.Fatalf("want one stale-ticket violation, got %v", v)
+	}
+}
+
+// TestMonitorIdentityDoubleBind flags a table that bound the same ticket
+// word twice — a generation that failed to advance at reclaim.
+func TestMonitorIdentityDoubleBind(t *testing.T) {
+	r := New()
+	w := lockword.TicketWord(2, 9, 4)
+	r.Record(MonBind, 1, w)
+	r.Record(MonBind, 2, w)
+	v := r.Check()
+	if len(v) != 1 || !strings.Contains(v[0], "bound twice") {
+		t.Fatalf("want one double-bind violation, got %v", v)
+	}
+}
+
+// TestMonitorIdentityUnboundReclaim flags reclaiming a binding that never
+// existed.
+func TestMonitorIdentityUnboundReclaim(t *testing.T) {
+	r := New()
+	r.Record(MonReclaim, 1, lockword.TicketWord(0, 0, 1))
+	v := r.Check()
+	if len(v) != 1 || !strings.Contains(v[0], "never bound") {
+		t.Fatalf("want one unbound-reclaim violation, got %v", v)
+	}
+}

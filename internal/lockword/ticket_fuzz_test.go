@@ -1,0 +1,62 @@
+package lockword
+
+import "testing"
+
+// FuzzTicketRoundTrip fuzzes the table-ticket encoding in the inflated
+// word's 56-bit field: decode∘encode is the identity on masked components,
+// encode∘decode is the identity on every 56-bit ticket, and the inflated
+// bit never leaks into (or out of) the ticket. The seed corpus reuses the
+// Figure-5 edge words — an arbitrary inflated word's field must decode and
+// re-encode losslessly even when it was never produced by Ticket.
+func FuzzTicketRoundTrip(f *testing.F) {
+	// Figure-5 edge words (see figure5Seeds): their fields exercise the
+	// zero ticket, saturated fields, and the wraparound boundary.
+	f.Add(uint64(0))
+	f.Add(SoleroFreeWord(1))
+	f.Add(SoleroFreeWord((1 << 56) - 1))
+	f.Add(SoleroOwned(3, soleroRecMax))
+	f.Add(InflatedWord(1))
+	f.Add(InflatedWord(42) | FLCBit)
+	f.Add(SoleroNextFree(SoleroFreeWord((1 << 56) - 1)))
+	// Ticket-shaped extremes.
+	f.Add(TicketWord(255, 1<<24-1, 1<<24-1))
+	f.Add(TicketWord(0, 0, 1))
+	f.Add(TicketWord(128, 77, 0))
+
+	f.Fuzz(func(t *testing.T, w uint64) {
+		// Treat w's field as a ticket, whatever w is: decode then encode
+		// must reproduce the field exactly (the three components partition
+		// the 56 bits with nothing left over).
+		tk := MonitorID(w)
+		shard, index, gen := TicketShard(tk), TicketIndex(tk), TicketGen(tk)
+		if got := Ticket(shard, index, gen); got != tk&((1<<56)-1) {
+			t.Fatalf("ticket %#x decodes to (%d,%d,%d) which re-encodes to %#x", tk, shard, index, gen, got)
+		}
+		if shard > 255 || index > 1<<24-1 || gen > 1<<24-1 {
+			t.Fatalf("decoded components out of range: shard=%d index=%d gen=%d", shard, index, gen)
+		}
+
+		// Encoding masks wide inputs instead of corrupting neighbors.
+		tk2 := Ticket(uint32(w), uint32(w>>8), uint32(w>>16))
+		if s := TicketShard(tk2); s != uint32(w)&255 {
+			t.Fatalf("shard field corrupted: got %d", s)
+		}
+		if i := TicketIndex(tk2); i != uint32(w>>8)&(1<<24-1) {
+			t.Fatalf("index field corrupted: got %d", i)
+		}
+		if g := TicketGen(tk2); g != uint32(w>>16)&(1<<24-1) {
+			t.Fatalf("gen field corrupted: got %d", g)
+		}
+
+		// The inflated-word form round-trips through the word layer: the
+		// published word is inflated, carries the exact ticket, and the
+		// word-level helpers agree with the ticket-level ones.
+		ww := TicketWord(shard, index, gen)
+		if !Inflated(ww) || MonitorID(ww) != tk&((1<<56)-1) {
+			t.Fatalf("TicketWord(%d,%d,%d) = %#x does not carry ticket %#x", shard, index, gen, ww, tk)
+		}
+		if TicketGen(MonitorID(ww)) != gen {
+			t.Fatalf("generation lost through the word layer")
+		}
+	})
+}

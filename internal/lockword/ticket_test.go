@@ -1,0 +1,44 @@
+package lockword
+
+import "testing"
+
+func TestTicketRoundTrip(t *testing.T) {
+	cases := []struct{ shard, index, gen uint32 }{
+		{0, 0, 0},
+		{1, 1, 1},
+		{255, 1<<24 - 1, 1<<24 - 1},
+		{7, 42, 9000},
+		{128, 0, 1},
+	}
+	for _, c := range cases {
+		tk := Ticket(c.shard, c.index, c.gen)
+		if TicketShard(tk) != c.shard || TicketIndex(tk) != c.index || TicketGen(tk) != c.gen {
+			t.Errorf("Ticket(%d,%d,%d) = %#x decodes to (%d,%d,%d)",
+				c.shard, c.index, c.gen, tk, TicketShard(tk), TicketIndex(tk), TicketGen(tk))
+		}
+		if tk>>56 != 0 {
+			t.Errorf("Ticket(%d,%d,%d) = %#x overflows the 56-bit field", c.shard, c.index, c.gen, tk)
+		}
+		w := TicketWord(c.shard, c.index, c.gen)
+		if !Inflated(w) {
+			t.Errorf("TicketWord(%d,%d,%d) = %#x is not inflated", c.shard, c.index, c.gen, w)
+		}
+		if MonitorID(w) != tk {
+			t.Errorf("MonitorID(TicketWord) = %#x, want ticket %#x", MonitorID(w), tk)
+		}
+	}
+}
+
+func TestTicketGenDistinguishesRecycledBindings(t *testing.T) {
+	// The ABA defense in one assertion: the same slot rebound at the next
+	// generation yields a different inflated word.
+	old := TicketWord(3, 17, 5)
+	reborn := TicketWord(3, 17, 6)
+	if old == reborn {
+		t.Fatal("generation bump did not change the inflated word")
+	}
+	if TicketShard(MonitorID(old)) != TicketShard(MonitorID(reborn)) ||
+		TicketIndex(MonitorID(old)) != TicketIndex(MonitorID(reborn)) {
+		t.Fatal("generation bump changed the slot identity")
+	}
+}

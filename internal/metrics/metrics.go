@@ -69,6 +69,7 @@ const (
 	HistSpin       = "spin_dwell"
 	HistYield      = "yield_dwell"
 	HistPark       = "park_dwell"
+	HistSweep      = "sweep_latency"
 )
 
 // DefaultSamplePeriod is the default success-path sampling period: one in
@@ -97,6 +98,9 @@ type Registry struct {
 	Spin  *Histogram
 	Yield *Histogram
 	Park  *Histogram
+	// Sweep is the wall-clock latency of one full monitor-table deflation
+	// sweep (internal/montable), all shards.
+	Sweep *Histogram
 
 	aborts   [NumAbortCauses]*stats.Striped
 	ops      *stats.Striped
@@ -122,6 +126,7 @@ func New(nstripes int) *Registry {
 		Spin:             newHistogram(HistSpin, nstripes),
 		Yield:            newHistogram(HistYield, nstripes),
 		Park:             newHistogram(HistPark, nstripes),
+		Sweep:            newHistogram(HistSweep, nstripes),
 		ops:              stats.NewStriped(nstripes),
 		factDivs:         stats.NewStriped(nstripes),
 		samples:          make([]sampleStripe, nstripes),
@@ -244,5 +249,15 @@ func (r *Registry) Histograms() []*Histogram {
 	if r == nil {
 		return nil
 	}
-	return []*Histogram{r.CSDuration, r.Acquire, r.Spin, r.Yield, r.Park}
+	return []*Histogram{r.CSDuration, r.Acquire, r.Spin, r.Yield, r.Park, r.Sweep}
+}
+
+// RecordSweep records one monitor-table sweep's wall-clock duration on the
+// given stripe. Sweeps run off the lock paths, so there is no sampling
+// gate. nil-safe.
+func (r *Registry) RecordSweep(stripe uint64, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.Sweep.Record(uint32(stripe)&r.mask, int64(d))
 }

@@ -238,6 +238,57 @@ func (m *Monitor) ExitDeflating(tid uint64, deflate func()) (released, deflated 
 	return true, deflated
 }
 
+// EnterQuiescentLocked reports whether the monitor's *entry* protocol is
+// quiescent: unowned, no parked waiters, no outstanding entry tickets. This
+// is exactly ExitDeflating's guard, so an enter-quiescent monitor's lock
+// word may be safely demoted to flat mode. Condition waiters are NOT
+// counted — like ExitDeflating, word deflation is legal while threads sit
+// on the wait set (they reacquire through the flat path on wakeup). The
+// internal mutex must be held.
+func (m *Monitor) EnterQuiescentLocked() bool {
+	return m.owner == 0 && m.waiters == 0 && m.nextTicket == m.serveTicket
+}
+
+// QuiescentLocked reports full quiescence: enter-quiescent AND an empty
+// condition queue. Only a fully quiescent monitor may be unbound from a
+// table entry and recycled — a condition waiter still holds a reference to
+// the monitor's wait set. The internal mutex must be held.
+func (m *Monitor) QuiescentLocked() bool {
+	return m.EnterQuiescentLocked() && len(m.condq) == 0
+}
+
+// CondWaitersLocked returns the condition-queue length; the internal mutex
+// must be held.
+func (m *Monitor) CondWaitersLocked() int { return len(m.condq) }
+
+// ResetLocked returns a fully quiescent monitor to its zero state so a
+// table entry can recycle it for the next binding. It panics if the monitor
+// is not fully quiescent — reclaiming a live monitor is the lost-waiter bug
+// the churn tests exist to catch. The internal mutex must be held.
+func (m *Monitor) ResetLocked() {
+	if !m.QuiescentLocked() {
+		panic("monitor: ResetLocked on non-quiescent monitor")
+	}
+	m.rec = 0
+	m.SavedCounter = 0
+	m.nextTicket = 0
+	m.serveTicket = 0
+}
+
+// ForceResetLocked resets the monitor WITHOUT the quiescence check,
+// abandoning any queued enterers and condition waiters. It exists solely
+// for the seeded lost-waiter bug (montable.BugLostWaiter) that the inverted
+// CI step must catch; correct code never calls it. The internal mutex must
+// be held.
+func (m *Monitor) ForceResetLocked() {
+	m.owner = 0
+	m.rec = 0
+	m.SavedCounter = 0
+	m.nextTicket = 0
+	m.serveTicket = 0
+	m.condq = nil
+}
+
 // HeldBy reports whether tid currently owns the monitor.
 func (m *Monitor) HeldBy(tid uint64) bool {
 	m.mu.Lock()
@@ -295,6 +346,14 @@ func (tb *Table) New() *Monitor {
 	tb.byID[m.id] = m
 	return m
 }
+
+// NewLocal allocates a monitor that is NOT registered in any table. The
+// compact monitor table (internal/montable) owns its monitors' identity —
+// an inflated word carries a table ticket, not a Global id — so
+// registering them in the process-wide map would just leak an entry per
+// arena slot. id is the caller's label; montable uses the entry's ticket
+// for the initial binding.
+func NewLocal(id uint64) *Monitor { return &Monitor{id: id} }
 
 // ByID resolves a monitor id; it returns nil for unknown ids.
 func (tb *Table) ByID(id uint64) *Monitor {

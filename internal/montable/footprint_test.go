@@ -1,0 +1,133 @@
+package montable
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// session is the per-user object the ROADMAP's scale story is about: a
+// flyweight lock plus payload. 16 bytes — the footprint the compact
+// monitor table exists to protect.
+type session struct {
+	lock    Compact
+	payload uint64
+}
+
+// TestFootprintSteadyState allocates a session-object population, runs
+// skewed Zipf contention over it with the sweeper live, and asserts the
+// steady-state heap cost stays under 64 bytes/lock — the acceptance bound
+// — because monitor state deflates back to the shared table instead of
+// accreting per lock. MONTABLE_FOOTPRINT_LOCKS overrides the population
+// (the 1M-lock `make montable-smoke` assert and larger manual runs).
+func TestFootprintSteadyState(t *testing.T) {
+	n := 200_000
+	if testing.Short() {
+		n = 50_000
+	}
+	if s := os.Getenv("MONTABLE_FOOTPRINT_LOCKS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			t.Fatalf("bad MONTABLE_FOOTPRINT_LOCKS=%q", s)
+		}
+		n = v
+	}
+
+	tb := New(Config{Shards: 8, IdleEpochs: 2, SweepInterval: time.Millisecond})
+	sp := NewSpace(tb, SpaceConfig{Tier1: 8, Tier2: 4, Tier3: 2})
+
+	baseline := heapAlloc()
+	sessions := make([]session, n)
+	allocated := heapAlloc() - baseline
+	t.Logf("allocated %.1f bytes/lock for %d sessions", float64(allocated)/float64(n), n)
+
+	// Skewed churn: hot head inflates and deflates constantly, long tail
+	// stays flat.
+	const threads = 4
+	ops := 40_000
+	if testing.Short() {
+		ops = 10_000
+	}
+	var lat []time.Duration
+	var latMu sync.Mutex
+	tb.Start()
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			tid := uint64(idx + 1)
+			rng := rand.New(rand.NewSource(int64(idx) + 7))
+			zipf := rand.NewZipf(rng, 1.2, 1.0, uint64(n-1))
+			samples := make([]time.Duration, 0, ops/64+1)
+			for op := 0; op < ops; op++ {
+				s := &sessions[zipf.Uint64()]
+				sampled := op%64 == 0
+				var start time.Time
+				if sampled {
+					start = time.Now()
+				}
+				sp.Lock(&s.lock, tid)
+				s.payload++
+				if op%8 == 0 {
+					runtime.Gosched()
+				}
+				sp.Unlock(&s.lock, tid)
+				if sampled {
+					samples = append(samples, time.Since(start))
+				}
+			}
+			latMu.Lock()
+			lat = append(lat, samples...)
+			latMu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	tb.Stop()
+
+	// Quiesce and measure the steady state.
+	for i := 0; i < 5; i++ {
+		tb.Sweep(0)
+	}
+	steady := heapAlloc() - baseline
+	perLock := float64(steady) / float64(n)
+	st := tb.Snapshot()
+	t.Logf("steady state: %.1f bytes/lock (bound=%d capacity=%d, churn: inflations=%d sweepDeflations=%d reclaims=%d+%d)",
+		perLock, st.Bound, st.Capacity, sp.Counters()["inflations"], st.SweepDeflations, st.SweepReclaims, st.ReleaseReclaims)
+	t.Logf("acquire latency: %s", percentiles(lat))
+
+	if perLock >= 64 {
+		t.Fatalf("steady-state footprint %.1f bytes/lock breaches the 64-byte acceptance bound", perLock)
+	}
+	if st.Bound != 0 {
+		t.Fatalf("%d monitors still bound after quiescence", st.Bound)
+	}
+	if sp.Counters()["inflations"] == 0 {
+		t.Fatal("footprint run never inflated — measured nothing")
+	}
+	runtime.KeepAlive(sessions)
+}
+
+// heapAlloc returns live heap bytes after a forced collection.
+func heapAlloc() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// percentiles formats p50/p99/max for a latency sample set.
+func percentiles(lat []time.Duration) string {
+	if len(lat) == 0 {
+		return "(no samples)"
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pick := func(q float64) time.Duration { return lat[int(q*float64(len(lat)-1))] }
+	return fmt.Sprintf("p50=%v p99=%v max=%v (%d samples)", pick(0.5), pick(0.99), lat[len(lat)-1], len(lat))
+}

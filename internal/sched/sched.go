@@ -68,6 +68,10 @@ const (
 	PGatePark           // rwlock: about to park on the state-change gate
 	PReadPublish        // bravo: slot published, bias recheck next
 	PRevokeScan         // bravo: writer waiting on an occupied reader slot
+	PTableBind          // montable: about to bind (or rebind) a table entry
+	PTablePin           // montable: about to resolve an observed ticket word
+	PTableSweep         // montable: sweeper about to scan one shard
+	PTableReclaim       // montable: release path about to try reclamation
 	numPoints
 )
 
@@ -79,6 +83,8 @@ var pointNames = [numPoints]string{
 	PWaitWake: "wait-wake", PNotify: "notify", PMonitorEnter: "monitor-enter",
 	PFLCPark: "flc-park", PBody: "body", PGatePark: "gate-park",
 	PReadPublish: "read-publish", PRevokeScan: "revoke-scan",
+	PTableBind: "table-bind", PTablePin: "table-pin",
+	PTableSweep: "table-sweep", PTableReclaim: "table-reclaim",
 }
 
 // String names the point.

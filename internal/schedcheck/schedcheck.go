@@ -28,7 +28,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/history"
 	"repro/internal/jthread"
+	"repro/internal/montable"
 	"repro/internal/sched"
+	"repro/internal/vmlock"
 )
 
 // Options configures one schedule-injected episode.
@@ -41,6 +43,18 @@ type Options struct {
 	// Thread mix: writers take the lock, readers run read sections
 	// (elided for solero), upgraders run read-mostly sections that write.
 	Writers, Readers, Upgraders int
+	// Sweepers are threads that drive explicit montable sweep passes
+	// (Ops each) against a table-backed ("-mt") backend, exposing the
+	// inflate-vs-sweep, reclaim-vs-late-waiter, and ticket-reuse races to
+	// the schedule explorer. Ignored (the threads idle) for backends
+	// without a monitor table. Sweepers register after all other roles,
+	// so their tids follow the workload tids.
+	Sweepers int
+	// NoDeflate disables on-release deflation in the lock under test so
+	// the sweeper is the only demotion path — the configuration that
+	// makes the reclaim races schedulable rather than racing against
+	// lucky releases.
+	NoDeflate bool
 	// Ops is the number of critical sections each thread executes.
 	Ops int
 	// Seed drives the strategy (and, via Splitmix, exploration episodes).
@@ -58,13 +72,13 @@ type Options struct {
 	Watchdog time.Duration
 }
 
-func (o *Options) threads() int { return o.Writers + o.Readers + o.Upgraders }
+func (o *Options) threads() int { return o.Writers + o.Readers + o.Upgraders + o.Sweepers }
 
 func (o *Options) normalize() {
 	if o.Backend == "" {
 		o.Backend = "solero"
 	}
-	if o.threads() == 0 {
+	if o.Writers+o.Readers+o.Upgraders == 0 {
 		o.Writers, o.Readers = 2, 2
 	}
 	if o.Ops <= 0 {
@@ -144,13 +158,22 @@ func runWith(opts Options, strat sched.Strategy) Outcome {
 		// is a schedule point, so short loops keep episodes compact.
 		Solero: &core.Config{
 			Tier1: 4, Tier2: 2, Tier3: 2,
-			Deflate:            true,
+			Deflate:            !opts.NoDeflate,
 			FLCTimeout:         200 * time.Microsecond,
 			MaxElisionFailures: 1,
+		},
+		VMLock: &vmlock.Config{
+			Tier1: 4, Tier2: 2, Tier3: 2,
+			Deflate:    !opts.NoDeflate,
+			FLCTimeout: 200 * time.Microsecond,
 		},
 		// The rebias inhibit window is wall-clock-based; disabling it
 		// keeps episodes deterministic functions of the schedule alone.
 		Bravo: &bravo.Config{Multiplier: -1},
+		// One shard keeps a sweep pass to a single schedule point, and a
+		// one-epoch idle window makes entries reclaimable after two
+		// sweeps — the tightest schedulable deflation policy.
+		Montable: &montable.Config{Shards: 1, IdleEpochs: 1},
 	})
 	if err != nil {
 		return Outcome{Violations: []string{err.Error()}}
@@ -251,6 +274,21 @@ func runWith(opts Options, strat sched.Strategy) Outcome {
 		}
 	}
 
+	// Sweepers drive explicit deflation epochs against a table-backed
+	// backend, one Sweep per op; against anything else they idle (the
+	// role exists so the same thread mix replays across backends).
+	sweeper := func(t *jthread.Thread) {
+		tid := t.ID()
+		tbb, ok := be.(backend.TableBacked)
+		if !ok || tbb.MonitorTable() == nil {
+			return
+		}
+		tb := tbb.MonitorTable()
+		for i := 0; i < opts.Ops; i++ {
+			tb.Sweep(tid)
+		}
+	}
+
 	type role struct {
 		t    *jthread.Thread
 		body func(*jthread.Thread)
@@ -264,6 +302,9 @@ func runWith(opts Options, strat sched.Strategy) Outcome {
 	}
 	for i := 0; i < opts.Upgraders; i++ {
 		roles = append(roles, role{vm.Attach("upgrader"), upgrader})
+	}
+	for i := 0; i < opts.Sweepers; i++ {
+		roles = append(roles, role{vm.Attach("sweeper"), sweeper})
 	}
 	// Registration from this goroutine, in role order: tids are 1..n and
 	// the strategy's tiebreak order is deterministic.

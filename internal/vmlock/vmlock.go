@@ -20,6 +20,7 @@ import (
 	"repro/internal/lockword"
 	"repro/internal/memmodel"
 	"repro/internal/monitor"
+	"repro/internal/montable"
 	"repro/internal/sched"
 )
 
@@ -46,6 +47,15 @@ type Config struct {
 	// regions to the schedule-injection kernel so the shared invariant
 	// oracle can explore this baseline too. Nil is the production setting.
 	Sched *sched.Hooks
+	// Monitors, when set, backs fat mode with the shared compact monitor
+	// table instead of a per-lock monitor.Global allocation: inflation
+	// binds a table entry, the inflated word carries the entry's ticket,
+	// and deflation (on release or by the table's sweeper) returns the
+	// entry to the free list. Nil keeps the classic per-lock monitor —
+	// including its leak: a monitor whose waiters all time out stays fat
+	// until a lucky no-waiter release, which is exactly the gap the table
+	// mode closes.
+	Monitors *montable.Table
 }
 
 // DefaultConfig mirrors a production three-tier setup scaled for tests.
@@ -113,6 +123,9 @@ func (l *Lock) Inflated() bool { return lockword.Inflated(l.word.Load()) }
 func (l *Lock) HeldBy(t *jthread.Thread) bool {
 	v := l.word.Load()
 	if lockword.Inflated(v) {
+		if l.cfg.Monitors != nil {
+			return l.heldFatTable(t, v)
+		}
 		return l.monitorFor().HeldBy(t.ID())
 	}
 	return lockword.ConvHeldBy(v, t.ID())
@@ -183,7 +196,11 @@ func (l *Lock) slowEnter(t *jthread.Thread, v uint64) {
 	for {
 		switch {
 		case lockword.Inflated(v):
-			if l.fatEnter(t) {
+			if l.cfg.Monitors != nil {
+				if l.fatEnterTable(t, v) {
+					return
+				}
+			} else if l.fatEnter(t) {
 				return
 			}
 		case lockword.ConvHeldBy(v, tid):
@@ -240,6 +257,10 @@ func (l *Lock) spinAcquire(t *jthread.Thread) bool {
 // until the flat lock can be grabbed, then inflate it. The caller ends up
 // owning the fat lock.
 func (l *Lock) contendAndInflate(t *jthread.Thread) {
+	if l.cfg.Monitors != nil {
+		l.contendAndInflateTable(t)
+		return
+	}
 	tid := t.ID()
 	m := l.monitorFor()
 	for {
@@ -302,6 +323,10 @@ func (l *Lock) fatEnter(t *jthread.Thread) bool {
 // recursion depth plus extra into the monitor (extra is 1 when called
 // mid-acquisition at recursion saturation, 0 when inflating in place).
 func (l *Lock) inflateAsOwner(t *jthread.Thread, v uint64, extra uint32) {
+	if l.cfg.Monitors != nil {
+		l.inflateAsOwnerTable(t, v, extra)
+		return
+	}
 	tid := t.ID()
 	m := l.monitorFor()
 	l.cfg.Sched.Block(tid, sched.PMonitorEnter, func() {
@@ -316,6 +341,10 @@ func (l *Lock) inflateAsOwner(t *jthread.Thread, v uint64, extra uint32) {
 }
 
 func (l *Lock) slowExit(t *jthread.Thread, v uint64) {
+	if l.cfg.Monitors != nil {
+		l.slowExitTable(t, v)
+		return
+	}
 	tid := t.ID()
 	switch {
 	case lockword.Inflated(v):

@@ -19,6 +19,9 @@ func (l *Lock) Wait(t *jthread.Thread) { l.WaitTimeout(t, 0) }
 // WaitTimeout is Wait with a bound (0 or negative waits indefinitely). It
 // reports whether the wakeup was a notification (false: timeout).
 func (l *Lock) WaitTimeout(t *jthread.Thread, d time.Duration) bool {
+	if l.cfg.Monitors != nil {
+		return l.waitTimeoutTable(t, d)
+	}
 	tid := t.ID()
 	v := l.word.Load()
 	switch {
@@ -55,6 +58,10 @@ func (l *Lock) restoreRecursion(t *jthread.Thread, rec uint32) {
 // Notify wakes one waiting thread. The caller must hold the lock.
 func (l *Lock) Notify(t *jthread.Thread) {
 	l.requireHeld(t)
+	if l.cfg.Monitors != nil {
+		l.notifyTable(t, false)
+		return
+	}
 	if m := l.mon.Load(); m != nil {
 		m.NotifyOne()
 	}
@@ -63,6 +70,10 @@ func (l *Lock) Notify(t *jthread.Thread) {
 // NotifyAll wakes every waiting thread. The caller must hold the lock.
 func (l *Lock) NotifyAll(t *jthread.Thread) {
 	l.requireHeld(t)
+	if l.cfg.Monitors != nil {
+		l.notifyTable(t, true)
+		return
+	}
 	if m := l.mon.Load(); m != nil {
 		m.NotifyAllCond()
 	}

@@ -9,6 +9,7 @@ package workload
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/backend"
 	"repro/internal/bravo"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/jthread"
 	"repro/internal/memmodel"
+	"repro/internal/montable"
 	"repro/internal/rwlock"
 	"repro/internal/vmlock"
 )
@@ -44,6 +46,11 @@ const (
 	// ImplBravo is the BRAVO biased reader-writer lock (beyond the paper:
 	// the visible-reader-table contender from the backend tournament).
 	ImplBravo
+	// ImplLockMT is the conventional lock with fat mode rented from the
+	// compact monitor table instead of per-lock monitor allocations.
+	ImplLockMT
+	// ImplSoleroMT is SOLERO with table-backed fat mode.
+	ImplSoleroMT
 )
 
 // String names the implementation as the paper does.
@@ -61,6 +68,10 @@ func (im Impl) String() string {
 		return "WeakBarrier-SOLERO"
 	case ImplBravo:
 		return "BRAVO"
+	case ImplLockMT:
+		return "Lock-MT"
+	case ImplSoleroMT:
+		return "SOLERO-MT"
 	default:
 		return "impl(?)"
 	}
@@ -82,6 +93,10 @@ func ParseImpl(name string) (Impl, error) {
 		return ImplSoleroWeakBarrier, nil
 	case "bravo":
 		return ImplBravo, nil
+	case "vmlock-mt", "lock-mt":
+		return ImplLockMT, nil
+	case "solero-mt":
+		return ImplSoleroMT, nil
 	}
 	return 0, fmt.Errorf("workload: unknown implementation %q", name)
 }
@@ -100,6 +115,9 @@ type Guard struct {
 	rw   *rwlock.RWLock
 	sol  *core.Lock
 	brv  *bravo.Lock
+	// tb is the compact monitor table behind the -mt impls (nil
+	// otherwise); its background sweeper runs for the guard's lifetime.
+	tb *montable.Table
 }
 
 // NewGuard creates a guard for impl with the fence model of arch ("none",
@@ -128,10 +146,14 @@ func NewGuardConfig(impl Impl, arch string, base *core.Config) *Guard {
 		panic(fmt.Sprintf("workload: unknown arch %q", arch))
 	}
 	switch impl {
-	case ImplLock:
+	case ImplLock, ImplLockMT:
 		cfg := *vmlock.DefaultConfig
 		cfg.Model = model
 		cfg.Plan = convPlan
+		if impl == ImplLockMT {
+			g.tb = newGuardTable(base)
+			cfg.Monitors = g.tb
+		}
 		g.conv = vmlock.New(&cfg)
 	case ImplRWLock:
 		g.rw = &rwlock.RWLock{Model: model}
@@ -151,16 +173,36 @@ func NewGuardConfig(impl Impl, arch string, base *core.Config) *Guard {
 			if model != nil {
 				cfg.Plan = memmodel.SoleroWeakBarrier
 			}
+		case ImplSoleroMT:
+			g.tb = newGuardTable(base)
+			cfg.Monitors = g.tb
 		}
 		g.sol = core.New(&cfg)
 	}
 	return g
 }
 
+// newGuardTable builds and starts the monitor table behind an -mt guard,
+// wiring the sweep-latency histogram when the base config carries a
+// metrics registry.
+func newGuardTable(base *core.Config) *montable.Table {
+	cfg := montable.Config{SweepInterval: 2 * time.Millisecond}
+	if base != nil {
+		cfg.Metrics = base.Metrics
+	}
+	tb := montable.New(cfg)
+	tb.Start()
+	return tb
+}
+
+// Table returns the compact monitor table behind an -mt guard (nil for
+// the allocation-backed impls).
+func (g *Guard) Table() *montable.Table { return g.tb }
+
 // Read runs fn as a read-only critical section under the guard.
 func (g *Guard) Read(t *jthread.Thread, fn func()) {
 	switch g.impl {
-	case ImplLock:
+	case ImplLock, ImplLockMT:
 		g.conv.Sync(t, fn)
 	case ImplRWLock:
 		g.rw.ReadSync(t, fn)
@@ -174,7 +216,7 @@ func (g *Guard) Read(t *jthread.Thread, fn func()) {
 // Write runs fn as a writing critical section under the guard.
 func (g *Guard) Write(t *jthread.Thread, fn func()) {
 	switch g.impl {
-	case ImplLock:
+	case ImplLock, ImplLockMT:
 		g.conv.Sync(t, fn)
 	case ImplRWLock:
 		g.rw.WriteSync(t, fn)
@@ -191,12 +233,16 @@ func (g *Guard) Write(t *jthread.Thread, fn func()) {
 // to sol.ReadOnly.
 func (g *Guard) Backend() backend.Backend {
 	switch {
+	case g.conv != nil && g.tb != nil:
+		return backend.ForVMLockTable(g.conv, g.tb)
 	case g.conv != nil:
 		return backend.ForVMLock(g.conv)
 	case g.rw != nil:
 		return backend.ForRWLock(g.rw)
 	case g.brv != nil:
 		return backend.ForBravo(g.brv)
+	case g.tb != nil:
+		return backend.ForSoleroTable(g.sol, g.tb)
 	default:
 		return backend.ForSolero(g.sol)
 	}
