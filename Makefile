@@ -11,6 +11,10 @@
 #   make factsmoke - proof-carrying pipeline: solerovet -facts feeds
 #                    solerojit -facts over the corpus; agreement gate
 #   make lockorder-catch - inverted lockorder: a seeded ABBA cycle MUST fail
+#   make guardedby-catch - inverted guardedby: seeded unguarded accesses
+#                    MUST fail lint
+#   make racecatch - static/dynamic differential: the seeded-racy package
+#                    must be flagged by guardedby AND fail `go test -race`
 #   make schedsmoke - fixed-seed schedule-exploration smoke + inverted bug-catch
 #   make schedfuzz  - longer schedule exploration across both strategies
 #   make fuzz      - native Go fuzzing of the lock-word encoding
@@ -25,7 +29,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench check lint lintcatch factsmoke lockorder-catch schedsmoke schedfuzz fuzz obs-smoke json-smoke bench-record tournament-smoke montable-smoke
+.PHONY: build vet test race bench check lint lintcatch factsmoke lockorder-catch guardedby-catch racecatch schedsmoke schedfuzz fuzz obs-smoke json-smoke bench-record tournament-smoke montable-smoke
 
 build:
 	$(GO) build ./...
@@ -60,7 +64,7 @@ lint:
 # every analyzer; solerovet reporting nothing there would mean the
 # analyzers rotted. A green build certifies both directions.
 lintcatch:
-	@for pkg in specsafety beforewrite atomicread elide lockorder; do \
+	@for pkg in specsafety beforewrite atomicread elide lockorder guardedby; do \
 		$(GO) run ./cmd/solerovet repro/internal/govet/testdata/src/$$pkg >/dev/null 2>&1; rc=$$?; \
 		if [ $$rc -ne 1 ]; then \
 			echo "FAIL: solerovet did not report seeded violations in $$pkg (exit $$rc, want 1)"; exit 1; \
@@ -99,6 +103,34 @@ lockorder-catch:
 		echo "FAIL: lockorder did not flag the seeded ABBA cycle (exit $$rc, want 1)"; exit 1; \
 	fi; \
 	echo "OK: seeded lock-order cycle caught"
+
+# Inverted guardedby: testdata/src/guardedbyseed carries an unguarded
+# shared access and a guard-confusion pair; the lockset analyzer MUST
+# flag both fields. The clean tree producing zero findings is certified
+# by `make lint`; this certifies the other direction.
+guardedby-catch:
+	@out=$$($(GO) run ./cmd/solerovet -checks guardedby repro/internal/govet/testdata/src/guardedbyseed 2>&1); rc=$$?; \
+	if [ $$rc -ne 1 ]; then \
+		echo "FAIL: guardedby did not flag the seeded races (exit $$rc, want 1)"; echo "$$out"; exit 1; \
+	fi; \
+	echo "$$out" | grep -q 'histogram\.count' || { echo "FAIL: unguarded histogram.count not reported"; echo "$$out"; exit 1; }; \
+	echo "$$out" | grep -q 'meter\.gauge' || { echo "FAIL: guard confusion on meter.gauge not reported"; echo "$$out"; exit 1; }; \
+	echo "OK: seeded unguarded access and guard confusion caught"
+
+# Static/dynamic differential: every race in the seeded package that the
+# runtime race detector can catch must also be a guardedby finding. The
+# static half re-runs guardedby-catch (both seeded fields flagged); the
+# dynamic half runs the package's stress test under `go test -race` and
+# requires FAILURE — the detector firing on the same seeds. A green build
+# certifies the lockset analyzer is at least as strict as the dynamic
+# detector on this corpus.
+racecatch: guardedby-catch
+	@echo "--- dynamic half: go test -race MUST fail on the seeded package ---"
+	@if $(GO) test -race -count 1 repro/internal/govet/testdata/src/guardedbyseed >/tmp/solero-racecatch.log 2>&1; then \
+		echo "FAIL: go test -race did not catch the seeded races"; cat /tmp/solero-racecatch.log; exit 1; \
+	fi; \
+	grep -q 'DATA RACE' /tmp/solero-racecatch.log || { echo "FAIL: -race run failed for another reason"; cat /tmp/solero-racecatch.log; exit 1; }; \
+	echo "OK: racecatch (static findings and dynamic detector agree on the seeds)"
 
 # Fixed-seed smoke: a clean 30s exploration must pass, and a run with an
 # injected release-without-counter-bump bug must FAIL (the inverted step:

@@ -4,7 +4,7 @@
 //
 //	solerovet ./examples/... ./solero/...
 //	solerovet -checks specsafety,atomicread ./...
-//	solerovet -facts proofs.json ./...   # write the solero-facts/v1 proof file
+//	solerovet -facts proofs.json ./...   # write the solero-facts/v2 proof file
 //	solerovet -fix ./...                 # apply mechanical suggested fixes
 //
 // As a vet tool (per-package units driven by the go command):
@@ -46,7 +46,7 @@ func run(args []string) int {
 		checksFlag = fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
 		listFlag   = fs.Bool("list", false, "list analyzers and exit")
 		jsonFlag   = fs.Bool("json", false, "emit diagnostics as JSON")
-		factsFlag  = fs.String("facts", "", "write the solero-facts/v1 proof file to this path (- for stdout) and exit 0; diagnostics still print on stderr")
+		factsFlag  = fs.String("facts", "", "write the solero-facts/v2 proof file to this path (- for stdout) and exit 0; diagnostics still print on stderr")
 		fixFlag    = fs.Bool("fix", false, "apply suggested fixes that carry textual edits, rewriting the affected files")
 	)
 	fs.Parse(args)

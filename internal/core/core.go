@@ -169,6 +169,11 @@ type Lock struct {
 	// rare backoff gate); the per-execution window counters live in the
 	// stats stripes (see adaptive.go).
 	ad adaptiveState
+
+	// staticID is the lock's solerovet identity ("Type.mu" /
+	// "pkgpath.name"), set by SetStaticID. Verify-mode registries compare
+	// it against the static guards of the fields a section touches.
+	staticID string
 }
 
 // New creates a free lock (counter zero). nil cfg means DefaultConfig.
@@ -181,6 +186,17 @@ func New(cfg *Config) *Lock {
 
 // Word returns the raw lock word (diagnostics and tests).
 func (l *Lock) Word() uint64 { return l.word.Load() }
+
+// SetStaticID attaches the lock's static identity — the display form the
+// guardedby analyzer uses ("Type.mu" for fields, "pkgpath.name" for
+// globals). A verify-mode SectionRegistry uses it to latch a divergence
+// when a speculating section touches a field whose facts-file guard is a
+// different lock. Set it once at construction; "" (the default) disables
+// the cross-check for this lock.
+func (l *Lock) SetStaticID(id string) { l.staticID = id }
+
+// StaticID returns the identity set by SetStaticID.
+func (l *Lock) StaticID() string { return l.staticID }
 
 // Stats exposes the lock's event counters.
 func (l *Lock) Stats() *Stats { return l.st }

@@ -83,6 +83,14 @@ type SectionInfo struct {
 	probes   atomic.Uint32
 	failed   atomic.Bool
 	diverged atomic.Bool
+
+	// readGuards/writeGuards are the facts file's field→guard maps
+	// (solero-facts/v2): each field the section reads or writes, keyed by
+	// display name, mapped to the static identity of the lock that guards
+	// it. Set once via SetGuards before the section runs; read-only after.
+	readGuards  map[string]string
+	writeGuards map[string]string
+	guardDiv    atomic.Bool
 }
 
 // retries resolves the section's elision failure bound.
@@ -96,6 +104,19 @@ func (s *SectionInfo) retries(cfg *Config) int {
 // Diverged reports whether trust-but-verify latched a divergence for this
 // section.
 func (s *SectionInfo) Diverged() bool { return s.diverged.Load() }
+
+// SetGuards attaches the section's static field→guard maps (from a
+// facts file's v2 readGuards/writeGuards). Call before the section runs;
+// the maps are not copied and must not be mutated afterwards.
+func (s *SectionInfo) SetGuards(read, write map[string]string) {
+	s.readGuards = read
+	s.writeGuards = write
+}
+
+// GuardDiverged reports whether verify mode latched a guard divergence
+// for this section: it ran under a lock that is not the static guard of
+// a field it touches.
+func (s *SectionInfo) GuardDiverged() bool { return s.guardDiv.Load() }
 
 // SectionRegistry keys critical sections by proof class so statically
 // proven sections skip the runtime's never-attempted classification arm
@@ -122,8 +143,9 @@ type SectionRegistry struct {
 	mu       sync.Mutex
 	sections map[string]*SectionInfo
 
-	dynClass    atomic.Uint64
-	divergences atomic.Uint64
+	dynClass         atomic.Uint64
+	divergences      atomic.Uint64
+	guardDivergences atomic.Uint64
 }
 
 // DefaultProbeWindow is the default dynamic-classification window: how
@@ -190,6 +212,11 @@ func (r *SectionRegistry) DynamicClassifications() uint64 { return r.dynClass.Lo
 // wrong proof (latched once per section).
 func (r *SectionRegistry) Divergences() uint64 { return r.divergences.Load() }
 
+// GuardDivergences returns how many sections verify mode caught running
+// under a lock that is not the static guard of a field they touch
+// (latched once per section).
+func (r *SectionRegistry) GuardDivergences() uint64 { return r.guardDivergences.Load() }
+
 // ReadOnlySection runs fn as a read-only critical section under a
 // proof-carrying section identity. A nil info degenerates to ReadOnly.
 // Dispatch by proof class:
@@ -209,6 +236,9 @@ func (l *Lock) ReadOnlySection(t *jthread.Thread, info *SectionInfo, fn func()) 
 	if m := l.cfg.Metrics; m != nil && t.SampleTick(m.CSSampleMask()) {
 		start := time.Now()
 		defer m.EndCS(t.StripeIndex(), start)
+	}
+	if info.reg != nil && info.reg.verify {
+		l.verifyGuards(t, info)
 	}
 	if l.cfg.DisableElision {
 		l.Sync(t, fn)
@@ -262,6 +292,40 @@ func (l *Lock) dynamicSection(t *jthread.Thread, info *SectionInfo, fn func()) {
 		} else {
 			info.state.Store(sectionTrusted)
 		}
+	}
+}
+
+// verifyGuards cross-checks the section's static field→guard maps
+// against the lock it actually runs under: if this lock carries a static
+// identity and any field the section touches is guarded by a *different*
+// lock, the facts and the code disagree — speculating here validates
+// against the wrong lock word, so reads of that field are unprotected.
+// The divergence is latched once per section and counted (both locally
+// and in metrics' fact_divergences family). Locks without a static
+// identity (SetStaticID never called) skip the check: an unnamed lock
+// cannot be told apart from the guard.
+func (l *Lock) verifyGuards(t *jthread.Thread, info *SectionInfo) {
+	if l.staticID == "" || info.guardDiv.Load() {
+		return
+	}
+	mismatch := false
+	for _, guard := range info.readGuards {
+		if guard != "" && guard != l.staticID {
+			mismatch = true
+			break
+		}
+	}
+	if !mismatch {
+		for _, guard := range info.writeGuards {
+			if guard != "" && guard != l.staticID {
+				mismatch = true
+				break
+			}
+		}
+	}
+	if mismatch && info.guardDiv.CompareAndSwap(false, true) {
+		info.reg.guardDivergences.Add(1)
+		info.reg.m.RecordFactDivergence(t.StripeIndex())
 	}
 }
 

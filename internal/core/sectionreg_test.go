@@ -123,6 +123,74 @@ func TestSectionProofWritingNoVerifyNeverProbes(t *testing.T) {
 	}
 }
 
+// TestSectionGuardDivergenceLatchesOnce is the guardedby half of verify
+// mode: a section whose facts say its fields are guarded by a different
+// lock than the one it runs under must latch a guard divergence exactly
+// once, and a section whose guards match must never trip it.
+func TestSectionGuardDivergenceLatchesOnce(t *testing.T) {
+	ths := newT(t, 1)
+	m := metrics.New(1)
+	cfg := *DefaultConfig
+	cfg.Metrics = m
+	l := New(&cfg)
+	l.SetStaticID("table.mu")
+	reg := NewSectionRegistry(true, 4, m)
+
+	// Facts say the fields this section reads are guarded by table.other —
+	// not the lock it speculates under.
+	wrong := reg.Seed("wrong", ProofElidable, false, 0)
+	wrong.SetGuards(map[string]string{"table.n": "table.other"}, nil)
+	// A consistent section: every touched field is guarded by this lock.
+	right := reg.Seed("right", ProofElidable, false, 0)
+	right.SetGuards(map[string]string{"table.n": "table.mu"}, map[string]string{"table.gen": "table.mu"})
+
+	shared := int64(3)
+	var sum int64
+	for i := 0; i < 8; i++ {
+		l.ReadOnlySection(ths[0], wrong, func() { sum += shared })
+		l.ReadOnlySection(ths[0], right, func() { sum += shared })
+	}
+	if sum != 2*8*3 {
+		t.Fatalf("bodies observed %d, want %d", sum, 2*8*3)
+	}
+	if got := reg.GuardDivergences(); got != 1 {
+		t.Fatalf("guard divergences = %d, want exactly 1 (latched once)", got)
+	}
+	if !wrong.GuardDiverged() || right.GuardDiverged() {
+		t.Fatalf("latch landed wrong: wrong=%v right=%v", wrong.GuardDiverged(), right.GuardDiverged())
+	}
+	if got := m.FactDivergences(); got != 1 {
+		t.Fatalf("metrics fact divergences = %d, want 1", got)
+	}
+}
+
+// TestSectionGuardDivergenceNeedsVerifyAndID: outside verify mode, or on
+// a lock with no static identity, the guard cross-check never runs.
+func TestSectionGuardDivergenceNeedsVerifyAndID(t *testing.T) {
+	ths := newT(t, 1)
+
+	// No verify: mismatched guards stay silent.
+	l := New(nil)
+	l.SetStaticID("table.mu")
+	reg := NewSectionRegistry(false, 4, nil)
+	info := reg.Seed("s", ProofElidable, false, 0)
+	info.SetGuards(map[string]string{"table.n": "table.other"}, nil)
+	l.ReadOnlySection(ths[0], info, func() {})
+	if reg.GuardDivergences() != 0 {
+		t.Fatal("guard divergence latched outside verify mode")
+	}
+
+	// Verify but anonymous lock: nothing to compare against.
+	l2 := New(nil)
+	reg2 := NewSectionRegistry(true, 4, nil)
+	info2 := reg2.Seed("s", ProofElidable, false, 0)
+	info2.SetGuards(map[string]string{"table.n": "table.other"}, nil)
+	l2.ReadOnlySection(ths[0], info2, func() {})
+	if reg2.GuardDivergences() != 0 {
+		t.Fatal("guard divergence latched for a lock with no static identity")
+	}
+}
+
 // TestSectionNilInfoDegenerates pins the documented nil contract.
 func TestSectionNilInfoDegenerates(t *testing.T) {
 	ths := newT(t, 1)

@@ -1,12 +1,13 @@
 // Package checks implements the solerovet analyzer suite: the vet-time
 // restatement of the proof obligation the paper's JIT discharges before
-// eliding a lock. Five analyzers share one whole-program context:
+// eliding a lock. Six analyzers share one whole-program context:
 //
 //	specsafety  — ReadOnly closures must be speculation-safe
 //	beforewrite — ReadMostly stores must be dominated by BeforeWrite
 //	atomicread  — elided sections must read contended fields atomically
 //	elide       — Sync closures that are provably read-only should elide
 //	lockorder   — lock acquisition orders must be acyclic (no ABBA deadlocks)
+//	guardedby   — every shared field must have a consistent lock guard
 package checks
 
 import (
@@ -29,6 +30,11 @@ type Context struct {
 	// first lockorder pass and shared by the rest.
 	lockOnce  sync.Once
 	lockGraph *lockGraph
+
+	// guardInfo is the whole-program guard inference, built lazily by the
+	// first guardedby pass and shared with the facts exporter.
+	guardOnce sync.Once
+	guardInfo *guardInfo
 }
 
 // NewContext computes effect summaries and section sites for a loaded
@@ -43,7 +49,7 @@ func NewContext(prog *load.Program) *Context {
 
 // All returns the full suite in reporting order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Specsafety, Beforewrite, Atomicread, Elide, Lockorder}
+	return []*analysis.Analyzer{Specsafety, Beforewrite, Atomicread, Elide, Lockorder, Guardedby}
 }
 
 // ByName resolves a comma-free analyzer name, or nil.

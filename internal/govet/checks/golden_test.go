@@ -28,3 +28,7 @@ func TestElideGolden(t *testing.T) {
 func TestLockorderGolden(t *testing.T) {
 	vettest.Check(t, testdataPrefix+"lockorder", checks.Lockorder)
 }
+
+func TestGuardedbyGolden(t *testing.T) {
+	vettest.Check(t, testdataPrefix+"guardedby", checks.Guardedby)
+}

@@ -75,6 +75,7 @@ func buildSection(ctx *checks.Context, pkg *load.Package, site *sections.Site, d
 	if site.Lit != nil && (s.Class == ClassReadMostly || s.Class == ClassWriting) {
 		s.WrittenFields = writtenFields(ctx, site)
 	}
+	s.ReadGuards, s.WriteGuards = ctx.SectionGuards(site)
 	return s
 }
 

@@ -1,7 +1,9 @@
 // Package facts is the proof-carrying side of the solerovet suite: it
 // serializes the per-section verdicts the analyzers compute (elidable /
 // read-mostly / writing, recovery-free or not, retry bounds, written-field
-// sets) into a stable JSON interchange file, the `solero-facts/v1` schema.
+// sets, and the guardedby analyzer's per-section field→guard maps) into a
+// stable JSON interchange file, the `solero-facts/v2` schema (v1 files,
+// which predate guard maps, still decode).
 //
 // The paper's JIT classifies a synchronized block once, at compile time,
 // and the runtime then trusts that classification forever (§3.2). PR 3
@@ -27,8 +29,13 @@ import (
 	"sort"
 )
 
-// Schema identifies the interchange format.
-const Schema = "solero-facts/v1"
+// Schema identifies the interchange format written by Encode. v2 added
+// the per-section ReadGuards/WriteGuards maps.
+const Schema = "solero-facts/v2"
+
+// SchemaV1 is the previous format: identical except that sections carry
+// no guard maps. Decode accepts it so existing facts files keep loading.
+const SchemaV1 = "solero-facts/v1"
 
 // Class is a section's proof class — the static verdict carried to the
 // JIT and the runtime.
@@ -90,6 +97,13 @@ type Section struct {
 	// block of the corpus, is "Class.method#syncIndex" — the key
 	// internal/jit/analysis pre-seeds its classifier with.
 	JitKey string `json:"jitKey,omitempty"`
+	// ReadGuards / WriteGuards map each guarded field the section reads /
+	// writes ("Type.field") to the lock the guardedby analyzer determined
+	// protects it ("Type.mu" or "pkgpath.name"). The runtime's verify mode
+	// cross-checks these against the lock the section actually runs under
+	// and latches a divergence on mismatch. (v2; absent in v1 files.)
+	ReadGuards  map[string]string `json:"readGuards,omitempty"`
+	WriteGuards map[string]string `json:"writeGuards,omitempty"`
 }
 
 // File is one facts document.
@@ -149,8 +163,8 @@ func Decode(data []byte) (*File, error) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("facts: %w", err)
 	}
-	if f.Schema != Schema {
-		return nil, fmt.Errorf("facts: schema %q, want %q", f.Schema, Schema)
+	if f.Schema != Schema && f.Schema != SchemaV1 {
+		return nil, fmt.Errorf("facts: schema %q, want %q or %q", f.Schema, Schema, SchemaV1)
 	}
 	for i := range f.Sections {
 		s := &f.Sections[i]

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/jthread"
 )
 
 func sample() *File {
@@ -17,6 +20,8 @@ func sample() *File {
 			{
 				ID: "repro/pkg:a.go:12:2", Pkg: "repro/pkg", Func: "T.Get", Mode: "Sync",
 				Class: ClassElidable, RecoveryFree: true, MaxRetries: 1, JitKey: "T.get#0",
+				ReadGuards:  map[string]string{"T.val": "T.mu", "T.gen": "T.mu"},
+				WriteGuards: map[string]string{"T.hits": "T.mu"},
 			},
 			{
 				ID: "repro/pkg:c.go:3:2", Pkg: "repro/pkg", Func: "T.Peek", Mode: "Sync",
@@ -46,6 +51,13 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if s == nil || s.Class != ClassElidable || !s.RecoveryFree || s.MaxRetries != 1 {
 		t.Fatalf("ByJitKey lost the elidable verdict: %+v", s)
 	}
+	// v2 guard maps survive the round trip intact.
+	if s.ReadGuards["T.val"] != "T.mu" || s.ReadGuards["T.gen"] != "T.mu" || len(s.ReadGuards) != 2 {
+		t.Fatalf("round trip lost read guards: %v", s.ReadGuards)
+	}
+	if s.WriteGuards["T.hits"] != "T.mu" || len(s.WriteGuards) != 1 {
+		t.Fatalf("round trip lost write guards: %v", s.WriteGuards)
+	}
 	if got.ByID()["repro/pkg:c.go:3:2"].Class != ClassAnnotated {
 		t.Fatal("ByID lost the annotated verdict")
 	}
@@ -71,6 +83,75 @@ func TestDecodeRejects(t *testing.T) {
 	}
 	if _, err := Decode([]byte(`not json`)); err == nil {
 		t.Fatal("garbage decode succeeded")
+	}
+}
+
+// TestDecodeV1StillLoads pins the compatibility contract: a v1 facts
+// file (no guard maps) decodes under the v2 reader, with empty maps.
+func TestDecodeV1StillLoads(t *testing.T) {
+	data := []byte(`{"schema":"solero-facts/v1","module":"repro","sections":[` +
+		`{"id":"repro/pkg:a.go:1:1","pkg":"repro/pkg","func":"F","mode":"ReadOnly","class":"elidable","maxRetries":1}]}` + "\n")
+	f, err := Decode(data)
+	if err != nil {
+		t.Fatalf("v1 decode: %v", err)
+	}
+	if f.Schema != SchemaV1 || len(f.Sections) != 1 {
+		t.Fatalf("v1 decode lost shape: %+v", f)
+	}
+	s := &f.Sections[0]
+	if s.Class != ClassElidable || s.ReadGuards != nil || s.WriteGuards != nil {
+		t.Fatalf("v1 section decoded wrong: %+v", s)
+	}
+	// Re-encoding stamps the current schema.
+	out, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), Schema) {
+		t.Fatalf("re-encode kept the old schema:\n%s", out)
+	}
+}
+
+// TestSeedRegistryGuards closes the facts→runtime loop the v2 schema
+// exists for: guard maps decoded from a facts file ride SeedRegistry
+// into the SectionInfo, and a verify-mode run under the wrong lock
+// latches the guard divergence.
+func TestSeedRegistryGuards(t *testing.T) {
+	f := &File{
+		Module: "repro",
+		Sections: []Section{{
+			ID: "repro/pkg:a.go:5:2", Pkg: "repro/pkg", Func: "T.Get", Mode: "ReadOnly",
+			Class: ClassElidable, MaxRetries: 1,
+			ReadGuards: map[string]string{"T.val": "T.mu"},
+		}},
+	}
+	data, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := core.NewSectionRegistry(true, 4, nil)
+	if n := SeedRegistry(reg, decoded); n != 1 {
+		t.Fatalf("seeded %d sections, want 1", n)
+	}
+	info := reg.Section("repro/pkg:a.go:5:2")
+	if info.Proof != core.ProofElidable {
+		t.Fatalf("seeded proof = %v, want elidable", info.Proof)
+	}
+
+	vm := jthread.NewVM()
+	th := vm.Attach("t")
+	wrongLock := core.New(nil)
+	wrongLock.SetStaticID("T.other")
+	wrongLock.ReadOnlySection(th, info, func() {})
+	if got := reg.GuardDivergences(); got != 1 {
+		t.Fatalf("guard divergences = %d, want 1 after running under the wrong lock", got)
+	}
+	if !info.GuardDiverged() {
+		t.Fatal("section not marked guard-diverged")
 	}
 }
 

@@ -19,12 +19,15 @@ func ProofOf(c Class) core.ProofClass {
 
 // SeedRegistry loads every section of a facts file into a runtime section
 // registry and returns how many were seeded. Sections already registered
-// are re-proved in place.
+// are re-proved in place. Guard maps (v2 files) ride along so verify mode
+// can cross-check a speculating section's fields against their static
+// guards.
 func SeedRegistry(reg *core.SectionRegistry, f *File) int {
 	n := 0
 	for i := range f.Sections {
 		s := &f.Sections[i]
-		reg.Seed(s.ID, ProofOf(s.Class), s.RecoveryFree, s.MaxRetries)
+		info := reg.Seed(s.ID, ProofOf(s.Class), s.RecoveryFree, s.MaxRetries)
+		info.SetGuards(s.ReadGuards, s.WriteGuards)
 		n++
 	}
 	return n

@@ -9,18 +9,19 @@ import (
 	"repro/internal/govet/checks"
 )
 
-// TestApplyFixesGolden runs the elide analyzer over the fixes testdata
-// package and applies every suggested edit in memory: the result must
-// match fixes.go.golden byte for byte (regenerate by updating the golden
-// after inspecting a real `solerovet -fix` run).
+// TestApplyFixesGolden runs the elide and guardedby analyzers over the
+// fixes testdata package and applies every suggested edit in memory: the
+// result must match fixes.go.golden byte for byte (regenerate with
+// `go run ./internal/govet/testdata/gen` after inspecting a real
+// `solerovet -fix` run).
 func TestApplyFixesGolden(t *testing.T) {
 	diags, err := govet.Run("", []string{"repro/internal/govet/testdata/src/fixes"},
-		[]*analysis.Analyzer{checks.Elide})
+		[]*analysis.Analyzer{checks.Elide, checks.Guardedby})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(diags) != 2 {
-		t.Fatalf("got %d diagnostics, want 2:\n%v", len(diags), diags)
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3:\n%v", len(diags), diags)
 	}
 	for _, d := range diags {
 		if len(d.Edits) == 0 {
@@ -42,5 +43,45 @@ func TestApplyFixesGolden(t *testing.T) {
 		if string(got) != string(want) {
 			t.Errorf("%s: fixed output differs from fixes.go.golden:\n%s", file, string(got))
 		}
+	}
+}
+
+// TestFixesIdempotent pins `solerovet -fix` as a fixed point: running
+// the fixing analyzers over the already-fixed source (the golden) must
+// suggest no further edits — a second -fix pass produces no diff.
+// Residual diagnostics are allowed (a declared-but-unheld guard is
+// still a finding), but none of them may carry edits.
+func TestFixesIdempotent(t *testing.T) {
+	golden, err := os.ReadFile("testdata/src/fixes/fixes.go.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loader parses from disk, so the fixed source must live in a
+	// real (throwaway) package directory inside the module.
+	dir := "testdata/src/fixesidem"
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	if err := os.WriteFile(dir+"/fixes.go", golden, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags, err := govet.Run("", []string{"repro/internal/govet/testdata/src/fixesidem"},
+		[]*analysis.Analyzer{checks.Elide, checks.Guardedby})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if len(d.Edits) > 0 {
+			t.Errorf("second -fix pass still suggests edits: %s (fixes: %v)", d, d.Fixes)
+		}
+	}
+	fixed, err := govet.ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) != 0 {
+		t.Fatalf("second -fix pass rewrites %d files, want 0", len(fixed))
 	}
 }

@@ -1,8 +1,8 @@
 // Package govet is the solerovet driver: it loads a whole program, builds
 // the shared analysis context (effect summaries + section sites), runs a
-// set of analyzers over the target packages, and returns position-sorted
-// diagnostics. Both the standalone binary and the `go vet -vettool=`
-// entry go through Run.
+// set of analyzers over the target packages, and returns position-sorted,
+// deduplicated diagnostics. Both the standalone binary and the
+// `go vet -vettool=` entry go through Run.
 package govet
 
 import (
@@ -115,9 +115,33 @@ func RunProgramContext(prog *load.Program, ctx *checks.Context, analyzers []*ana
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags, nil
+	return dedupe(diags), nil
+}
+
+// dedupe drops diagnostics identical in (position, analyzer, message)
+// from the sorted slice. An interprocedural analyzer can derive the same
+// finding through several call paths — or through overlapping target
+// patterns — and the finding's identity, not its derivation count, is
+// what the user (and `-fix`) should see. Fixes/Edits of dropped
+// duplicates are discarded: by construction identical findings carry
+// identical edits, and ApplyFixes dedupes edits anyway.
+func dedupe(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 {
+			prev := out[len(out)-1]
+			if d.Pos == prev.Pos && d.Analyzer == prev.Analyzer && d.Message == prev.Message {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // ignoreLines collects //solerovet:ignore directives: a diagnostic whose

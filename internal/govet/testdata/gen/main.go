@@ -3,7 +3,7 @@
 //	go run ./internal/govet/testdata/gen
 //
 // from the module root, after changing the fixes testdata or the elide
-// analyzer's suggested fixes.
+// or guardedby analyzers' suggested fixes.
 package main
 
 import (
@@ -17,7 +17,7 @@ import (
 
 func main() {
 	diags, err := govet.Run("", []string{"repro/internal/govet/testdata/src/fixes"},
-		[]*analysis.Analyzer{checks.Elide})
+		[]*analysis.Analyzer{checks.Elide, checks.Guardedby})
 	if err != nil {
 		panic(err)
 	}

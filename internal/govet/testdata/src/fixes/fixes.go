@@ -1,8 +1,11 @@
 // Package fixes is golden testdata for `solerovet -fix`: the elide
 // analyzer's two mechanical fixes — the Sync→ReadOnly rewrite for a
 // proven read-only closure and the //solerovet:readonly insertion for a
-// closure blocked only by un-analyzability — applied against fixes.go
-// must reproduce fixes.go.golden byte for byte.
+// closure blocked only by un-analyzability — plus the guardedby
+// analyzer's //solerovet:guardedby insertion for an inferred guard,
+// applied against fixes.go must reproduce fixes.go.golden byte for
+// byte. TestFixesIdempotent then re-runs the analyzers over the golden:
+// a second -fix pass must produce no further edits.
 package fixes
 
 import (
@@ -14,6 +17,7 @@ type table struct {
 	mu   *core.Lock
 	n    int64
 	hook func() int64
+	hits int64
 }
 
 // readSum is provably read-only: the fix renames Sync to ReadOnly.
@@ -41,4 +45,19 @@ func bump(tb *table, t *jthread.Thread) {
 	tb.mu.Sync(t, func() {
 		tb.n++
 	})
+}
+
+// recordHit writes hits under the lock — the locked write that makes
+// hits a candidate for guard inference (guard: mu).
+func recordHit(tb *table, t *jthread.Thread) {
+	tb.mu.Sync(t, func() {
+		tb.hits++
+	})
+}
+
+// peekHits reads hits with no lock held: the unguarded access whose
+// suggested fix declares the inferred guard with a
+// //solerovet:guardedby(mu) line above the field declaration.
+func peekHits(tb *table) int64 {
+	return tb.hits
 }

@@ -1,0 +1,62 @@
+// Package guardedbyseed is the seeded-racy package of the racecatch
+// differential harness: two data races the runtime race detector can
+// catch, written so the guardedby lockset analyzer must flag both.
+// `make guardedby-catch` fails the build if the analyzer goes silent
+// here; `make racecatch` additionally runs the package's stress test
+// under `go test -race` and fails unless the dynamic detector fires too
+// — the static pass must flag everything the dynamic one catches.
+// Living under testdata keeps the seed out of the module build and out
+// of `make lint`'s clean-tree guarantee.
+package guardedbyseed
+
+import (
+	"repro/internal/core"
+	"repro/internal/jthread"
+)
+
+// histogram guards count with mu on the write side only: Snapshot reads
+// it bare — the classic unguarded shared access.
+type histogram struct {
+	mu    *core.Lock
+	count int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{mu: core.New(nil)}
+}
+
+func (h *histogram) Add(t *jthread.Thread) {
+	h.mu.Sync(t, func() {
+		h.count++
+	})
+}
+
+func (h *histogram) Snapshot() int64 {
+	return h.count
+}
+
+// meter reads gauge under muA but writes it under muB: disjoint locksets
+// — guard confusion, and a real race since neither side excludes the
+// other.
+type meter struct {
+	muA, muB *core.Lock
+	gauge    int64
+}
+
+func newMeter() *meter {
+	return &meter{muA: core.New(nil), muB: core.New(nil)}
+}
+
+func (m *meter) Observe(t *jthread.Thread) int64 {
+	var out int64
+	m.muA.Sync(t, func() {
+		out = m.gauge
+	})
+	return out
+}
+
+func (m *meter) Bump(t *jthread.Thread) {
+	m.muB.Sync(t, func() {
+		m.gauge++
+	})
+}

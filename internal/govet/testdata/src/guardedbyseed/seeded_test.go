@@ -1,0 +1,57 @@
+package guardedbyseed
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/jthread"
+)
+
+// TestSeededRaces drives both seeded races hard enough that `go test
+// -race` reliably aborts. The racecatch harness runs this test expecting
+// FAILURE: a passing -race run means the seeds rotted (or the detector
+// lost them), which breaks the static/dynamic differential.
+func TestSeededRaces(t *testing.T) {
+	const iters = 5000
+	vm := jthread.NewVM()
+
+	h := newHistogram()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		th := vm.Attach("writer")
+		for i := 0; i < iters; i++ {
+			h.Add(th)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		var sink int64
+		for i := 0; i < iters; i++ {
+			sink += h.Snapshot()
+		}
+		_ = sink
+	}()
+	wg.Wait()
+
+	m := newMeter()
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		th := vm.Attach("bumper")
+		for i := 0; i < iters; i++ {
+			m.Bump(th)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		th := vm.Attach("observer")
+		var sink int64
+		for i := 0; i < iters; i++ {
+			sink += m.Observe(th)
+		}
+		_ = sink
+	}()
+	wg.Wait()
+}
