@@ -24,12 +24,14 @@
 #                    1M-lock footprint assert, inverted lost-waiter catch
 #   make bench-record - run the backend tournament, commit-ready
 #                    BENCH_<date>.json perf-trajectory record at the repo root
+#   make bench-gate - regression-gate the committed BENCH_*.json trajectory
+#                    (+ the seeded -20% fixture MUST fail: anti-vacuity)
 #   make tournament-smoke - every lock backend through the schedule-kernel
 #                    oracle + a quick tournament sanity run
 
 GO ?= go
 
-.PHONY: build vet test race bench check lint lintcatch factsmoke lockorder-catch guardedby-catch racecatch schedsmoke schedfuzz fuzz obs-smoke json-smoke bench-record tournament-smoke montable-smoke
+.PHONY: build vet test race bench check lint lintcatch factsmoke lockorder-catch guardedby-catch racecatch schedsmoke schedfuzz fuzz obs-smoke json-smoke bench-record bench-gate tournament-smoke montable-smoke
 
 build:
 	$(GO) build ./...
@@ -172,9 +174,12 @@ obs-smoke:
 	curl -sf localhost:$(OBS_PORT)/debug/vars | grep -q '"solero"' || { echo "FAIL: expvar bundle missing"; exit 1; }; \
 	curl -sf localhost:$(OBS_PORT)/snapshot.json | grep -q 'solero-snapshot/v1' || { echo "FAIL: snapshot schema missing"; exit 1; }; \
 	curl -sf localhost:$(OBS_PORT)/trace.json | grep -q 'traceEvents' || { echo "FAIL: Perfetto trace missing"; exit 1; }; \
-	echo "OK: obs-smoke (/metrics, /debug/vars, /snapshot.json, /trace.json)"
+	curl -sf localhost:$(OBS_PORT)/trace.json | grep -q '"process_name"' || { echo "FAIL: Perfetto process metadata missing"; exit 1; }; \
+	curl -sf localhost:$(OBS_PORT)/debug/pprof/contention -o /tmp/solero-contention.pb.gz || { echo "FAIL: pprof contention endpoint missing"; exit 1; }; \
+	gunzip -t /tmp/solero-contention.pb.gz || { echo "FAIL: contention profile is not valid gzip"; exit 1; }; \
+	echo "OK: obs-smoke (/metrics, /debug/vars, /snapshot.json, /trace.json, /debug/pprof/contention)"
 
-# The backend tournament's durable perf trajectory: one solero-bench/v1
+# The backend tournament's durable perf trajectory: one solero-bench/v2
 # JSON record per date at the repo root, commit it so throughput is
 # diffable across the repo's history (EXPERIMENTS.md documents the
 # schema). The date stamp is injected here — BENCH_DATE=YYYY-MM-DD
@@ -185,8 +190,20 @@ bench-record:
 	$(GO) run ./cmd/solerobench -exp tournament -threads 1,2,4,8 \
 		-duration 100ms -runs 3 -inner 3 -footprint 1000000,10000000 \
 		-json BENCH_$(BENCH_DATE).json -date $(BENCH_DATE)
-	@grep -q '"schema": "solero-bench/v1"' BENCH_$(BENCH_DATE).json || { echo "FAIL: tournament schema missing"; exit 1; }
+	@grep -q '"schema": "solero-bench/v2"' BENCH_$(BENCH_DATE).json || { echo "FAIL: tournament schema missing"; exit 1; }
 	@echo "OK: wrote BENCH_$(BENCH_DATE).json"
+
+# The bench-trajectory regression gate: the committed BENCH_*.json
+# trajectory must pass (lowParallelism records are reported, never
+# gated), the zero-delta fixture must pass, and — so the gate can't rot
+# into vacuity — the seeded -20% step fixture MUST fail.
+bench-gate:
+	$(GO) run ./cmd/solerobench -regress
+	$(GO) run ./cmd/solerobench -regress -regress-dir internal/experiments/testdata/regress/clean
+	@if $(GO) run ./cmd/solerobench -regress -regress-dir internal/experiments/testdata/regress/regressed >/dev/null 2>&1; then \
+		echo "FAIL: seeded -20% regression fixture passed the gate (vacuous gate)"; exit 1; \
+	fi
+	@echo "OK: bench-gate (trajectory clean, seeded regression caught)"
 
 # Every lock backend must survive the same schedule-kernel oracle — the
 # deterministic revocation-window schedule included — and the tournament

@@ -957,17 +957,18 @@ func BenchmarkReadOnlyAllocFree(b *testing.B) {
 }
 
 // BenchmarkReadOnlyAllocFreeMetrics repeats the allocation proof with the
-// metrics registry wired in and sampling forced to every section — the
-// worst case where each read pushes the EndCS defer and records into the
-// cs_duration histogram. Still zero heap allocations.
+// metrics registry wired in and sampling forced to every section via the
+// config-level MetricsSamplePeriod (the `lockstats -sample-period 1`
+// route) — the worst case where each read pushes the EndCS defer and
+// records into the cs_duration histogram. Still zero heap allocations.
 func BenchmarkReadOnlyAllocFreeMetrics(b *testing.B) {
 	vm := jthread.NewVM()
 	th := vm.Attach("bench")
 	defer th.Detach()
 	reg := metrics.New(0)
-	reg.SetSamplePeriod(1)
 	cfg := *core.DefaultConfig
 	cfg.Metrics = reg
+	cfg.MetricsSamplePeriod = 1
 	l := core.New(&cfg)
 	fn := func() {}
 	l.ReadOnly(th, fn)

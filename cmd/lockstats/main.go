@@ -8,7 +8,8 @@
 //
 //	lockstats [-bench hashmap|treemap|empty|jbb] [-backend NAME] [-threads N]
 //	          [-writes PCT] [-duration D] [-trace N] [-stripes] [-sites]
-//	          [-json out.json] [-perfetto out.json] [-serve :PORT]
+//	          [-sample-period N] [-json out.json] [-perfetto out.json]
+//	          [-pprof out.pb.gz] [-serve :PORT]
 //
 // -backend selects the lock implementation under the benchmark (solero by
 // default; lock/vmlock, rwlock, bravo, solero-unelided, solero-weakbarrier
@@ -37,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"syscall"
 	"time"
@@ -64,6 +66,8 @@ func main() {
 	sites := flag.Bool("sites", false, "print sampled abort call sites")
 	jsonOut := flag.String("json", "", "write the solero-snapshot/v1 JSON bundle to this file")
 	perfettoOut := flag.String("perfetto", "", "write the flight recorder as Perfetto trace-event JSON to this file")
+	pprofOut := flag.String("pprof", "", "write the sampled contention profile as gzipped pprof protobuf to this file (inspect with `go tool pprof -top`)")
+	samplePeriod := flag.Int("sample-period", 0, "cs_duration sampling period: time 1 in N read-only sections (0 keeps the default 64; 1 times every section)")
 	serve := flag.String("serve", "", "serve live observability HTTP on this address (e.g. :8080) while the workload runs")
 	flag.Parse()
 
@@ -74,8 +78,14 @@ func main() {
 	}
 
 	reg := metrics.New(0)
+	if *samplePeriod > 0 {
+		// Set directly too: the config field below only reaches backends
+		// built through core.New.
+		reg.SetSamplePeriod(*samplePeriod)
+	}
 	lockCfg := *core.DefaultConfig
 	lockCfg.Metrics = reg
+	lockCfg.MetricsSamplePeriod = *samplePeriod
 	var ring *trace.Ring
 	ringSize := *traceN
 	if ringSize == 0 && (*serve != "" || *perfettoOut != "") {
@@ -150,6 +160,7 @@ func main() {
 	}
 
 	src := export.NewSource(*bench, *threads, reg)
+	src.Backend = *backendName
 	src.Ring = ring
 	src.Counters = func() map[string]uint64 {
 		maps := make([]map[string]uint64, 0, 4)
@@ -216,7 +227,7 @@ func main() {
 		fmt.Printf("wrote snapshot bundle to %s\n", *jsonOut)
 	}
 	if *perfettoOut != "" {
-		data, err := export.Perfetto(ring)
+		data, err := export.PerfettoWith(ring, *backendName, runtime.GOMAXPROCS(0))
 		if err != nil {
 			fatalf("perfetto: %v", err)
 		}
@@ -224,6 +235,16 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Printf("wrote Perfetto trace to %s (open in https://ui.perfetto.dev)\n", *perfettoOut)
+	}
+	if *pprofOut != "" {
+		data, err := export.ContentionProfile(reg)
+		if err != nil {
+			fatalf("pprof: %v", err)
+		}
+		if err := os.WriteFile(*pprofOut, data, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote contention profile to %s (go tool pprof -top %s)\n", *pprofOut, *pprofOut)
 	}
 }
 

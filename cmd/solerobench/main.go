@@ -18,9 +18,17 @@
 //
 // -exp tournament runs the backend reader-scaling tournament (every
 // internal/backend contender × the -threads sweep); with -json it writes a
-// solero-bench/v1 record instead of snapshot bundles — the BENCH_<date>.json
+// solero-bench/v2 record instead of snapshot bundles — the BENCH_<date>.json
 // perf trajectory `make bench-record` commits at the repo root. -date stamps
 // that record (injected here, never read from a clock inside the harness).
+// Records taken with GOMAXPROCS below the largest thread count are stamped
+// lowParallelism and excluded from regression gating.
+//
+// -regress loads every BENCH_*.json in -regress-dir (default: the current
+// directory), compares the most recent record against its predecessor
+// per (workload, backend, threads), and exits 1 when throughput drops or
+// p99 latency rises beyond -tolerance. -regress-md / -regress-json write
+// the trajectory report; `make bench-gate` runs this in CI.
 package main
 
 import (
@@ -51,7 +59,17 @@ func main() {
 	backends := flag.String("backends", "", "comma-separated backend names for -exp tournament (default: all registered)")
 	date := flag.String("date", "", "date stamp recorded in tournament JSON output (e.g. 2026-08-09)")
 	footprint := flag.String("footprint", "", "comma-separated lock populations for the session-footprint grid (-exp tournament, e.g. 1000000,10000000)")
+	regress := flag.Bool("regress", false, "compare the newest BENCH_*.json against its predecessor and exit 1 on regression")
+	regressDir := flag.String("regress-dir", ".", "directory holding the BENCH_*.json trajectory (-regress)")
+	tolerance := flag.Float64("tolerance", experiments.DefaultRegressTolerance, "fractional noise tolerance for -regress (0.10 = ±10%)")
+	regressMD := flag.String("regress-md", "", "write the -regress markdown report to this file (default: stdout)")
+	regressJSON := flag.String("regress-json", "", "also write the -regress report as JSON to this file")
 	flag.Parse()
+
+	if *regress {
+		runRegress(*regressDir, *tolerance, *regressMD, *regressJSON)
+		return
+	}
 	if *format != "text" && *format != "csv" {
 		fatalf("unknown format %q", *format)
 	}
@@ -137,6 +155,14 @@ func main() {
 		}
 		res := experiments.Tournament(o, names)
 		res.Date = *date
+		if res.LowParallelism {
+			fmt.Fprintf(os.Stderr,
+				"solerobench: WARNING: GOMAXPROCS=%d is below the largest requested thread count %d;\n"+
+					"  goroutines time-share processors, so this record measures scheduler fairness,\n"+
+					"  not lock scaling. It is stamped \"lowParallelism\" and the bench-gate regression\n"+
+					"  analyzer will report but never gate on it.\n",
+				res.GoMaxProcs, maxInt(o.Threads))
+		}
 		if *footprint != "" {
 			var fo experiments.FootprintOptions
 			for _, part := range strings.Split(*footprint, ",") {
@@ -180,6 +206,43 @@ func main() {
 		return
 	}
 	run(*exp)
+}
+
+// runRegress is the bench-gate entry point: load the trajectory, compare
+// head vs predecessor, emit the report, exit 1 on a gated regression.
+func runRegress(dir string, tolerance float64, mdOut, jsonOut string) {
+	records, err := experiments.LoadTrajectory(dir)
+	check(err)
+	rep := experiments.Regress(records, tolerance)
+	md := rep.Markdown()
+	if mdOut != "" {
+		check(os.WriteFile(mdOut, []byte(md), 0o644))
+	} else {
+		fmt.Print(md)
+	}
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		check(err)
+		check(os.WriteFile(jsonOut, append(data, '\n'), 0o644))
+	}
+	if rep.Failed() {
+		fmt.Fprintf(os.Stderr, "solerobench: bench gate FAILED: %d regression(s) beyond ±%.0f%%\n",
+			rep.Regressions, rep.Tolerance*100)
+		os.Exit(1)
+	}
+	if !rep.Gating {
+		fmt.Fprintln(os.Stderr, "solerobench: bench gate informational only (lowParallelism or incomplete trajectory)")
+	}
+}
+
+func maxInt(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
 }
 
 func check(err error) {

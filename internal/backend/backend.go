@@ -23,6 +23,7 @@ import (
 	"repro/internal/history"
 	"repro/internal/jthread"
 	"repro/internal/memmodel"
+	"repro/internal/metrics"
 	"repro/internal/montable"
 	"repro/internal/rwlock"
 	"repro/internal/sched"
@@ -94,6 +95,12 @@ type Options struct {
 	// History receives protocol events (consumed by the SOLERO backend;
 	// the others are oracle-checked purely from harness-recorded events).
 	History *history.Recorder
+	// Metrics, when set, is shared by every layer of the built backend:
+	// slow-path dwell histograms, the abort/contention taxonomy, and
+	// sampled site attribution all land in this one registry, so the
+	// exporters read any backend uniformly. Nil (production default) keeps
+	// every hook to one predictable branch.
+	Metrics *metrics.Registry
 	// Solero, when set, is the base core.Config for the "solero" backends
 	// (Model/Plan/Sched/History/Bug above are layered on top of a copy).
 	Solero *core.Config
@@ -117,6 +124,7 @@ func (o Options) table() *montable.Table {
 		cfg = *o.Montable
 	}
 	cfg.Sched, cfg.History = o.Sched, o.History
+	cfg.Metrics = o.Metrics
 	return montable.New(cfg)
 }
 
@@ -138,6 +146,7 @@ func New(name string, o Options) (Backend, error) {
 			cfg = *vmlock.DefaultConfig
 		}
 		cfg.Model, cfg.Plan, cfg.Sched = o.Model, o.Plan, o.Sched
+		cfg.Metrics = o.Metrics
 		b := &vmlockBackend{}
 		if name == "vmlock-mt" {
 			b.tb = o.table()
@@ -146,7 +155,7 @@ func New(name string, o Options) (Backend, error) {
 		b.l = vmlock.New(&cfg)
 		return b, nil
 	case "rwlock":
-		return &rwlockBackend{l: &rwlock.RWLock{Model: o.Model, Sched: o.Sched}}, nil
+		return &rwlockBackend{l: &rwlock.RWLock{Model: o.Model, Sched: o.Sched, Metrics: o.Metrics}}, nil
 	case "solero", "solero-mt":
 		var cfg core.Config
 		if o.Solero != nil {
@@ -156,6 +165,9 @@ func New(name string, o Options) (Backend, error) {
 		}
 		cfg.Model, cfg.Plan = o.Model, o.Plan
 		cfg.Sched, cfg.History, cfg.Bug = o.Sched, o.History, o.Bug
+		if o.Metrics != nil {
+			cfg.Metrics = o.Metrics
+		}
 		b := &soleroBackend{}
 		if name == "solero-mt" {
 			b.tb = o.table()
@@ -169,6 +181,7 @@ func New(name string, o Options) (Backend, error) {
 			cfg = *o.Bravo
 		}
 		cfg.Model, cfg.Sched = o.Model, o.Sched
+		cfg.Metrics = o.Metrics
 		return &bravoBackend{l: bravo.New(&cfg)}, nil
 	}
 	return nil, fmt.Errorf("backend: unknown backend %q (have %v)", name, Names())

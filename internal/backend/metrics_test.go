@@ -1,0 +1,164 @@
+package backend
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/jthread"
+	"repro/internal/metrics"
+)
+
+// TestBravoRevocationScanMetrics pins the exactly-once contract for BRAVO
+// revocations: one biased-read episode followed by one write acquisition
+// performs exactly one revocation scan, which lands as one
+// "revocation-scan" taxonomy count and one revoke_scan histogram sample.
+func TestBravoRevocationScanMetrics(t *testing.T) {
+	reg := metrics.New(1)
+	be, err := New("bravo", Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := jthread.NewVM()
+	th := vm.Attach("t")
+
+	be.RLock(th) // arms the bias (or publishes under it)
+	be.RUnlock(th)
+	be.Lock(th) // biased lock: the writer must revoke
+	be.Unlock(th)
+
+	if n := reg.AbortCount(metrics.AbortRevocationScan); n != 1 {
+		t.Fatalf("revocation-scan count = %d, want 1", n)
+	}
+	if n := reg.Revoke.Snapshot().Count; n != 1 {
+		t.Fatalf("revoke_scan histogram count = %d, want 1", n)
+	}
+
+	// A second, unbiased write must not scan again.
+	be.Lock(th)
+	be.Unlock(th)
+	if n := reg.AbortCount(metrics.AbortRevocationScan); n != 1 {
+		t.Fatalf("unbiased write revoked: count = %d, want 1", n)
+	}
+}
+
+// TestRWLockGateParkMetrics blocks a reader behind a writer and checks the
+// park surfaces as a "gate-park" taxonomy event with dwell in park_dwell,
+// and that the contended acquisition records an acquire_wait sample.
+func TestRWLockGateParkMetrics(t *testing.T) {
+	reg := metrics.New(1)
+	be, err := New("rwlock", Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := jthread.NewVM()
+	writer := vm.Attach("writer")
+	reader := vm.Attach("reader")
+
+	be.Lock(writer)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		be.RLock(reader)
+		be.RUnlock(reader)
+	}()
+	// Hold the write lock until the reader has registered at the gate
+	// (readParks bumps before parking; gate-park is recorded after).
+	deadline := time.Now().Add(2 * time.Second)
+	for be.Stats()["readParks"] == 0 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	be.Unlock(writer)
+	wg.Wait()
+
+	if n := reg.AbortCount(metrics.AbortGatePark); n == 0 {
+		t.Fatal("blocked reader recorded no gate-park event")
+	}
+	if n := reg.Park.Snapshot().Count; n == 0 {
+		t.Fatal("gate park left park_dwell empty")
+	}
+	if n := reg.Acquire.Snapshot().Count; n == 0 {
+		t.Fatal("contended read acquisition left acquire_wait empty")
+	}
+}
+
+// TestMontableSweepStallMetrics drives a table-backed backend's sweeper
+// against a held (busy) fat monitor and checks stalled passes are counted
+// under "sweep-stall" while clean passes are not.
+func TestMontableSweepStallMetrics(t *testing.T) {
+	reg := metrics.New(1)
+	be, err := New("solero-mt", Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := be.(TableBacked).MonitorTable()
+	vm := jthread.NewVM()
+	holder := vm.Attach("holder")
+	waiter := vm.Attach("waiter")
+
+	// Inflate: a waiter timing out on a held lock leaves a bound monitor.
+	be.Lock(holder)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		be.Lock(waiter)
+		be.Unlock(waiter)
+	}()
+
+	// Sweep while the monitor is live: once the contender binds the table
+	// entry, passes stall on the pinned/busy entry. Epochs advance per
+	// pass, so the entry cannot hide behind the freshness window forever.
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.AbortCount(metrics.AbortSweepStall) == 0 && time.Now().Before(deadline) {
+		tb.Sweep(holder.ID())
+		time.Sleep(100 * time.Microsecond)
+	}
+	stalls := reg.AbortCount(metrics.AbortSweepStall)
+	be.Unlock(holder)
+	wg.Wait()
+
+	if stalls == 0 {
+		t.Fatal("sweeps over a busy monitor recorded no sweep-stall events")
+	}
+	if n := reg.Sweep.Snapshot().Count; n == 0 {
+		t.Fatal("sweeps recorded no sweep_latency samples")
+	}
+}
+
+// TestVMLockMonitorParkMetrics drives two threads through vmlock's FLC
+// contention path and checks parks surface as "monitor-park" events and
+// that slow acquisitions record acquire_wait dwell.
+func TestVMLockMonitorParkMetrics(t *testing.T) {
+	reg := metrics.New(1)
+	be, err := New("vmlock", Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := jthread.NewVM()
+	holder := vm.Attach("holder")
+	contender := vm.Attach("contender")
+
+	be.Lock(holder)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		be.Lock(contender)
+		be.Unlock(contender)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.AbortCount(metrics.AbortMonitorPark) == 0 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	be.Unlock(holder)
+	wg.Wait()
+
+	if n := reg.AbortCount(metrics.AbortMonitorPark); n == 0 {
+		t.Fatal("FLC contention recorded no monitor-park event")
+	}
+	if n := reg.Acquire.Snapshot().Count; n == 0 {
+		t.Fatal("slow acquisition left acquire_wait empty")
+	}
+}

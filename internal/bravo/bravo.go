@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/jthread"
 	"repro/internal/memmodel"
+	"repro/internal/metrics"
 	"repro/internal/rwlock"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -90,6 +91,11 @@ type Config struct {
 	// Sched wires the publish/revoke handshake and the underlying rwlock
 	// into the schedule-injection kernel.
 	Sched *sched.Hooks
+	// Metrics, when set, records each revocation scan's cost under the
+	// "revocation-scan" taxonomy cause and into the revoke_scan histogram,
+	// and is inherited by the underlying rwlock for its gate parks. Nil
+	// costs one branch per revocation.
+	Metrics *metrics.Registry
 }
 
 // Lock is a BRAVO biased reader-writer lock. Use New.
@@ -128,6 +134,7 @@ func New(cfg *Config) *Lock {
 	}
 	l.rw.Model = l.cfg.Model
 	l.rw.Sched = l.cfg.Sched
+	l.rw.Metrics = l.cfg.Metrics
 	l.biasedReads = stats.NewStriped(0)
 	return l
 }
@@ -225,6 +232,7 @@ func (l *Lock) revoke(t *jthread.Thread) {
 	cost := end - start
 	l.revocations.Add(1)
 	l.lastRevoke.Store(cost)
+	l.cfg.Metrics.RecordContention(t.StripeIndex(), metrics.AbortRevocationScan, time.Duration(cost))
 	if l.cfg.Multiplier > 0 {
 		win := cost * int64(l.cfg.Multiplier)
 		if maxWin := int64(l.cfg.MaxInhibit); win > maxWin {

@@ -46,10 +46,12 @@ type FootprintPoint struct {
 	SweepDeflations uint64 `json:"sweepDeflations"`
 	SweepReclaims   uint64 `json:"sweepReclaims"`
 	ReleaseReclaims uint64 `json:"releaseReclaims"`
-	// Acquire-latency tail (sampled), nanoseconds.
-	LatencyP50Ns int64 `json:"latencyP50Ns"`
-	LatencyP99Ns int64 `json:"latencyP99Ns"`
-	LatencyMaxNs int64 `json:"latencyMaxNs"`
+	// Acquire-latency tail (sampled), nanoseconds. P999 is new in the
+	// solero-bench/v2 schema; v1 records omit it (decodes as 0).
+	LatencyP50Ns  int64 `json:"latencyP50Ns"`
+	LatencyP99Ns  int64 `json:"latencyP99Ns"`
+	LatencyP999Ns int64 `json:"latencyP999Ns,omitempty"`
+	LatencyMaxNs  int64 `json:"latencyMaxNs"`
 }
 
 // footprintSession is the per-user object of the ROADMAP scale story: an
@@ -143,7 +145,8 @@ func footprintPoint(n int, o FootprintOptions) FootprintPoint {
 	if len(lat) > 0 {
 		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 		pick := func(q float64) int64 { return lat[int(q*float64(len(lat)-1))].Nanoseconds() }
-		p.LatencyP50Ns, p.LatencyP99Ns, p.LatencyMaxNs = pick(0.5), pick(0.99), lat[len(lat)-1].Nanoseconds()
+		p.LatencyP50Ns, p.LatencyP99Ns, p.LatencyP999Ns = pick(0.5), pick(0.99), pick(0.999)
+		p.LatencyMaxNs = lat[len(lat)-1].Nanoseconds()
 	}
 	runtime.KeepAlive(sessions)
 	return p
@@ -179,12 +182,13 @@ func FootprintFigure(points []FootprintPoint) *stats.Figure {
 // FormatFootprint renders the grid as the text table solerobench prints.
 func FormatFootprint(points []FootprintPoint) string {
 	s := "Session-lock footprint (skewed Zipf churn)\n" +
-		"locks      alloc B/lock  steady B/lock  bound  inflations  deflations  reclaims  p50       p99       max\n"
+		"locks      alloc B/lock  steady B/lock  bound  inflations  deflations  reclaims  p50       p99       p99.9     max\n"
 	for _, p := range points {
-		s += fmt.Sprintf("%-10d %-13.1f %-14.1f %-6d %-11d %-11d %-9d %-9v %-9v %v\n",
+		s += fmt.Sprintf("%-10d %-13.1f %-14.1f %-6d %-11d %-11d %-9d %-9v %-9v %-9v %v\n",
 			p.Locks, p.AllocBytesPerLock, p.SteadyBytesPerLock, p.BoundMonitors,
 			p.Inflations, p.SweepDeflations, p.SweepReclaims+p.ReleaseReclaims,
-			time.Duration(p.LatencyP50Ns), time.Duration(p.LatencyP99Ns), time.Duration(p.LatencyMaxNs))
+			time.Duration(p.LatencyP50Ns), time.Duration(p.LatencyP99Ns),
+			time.Duration(p.LatencyP999Ns), time.Duration(p.LatencyMaxNs))
 	}
 	return s
 }

@@ -3,25 +3,90 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"sort"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/backend"
 	"repro/internal/harness"
 	"repro/internal/jthread"
 	"repro/internal/memmodel"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 )
 
 // TournamentSchema identifies the BENCH_<date>.json format (documented in
-// EXPERIMENTS.md).
-const TournamentSchema = "solero-bench/v1"
+// EXPERIMENTS.md). v2 adds per-point sampled operation-latency percentiles
+// and the lowParallelism environment stamp; v1 records stay readable by the
+// regression analyzer (Regress accepts any "solero-bench/" schema).
+const TournamentSchema = "solero-bench/v2"
+
+// LatencyStats summarizes a sampled operation-latency distribution in
+// nanoseconds. Samples is how many latencies the percentiles were computed
+// from — consumers should treat small-sample tails with suspicion.
+type LatencyStats struct {
+	Samples int   `json:"samples"`
+	P50Ns   int64 `json:"p50Ns"`
+	P99Ns   int64 `json:"p99Ns"`
+	P999Ns  int64 `json:"p999Ns"`
+	MaxNs   int64 `json:"maxNs"`
+	MeanNs  int64 `json:"meanNs"`
+}
+
+// NewLatencyStats computes percentiles over the samples (destructively
+// sorting them). A nil/empty slice yields the zero value.
+func NewLatencyStats(ns []int64) LatencyStats {
+	if len(ns) == 0 {
+		return LatencyStats{}
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	pick := func(q float64) int64 { return ns[int(q*float64(len(ns)-1))] }
+	var sum int64
+	for _, v := range ns {
+		sum += v
+	}
+	return LatencyStats{
+		Samples: len(ns),
+		P50Ns:   pick(0.5),
+		P99Ns:   pick(0.99),
+		P999Ns:  pick(0.999),
+		MaxNs:   ns[len(ns)-1],
+		MeanNs:  sum / int64(len(ns)),
+	}
+}
 
 // TournamentSeries is one backend's throughput curve over the thread sweep
-// of one workload, with its protocol counters at sweep end.
+// of one workload, with its protocol counters at sweep end. Latency (v2)
+// is index-aligned with the workload's Threads: one sampled distribution
+// per sweep point.
 type TournamentSeries struct {
 	Backend   string            `json:"backend"`
 	OpsPerSec []float64         `json:"opsPerSec"`
+	Latency   []LatencyStats    `json:"latency,omitempty"`
 	Counters  map[string]uint64 `json:"counters,omitempty"`
+}
+
+// latencyRecorder collects sampled per-operation latencies from all worker
+// goroutines of one sweep point. Workers batch locally and flush once at
+// stop, so the mutex is uncontended during measurement.
+type latencyRecorder struct {
+	mu sync.Mutex
+	ns []int64
+}
+
+func (r *latencyRecorder) add(batch []int64) {
+	r.mu.Lock()
+	r.ns = append(r.ns, batch...)
+	r.mu.Unlock()
+}
+
+func (r *latencyRecorder) drain() []int64 {
+	r.mu.Lock()
+	out := r.ns
+	r.ns = nil
+	r.mu.Unlock()
+	return out
 }
 
 // TournamentWorkload is one workload's full sweep.
@@ -38,15 +103,20 @@ type TournamentWorkload struct {
 // Date is injected by the caller (solerobench -date / make bench-record),
 // never read from a clock inside the harness.
 type TournamentResult struct {
-	Schema     string               `json:"schema"`
-	Date       string               `json:"date,omitempty"`
-	GoVersion  string               `json:"goVersion"`
-	GOOS       string               `json:"goos"`
-	GOARCH     string               `json:"goarch"`
-	CPUs       int                  `json:"cpus"`
-	GoMaxProcs int                  `json:"gomaxprocs"`
-	Arch       string               `json:"arch"`
-	Workloads  []TournamentWorkload `json:"workloads"`
+	Schema     string `json:"schema"`
+	Date       string `json:"date,omitempty"`
+	GoVersion  string `json:"goVersion"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPUs       int    `json:"cpus"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Arch       string `json:"arch"`
+	// LowParallelism stamps records taken where GOMAXPROCS is below the
+	// largest requested thread count: goroutines time-share a processor,
+	// so throughput curves measure scheduler fairness, not lock scaling.
+	// The regression gate reports such records but never gates on them.
+	LowParallelism bool                 `json:"lowParallelism,omitempty"`
+	Workloads      []TournamentWorkload `json:"workloads"`
 	// Footprint is the session-lock footprint grid (solerobench
 	// -footprint), giving the perf trajectory a memory axis alongside
 	// throughput.
@@ -70,11 +140,18 @@ func archModel(arch string) *memmodel.Model {
 // tournamentSink defeats dead-code elimination of the read bodies.
 var tournamentSink atomic.Uint64
 
+// tournamentLatencySample is the 1-in-N op-latency sampling rate. Two
+// clock reads every 64 ops keeps timing overhead far below the op cost
+// being measured while still collecting thousands of samples per window.
+const tournamentLatencySample = 64
+
 // tournamentWorker builds the reader-scaling worker: each op is a tiny
 // guarded read of shared state (the regime where per-acquisition lock
 // overhead dominates, i.e. where RWLock's centralized RMW pair collapses
-// and BRAVO's slot publish scales), with an optional write mix.
-func tournamentWorker(be backend.Backend, writePct int, data []atomic.Uint64) harness.Worker {
+// and BRAVO's slot publish scales), with an optional write mix. Every 64th
+// op is timed end-to-end into lat (when non-nil), feeding the v2 schema's
+// per-point latency percentiles.
+func tournamentWorker(be backend.Backend, writePct int, data []atomic.Uint64, lat *latencyRecorder) harness.Worker {
 	n := uint64(len(data))
 	return func(i int, th *jthread.Thread, stop *atomic.Bool) uint64 {
 		seed := uint64(i)*0x9e3779b97f4a7c15 + 1
@@ -86,8 +163,14 @@ func tournamentWorker(be backend.Backend, writePct int, data []atomic.Uint64) ha
 			return z ^ z>>31
 		}
 		var ops, acc uint64
+		var samples []int64
 		for !stop.Load() {
 			x := next()
+			sampled := lat != nil && ops%tournamentLatencySample == 0
+			var start time.Time
+			if sampled {
+				start = time.Now()
+			}
 			if writePct > 0 && int(x>>32%100) < writePct {
 				be.WriteSync(th, func() {
 					data[0].Add(1)
@@ -102,9 +185,15 @@ func tournamentWorker(be backend.Backend, writePct int, data []atomic.Uint64) ha
 				be.ReadSync(th, func() { v = data[k].Load() })
 				acc += v
 			}
+			if sampled {
+				samples = append(samples, time.Since(start).Nanoseconds())
+			}
 			ops++
 		}
 		tournamentSink.Add(acc)
+		if lat != nil {
+			lat.add(samples)
+		}
 		return ops
 	}
 }
@@ -131,22 +220,48 @@ func Tournament(o Options, backends []string) *TournamentResult {
 			{Name: "mixed-5w", WritePct: 5, Threads: o.Threads},
 		},
 	}
+	for _, n := range o.Threads {
+		if n > res.GoMaxProcs {
+			res.LowParallelism = true
+		}
+	}
 	model := archModel(o.Arch)
 	for wi := range res.Workloads {
 		w := &res.Workloads[wi]
 		for _, name := range backends {
-			be, err := backend.New(name, backend.Options{Model: model})
+			// Each sweep gets its own registry so the contention taxonomy
+			// the backends record through the SPI metrics hooks lands in
+			// the series counters. The huge cs_duration sample period
+			// keeps the hot read path alloc- and timer-free; contention
+			// events are counted unconditionally regardless.
+			reg := metrics.New(0)
+			reg.SetSamplePeriod(1 << 20)
+			be, err := backend.New(name, backend.Options{Model: model, Metrics: reg})
 			if err != nil {
 				panic(err) // registry names only; a typo is a programming error
 			}
 			data := make([]atomic.Uint64, 64)
-			worker := tournamentWorker(be, w.WritePct, data)
-			curve := harness.Sweep(jthread.NewVM(), o.Harness, o.Threads, worker)
-			w.Series = append(w.Series, TournamentSeries{
-				Backend:   name,
-				OpsPerSec: curve,
-				Counters:  be.Stats(),
-			})
+			lat := &latencyRecorder{}
+			worker := tournamentWorker(be, w.WritePct, data, lat)
+			vm := jthread.NewVM()
+			s := TournamentSeries{Backend: name}
+			for _, n := range o.Threads {
+				ho := o.Harness
+				ho.Threads = n
+				r := harness.Measure(vm, ho, worker)
+				s.OpsPerSec = append(s.OpsPerSec, r.OpsPerSec)
+				// drain() covers this point's warmup and measurement
+				// windows — the latency axis is observational, not
+				// window-gated like the throughput score.
+				s.Latency = append(s.Latency, NewLatencyStats(lat.drain()))
+			}
+			s.Counters = be.Stats()
+			for c := metrics.AbortCause(0); c < metrics.NumAbortCauses; c++ {
+				if v := reg.AbortCount(c); v > 0 {
+					s.Counters["contention:"+c.String()] = v
+				}
+			}
+			w.Series = append(w.Series, s)
 		}
 	}
 	return res

@@ -30,8 +30,11 @@ import (
 // the `lockstats -serve` endpoint holds one — always serves fresh state.
 // Nil fields are simply omitted from the output.
 type Source struct {
-	// Benchmark and Threads identify the run.
+	// Benchmark and Threads identify the run; Backend names the lock
+	// backend under test (stamped into Perfetto process metadata when
+	// set).
 	Benchmark string
+	Backend   string
 	Threads   int
 	// Registry is the metrics registry wired through core.Config.Metrics.
 	Registry *metrics.Registry

@@ -25,6 +25,7 @@ func testSource() *Source {
 	reg.RecordFactDivergence(0)
 	return &Source{
 		Benchmark: "hashmap",
+		Backend:   "solero",
 		Threads:   4,
 		Registry:  reg,
 		Counters: func() map[string]uint64 {
@@ -53,9 +54,13 @@ solero_ops_total 1000
 # HELP solero_aborts_total Failed or preempted elisions by cause.
 # TYPE solero_aborts_total counter
 solero_aborts_total{cause="async-abort"} 0
+solero_aborts_total{cause="gate-park"} 0
 solero_aborts_total{cause="inflated"} 1
 solero_aborts_total{cause="lockbit-set"} 0
+solero_aborts_total{cause="monitor-park"} 0
 solero_aborts_total{cause="recursion-overflow"} 0
+solero_aborts_total{cause="revocation-scan"} 0
+solero_aborts_total{cause="sweep-stall"} 0
 solero_aborts_total{cause="writer-raced"} 2
 # HELP solero_protocol_events_total SOLERO protocol event counters.
 # TYPE solero_protocol_events_total counter
@@ -249,7 +254,21 @@ func TestServeEndpoints(t *testing.T) {
 	if err := json.Unmarshal([]byte(get("/trace.json")), &doc); err != nil {
 		t.Fatalf("/trace.json: %v", err)
 	}
-	if len(doc.TraceEvents) != 1 || doc.TraceEvents[0].Name != "inflate" {
+	// The served trace leads with the two "M"-phase process-metadata
+	// events (backend name + gomaxprocs label), then the protocol instant.
+	if len(doc.TraceEvents) != 3 || doc.TraceEvents[2].Name != "inflate" {
 		t.Fatalf("/trace.json events = %+v", doc.TraceEvents)
+	}
+	if doc.TraceEvents[0].Name != "process_name" || doc.TraceEvents[0].Phase != "M" ||
+		doc.TraceEvents[0].Args.Name != "solero/solero" {
+		t.Fatalf("/trace.json process_name metadata = %+v", doc.TraceEvents[0])
+	}
+	if doc.TraceEvents[1].Name != "process_labels" ||
+		!strings.Contains(doc.TraceEvents[1].Args.Labels, "backend=solero") ||
+		!strings.Contains(doc.TraceEvents[1].Args.Labels, "gomaxprocs=") {
+		t.Fatalf("/trace.json process_labels metadata = %+v", doc.TraceEvents[1])
+	}
+	if doc.OtherData["backend"] != "solero" {
+		t.Fatalf("/trace.json otherData = %+v", doc.OtherData)
 	}
 }

@@ -3,6 +3,7 @@ package export
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"repro/internal/trace"
 )
@@ -21,10 +22,14 @@ type PerfettoEvent struct {
 	Args  *PerfettoArgs `json:"args,omitempty"`
 }
 
-// PerfettoArgs carries the protocol detail for one event.
+// PerfettoArgs carries the protocol detail for one event. Name and Labels
+// are only set on "M"-phase metadata events (process_name /
+// process_labels), never on protocol instants.
 type PerfettoArgs struct {
-	Seq  uint64 `json:"seq"`
-	Word string `json:"word"`
+	Seq    uint64 `json:"seq"`
+	Word   string `json:"word,omitempty"`
+	Name   string `json:"name,omitempty"`
+	Labels string `json:"labels,omitempty"`
 }
 
 // PerfettoTrace is the top-level JSON Object Format document.
@@ -38,9 +43,43 @@ type PerfettoTrace struct {
 // by Perfetto and chrome://tracing. Events come out in sequence order; the
 // number of overwritten (dropped) events rides along in otherData.
 func Perfetto(r *trace.Ring) ([]byte, error) {
+	return PerfettoWith(r, "", 0)
+}
+
+// PerfettoWith additionally stamps run-environment process metadata: the
+// backend name becomes the Perfetto process name and, with GOMAXPROCS,
+// a process label — so a trace pulled off a shared dashboard still says
+// which lock backend produced it and how parallel the host really was.
+// Empty backend and non-positive gomaxprocs omit their metadata, keeping
+// plain Perfetto() output unchanged.
+func PerfettoWith(r *trace.Ring, backendName string, gomaxprocs int) ([]byte, error) {
 	doc := PerfettoTrace{
 		TraceEvents:     []PerfettoEvent{},
 		DisplayTimeUnit: "ns",
+	}
+	if backendName != "" || gomaxprocs > 0 {
+		doc.OtherData = map[string]string{}
+		name := "solero"
+		if backendName != "" {
+			name = "solero/" + backendName
+			doc.OtherData["backend"] = backendName
+		}
+		doc.TraceEvents = append(doc.TraceEvents, PerfettoEvent{
+			Name: "process_name", Phase: "M", PID: 1,
+			Args: &PerfettoArgs{Name: name},
+		})
+		var labels []string
+		if backendName != "" {
+			labels = append(labels, "backend="+backendName)
+		}
+		if gomaxprocs > 0 {
+			labels = append(labels, fmt.Sprintf("gomaxprocs=%d", gomaxprocs))
+			doc.OtherData["gomaxprocs"] = fmt.Sprintf("%d", gomaxprocs)
+		}
+		doc.TraceEvents = append(doc.TraceEvents, PerfettoEvent{
+			Name: "process_labels", Phase: "M", PID: 1,
+			Args: &PerfettoArgs{Labels: strings.Join(labels, " ")},
+		})
 	}
 	if r != nil {
 		for _, e := range r.Snapshot() {
@@ -54,10 +93,11 @@ func Perfetto(r *trace.Ring) ([]byte, error) {
 				Args:  &PerfettoArgs{Seq: e.Seq, Word: fmt.Sprintf("%#x", e.Word)},
 			})
 		}
-		doc.OtherData = map[string]string{
-			"dropped":  fmt.Sprintf("%d", r.Dropped()),
-			"recorded": fmt.Sprintf("%d", r.Len()),
+		if doc.OtherData == nil {
+			doc.OtherData = map[string]string{}
 		}
+		doc.OtherData["dropped"] = fmt.Sprintf("%d", r.Dropped())
+		doc.OtherData["recorded"] = fmt.Sprintf("%d", r.Len())
 	}
 	return json.MarshalIndent(&doc, "", " ")
 }

@@ -1,0 +1,251 @@
+package export
+
+// pprof contention-profile exporter, modeled on the Go runtime's mutex
+// profile: each sampled contention site becomes a pprof sample whose stack
+// is the site's captured user frames and whose two values are the event
+// count and the cumulative wait nanoseconds ("contentions/count" and
+// "delay/nanoseconds"). Counts and delays are scaled by the site sampling
+// period, exactly as runtime/pprof scales mutex profiles by
+// MutexProfileFraction, so `go tool pprof -top` answers "which lock site
+// burns the time" in estimated real units.
+//
+// The profile.proto encoding is hand-rolled: the message subset a
+// contention profile needs (sample types, samples with labels, locations,
+// functions, a string table, the period) is small and regular, and the
+// repo's no-new-dependencies rule rules out the protobuf module. Wire
+// format: varint scalars (wire type 0) and length-delimited submessages /
+// strings / packed arrays (wire type 2), gzip-wrapped as pprof expects.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// profile.proto field numbers (message Profile).
+const (
+	profSampleType  = 1
+	profSample      = 2
+	profLocation    = 4
+	profFunction    = 5
+	profStringTable = 6
+	profTimeNanos   = 9
+	profPeriodType  = 11
+	profPeriod      = 12
+)
+
+// message ValueType { int64 type = 1; int64 unit = 2; }
+const (
+	vtType = 1
+	vtUnit = 2
+)
+
+// message Sample { repeated uint64 location_id = 1; repeated int64 value = 2;
+// repeated Label label = 3; }
+const (
+	sampleLocationID = 1
+	sampleValue      = 2
+	sampleLabel      = 3
+)
+
+// message Label { int64 key = 1; int64 str = 2; }
+const (
+	labelKey = 1
+	labelStr = 2
+)
+
+// message Location { uint64 id = 1; uint64 address = 3; repeated Line line = 4; }
+const (
+	locID      = 1
+	locAddress = 3
+	locLine    = 4
+)
+
+// message Line { uint64 function_id = 1; int64 line = 2; }
+const (
+	lineFunctionID = 1
+	lineLine       = 2
+)
+
+// message Function { uint64 id = 1; int64 name = 2; int64 system_name = 3;
+// int64 filename = 4; }
+const (
+	fnID         = 1
+	fnName       = 2
+	fnSystemName = 3
+	fnFilename   = 4
+)
+
+// pbuf is a minimal protobuf wire-format encoder.
+type pbuf struct{ b []byte }
+
+func (p *pbuf) uvarint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// varintField emits a wire-type-0 field; zero values are emitted too (the
+// string table relies on explicit entries, and pprof treats absent and zero
+// alike everywhere else, so uniformity is simpler than proto3 elision).
+func (p *pbuf) varintField(field int, v uint64) {
+	p.uvarint(uint64(field)<<3 | 0)
+	p.uvarint(v)
+}
+
+// bytesField emits a wire-type-2 (length-delimited) field.
+func (p *pbuf) bytesField(field int, data []byte) {
+	p.uvarint(uint64(field)<<3 | 2)
+	p.uvarint(uint64(len(data)))
+	p.b = append(p.b, data...)
+}
+
+// packedField emits a repeated varint field in packed encoding.
+func (p *pbuf) packedField(field int, vs []uint64) {
+	var inner pbuf
+	for _, v := range vs {
+		inner.uvarint(v)
+	}
+	p.bytesField(field, inner.b)
+}
+
+// stringIndexer interns strings into the profile string table. Index 0 is
+// the empty string, as profile.proto requires.
+type stringIndexer struct {
+	table []string
+	index map[string]uint64
+}
+
+func newStringIndexer() *stringIndexer {
+	return &stringIndexer{table: []string{""}, index: map[string]uint64{"": 0}}
+}
+
+func (si *stringIndexer) id(s string) uint64 {
+	if id, ok := si.index[s]; ok {
+		return id
+	}
+	id := uint64(len(si.table))
+	si.table = append(si.table, s)
+	si.index[s] = id
+	return id
+}
+
+func encodeValueType(typ, unit uint64) []byte {
+	var p pbuf
+	p.varintField(vtType, typ)
+	p.varintField(vtUnit, unit)
+	return p.b
+}
+
+// ContentionProfile renders the registry's sampled contention sites as a
+// gzipped pprof protobuf profile. Each site contributes one sample per
+// taxonomy cause it was observed under, tagged with a "cause" label, so
+// `go tool pprof` can filter by cause (-tagfocus cause=gate-park) as well
+// as aggregate by stack. nil-safe: a nil registry yields a valid, empty
+// profile.
+func ContentionProfile(reg *metrics.Registry) ([]byte, error) {
+	si := newStringIndexer()
+	var prof pbuf
+
+	// Sample types: [contentions/count, delay/nanoseconds]; the period is
+	// the site sampling rate in events per sample.
+	prof.bytesField(profSampleType, encodeValueType(si.id("contentions"), si.id("count")))
+	prof.bytesField(profSampleType, encodeValueType(si.id("delay"), si.id("nanoseconds")))
+
+	period := reg.SiteSamplePeriod()
+	if period == 0 {
+		period = 1
+	}
+
+	// Dedupe locations by PC and functions by (name, file) across sites.
+	type fnKey struct {
+		name string
+		file string
+	}
+	fnIDs := make(map[fnKey]uint64)
+	locIDs := make(map[uintptr]uint64)
+	var fnBuf, locBuf, sampleBuf pbuf
+
+	locationFor := func(f metrics.StackFrame) uint64 {
+		if id, ok := locIDs[f.PC]; ok {
+			return id
+		}
+		fk := fnKey{name: f.Function, file: f.File}
+		fid, ok := fnIDs[fk]
+		if !ok {
+			fid = uint64(len(fnIDs) + 1)
+			fnIDs[fk] = fid
+			var fn pbuf
+			fn.varintField(fnID, fid)
+			fn.varintField(fnName, si.id(f.Function))
+			fn.varintField(fnSystemName, si.id(f.Function))
+			fn.varintField(fnFilename, si.id(f.File))
+			fnBuf.bytesField(profFunction, fn.b)
+		}
+		lid := uint64(len(locIDs) + 1)
+		locIDs[f.PC] = lid
+		var loc pbuf
+		loc.varintField(locID, lid)
+		loc.varintField(locAddress, uint64(f.PC))
+		var line pbuf
+		line.varintField(lineFunctionID, fid)
+		line.varintField(lineLine, uint64(f.Line))
+		loc.bytesField(locLine, line.b)
+		locBuf.bytesField(profLocation, loc.b)
+		return lid
+	}
+
+	causeKey := si.id("cause")
+	for _, stack := range reg.ContentionStacks() {
+		if len(stack.Frames) == 0 {
+			// Sites whose every frame was lock-internal (e.g. attribution
+			// fired below a runtime-only stack) have no user location;
+			// pprof cannot render a location-less sample usefully.
+			continue
+		}
+		locs := make([]uint64, 0, len(stack.Frames))
+		for _, f := range stack.Frames { // leaf first, as pprof expects
+			locs = append(locs, locationFor(f))
+		}
+		for c := metrics.AbortCause(0); c < metrics.NumAbortCauses; c++ {
+			if stack.ByCause[c] == 0 {
+				continue
+			}
+			var sample pbuf
+			sample.packedField(sampleLocationID, locs)
+			sample.packedField(sampleValue, []uint64{
+				stack.ByCause[c] * period,
+				stack.ByCauseNanos[c] * period,
+			})
+			var label pbuf
+			label.varintField(labelKey, causeKey)
+			label.varintField(labelStr, si.id(c.String()))
+			sample.bytesField(sampleLabel, label.b)
+			sampleBuf.bytesField(profSample, sample.b)
+		}
+	}
+
+	prof.b = append(prof.b, sampleBuf.b...)
+	prof.b = append(prof.b, locBuf.b...)
+	prof.b = append(prof.b, fnBuf.b...)
+	for _, s := range si.table {
+		prof.bytesField(profStringTable, []byte(s))
+	}
+	prof.varintField(profTimeNanos, uint64(time.Now().UnixNano()))
+	prof.bytesField(profPeriodType, encodeValueType(si.index["contentions"], si.index["count"]))
+	prof.varintField(profPeriod, period)
+
+	var out bytes.Buffer
+	zw := gzip.NewWriter(&out)
+	if _, err := zw.Write(prof.b); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}

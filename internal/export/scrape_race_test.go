@@ -1,0 +1,91 @@
+package export
+
+// Race test for the metrics plumbing end to end: every registered lock
+// backend hammers one shared registry through the SPI hooks while an HTTP
+// client concurrently scrapes the live endpoints that read it. Run under
+// `make race` (-race), this catches unsynchronized access anywhere on the
+// record→merge→export path — striped counters, site table, histogram
+// snapshots, and the pprof stack resolver.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/jthread"
+	"repro/internal/metrics"
+)
+
+func TestScrapeRaceAllBackends(t *testing.T) {
+	reg := metrics.New(0)
+	reg.SetSamplePeriod(4)
+	reg.SetSitePeriod(1)
+
+	src := NewSource("scrape-race", 2*len(backend.Names()), reg)
+	src.Backend = "all"
+	srv := httptest.NewServer(src.Mux())
+	defer srv.Close()
+
+	vm := jthread.NewVM()
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var shared [8]atomic.Uint64
+	for _, name := range backend.Names() {
+		be, err := backend.New(name, backend.Options{Metrics: reg})
+		if err != nil {
+			t.Fatalf("backend %s: %v", name, err)
+		}
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func(writer bool) {
+				defer wg.Done()
+				th := vm.Attach("scrape-race")
+				defer th.Detach()
+				for i := 0; !stop.Load(); i++ {
+					if writer && i%4 == 0 {
+						be.WriteSync(th, func() { shared[0].Add(1) })
+					} else {
+						be.ReadSync(th, func() { shared[1].Load() })
+					}
+				}
+			}(w == 1)
+		}
+	}
+
+	scrape := func(path string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Errorf("GET %s: %v", path, err)
+			return
+		}
+		defer resp.Body.Close()
+		if _, err := io.ReadAll(resp.Body); err != nil {
+			t.Errorf("read %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+	paths := []string{"/metrics", "/snapshot.json", "/debug/pprof/contention"}
+	for _, p := range paths {
+		wg.Add(1)
+		go func(p string) {
+			defer wg.Done()
+			for !stop.Load() {
+				scrape(p)
+			}
+		}(p)
+	}
+
+	time.Sleep(150 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	for _, p := range paths {
+		scrape(p) // one post-load scrape of the final state
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -31,10 +32,11 @@ func (s *Source) publishExpvar() {
 // Mux returns the live observability endpoint served by
 // `lockstats -serve :PORT`:
 //
-//	/metrics        Prometheus text exposition
-//	/debug/vars     expvar JSON (includes the "solero" snapshot bundle)
-//	/snapshot.json  the Bundle schema (solero-snapshot/v1)
-//	/trace.json     Perfetto/Chrome trace-event JSON of the flight recorder
+//	/metrics                  Prometheus text exposition
+//	/debug/vars               expvar JSON (includes the "solero" snapshot bundle)
+//	/snapshot.json            the Bundle schema (solero-snapshot/v1)
+//	/trace.json               Perfetto/Chrome trace-event JSON of the flight recorder
+//	/debug/pprof/contention   gzipped pprof protobuf of sampled contention sites
 func (s *Source) Mux() *http.ServeMux {
 	s.publishExpvar()
 	mux := http.NewServeMux()
@@ -53,7 +55,7 @@ func (s *Source) Mux() *http.ServeMux {
 		w.Write(data)
 	})
 	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, _ *http.Request) {
-		data, err := Perfetto(s.Ring)
+		data, err := PerfettoWith(s.Ring, s.Backend, runtime.GOMAXPROCS(0))
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -61,12 +63,22 @@ func (s *Source) Mux() *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(data)
 	})
+	mux.HandleFunc("/debug/pprof/contention", func(w http.ResponseWriter, _ *http.Request) {
+		data, err := ContentionProfile(s.Registry)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="contention.pb.gz"`)
+		w.Write(data)
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintf(w, "solero %s (%d threads)\n\n/metrics\n/debug/vars\n/snapshot.json\n/trace.json\n",
+		fmt.Fprintf(w, "solero %s (%d threads)\n\n/metrics\n/debug/vars\n/snapshot.json\n/trace.json\n/debug/pprof/contention\n",
 			s.Benchmark, s.Threads)
 	})
 	return mux

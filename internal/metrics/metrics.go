@@ -42,6 +42,25 @@ const (
 	// aborted the speculation from inside the section body.
 	AbortAsync
 
+	// The remaining causes are contention events rather than failed
+	// speculations: named stalls recorded by the backend SPI's metrics hooks
+	// (RecordContention) so the taxonomy attributes *where lock time goes*
+	// uniformly across backends, not just why elision failed.
+
+	// AbortRevocationScan: a BRAVO writer swept the visible-reader table to
+	// revoke reader bias (internal/bravo.revoke); the dwell is the scan cost.
+	AbortRevocationScan
+	// AbortGatePark: a reader or writer parked on the rwlock gate
+	// (internal/rwlock.park) waiting for the state word to clear.
+	AbortGatePark
+	// AbortMonitorPark: a thread parked on a vmlock flat-lock-contention
+	// monitor waiting for the flat owner to exit (internal/vmlock).
+	AbortMonitorPark
+	// AbortSweepStall: a monitor-table deflation sweep pass skipped busy or
+	// pinned entries (internal/montable.Sweep) — reclaim was stalled by live
+	// lock traffic; the dwell is that pass's wall-clock latency.
+	AbortSweepStall
+
 	// NumAbortCauses is the taxonomy's cardinality.
 	NumAbortCauses
 )
@@ -52,6 +71,10 @@ var abortCauseNames = [NumAbortCauses]string{
 	AbortInflated:          "inflated",
 	AbortRecursionOverflow: "recursion-overflow",
 	AbortAsync:             "async-abort",
+	AbortRevocationScan:    "revocation-scan",
+	AbortGatePark:          "gate-park",
+	AbortMonitorPark:       "monitor-park",
+	AbortSweepStall:        "sweep-stall",
 }
 
 // String names the cause as exported (Prometheus label values, JSON keys).
@@ -70,6 +93,7 @@ const (
 	HistYield      = "yield_dwell"
 	HistPark       = "park_dwell"
 	HistSweep      = "sweep_latency"
+	HistRevoke     = "revoke_scan"
 )
 
 // DefaultSamplePeriod is the default success-path sampling period: one in
@@ -101,6 +125,9 @@ type Registry struct {
 	// Sweep is the wall-clock latency of one full monitor-table deflation
 	// sweep (internal/montable), all shards.
 	Sweep *Histogram
+	// Revoke is the BRAVO reader-bias revocation scan cost: one full pass
+	// over the visible-reader table by a writer (internal/bravo).
+	Revoke *Histogram
 
 	aborts   [NumAbortCauses]*stats.Striped
 	ops      *stats.Striped
@@ -127,6 +154,7 @@ func New(nstripes int) *Registry {
 		Yield:            newHistogram(HistYield, nstripes),
 		Park:             newHistogram(HistPark, nstripes),
 		Sweep:            newHistogram(HistSweep, nstripes),
+		Revoke:           newHistogram(HistRevoke, nstripes),
 		ops:              stats.NewStriped(nstripes),
 		factDivs:         stats.NewStriped(nstripes),
 		samples:          make([]sampleStripe, nstripes),
@@ -149,6 +177,16 @@ func (r *Registry) SetSamplePeriod(n int) {
 		n = 1
 	}
 	r.samplePeriodMask = uint32(stats.CeilPow2(n)) - 1
+}
+
+// SetSitePeriod sets the sampled call-site attribution period (rounded up
+// to a power of two, minimum 1 = every event). Call before the registry is
+// in use; the gate is read without synchronization.
+func (r *Registry) SetSitePeriod(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.sitePeriodMask = uint64(stats.CeilPow2(n)) - 1
 }
 
 // NumStripes returns the stripe count (a power of two).
@@ -180,8 +218,55 @@ func (r *Registry) RecordAbort(stripe uint32, cause AbortCause) {
 	}
 	r.aborts[cause].Add(stripe, 1)
 	if r.samples[stripe&r.mask].ctr.Inc()&r.sitePeriodMask == 0 {
-		r.sites.record(cause)
+		r.sites.record(cause, 0)
 	}
+}
+
+// RecordContention accounts one named contention stall (a revocation scan,
+// gate park, monitor park, or sweep stall) with its wall-clock dwell:
+// exactly one taxonomy count, one dwell sample into the cause's histogram,
+// and — on the sampled subset — call-site attribution carrying the dwell so
+// profiles can weight sites by cumulative wait time. Sweep stalls skip the
+// histogram: RecordSweep already owns sweep_latency and double-recording
+// the same pass would skew it. nil-safe.
+func (r *Registry) RecordContention(stripe uint32, cause AbortCause, d time.Duration) {
+	if r == nil {
+		return
+	}
+	if cause >= NumAbortCauses {
+		cause = AbortWriterRaced
+	}
+	if d < 0 {
+		d = 0
+	}
+	r.aborts[cause].Add(stripe, 1)
+	switch cause {
+	case AbortRevocationScan:
+		r.Revoke.Record(stripe, int64(d))
+	case AbortGatePark, AbortMonitorPark:
+		r.Park.Record(stripe, int64(d))
+	case AbortSweepStall:
+		// dwell already in sweep_latency via RecordSweep
+	default:
+		r.Acquire.Record(stripe, int64(d))
+	}
+	if r.samples[stripe&r.mask].ctr.Inc()&r.sitePeriodMask == 0 {
+		r.sites.record(cause, uint64(d))
+	}
+}
+
+// RecordAcquireWait records the end-to-end wait of one contended
+// acquisition (first stall to ownership) into the acquire_wait histogram.
+// Distinct from RecordContention: an acquisition may park several times
+// (several taxonomy events) but waits as a whole exactly once. nil-safe.
+func (r *Registry) RecordAcquireWait(stripe uint32, d time.Duration) {
+	if r == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	r.Acquire.Record(stripe, int64(d))
 }
 
 // AbortCount returns the merged count for one cause. nil-safe.
@@ -249,7 +334,7 @@ func (r *Registry) Histograms() []*Histogram {
 	if r == nil {
 		return nil
 	}
-	return []*Histogram{r.CSDuration, r.Acquire, r.Spin, r.Yield, r.Park, r.Sweep}
+	return []*Histogram{r.CSDuration, r.Acquire, r.Spin, r.Yield, r.Park, r.Sweep, r.Revoke}
 }
 
 // RecordSweep records one monitor-table sweep's wall-clock duration on the

@@ -320,6 +320,7 @@ func (h Handle) UnpinReclaim(tid uint64) {
 // injection and history.
 func (t *Table) Sweep(tid uint64) {
 	start := time.Now()
+	stalled := false
 	epoch := t.epoch.Add(1)
 	for _, s := range t.shards {
 		t.cfg.Sched.Point(tid, sched.PTableSweep)
@@ -342,6 +343,7 @@ func (t *Table) Sweep(tid uint64) {
 			}
 			if e.pins > 0 {
 				t.sweepSkipPinned.Add(1)
+				stalled = true
 				continue
 			}
 			// An entry last used in epoch window u becomes eligible only
@@ -356,6 +358,7 @@ func (t *Table) Sweep(tid uint64) {
 			m.RawLock()
 			if !m.EnterQuiescentLocked() {
 				t.sweepSkipBusy.Add(1)
+				stalled = true
 				m.RawUnlock()
 				continue
 			}
@@ -384,6 +387,13 @@ func (t *Table) Sweep(tid uint64) {
 	t.sweepNanos.Add(uint64(dur))
 	if t.cfg.Metrics != nil {
 		t.cfg.Metrics.RecordSweep(tid, dur)
+		if stalled {
+			// One "sweep-stall" event per pass that live lock traffic
+			// (pinned or non-quiescent entries) kept from reclaiming; the
+			// dwell stays out of the histograms — RecordSweep above already
+			// owns this pass's latency.
+			t.cfg.Metrics.RecordContention(uint32(tid), metrics.AbortSweepStall, dur)
+		}
 	}
 }
 

@@ -21,10 +21,12 @@ package rwlock
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"repro/internal/jthread"
 	"repro/internal/memmodel"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/stats"
 )
@@ -62,6 +64,12 @@ type RWLock struct {
 	// the schedule-injection kernel so the invariant oracle can explore
 	// this backend too. Nil (production) costs one predictable branch.
 	Sched *sched.Hooks
+
+	// Metrics, when set, records each gate park's dwell under the
+	// "gate-park" taxonomy cause and each contended acquisition's
+	// first-stall-to-ownership wait into acquire_wait. Hooks live only on
+	// the already-parking slow path; nil costs one branch per park.
+	Metrics *metrics.Registry
 
 	// state holds writerBit plus the active reader count.
 	state atomic.Uint64
@@ -196,6 +204,10 @@ func (l *RWLock) gate() *sync.Cond {
 // park blocks t until ready() holds (checked under the gate mutex, so a
 // wake between the caller's last state probe and the wait is never lost).
 func (l *RWLock) park(t *jthread.Thread, ready func() bool) {
+	var start time.Time
+	if l.Metrics != nil {
+		start = time.Now()
+	}
 	l.parked.Add(1)
 	l.Sched.Block(t.ID(), sched.PGatePark, func() {
 		c := l.gate()
@@ -206,6 +218,9 @@ func (l *RWLock) park(t *jthread.Thread, ready func() bool) {
 		c.L.Unlock()
 	})
 	l.parked.Add(-1)
+	if l.Metrics != nil {
+		l.Metrics.RecordContention(t.StripeIndex(), metrics.AbortGatePark, time.Since(start))
+	}
 }
 
 // wake broadcasts a state change to parked threads. The parked check keeps
@@ -237,6 +252,7 @@ func (l *RWLock) RLock(t *jthread.Thread) {
 		l.readAcquires.Add(1)
 		return
 	}
+	var waitStart time.Time
 	for {
 		l.Sched.Point(tid, sched.PSpin)
 		s := l.state.Load()
@@ -244,11 +260,17 @@ func (l *RWLock) RLock(t *jthread.Thread) {
 			if l.state.CompareAndSwap(s, s+1) {
 				l.addHold(tid)
 				l.readAcquires.Add(1)
+				if !waitStart.IsZero() {
+					l.Metrics.RecordAcquireWait(t.StripeIndex(), time.Since(waitStart))
+				}
 				return
 			}
 			continue
 		}
 		// Write-held by someone else: park until the writer leaves.
+		if l.Metrics != nil && waitStart.IsZero() {
+			waitStart = time.Now()
+		}
 		l.readParks.Add(1)
 		l.park(t, func() bool { return l.state.Load()&writerBit == 0 })
 	}
@@ -274,12 +296,19 @@ func (l *RWLock) Lock(t *jthread.Thread) {
 		l.wrec++
 		return
 	}
+	var waitStart time.Time
 	for {
 		l.Sched.Point(tid, sched.PAcquireCAS)
 		if l.state.Load() == 0 && l.state.CompareAndSwap(0, writerBit) {
 			l.writerTID.Store(tid)
 			l.writeAcquires.Add(1)
+			if !waitStart.IsZero() {
+				l.Metrics.RecordAcquireWait(t.StripeIndex(), time.Since(waitStart))
+			}
 			return
+		}
+		if l.Metrics != nil && waitStart.IsZero() {
+			waitStart = time.Now()
 		}
 		l.writeParks.Add(1)
 		l.park(t, func() bool { return l.state.Load() == 0 })

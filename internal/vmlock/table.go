@@ -111,8 +111,7 @@ func (l *Lock) contendAndInflateTable(t *jthread.Thread) {
 				m.RawLock()
 				v = l.word.Load()
 				if !lockword.Inflated(v) && lockword.Field(v) != 0 {
-					l.st.FLCWaits.Add(1)
-					m.WaitLocked(l.cfg.FLCTimeout)
+					l.flcWait(t, m)
 				}
 				m.RawUnlock()
 			})

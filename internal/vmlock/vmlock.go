@@ -19,6 +19,7 @@ import (
 	"repro/internal/jthread"
 	"repro/internal/lockword"
 	"repro/internal/memmodel"
+	"repro/internal/metrics"
 	"repro/internal/monitor"
 	"repro/internal/montable"
 	"repro/internal/sched"
@@ -56,6 +57,12 @@ type Config struct {
 	// until a lucky no-waiter release, which is exactly the gap the table
 	// mode closes.
 	Monitors *montable.Table
+	// Metrics, when set, records slow-path acquire latency into the
+	// acquire_wait histogram and each FLC park's dwell under the
+	// "monitor-park" taxonomy cause. Hooks live only on the already-slow
+	// paths; the CAS fast path stays untouched. Nil costs one branch per
+	// slow acquisition.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig mirrors a production three-tier setup scaled for tests.
@@ -192,6 +199,12 @@ func (l *Lock) Sync(t *jthread.Thread, fn func()) {
 
 func (l *Lock) slowEnter(t *jthread.Thread, v uint64) {
 	l.st.SlowAcquires.Add(1)
+	if l.cfg.Metrics != nil {
+		start := time.Now()
+		defer func() {
+			l.cfg.Metrics.RecordAcquireWait(t.StripeIndex(), time.Since(start))
+		}()
+	}
 	tid := t.ID()
 	for {
 		switch {
@@ -294,12 +307,27 @@ func (l *Lock) contendAndInflate(t *jthread.Thread) {
 				m.RawLock()
 				v = l.word.Load()
 				if !lockword.Inflated(v) && lockword.Field(v) != 0 {
-					l.st.FLCWaits.Add(1)
-					m.WaitLocked(l.cfg.FLCTimeout)
+					l.flcWait(t, m)
 				}
 				m.RawUnlock()
 			})
 		}
+	}
+}
+
+// flcWait is the timed FLC park shared by the classic and table-backed
+// contention paths: count the wait, park on m's condition, and record the
+// dwell as one "monitor-park" contention event. Called with m's raw mutex
+// held.
+func (l *Lock) flcWait(t *jthread.Thread, m *monitor.Monitor) {
+	l.st.FLCWaits.Add(1)
+	var start time.Time
+	if l.cfg.Metrics != nil {
+		start = time.Now()
+	}
+	m.WaitLocked(l.cfg.FLCTimeout)
+	if l.cfg.Metrics != nil {
+		l.cfg.Metrics.RecordContention(t.StripeIndex(), metrics.AbortMonitorPark, time.Since(start))
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/jthread"
 	"repro/internal/memmodel"
+	"repro/internal/metrics"
 	"repro/internal/montable"
 	"repro/internal/rwlock"
 	"repro/internal/vmlock"
@@ -145,20 +146,28 @@ func NewGuardConfig(impl Impl, arch string, base *core.Config) *Guard {
 	default:
 		panic(fmt.Sprintf("workload: unknown arch %q", arch))
 	}
+	// The base config's registry reaches every impl, not just SOLERO: the
+	// conventional baselines record their own contention causes (gate
+	// parks, monitor parks, revocation scans) into the same taxonomy.
+	var reg *metrics.Registry
+	if base != nil {
+		reg = base.Metrics
+	}
 	switch impl {
 	case ImplLock, ImplLockMT:
 		cfg := *vmlock.DefaultConfig
 		cfg.Model = model
 		cfg.Plan = convPlan
+		cfg.Metrics = reg
 		if impl == ImplLockMT {
 			g.tb = newGuardTable(base)
 			cfg.Monitors = g.tb
 		}
 		g.conv = vmlock.New(&cfg)
 	case ImplRWLock:
-		g.rw = &rwlock.RWLock{Model: model}
+		g.rw = &rwlock.RWLock{Model: model, Metrics: reg}
 	case ImplBravo:
-		g.brv = bravo.New(&bravo.Config{Model: model})
+		g.brv = bravo.New(&bravo.Config{Model: model, Metrics: reg})
 	default:
 		cfg := *core.DefaultConfig
 		if base != nil {
