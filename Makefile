@@ -15,6 +15,10 @@
 #                    MUST fail lint
 #   make racecatch - static/dynamic differential: the seeded-racy package
 #                    must be flagged by guardedby AND fail `go test -race`
+#   make escape-catch - escape differential: the seeded leaked-reference
+#                    package must be flagged by escape AND fail `go test
+#                    -race`; the snapshot-fixed twin must pass both
+#   make lint-sarif - solerovet -sarif output validated against a golden
 #   make schedsmoke - fixed-seed schedule-exploration smoke + inverted bug-catch
 #   make schedfuzz  - longer schedule exploration across both strategies
 #   make fuzz      - native Go fuzzing of the lock-word encoding
@@ -31,7 +35,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench check lint lintcatch factsmoke lockorder-catch guardedby-catch racecatch schedsmoke schedfuzz fuzz obs-smoke json-smoke bench-record bench-gate tournament-smoke montable-smoke
+.PHONY: build vet test race bench check lint lintcatch factsmoke lockorder-catch guardedby-catch racecatch escape-catch lint-sarif schedsmoke schedfuzz fuzz obs-smoke json-smoke bench-record bench-gate tournament-smoke montable-smoke
 
 build:
 	$(GO) build ./...
@@ -66,7 +70,7 @@ lint:
 # every analyzer; solerovet reporting nothing there would mean the
 # analyzers rotted. A green build certifies both directions.
 lintcatch:
-	@for pkg in specsafety beforewrite atomicread elide lockorder guardedby; do \
+	@for pkg in specsafety beforewrite atomicread elide lockorder guardedby escape; do \
 		$(GO) run ./cmd/solerovet repro/internal/govet/testdata/src/$$pkg >/dev/null 2>&1; rc=$$?; \
 		if [ $$rc -ne 1 ]; then \
 			echo "FAIL: solerovet did not report seeded violations in $$pkg (exit $$rc, want 1)"; exit 1; \
@@ -88,6 +92,8 @@ factsmoke:
 	$(GO) build -o /tmp/solerovet ./cmd/solerovet
 	$(GO) build -o /tmp/solerojit ./cmd/solerojit
 	/tmp/solerovet -facts /tmp/solero.facts.json $(CORPUS_PKGS)
+	@grep -q '"schema": "solero-facts/v3"' /tmp/solero.facts.json || { \
+		echo "FAIL: solerovet -facts did not write the v3 schema"; head -2 /tmp/solero.facts.json; exit 1; }
 	@for mj in internal/jit/testdata/*.mj; do \
 		out=$$(/tmp/solerojit -facts /tmp/solero.facts.json $$mj) || { echo "FAIL: agreement gate tripped for $$mj"; exit 1; }; \
 		echo "$$out" | grep -q 're-analyzed 0$$' || { echo "FAIL: $$mj was re-analyzed despite carried facts"; echo "$$out"; exit 1; }; \
@@ -133,6 +139,50 @@ racecatch: guardedby-catch
 	fi; \
 	grep -q 'DATA RACE' /tmp/solero-racecatch.log || { echo "FAIL: -race run failed for another reason"; cat /tmp/solero-racecatch.log; exit 1; }; \
 	echo "OK: racecatch (static findings and dynamic detector agree on the seeds)"
+
+# Escape differential: testdata/src/escapeseed leaks the live backing
+# array out of an elided section. Static half: the escape analyzer MUST
+# flag it, naming registry.items. Dynamic half: the package's stress test
+# dereferences the leaked slice while a Sync writer mutates elements in
+# place, so `go test -race` MUST abort with DATA RACE. The snapshot-fixed
+# twin escapeseedfixed runs the identical stress schedule and MUST pass
+# both halves — the positive control proving the snapshot idiom (the -fix
+# rewrite) removes the hazard rather than the test shape hiding it.
+escape-catch:
+	@out=$$($(GO) run ./cmd/solerovet -checks escape repro/internal/govet/testdata/src/escapeseed 2>&1); rc=$$?; \
+	if [ $$rc -ne 1 ]; then \
+		echo "FAIL: escape did not flag the seeded leak (exit $$rc, want 1)"; echo "$$out"; exit 1; \
+	fi; \
+	echo "$$out" | grep -q 'registry\.items' || { echo "FAIL: escaping registry.items not named"; echo "$$out"; exit 1; }; \
+	echo "OK: static half (registry.items escape flagged)"
+	@echo "--- dynamic half: go test -race MUST fail on the seeded package ---"
+	@if $(GO) test -race -count 1 repro/internal/govet/testdata/src/escapeseed >/tmp/solero-escapecatch.log 2>&1; then \
+		echo "FAIL: go test -race did not catch the stale read"; cat /tmp/solero-escapecatch.log; exit 1; \
+	fi; \
+	grep -q 'DATA RACE' /tmp/solero-escapecatch.log || { echo "FAIL: -race run failed for another reason"; cat /tmp/solero-escapecatch.log; exit 1; }; \
+	echo "OK: dynamic half (stale read caught by -race)"
+	@echo "--- fixed twin: snapshot copy MUST pass both halves ---"
+	@out=$$($(GO) run ./cmd/solerovet -checks escape repro/internal/govet/testdata/src/escapeseedfixed 2>&1); rc=$$?; \
+	if [ $$rc -ne 0 ]; then \
+		echo "FAIL: snapshot-fixed twin still flagged (exit $$rc, want 0)"; echo "$$out"; exit 1; \
+	fi
+	@$(GO) test -race -count 1 repro/internal/govet/testdata/src/escapeseedfixed >/tmp/solero-escapecatch-fixed.log 2>&1 || { \
+		echo "FAIL: fixed twin failed under -race"; cat /tmp/solero-escapecatch-fixed.log; exit 1; }
+	@echo "OK: escape-catch (leak flagged + raced; snapshot fix silent + race-free)"
+
+# SARIF interchange smoke: solerovet -sarif over the seeded escape
+# package must exit 1 (findings present) and the emitted document must
+# match the committed golden byte-for-byte — pinning the schema version,
+# rule metadata, relative URIs, and deterministic ordering that code
+# scanning consumers rely on.
+lint-sarif:
+	@$(GO) run ./cmd/solerovet -checks escape -sarif repro/internal/govet/testdata/src/escapeseed >/tmp/solero-lint.sarif 2>/dev/null; rc=$$?; \
+	if [ $$rc -ne 1 ]; then \
+		echo "FAIL: solerovet -sarif exit $$rc, want 1 (findings present)"; exit 1; \
+	fi; \
+	diff -u internal/govet/testdata/escapeseed.sarif.golden /tmp/solero-lint.sarif || { \
+		echo "FAIL: SARIF output diverged from golden (regenerate with the command above if intended)"; exit 1; }; \
+	echo "OK: lint-sarif (SARIF output matches golden)"
 
 # Fixed-seed smoke: a clean 30s exploration must pass, and a run with an
 # injected release-without-counter-bump bug must FAIL (the inverted step:

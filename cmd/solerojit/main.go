@@ -10,7 +10,7 @@
 // With no file, a built-in demo program is compiled. -disasm also prints
 // the bytecode of every method; -run executes a static int method and
 // prints its result. -facts pre-seeds the classifier from a
-// solero-facts/v2 proof file (`solerovet -facts` output, or - for stdin;
+// solero-facts/v3 proof file (`solerovet -facts` output, or - for stdin;
 // v1 files still load):
 // proven blocks skip re-analysis, and any carried verdict that disagrees
 // with fresh analysis exits 1 — the proof-carrying agreement gate.
@@ -86,7 +86,7 @@ func main() {
 	noElide := flag.Bool("no-elision", false, "plan every block as writing (Unelided configuration)")
 	runTarget := flag.String("run", "", "execute a static method, e.g. -run Registry.driver")
 	runArgs := flag.String("args", "", "comma-separated int arguments for -run")
-	factsPath := flag.String("facts", "", "pre-seed the classifier from a solero-facts/v2 file (- for stdin); exits 1 if a carried fact disagrees with fresh analysis")
+	factsPath := flag.String("facts", "", "pre-seed the classifier from a solero-facts/v3 file (- for stdin); exits 1 if a carried fact disagrees with fresh analysis")
 	flag.Parse()
 
 	src := demo

@@ -4,7 +4,7 @@
 //
 //	solerovet ./examples/... ./solero/...
 //	solerovet -checks specsafety,atomicread ./...
-//	solerovet -facts proofs.json ./...   # write the solero-facts/v2 proof file
+//	solerovet -facts proofs.json ./...   # write the solero-facts/v3 proof file
 //	solerovet -fix ./...                 # apply mechanical suggested fixes
 //
 // As a vet tool (per-package units driven by the go command):
@@ -46,7 +46,8 @@ func run(args []string) int {
 		checksFlag = fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
 		listFlag   = fs.Bool("list", false, "list analyzers and exit")
 		jsonFlag   = fs.Bool("json", false, "emit diagnostics as JSON")
-		factsFlag  = fs.String("facts", "", "write the solero-facts/v2 proof file to this path (- for stdout) and exit 0; diagnostics still print on stderr")
+		sarifFlag  = fs.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0 (code-scanning interchange) on stdout")
+		factsFlag  = fs.String("facts", "", "write the solero-facts/v3 proof file to this path (- for stdout) and exit 0; diagnostics still print on stderr")
 		fixFlag    = fs.Bool("fix", false, "apply suggested fixes that carry textual edits, rewriting the affected files")
 	)
 	fs.Parse(args)
@@ -123,7 +124,7 @@ func run(args []string) int {
 		if code := writeFacts(ctx, *factsFlag); code != 0 {
 			return code
 		}
-		report(diags, *jsonFlag)
+		report(diags, *jsonFlag, false, analyzers)
 		return 0
 	}
 	if *fixFlag {
@@ -131,7 +132,7 @@ func run(args []string) int {
 			return code
 		}
 	}
-	return report(diags, *jsonFlag)
+	return report(diags, *jsonFlag, *sarifFlag, analyzers)
 }
 
 // writeFacts serializes the program's section verdicts to path ("-" for
@@ -171,10 +172,22 @@ func applyFixes(diags []govet.Diagnostic) int {
 	return 0
 }
 
-func report(diags []govet.Diagnostic, asJSON bool) int {
-	if asJSON {
+func report(diags []govet.Diagnostic, asJSON, asSARIF bool, analyzers []*analysis.Analyzer) int {
+	switch {
+	case asSARIF:
+		// URIs relativize against the working directory: running from the
+		// module root (make lint-sarif, CI) yields repo-relative paths,
+		// which is what code-scanning uploads expect.
+		wd, _ := os.Getwd()
+		data, err := govet.SARIF(diags, analyzers, wd)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "solerovet: encoding SARIF: %v\n", err)
+			return 2
+		}
+		os.Stdout.Write(data)
+	case asJSON:
 		json.NewEncoder(os.Stdout).Encode(diags)
-	} else {
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(os.Stderr, d)
 			for _, f := range d.Fixes {
@@ -235,5 +248,5 @@ func runVetUnit(cfgPath string, analyzers []*analysis.Analyzer) int {
 		fmt.Fprintf(os.Stderr, "solerovet: %v\n", err)
 		return 2
 	}
-	return report(diags, false)
+	return report(diags, false, false, analyzers)
 }

@@ -91,6 +91,15 @@ type SectionInfo struct {
 	readGuards  map[string]string
 	writeGuards map[string]string
 	guardDiv    atomic.Bool
+
+	// escapes is the facts file's escaping-reference summary
+	// (solero-facts/v3): display names of guarded references the static
+	// pass saw leave the section. A clean build carries none, so a
+	// non-empty list on a speculating proof means the facts describe
+	// different source than the running binary. Set once via SetEscapes
+	// before the section runs; read-only after.
+	escapes   []string
+	escapeDiv atomic.Bool
 }
 
 // retries resolves the section's elision failure bound.
@@ -118,6 +127,18 @@ func (s *SectionInfo) SetGuards(read, write map[string]string) {
 // a field it touches.
 func (s *SectionInfo) GuardDiverged() bool { return s.guardDiv.Load() }
 
+// SetEscapes attaches the section's static escaping-reference summary
+// (from a facts file's v3 escapes list). Call before the section runs;
+// the slice is not copied and must not be mutated afterwards.
+func (s *SectionInfo) SetEscapes(escapes []string) {
+	s.escapes = escapes
+}
+
+// EscapeDiverged reports whether verify mode latched an escape
+// divergence for this section: its proof would speculate, but the facts
+// say guarded references leave the section body.
+func (s *SectionInfo) EscapeDiverged() bool { return s.escapeDiv.Load() }
+
 // SectionRegistry keys critical sections by proof class so statically
 // proven sections skip the runtime's never-attempted classification arm
 // entirely. Unproven (ProofNone) sections pay a probe window: their first
@@ -143,9 +164,10 @@ type SectionRegistry struct {
 	mu       sync.Mutex
 	sections map[string]*SectionInfo
 
-	dynClass         atomic.Uint64
-	divergences      atomic.Uint64
-	guardDivergences atomic.Uint64
+	dynClass          atomic.Uint64
+	divergences       atomic.Uint64
+	guardDivergences  atomic.Uint64
+	escapeDivergences atomic.Uint64
 }
 
 // DefaultProbeWindow is the default dynamic-classification window: how
@@ -217,6 +239,11 @@ func (r *SectionRegistry) Divergences() uint64 { return r.divergences.Load() }
 // (latched once per section).
 func (r *SectionRegistry) GuardDivergences() uint64 { return r.guardDivergences.Load() }
 
+// EscapeDivergences returns how many sections verify mode caught
+// speculating on a proof whose facts carry a non-empty escape summary
+// (latched once per section).
+func (r *SectionRegistry) EscapeDivergences() uint64 { return r.escapeDivergences.Load() }
+
 // ReadOnlySection runs fn as a read-only critical section under a
 // proof-carrying section identity. A nil info degenerates to ReadOnly.
 // Dispatch by proof class:
@@ -239,6 +266,7 @@ func (l *Lock) ReadOnlySection(t *jthread.Thread, info *SectionInfo, fn func()) 
 	}
 	if info.reg != nil && info.reg.verify {
 		l.verifyGuards(t, info)
+		l.verifyEscapes(t, info)
 	}
 	if l.cfg.DisableElision {
 		l.Sync(t, fn)
@@ -326,6 +354,29 @@ func (l *Lock) verifyGuards(t *jthread.Thread, info *SectionInfo) {
 	if mismatch && info.guardDiv.CompareAndSwap(false, true) {
 		info.reg.guardDivergences.Add(1)
 		info.reg.m.RecordFactDivergence(t.StripeIndex())
+	}
+}
+
+// verifyEscapes cross-checks the section's static escape summary
+// against its proof: a clean `solerovet` run never writes a non-empty
+// escapes list (the escape analyzer gates the build), so a speculating
+// proof (elidable or annotated) that still carries one means the facts
+// file was produced against different source — or hand-edited — and the
+// containment property the seqlock validation window depends on is not
+// established for this binary. The divergence is latched once per
+// section and counted (both locally and in metrics' fact_divergences
+// family); the section still runs its proof's plan — the counter is the
+// alarm, matching verifyProbe.
+func (l *Lock) verifyEscapes(t *jthread.Thread, info *SectionInfo) {
+	if len(info.escapes) == 0 || info.escapeDiv.Load() {
+		return
+	}
+	switch info.Proof {
+	case ProofElidable, ProofAnnotated:
+		if info.escapeDiv.CompareAndSwap(false, true) {
+			info.reg.escapeDivergences.Add(1)
+			info.reg.m.RecordFactDivergence(t.StripeIndex())
+		}
 	}
 }
 

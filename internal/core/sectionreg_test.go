@@ -164,6 +164,59 @@ func TestSectionGuardDivergenceLatchesOnce(t *testing.T) {
 	}
 }
 
+// TestSectionEscapeDivergenceLatchesOnce is the escape half of verify
+// mode: a clean solerovet run never writes a non-empty escapes list for
+// a speculating proof, so a seeded section that both speculates and
+// carries escapes means the facts describe different source than the
+// binary — latched as a fact divergence exactly once. Sections whose
+// facts carry no escapes, or whose proof never speculates, stay silent.
+func TestSectionEscapeDivergenceLatchesOnce(t *testing.T) {
+	ths := newT(t, 1)
+	m := metrics.New(1)
+	cfg := *DefaultConfig
+	cfg.Metrics = m
+	l := New(&cfg)
+	reg := NewSectionRegistry(true, 4, m)
+
+	leaky := reg.Seed("leaky", ProofElidable, false, 0)
+	leaky.SetEscapes([]string{"registry.items"})
+	clean := reg.Seed("clean", ProofElidable, false, 0)
+	// A read-mostly proof never speculates on this entry, so its escapes
+	// are moot. (ProofWriting would also probe under trust-but-verify and
+	// latch its own probe divergence, muddying the count.)
+	writer := reg.Seed("writer", ProofReadMostly, false, 0)
+	writer.SetEscapes([]string{"registry.items"})
+
+	var sum int64
+	for i := 0; i < 8; i++ {
+		l.ReadOnlySection(ths[0], leaky, func() { sum++ })
+		l.ReadOnlySection(ths[0], clean, func() { sum++ })
+		l.ReadOnlySection(ths[0], writer, func() { sum++ })
+	}
+	if sum != 3*8 {
+		t.Fatalf("bodies observed %d, want %d", sum, 3*8)
+	}
+	if got := reg.EscapeDivergences(); got != 1 {
+		t.Fatalf("escape divergences = %d, want exactly 1 (latched once)", got)
+	}
+	if !leaky.EscapeDiverged() || clean.EscapeDiverged() || writer.EscapeDiverged() {
+		t.Fatalf("latch landed wrong: leaky=%v clean=%v writer=%v",
+			leaky.EscapeDiverged(), clean.EscapeDiverged(), writer.EscapeDiverged())
+	}
+	if got := m.FactDivergences(); got != 1 {
+		t.Fatalf("metrics fact divergences = %d, want 1", got)
+	}
+
+	// Outside verify mode the cross-check never runs.
+	reg2 := NewSectionRegistry(false, 4, nil)
+	info2 := reg2.Seed("leaky", ProofElidable, false, 0)
+	info2.SetEscapes([]string{"registry.items"})
+	l.ReadOnlySection(ths[0], info2, func() {})
+	if reg2.EscapeDivergences() != 0 {
+		t.Fatal("escape divergence latched outside verify mode")
+	}
+}
+
 // TestSectionGuardDivergenceNeedsVerifyAndID: outside verify mode, or on
 // a lock with no static identity, the guard cross-check never runs.
 func TestSectionGuardDivergenceNeedsVerifyAndID(t *testing.T) {

@@ -1,6 +1,6 @@
 // Package checks implements the solerovet analyzer suite: the vet-time
 // restatement of the proof obligation the paper's JIT discharges before
-// eliding a lock. Six analyzers share one whole-program context:
+// eliding a lock. Seven analyzers share one whole-program context:
 //
 //	specsafety  — ReadOnly closures must be speculation-safe
 //	beforewrite — ReadMostly stores must be dominated by BeforeWrite
@@ -8,6 +8,7 @@
 //	elide       — Sync closures that are provably read-only should elide
 //	lockorder   — lock acquisition orders must be acyclic (no ABBA deadlocks)
 //	guardedby   — every shared field must have a consistent lock guard
+//	escape      — guarded references must not leave the section they were read in
 package checks
 
 import (
@@ -35,6 +36,12 @@ type Context struct {
 	// first guardedby pass and shared with the facts exporter.
 	guardOnce sync.Once
 	guardInfo *guardInfo
+
+	// escInfo is the whole-program guarded-reference escape analysis,
+	// built lazily by the first escape pass and shared with the facts
+	// exporter.
+	escOnce sync.Once
+	escInfo *escInfo
 }
 
 // NewContext computes effect summaries and section sites for a loaded
@@ -49,7 +56,7 @@ func NewContext(prog *load.Program) *Context {
 
 // All returns the full suite in reporting order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Specsafety, Beforewrite, Atomicread, Elide, Lockorder, Guardedby}
+	return []*analysis.Analyzer{Specsafety, Beforewrite, Atomicread, Elide, Lockorder, Guardedby, Escape}
 }
 
 // ByName resolves a comma-free analyzer name, or nil.

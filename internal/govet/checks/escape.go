@@ -1,0 +1,1029 @@
+package checks
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/govet/analysis"
+	"repro/internal/govet/load"
+	"repro/internal/govet/sections"
+)
+
+// Escape is the guarded-reference escape analyzer: the static restatement
+// of the containment property SOLERO's validation window depends on. A
+// speculative section may observe torn state, but the damage is contained
+// because validation happens before results leave the section — unless a
+// *reference* into guarded state (a pointer, slice, map, channel, or a
+// value derived from one through field/index chains or calls) escapes the
+// section body. After validation the lock gives such a reference no
+// protection at all: a writer can mutate the referenced state while the
+// caller dereferences it, which is exactly the post-validation hazard the
+// lazy-subscription literature documents.
+//
+// For every ReadOnly/ReadMostly section the analyzer tracks guarded
+// references — values rooted in state the section's lock guards — through
+// local bindings and reports:
+//
+//   - "section escape": a guarded reference returned from the section
+//     body, assigned to a variable captured from the enclosing function,
+//     stored to a global or shared heap state, captured by a goroutine
+//     spawned inside the section, or sent on a channel;
+//   - "stale use": a post-section dereference (indexing, field access,
+//     range, pointer load) of a reference that escaped via a captured
+//     variable — the witness that the containment break is actually
+//     exploited.
+//
+// The snapshot idiom stays silent: scalar loads, value copies,
+// `append([]T(nil), s...)` / `append([]T{}, s...)`, `copy` into a fresh
+// slice, and explicit Clone/Copy/Snapshot methods all produce data the
+// section owns. An intentional escape (immutable data, author-managed
+// lifetime) is acknowledged with //solerovet:escapes(<expr>) on or above
+// the escape site; `solerovet -fix` rewrites confidently-inferable slice
+// escapes to the append-copy snapshot form.
+var Escape = &analysis.Analyzer{
+	Name: "escape",
+	Doc: "track guarded references (pointers/slices/maps derived from lock-guarded state) " +
+		"through ReadOnly/ReadMostly section bodies and report references escaping the " +
+		"section plus post-section stale dereferences, where elision gives no protection",
+	Run: runEscape,
+}
+
+// ---- recorded escapes ----
+
+// escEscape is one guarded reference leaving a section.
+type escEscape struct {
+	expr     string // display form of the escaping reference's source ("registry.items")
+	how      string // rendered escape route for the message
+	pos, end token.Pos
+	pkgPath  string
+	mode     string // section mode name (ReadOnly / ReadMostly)
+	acked    bool   // suppressed by //solerovet:escapes(<expr>)
+	carrier  *types.Var
+	fix      []analysis.SuggestedFix
+}
+
+// escStale is one post-section dereference of an escaped reference.
+type escStale struct {
+	v        *types.Var
+	esc      *escEscape
+	pos, end token.Pos
+	pkgPath  string
+}
+
+// escInfo is the whole-program result, built once per Context.
+type escInfo struct {
+	findings []gbFinding
+	// siteEscapes carries, per section site, the sorted display
+	// expressions of every escaping guarded reference (acknowledged ones
+	// included — the facts file records ground truth) for the facts v3
+	// exporter.
+	siteEscapes map[*sections.Site][]string
+}
+
+// escapeAnalysis builds (once) and returns the program's escape analysis.
+func (ctx *Context) escapeAnalysis() *escInfo {
+	ctx.escOnce.Do(func() {
+		ctx.escInfo = buildEscapeInfo(ctx)
+	})
+	return ctx.escInfo
+}
+
+// SectionEscapes returns the sorted display expressions of the guarded
+// references escaping a section site (acknowledged escapes included), for
+// the facts v3 exporter. Nil when the section leaks nothing.
+func (ctx *Context) SectionEscapes(site *sections.Site) []string {
+	return ctx.escapeAnalysis().siteEscapes[site]
+}
+
+// ---- whole-program construction ----
+
+func buildEscapeInfo(ctx *Context) *escInfo {
+	info := &escInfo{siteEscapes: map[*sections.Site][]string{}}
+	for _, site := range ctx.Sections.Sites {
+		if site.Mode == sections.ModeSync {
+			// A Sync section holds the lock; its references are ordinary
+			// shared state under the guardedby discipline, not
+			// speculation-containment breaks.
+			continue
+		}
+		w := newEscWalker(ctx, site)
+		if w == nil {
+			continue
+		}
+		w.run()
+		if len(w.escapes) == 0 {
+			continue
+		}
+		renderEscapes(ctx, info, site, w)
+	}
+	return info
+}
+
+// renderEscapes turns one site's walker output into findings and the
+// facts summary.
+func renderEscapes(ctx *Context, info *escInfo, site *sections.Site, w *escWalker) {
+	exprs := map[string]bool{}
+	for _, e := range w.escapes {
+		exprs[e.expr] = true
+		if e.acked {
+			continue
+		}
+		info.findings = append(info.findings, gbFinding{
+			pos: e.pos, end: e.end, pkgPath: e.pkgPath,
+			message: fmt.Sprintf("guarded reference %s escapes the %s section (%s); "+
+				"speculative reads are only validated inside the section — copy the data "+
+				"(snapshot idiom) or acknowledge with //solerovet:escapes(%s)",
+				e.expr, e.mode, e.how, e.expr),
+			fixes: e.fix,
+		})
+	}
+	for _, s := range w.stales {
+		if s.esc.acked {
+			continue
+		}
+		escPos := ctx.Prog.Fset.Position(s.esc.pos)
+		info.findings = append(info.findings, gbFinding{
+			pos: s.pos, end: s.end, pkgPath: s.pkgPath,
+			message: fmt.Sprintf("stale use of %s: it still refers to %s, which escaped the "+
+				"%s section at %s:%d; dereferencing it here is outside the lock's protection",
+				s.v.Name(), s.esc.expr, s.esc.mode, shortFile(escPos.Filename), escPos.Line),
+		})
+	}
+	sorted := make([]string, 0, len(exprs))
+	for e := range exprs {
+		sorted = append(sorted, e)
+	}
+	sort.Strings(sorted)
+	info.siteEscapes[site] = sorted
+}
+
+// ---- the section-body walker ----
+
+// escWalker walks one section body linearly, tracking which locals hold
+// guarded references (a may-analysis: control-flow joins union, taint is
+// never dropped at branch exits).
+type escWalker struct {
+	ctx  *Context
+	pkg  *load.Package
+	site *sections.Site
+	body *ast.BlockStmt
+	// bodyPos/bodyEnd bound the section body: variables declared inside
+	// are section-local, everything else is captured.
+	bodyPos, bodyEnd token.Pos
+	// tainted maps section-local vars to the display expression of the
+	// guarded reference they hold.
+	tainted map[*types.Var]string
+	// fresh marks section-local vars bound to provably new allocations.
+	fresh map[*types.Var]bool
+	// escaped maps captured variables to the escape that filled them, for
+	// the post-section stale-use walk.
+	escaped map[*types.Var]*escEscape
+	// directives maps file lines to //solerovet:escapes payloads.
+	directives map[int]string
+
+	escapes []*escEscape
+	stales  []*escStale
+}
+
+// newEscWalker prepares the walker for a site, or nil when the site's
+// argument has no analyzable body.
+func newEscWalker(ctx *Context, site *sections.Site) *escWalker {
+	w := &escWalker{
+		ctx: ctx, pkg: site.Pkg, site: site,
+		tainted: map[*types.Var]string{},
+		fresh:   map[*types.Var]bool{},
+		escaped: map[*types.Var]*escEscape{},
+	}
+	switch {
+	case site.Lit != nil:
+		w.body = site.Lit.Body
+		w.bodyPos, w.bodyEnd = site.Lit.Pos(), site.Lit.End()
+	case site.Named != nil:
+		pkg, fd := ctx.Effects.DeclOf(site.Named)
+		if pkg == nil || fd == nil || fd.Body == nil {
+			return nil
+		}
+		w.pkg = pkg
+		w.body = fd.Body
+		w.bodyPos, w.bodyEnd = fd.Pos(), fd.End()
+	default:
+		return nil
+	}
+	w.directives = escDirectives(ctx, w.pkg, w.bodyPos)
+	return w
+}
+
+// escDirectives maps comment lines of the file containing pos to
+// //solerovet:escapes payloads.
+func escDirectives(ctx *Context, pkg *load.Package, pos token.Pos) map[int]string {
+	out := map[int]string{}
+	for _, file := range pkg.Files {
+		if pos < file.Pos() || pos > file.End() {
+			continue
+		}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//solerovet:escapes(")
+				if !ok {
+					continue
+				}
+				payload, ok := strings.CutSuffix(strings.TrimSpace(rest), ")")
+				if !ok || payload == "" {
+					continue
+				}
+				out[ctx.Prog.Fset.Position(c.Pos()).Line] = payload
+			}
+		}
+		return out
+	}
+	return out
+}
+
+// ackedAt reports whether an escape of expr at pos carries a matching
+// //solerovet:escapes directive on its line or the line above.
+func (w *escWalker) ackedAt(pos token.Pos, expr string) bool {
+	line := w.ctx.Prog.Fset.Position(pos).Line
+	for _, l := range [2]int{line, line - 1} {
+		if d, ok := w.directives[l]; ok && d == expr {
+			return true
+		}
+	}
+	return false
+}
+
+// run walks the section body, then the enclosing function's post-section
+// statements for stale uses of captured escapes.
+func (w *escWalker) run() {
+	w.stmts(w.body.List)
+	if len(w.escaped) == 0 || w.site.Lit == nil {
+		return
+	}
+	decl := escEnclosingDecl(w.pkg, w.site.Call.Pos())
+	if decl == nil || decl.Body == nil {
+		return
+	}
+	sw := &escStaleWalker{w: w, call: w.site.Call}
+	sw.stmts(decl.Body.List)
+}
+
+// localVar reports whether v is declared inside the section body.
+func (w *escWalker) localVar(v *types.Var) bool {
+	return v.Pos() >= w.bodyPos && v.Pos() <= w.bodyEnd
+}
+
+func (w *escWalker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := w.pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func (w *escWalker) varOf(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := w.pkg.Info.Uses[id]
+	if obj == nil {
+		obj = w.pkg.Info.Defs[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// escRefType reports whether t is a reference into memory: dereferencing
+// or indexing it after the section reads state the lock no longer
+// protects. Scalars, strings (immutable), funcs, interfaces, and type
+// parameters (the rmap idiom stores values behind atomic cells and treats
+// them as immutable) stay out so value copies remain silent; lock and
+// sync/atomic types have their own protocols (guardSkipType).
+func escRefType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+		return !guardSkipType(t)
+	}
+	return false
+}
+
+// rootVar finds the base identifier of an access chain.
+func rootVar(pkg *load.Package, e ast.Expr) *types.Var {
+	for {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.Ident:
+			v, _ := pkg.Info.Uses[x].(*types.Var)
+			return v
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// guardedRef reports whether e evaluates to a guarded reference and, if
+// so, the display expression of its source.
+func (w *escWalker) guardedRef(e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	// A tainted local carries its source regardless of expression shape.
+	if v := w.varOf(e); v != nil {
+		if src, ok := w.tainted[v]; ok {
+			return src, true
+		}
+		return "", false
+	}
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		return w.guardedCall(x)
+	case *ast.SliceExpr:
+		// g[1:] shares the backing array with g.
+		if !escRefType(w.typeOf(e)) {
+			return "", false
+		}
+		return w.guardedRef(x.X)
+	case *ast.UnaryExpr:
+		if x.Op != token.AND {
+			return "", false
+		}
+		// &chain: a pointer into guarded state, whatever the field type.
+		if id, base := dataIdent(w.pkg, x.X); id != "" && (base == nil || !w.fresh[base]) {
+			if !guardSkipType(w.typeOf(x.X)) {
+				return displayLock(id), true
+			}
+		}
+		return "", false
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		if !escRefType(w.typeOf(e)) {
+			return "", false
+		}
+		if id, base := dataIdent(w.pkg, e); id != "" && (base == nil || !w.fresh[base]) {
+			return displayLock(id), true
+		}
+		// A chain rooted at a tainted local (v.next, v[i]) stays guarded.
+		if root := rootVar(w.pkg, e); root != nil {
+			if src, ok := w.tainted[root]; ok {
+				return src, true
+			}
+		}
+		return "", false
+	}
+	return "", false
+}
+
+// guardedCall judges a call's result: calling through guarded state (a
+// func-typed guarded field, a method on a guarded receiver, a function
+// fed guarded arguments) yields a guarded reference when the result is
+// reference-typed — the callee may return an interior pointer — unless
+// the call is a recognized snapshot.
+func (w *escWalker) guardedCall(call *ast.CallExpr) (string, bool) {
+	if !escRefType(w.typeOf(call)) {
+		return "", false
+	}
+	if w.snapshotCall(call) {
+		return "", false
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		// Func-typed guarded field: the callee itself is guarded state.
+		if id, base := dataIdent(w.pkg, sel); id != "" && (base == nil || !w.fresh[base]) {
+			return displayLock(id), true
+		}
+		if src, ok := w.guardedRef(sel.X); ok {
+			return src, true
+		}
+	}
+	for _, a := range call.Args {
+		if src, ok := w.guardedRef(a); ok {
+			return src, true
+		}
+	}
+	return "", false
+}
+
+// snapshotCall recognizes the snapshot idiom: calls that copy guarded
+// data into memory the section owns.
+func (w *escWalker) snapshotCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, ok := w.pkg.Info.Uses[fun].(*types.Builtin); ok {
+			switch fun.Name {
+			case "append":
+				// append([]T(nil), g...) / append([]T{}, g...): a fresh
+				// backing array.
+				return len(call.Args) > 0 && w.freshBase(call.Args[0])
+			case "make", "new", "len", "cap", "min", "max":
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Clone", "Copy", "Snapshot":
+			return true
+		}
+	}
+	return false
+}
+
+// freshBase reports whether e provably denotes fresh (section-owned)
+// memory: nil, a composite literal, a conversion of one, make/new, or a
+// fresh local.
+func (w *escWalker) freshBase(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.Ident:
+		if x.Name == "nil" {
+			return true
+		}
+		if v := w.varOf(x); v != nil {
+			return w.fresh[v]
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return w.freshBase(x.X)
+		}
+	case *ast.CallExpr:
+		if tv, ok := w.pkg.Info.Types[x.Fun]; ok && tv.IsType() {
+			return len(x.Args) == 1 && w.freshBase(x.Args[0])
+		}
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if _, isB := w.pkg.Info.Uses[id].(*types.Builtin); isB {
+				return id.Name == "make" || id.Name == "new"
+			}
+		}
+	}
+	return false
+}
+
+// freshExpr mirrors freshBase plus copies of fresh locals, for the
+// fresh-binding tracking of assignments.
+func (w *escWalker) freshExpr(e ast.Expr) bool {
+	return w.freshBase(e)
+}
+
+// record notes one escape, resolving acknowledgment and the snapshot fix.
+func (w *escWalker) record(expr string, how string, at ast.Expr, carrier *types.Var, rhs ast.Expr) {
+	e := &escEscape{
+		expr: expr, how: how,
+		pos: at.Pos(), end: at.End(),
+		pkgPath: w.pkg.PkgPath,
+		mode:    w.site.Mode.String(),
+		acked:   w.ackedAt(at.Pos(), expr),
+		carrier: carrier,
+	}
+	if rhs != nil {
+		e.fix = w.snapshotFix(rhs)
+	}
+	w.escapes = append(w.escapes, e)
+	if carrier != nil {
+		if _, ok := w.escaped[carrier]; !ok {
+			w.escaped[carrier] = e
+		}
+	}
+}
+
+// snapshotFix builds the -fix edit for a confidently-inferable slice
+// escape: wrap the right-hand side in the append-copy snapshot idiom,
+// `X` -> `append([]T(nil), X...)`. Only plain slice-typed chains qualify
+// — a call result or a non-slice reference has no mechanical copy.
+func (w *escWalker) snapshotFix(rhs ast.Expr) []analysis.SuggestedFix {
+	if !w.pkg.Target {
+		return nil
+	}
+	rhs = ast.Unparen(rhs)
+	switch rhs.(type) {
+	case *ast.SelectorExpr, *ast.Ident, *ast.IndexExpr:
+	default:
+		return nil
+	}
+	sl, ok := w.typeOf(rhs).Underlying().(*types.Slice)
+	if !ok {
+		return nil
+	}
+	elem := types.TypeString(sl.Elem(), types.RelativeTo(w.pkg.Types))
+	if strings.ContainsAny(elem, "{}") {
+		// Anonymous struct/interface element types don't render to a
+		// readable literal; leave those to the author.
+		return nil
+	}
+	return []analysis.SuggestedFix{{
+		Message: fmt.Sprintf("copy the slice with the snapshot idiom: append([]%s(nil), ...)", elem),
+		TextEdits: []analysis.TextEdit{
+			{Pos: rhs.Pos(), End: rhs.Pos(), NewText: fmt.Sprintf("append([]%s(nil), ", elem)},
+			{Pos: rhs.End(), End: rhs.End(), NewText: "...)"},
+		},
+	}}
+}
+
+func (w *escWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *escWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.AssignStmt:
+		w.assign(s)
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		w.stmt(s.Body)
+		w.stmt(s.Else)
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		w.stmt(s.Body)
+		w.stmt(s.Post)
+	case *ast.RangeStmt:
+		w.rangeStmt(s)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		w.expr(s.Tag)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmt(cc.Comm)
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.ReturnStmt:
+		w.returnStmt(s)
+	case *ast.GoStmt:
+		w.goStmt(s)
+	case *ast.SendStmt:
+		if src, ok := w.guardedRef(s.Value); ok {
+			w.record(src, "sent on a channel", s.Value, nil, nil)
+		}
+	case *ast.DeferStmt:
+		w.expr(s.Call)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							w.bind(name, vs.Values[i])
+						}
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.BranchStmt, *ast.EmptyStmt, *ast.IncDecStmt:
+	}
+}
+
+// assign handles stores: the escape routes (a) captured variable and (b)
+// global/heap, plus taint and freshness bookkeeping for section locals.
+func (w *escWalker) assign(s *ast.AssignStmt) {
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Lhs {
+			w.assignOne(s.Lhs[i], s.Rhs[i])
+		}
+		return
+	}
+	// Tuple form: v, ok := call(). Judge the call once; each
+	// reference-typed target receives the verdict.
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	src, guarded := w.tupleCallGuarded(call)
+	for _, lhs := range s.Lhs {
+		w.storeVerdict(lhs, src, guarded && escRefType(w.typeOf(lhs)), nil)
+	}
+}
+
+// tupleCallGuarded is guardedCall without the single-result type gate.
+func (w *escWalker) tupleCallGuarded(call *ast.CallExpr) (string, bool) {
+	if w.snapshotCall(call) {
+		return "", false
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, base := dataIdent(w.pkg, sel); id != "" && (base == nil || !w.fresh[base]) {
+			return displayLock(id), true
+		}
+		if src, ok := w.guardedRef(sel.X); ok {
+			return src, true
+		}
+	}
+	for _, a := range call.Args {
+		if src, ok := w.guardedRef(a); ok {
+			return src, true
+		}
+	}
+	return "", false
+}
+
+func (w *escWalker) assignOne(lhs, rhs ast.Expr) {
+	w.expr(rhs)
+	src, guarded := w.guardedRef(rhs)
+	w.storeVerdict(lhs, src, guarded, rhs)
+}
+
+// bind handles `var v = rhs` declarations.
+func (w *escWalker) bind(name *ast.Ident, rhs ast.Expr) {
+	w.expr(rhs)
+	src, guarded := w.guardedRef(rhs)
+	w.storeVerdict(name, src, guarded, rhs)
+}
+
+// storeVerdict routes one store of a (possibly) guarded reference to its
+// target: taint for section locals, escape (a) for captured variables,
+// escape (b) for globals and shared heap chains.
+func (w *escWalker) storeVerdict(lhs ast.Expr, src string, guarded bool, rhs ast.Expr) {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		obj := w.pkg.Info.Defs[id]
+		if obj == nil {
+			obj = w.pkg.Info.Uses[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return
+		}
+		switch {
+		case isPkgLevel(v):
+			if guarded {
+				w.record(src, "stored to global "+v.Name(), lhs, nil, rhs)
+			}
+		case w.localVar(v):
+			if guarded {
+				w.tainted[v] = src
+				delete(w.fresh, v)
+			} else {
+				delete(w.tainted, v)
+				if rhs != nil {
+					w.fresh[v] = w.freshExpr(rhs)
+				}
+			}
+		default:
+			// Captured from the enclosing function: the out-param route.
+			if guarded {
+				w.record(src, "assigned to captured variable "+v.Name(), lhs, v, rhs)
+			} else {
+				delete(w.escaped, v)
+			}
+		}
+		return
+	}
+	if !guarded {
+		return
+	}
+	// A store through a chain: fresh section-owned targets are
+	// construction; anything else is shared heap the reference now lives
+	// in past the section's lifetime.
+	if root := rootVar(w.pkg, lhs); root != nil {
+		if w.fresh[root] {
+			return
+		}
+		if w.localVar(root) {
+			// Storing guarded refs into a non-fresh section local: the
+			// local itself becomes a carrier.
+			w.tainted[root] = src
+			return
+		}
+	}
+	if id, _ := dataIdent(w.pkg, lhs); id != "" {
+		w.record(src, "stored to shared state "+displayLock(id), lhs, nil, rhs)
+		return
+	}
+	w.record(src, "stored to escaping memory", lhs, nil, rhs)
+}
+
+// rangeStmt taints reference-typed range variables drawn from guarded
+// containers.
+func (w *escWalker) rangeStmt(s *ast.RangeStmt) {
+	w.expr(s.X)
+	src, guarded := w.guardedRef(s.X)
+	if guarded {
+		for _, e := range [2]ast.Expr{s.Key, s.Value} {
+			if e == nil {
+				continue
+			}
+			if v := w.varOf(e); v != nil && w.localVar(v) && escRefType(v.Type()) {
+				w.tainted[v] = src
+			}
+		}
+	}
+	w.stmt(s.Body)
+}
+
+// returnStmt flags guarded results leaving a value-returning section
+// body (the ReadOnlyValue / solero.ReadOnly closure shape, or a named
+// section function).
+func (w *escWalker) returnStmt(s *ast.ReturnStmt) {
+	for _, e := range s.Results {
+		w.expr(e)
+		if src, ok := w.guardedRef(e); ok {
+			w.record(src, "returned from the section body", e, nil, e)
+		}
+	}
+}
+
+// goStmt flags guarded references captured by a goroutine spawned inside
+// the section: the goroutine outlives the validation window by
+// construction.
+func (w *escWalker) goStmt(s *ast.GoStmt) {
+	flag := func(e ast.Expr) {
+		if src, ok := w.guardedRef(e); ok {
+			w.record(src, "captured by a goroutine spawned in the section", e, nil, nil)
+		}
+	}
+	for _, a := range s.Call.Args {
+		flag(a)
+	}
+	lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	seen := map[string]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			if src, ok := w.guardedRef(e); ok && !seen[src] {
+				seen[src] = true
+				w.record(src, "captured by a goroutine spawned in the section", e, nil, nil)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// expr scans sub-expressions for escape routes hidden in expression
+// position (function literals, nested calls' go/send are handled by the
+// statement walk that reaches them).
+func (w *escWalker) expr(e ast.Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.ParenExpr:
+		w.expr(e.X)
+	case *ast.CallExpr:
+		for _, a := range e.Args {
+			w.expr(a)
+		}
+	case *ast.BinaryExpr:
+		w.expr(e.X)
+		w.expr(e.Y)
+	case *ast.UnaryExpr:
+		w.expr(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(e.Value)
+	case *ast.FuncLit:
+		w.stmts(e.Body.List)
+	}
+}
+
+// ---- the post-section stale-use walk ----
+
+// escStaleWalker scans the enclosing function's statements after the
+// section call for dereferences of escaped captured variables.
+type escStaleWalker struct {
+	w     *escWalker
+	call  *ast.CallExpr
+	after bool
+}
+
+func (sw *escStaleWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		if !sw.after {
+			if s.Pos() <= sw.call.Pos() && sw.call.End() <= s.End() {
+				sw.after = true
+			}
+			continue
+		}
+		sw.stmt(s)
+	}
+}
+
+func (sw *escStaleWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			sw.stmt(st)
+		}
+	case *ast.ExprStmt:
+		sw.expr(s.X)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			sw.expr(e)
+		}
+		// A post-section reassignment clears the variable: it no longer
+		// carries the escaped reference.
+		for _, lhs := range s.Lhs {
+			if v := sw.w.varOf(lhs); v != nil {
+				delete(sw.w.escaped, v)
+			}
+		}
+	case *ast.IfStmt:
+		sw.stmt(s.Init)
+		sw.expr(s.Cond)
+		sw.stmt(s.Body)
+		sw.stmt(s.Else)
+	case *ast.ForStmt:
+		sw.stmt(s.Init)
+		sw.expr(s.Cond)
+		sw.stmt(s.Body)
+		sw.stmt(s.Post)
+	case *ast.RangeStmt:
+		if v := sw.w.varOf(s.X); v != nil {
+			if esc, ok := sw.w.escaped[v]; ok {
+				sw.report(v, esc, s.X)
+			}
+		}
+		sw.expr(s.X)
+		sw.stmt(s.Body)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			sw.expr(e)
+		}
+	case *ast.SwitchStmt:
+		sw.stmt(s.Init)
+		sw.expr(s.Tag)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, st := range cc.Body {
+					sw.stmt(st)
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		sw.expr(s.Call)
+	case *ast.GoStmt:
+		sw.expr(s.Call)
+	case *ast.SendStmt:
+		sw.expr(s.Chan)
+		sw.expr(s.Value)
+	case *ast.IncDecStmt:
+		sw.expr(s.X)
+	case *ast.LabeledStmt:
+		sw.stmt(s.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						sw.expr(val)
+					}
+				}
+			}
+		}
+	}
+}
+
+// expr reports dereferences of escaped variables: indexing, pointer
+// loads, field access through the reference. Handing the reference on
+// (returns, calls, plain copies) is not flagged — the escape finding
+// already covers the leak; the stale-use finding marks actual reads.
+func (sw *escStaleWalker) expr(e ast.Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.ParenExpr:
+		sw.expr(e.X)
+	case *ast.IndexExpr:
+		sw.deref(e.X, e)
+		sw.expr(e.X)
+		sw.expr(e.Index)
+	case *ast.StarExpr:
+		sw.deref(e.X, e)
+		sw.expr(e.X)
+	case *ast.SelectorExpr:
+		sw.deref(e.X, e)
+		sw.expr(e.X)
+	case *ast.SliceExpr:
+		sw.expr(e.X)
+		sw.expr(e.Low)
+		sw.expr(e.High)
+		sw.expr(e.Max)
+	case *ast.CallExpr:
+		for _, a := range e.Args {
+			sw.expr(a)
+		}
+		sw.expr(e.Fun)
+	case *ast.BinaryExpr:
+		sw.expr(e.X)
+		sw.expr(e.Y)
+	case *ast.UnaryExpr:
+		sw.expr(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			sw.expr(el)
+		}
+	case *ast.KeyValueExpr:
+		sw.expr(e.Value)
+	case *ast.TypeAssertExpr:
+		sw.expr(e.X)
+	case *ast.FuncLit:
+		for _, s := range e.Body.List {
+			sw.stmt(s)
+		}
+	}
+}
+
+// deref flags base when it is an escaped variable being dereferenced at
+// `at`.
+func (sw *escStaleWalker) deref(base ast.Expr, at ast.Expr) {
+	v := sw.w.varOf(base)
+	if v == nil {
+		return
+	}
+	if esc, ok := sw.w.escaped[v]; ok {
+		sw.report(v, esc, at)
+	}
+}
+
+func (sw *escStaleWalker) report(v *types.Var, esc *escEscape, at ast.Expr) {
+	sw.w.stales = append(sw.w.stales, &escStale{
+		v: v, esc: esc,
+		pos: at.Pos(), end: at.End(),
+		pkgPath: sw.w.pkg.PkgPath,
+	})
+}
+
+// escEnclosingDecl finds the function declaration containing pos.
+func escEnclosingDecl(pkg *load.Package, pos token.Pos) *ast.FuncDecl {
+	for _, file := range pkg.Files {
+		if pos < file.Pos() || pos > file.End() {
+			continue
+		}
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// ---- reporting ----
+
+func runEscape(pass *analysis.Pass) error {
+	ctx, pkg, err := passContext(pass)
+	if err != nil {
+		return err
+	}
+	info := ctx.escapeAnalysis()
+	for _, f := range info.findings {
+		if f.pkgPath != pkg.PkgPath {
+			continue
+		}
+		pass.Report(analysis.Diagnostic{
+			Pos: f.pos, End: f.end, Category: pass.Analyzer.Name,
+			Message: f.message, Fixes: f.fixes,
+		})
+	}
+	return nil
+}

@@ -32,3 +32,7 @@ func TestLockorderGolden(t *testing.T) {
 func TestGuardedbyGolden(t *testing.T) {
 	vettest.Check(t, testdataPrefix+"guardedby", checks.Guardedby)
 }
+
+func TestEscapeGolden(t *testing.T) {
+	vettest.Check(t, testdataPrefix+"escape", checks.Escape)
+}

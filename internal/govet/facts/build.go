@@ -76,6 +76,7 @@ func buildSection(ctx *checks.Context, pkg *load.Package, site *sections.Site, d
 		s.WrittenFields = writtenFields(ctx, site)
 	}
 	s.ReadGuards, s.WriteGuards = ctx.SectionGuards(site)
+	s.Escapes = ctx.SectionEscapes(site)
 	return s
 }
 

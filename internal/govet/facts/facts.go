@@ -1,9 +1,11 @@
 // Package facts is the proof-carrying side of the solerovet suite: it
 // serializes the per-section verdicts the analyzers compute (elidable /
 // read-mostly / writing, recovery-free or not, retry bounds, written-field
-// sets, and the guardedby analyzer's per-section field→guard maps) into a
-// stable JSON interchange file, the `solero-facts/v2` schema (v1 files,
-// which predate guard maps, still decode).
+// sets, the guardedby analyzer's per-section field→guard maps, and the
+// escape analyzer's per-section escaping-reference summaries) into a
+// stable JSON interchange file, the `solero-facts/v3` schema (v1 files,
+// which predate guard maps, and v2 files, which predate escape
+// summaries, still decode).
 //
 // The paper's JIT classifies a synchronized block once, at compile time,
 // and the runtime then trusts that classification forever (§3.2). PR 3
@@ -29,12 +31,17 @@ import (
 	"sort"
 )
 
-// Schema identifies the interchange format written by Encode. v2 added
-// the per-section ReadGuards/WriteGuards maps.
-const Schema = "solero-facts/v2"
+// Schema identifies the interchange format written by Encode. v3 added
+// the per-section Escapes summaries.
+const Schema = "solero-facts/v3"
 
-// SchemaV1 is the previous format: identical except that sections carry
-// no guard maps. Decode accepts it so existing facts files keep loading.
+// SchemaV2 is the previous format: identical except that sections carry
+// no escape summaries (it added the ReadGuards/WriteGuards maps over
+// v1). Decode accepts it so existing facts files keep loading.
+const SchemaV2 = "solero-facts/v2"
+
+// SchemaV1 is the original format: no guard maps, no escape summaries.
+// Decode accepts it so existing facts files keep loading.
 const SchemaV1 = "solero-facts/v1"
 
 // Class is a section's proof class — the static verdict carried to the
@@ -104,6 +111,15 @@ type Section struct {
 	// and latches a divergence on mismatch. (v2; absent in v1 files.)
 	ReadGuards  map[string]string `json:"readGuards,omitempty"`
 	WriteGuards map[string]string `json:"writeGuards,omitempty"`
+	// Escapes lists the display expressions of guarded references the
+	// escape analyzer saw leave the section ("Type.field"), sorted.
+	// A clean tree has none — the analyzer gates the build — so a
+	// non-empty list on an elidable/annotated section means the facts
+	// were produced against different source than the binary runs:
+	// verify mode latches that as a divergence rather than speculating
+	// on a proof the section no longer satisfies. (v3; absent in
+	// v1/v2 files.)
+	Escapes []string `json:"escapes,omitempty"`
 }
 
 // File is one facts document.
@@ -163,8 +179,10 @@ func Decode(data []byte) (*File, error) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("facts: %w", err)
 	}
-	if f.Schema != Schema && f.Schema != SchemaV1 {
-		return nil, fmt.Errorf("facts: schema %q, want %q or %q", f.Schema, Schema, SchemaV1)
+	switch f.Schema {
+	case Schema, SchemaV2, SchemaV1:
+	default:
+		return nil, fmt.Errorf("facts: schema %q, want %q, %q or %q", f.Schema, Schema, SchemaV2, SchemaV1)
 	}
 	for i := range f.Sections {
 		s := &f.Sections[i]

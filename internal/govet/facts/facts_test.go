@@ -26,6 +26,7 @@ func sample() *File {
 			{
 				ID: "repro/pkg:c.go:3:2", Pkg: "repro/pkg", Func: "T.Peek", Mode: "Sync",
 				Class: ClassAnnotated, Annotated: true, MaxRetries: 2,
+				Escapes: []string{"T.items", "T.view"},
 			},
 		},
 	}
@@ -60,6 +61,10 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 	if got.ByID()["repro/pkg:c.go:3:2"].Class != ClassAnnotated {
 		t.Fatal("ByID lost the annotated verdict")
+	}
+	// v3 escape summaries survive the round trip intact.
+	if esc := got.ByID()["repro/pkg:c.go:3:2"].Escapes; len(esc) != 2 || esc[0] != "T.items" || esc[1] != "T.view" {
+		t.Fatalf("round trip lost escapes: %v", esc)
 	}
 	// Determinism: a second encode of the decoded file is byte-identical.
 	again, err := Encode(got)
@@ -109,6 +114,76 @@ func TestDecodeV1StillLoads(t *testing.T) {
 	}
 	if !strings.Contains(string(out), Schema) {
 		t.Fatalf("re-encode kept the old schema:\n%s", out)
+	}
+}
+
+// TestDecodeV2StillLoads pins the second compatibility step: a v2 facts
+// file (guard maps, no escape summaries) decodes under the v3 reader,
+// guard maps intact and escapes empty, so all three schema generations
+// round-trip.
+func TestDecodeV2StillLoads(t *testing.T) {
+	data := []byte(`{"schema":"solero-facts/v2","module":"repro","sections":[` +
+		`{"id":"repro/pkg:a.go:1:1","pkg":"repro/pkg","func":"F","mode":"ReadOnly","class":"elidable",` +
+		`"maxRetries":1,"readGuards":{"T.val":"T.mu"}}]}` + "\n")
+	f, err := Decode(data)
+	if err != nil {
+		t.Fatalf("v2 decode: %v", err)
+	}
+	if f.Schema != SchemaV2 || len(f.Sections) != 1 {
+		t.Fatalf("v2 decode lost shape: %+v", f)
+	}
+	s := &f.Sections[0]
+	if s.Class != ClassElidable || s.ReadGuards["T.val"] != "T.mu" || s.Escapes != nil {
+		t.Fatalf("v2 section decoded wrong: %+v", s)
+	}
+	// Re-encoding stamps the current schema.
+	out, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), Schema) {
+		t.Fatalf("re-encode kept the old schema:\n%s", out)
+	}
+}
+
+// TestSeedRegistryEscapes closes the loop the v3 schema exists for: an
+// escape summary decoded from a facts file rides SeedRegistry into the
+// SectionInfo, and a verify-mode run of the speculating section latches
+// the injected escape divergence exactly once.
+func TestSeedRegistryEscapes(t *testing.T) {
+	f := &File{
+		Module: "repro",
+		Sections: []Section{{
+			ID: "repro/pkg:a.go:7:2", Pkg: "repro/pkg", Func: "T.View", Mode: "ReadOnly",
+			Class: ClassElidable, MaxRetries: 1,
+			Escapes: []string{"T.items"},
+		}},
+	}
+	data, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := core.NewSectionRegistry(true, 4, nil)
+	if n := SeedRegistry(reg, decoded); n != 1 {
+		t.Fatalf("seeded %d sections, want 1", n)
+	}
+	info := reg.Section("repro/pkg:a.go:7:2")
+
+	vm := jthread.NewVM()
+	th := vm.Attach("t")
+	l := core.New(nil)
+	for i := 0; i < 4; i++ {
+		l.ReadOnlySection(th, info, func() {})
+	}
+	if got := reg.EscapeDivergences(); got != 1 {
+		t.Fatalf("escape divergences = %d, want exactly 1 (latched once)", got)
+	}
+	if !info.EscapeDiverged() {
+		t.Fatal("section not marked escape-diverged")
 	}
 }
 

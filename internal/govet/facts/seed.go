@@ -19,15 +19,17 @@ func ProofOf(c Class) core.ProofClass {
 
 // SeedRegistry loads every section of a facts file into a runtime section
 // registry and returns how many were seeded. Sections already registered
-// are re-proved in place. Guard maps (v2 files) ride along so verify mode
-// can cross-check a speculating section's fields against their static
-// guards.
+// are re-proved in place. Guard maps (v2 files) and escape summaries (v3
+// files) ride along so verify mode can cross-check a speculating
+// section's fields against their static guards and refuse to trust a
+// proof whose section leaks guarded references.
 func SeedRegistry(reg *core.SectionRegistry, f *File) int {
 	n := 0
 	for i := range f.Sections {
 		s := &f.Sections[i]
 		info := reg.Seed(s.ID, ProofOf(s.Class), s.RecoveryFree, s.MaxRetries)
 		info.SetGuards(s.ReadGuards, s.WriteGuards)
+		info.SetEscapes(s.Escapes)
 		n++
 	}
 	return n

@@ -9,19 +9,21 @@ import (
 	"repro/internal/govet/checks"
 )
 
-// TestApplyFixesGolden runs the elide and guardedby analyzers over the
-// fixes testdata package and applies every suggested edit in memory: the
-// result must match fixes.go.golden byte for byte (regenerate with
-// `go run ./internal/govet/testdata/gen` after inspecting a real
-// `solerovet -fix` run).
+// TestApplyFixesGolden runs the elide, guardedby, and escape analyzers
+// over the fixes testdata package and applies every suggested edit in
+// memory — the mixed-analyzer ordering case: three analyzers' edits
+// (a rename, a directive insertion, and an expression wrap) splice into
+// one file. The result must match fixes.go.golden byte for byte
+// (regenerate with `go run ./internal/govet/testdata/gen` after
+// inspecting a real `solerovet -fix` run).
 func TestApplyFixesGolden(t *testing.T) {
 	diags, err := govet.Run("", []string{"repro/internal/govet/testdata/src/fixes"},
-		[]*analysis.Analyzer{checks.Elide, checks.Guardedby})
+		[]*analysis.Analyzer{checks.Elide, checks.Guardedby, checks.Escape})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(diags) != 3 {
-		t.Fatalf("got %d diagnostics, want 3:\n%v", len(diags), diags)
+	if len(diags) != 4 {
+		t.Fatalf("got %d diagnostics, want 4:\n%v", len(diags), diags)
 	}
 	for _, d := range diags {
 		if len(d.Edits) == 0 {
@@ -47,10 +49,12 @@ func TestApplyFixesGolden(t *testing.T) {
 }
 
 // TestFixesIdempotent pins `solerovet -fix` as a fixed point: running
-// the fixing analyzers over the already-fixed source (the golden) must
-// suggest no further edits — a second -fix pass produces no diff.
-// Residual diagnostics are allowed (a declared-but-unheld guard is
-// still a finding), but none of them may carry edits.
+// the fixing analyzers (elide, guardedby, escape) over the
+// already-fixed source (the golden) must suggest no further edits — a
+// second -fix pass produces no diff. In particular the escape rewrite's
+// append copy must read as a snapshot, not a fresh escape. Residual
+// diagnostics are allowed (a declared-but-unheld guard is still a
+// finding), but none of them may carry edits.
 func TestFixesIdempotent(t *testing.T) {
 	golden, err := os.ReadFile("testdata/src/fixes/fixes.go.golden")
 	if err != nil {
@@ -68,7 +72,7 @@ func TestFixesIdempotent(t *testing.T) {
 	}
 
 	diags, err := govet.Run("", []string{"repro/internal/govet/testdata/src/fixesidem"},
-		[]*analysis.Analyzer{checks.Elide, checks.Guardedby})
+		[]*analysis.Analyzer{checks.Elide, checks.Guardedby, checks.Escape})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,128 @@
+package govet
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/govet/analysis"
+)
+
+// SARIF (Static Analysis Results Interchange Format) 2.1.0 rendering of
+// a diagnostic set, the interchange GitHub code scanning and most SARIF
+// viewers consume. The output is deterministic for a given program:
+// results keep the driver's (file, line, col, analyzer) order, rules are
+// sorted by id, and artifact URIs are rendered relative to baseDir with
+// forward slashes — so a committed golden file pins the document
+// byte-for-byte the same way the facts golden does.
+
+const (
+	sarifVersion = "2.1.0"
+	sarifSchema  = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIF renders diags as a SARIF 2.1.0 log. Only analyzers that produced
+// at least one diagnostic appear as rules — the rule table describes the
+// findings present, and an empty run stays minimal. File paths are made
+// relative to baseDir when possible ("" keeps them as-is). Output ends
+// in a newline, matching the facts encoder's contract.
+func SARIF(diags []Diagnostic, analyzers []*analysis.Analyzer, baseDir string) ([]byte, error) {
+	docs := map[string]string{}
+	for _, a := range analyzers {
+		docs[a.Name] = a.Doc
+	}
+	used := map[string]bool{}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		used[d.Analyzer] = true
+		uri := d.Pos.Filename
+		if baseDir != "" {
+			if rel, err := filepath.Rel(baseDir, uri); err == nil && filepath.IsLocal(rel) {
+				uri = rel
+			}
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(uri)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	rules := make([]sarifRule, 0, len(used))
+	for name := range used {
+		rules = append(rules, sarifRule{ID: name, ShortDescription: sarifMessage{Text: docs[name]}})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "solerovet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	data, err := json.MarshalIndent(&log, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

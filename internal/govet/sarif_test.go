@@ -1,0 +1,132 @@
+package govet
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/govet/analysis"
+)
+
+func sarifInput() ([]Diagnostic, []*analysis.Analyzer) {
+	diags := []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "/mod/pkg/a.go", Line: 12, Column: 3},
+			Analyzer: "guardedby", Message: "unguarded shared access",
+		},
+		{
+			Pos:      token.Position{Filename: "/mod/pkg/b.go", Line: 4, Column: 2},
+			Analyzer: "escape", Message: "guarded reference escapes",
+		},
+	}
+	analyzers := []*analysis.Analyzer{
+		{Name: "escape", Doc: "escape doc"},
+		{Name: "guardedby", Doc: "guardedby doc"},
+		{Name: "elide", Doc: "elide doc"},
+	}
+	return diags, analyzers
+}
+
+// TestSARIF pins the document shape code-scanning consumers rely on:
+// schema/version stamps, rules sorted by id and restricted to analyzers
+// with findings, results in driver order, and URIs relative to baseDir.
+func TestSARIF(t *testing.T) {
+	diags, analyzers := sarifInput()
+	data, err := SARIF(diags, analyzers, "/mod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string `json:"$schema"`
+		Version string
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct{ Text string }
+					}
+				}
+			}
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct{ URI string }
+						Region           struct{ StartLine, StartColumn int }
+					}
+				}
+			}
+		}
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("SARIF output is not JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" || !strings.Contains(doc.Schema, "sarif-schema-2.1.0") {
+		t.Fatalf("wrong schema stamp: %s %s", doc.Version, doc.Schema)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "solerovet" {
+		t.Fatalf("driver = %q", run.Tool.Driver.Name)
+	}
+	// Only analyzers with findings, sorted: escape before guardedby, no
+	// elide.
+	if len(run.Tool.Driver.Rules) != 2 || run.Tool.Driver.Rules[0].ID != "escape" ||
+		run.Tool.Driver.Rules[1].ID != "guardedby" {
+		t.Fatalf("rules wrong: %+v", run.Tool.Driver.Rules)
+	}
+	if run.Tool.Driver.Rules[0].ShortDescription.Text != "escape doc" {
+		t.Fatalf("rule doc lost: %+v", run.Tool.Driver.Rules[0])
+	}
+	// Results keep driver order and carry warning level + relative URIs.
+	if len(run.Results) != 2 || run.Results[0].RuleID != "guardedby" || run.Results[1].RuleID != "escape" {
+		t.Fatalf("results wrong: %+v", run.Results)
+	}
+	loc := run.Results[0].Locations[0].PhysicalLocation
+	if run.Results[0].Level != "warning" || loc.ArtifactLocation.URI != "pkg/a.go" ||
+		loc.Region.StartLine != 12 || loc.Region.StartColumn != 3 {
+		t.Fatalf("location wrong: %+v", run.Results[0])
+	}
+
+	// Determinism: encoding the same input twice is byte-identical.
+	again, err := SARIF(diags, analyzers, "/mod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Fatal("SARIF is not deterministic")
+	}
+
+	// A file outside baseDir keeps its absolute path.
+	out, err := SARIF(diags, analyzers, "/elsewhere/deep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"uri": "/mod/pkg/a.go"`) {
+		t.Fatalf("outside-baseDir URI was mangled:\n%s", out)
+	}
+}
+
+// TestSARIFEmpty: zero findings still produce a well-formed, minimal
+// document (empty rules and results), exit-code semantics live in the
+// driver.
+func TestSARIFEmpty(t *testing.T) {
+	_, analyzers := sarifInput()
+	data, err := SARIF(nil, analyzers, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("empty SARIF is not JSON: %v", err)
+	}
+	if strings.Contains(string(data), `"id"`) {
+		t.Fatalf("empty run should list no rules:\n%s", data)
+	}
+}

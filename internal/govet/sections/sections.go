@@ -401,10 +401,16 @@ func (fc *funcContext) record(call *ast.CallExpr, arg ast.Expr, mode Mode, direc
 		return
 	}
 	// The runtime's own packages implement the protocol (ReadOnlyValue
-	// wraps the caller's closure in one of its own, and the backend SPI
-	// adapters re-wrap caller closures to fit the entry-point
-	// signatures); their internals are machinery, not client sections.
-	if fc.pkg.PkgPath == corePath || fc.pkg.PkgPath == soleroPath || fc.pkg.PkgPath == backendPath {
+	// wraps the caller's closure in one of its own); their internals are
+	// machinery, not client sections.
+	if fc.pkg.PkgPath == corePath || fc.pkg.PkgPath == soleroPath {
+		return
+	}
+	// In the backend SPI package only the re-wrapping forwarding shims
+	// are machinery (a closure re-fitting a caller's closure to the
+	// entry-point signature); any other section the package grows is
+	// analyzed like client code.
+	if fc.pkg.PkgPath == backendPath && forwardingShim(fc.pkg, lit) {
 		return
 	}
 	site := &Site{
@@ -418,6 +424,40 @@ func (fc *funcContext) record(call *ast.CallExpr, arg ast.Expr, mode Mode, direc
 		site.SectionParam = sectionParam(fc.pkg, lit)
 	}
 	fc.d.sites = append(fc.d.sites, site)
+}
+
+// forwardingShim reports whether lit merely re-wraps a captured
+// func-typed variable to fit an entry-point signature: a
+// single-statement body calling a function value declared outside the
+// literal (the adapter's parameter holding the caller's closure). The
+// backend SPI adapters use exactly this shape —
+// `func(sec *core.Section) { fn(sec) }` — and the caller's fn is the
+// real section, discovered at the caller through wrapper marking.
+func forwardingShim(pkg *load.Package, lit *ast.FuncLit) bool {
+	if lit == nil || len(lit.Body.List) != 1 {
+		return false
+	}
+	es, ok := lit.Body.List[0].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := pkg.Info.Uses[id].(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+		return false
+	}
+	_, isSig := v.Type().Underlying().(*types.Signature)
+	return isSig
 }
 
 // sectionParam finds the closure's *core.Section parameter.

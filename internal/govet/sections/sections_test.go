@@ -1,0 +1,33 @@
+package sections
+
+import (
+	"testing"
+
+	"repro/internal/govet/load"
+)
+
+// TestBackendShimExclusionIsNarrow pins the re-audited backend-package
+// rule: the SPI adapters' re-wrapping forwarding shims
+// (`func(sec *core.Section) { fn(sec) }`) are machinery and must not be
+// discovered as sections, but the exclusion is per-literal, not
+// per-package — client sections elsewhere are still found, and any real
+// section the backend package grows will be too.
+func TestBackendShimExclusionIsNarrow(t *testing.T) {
+	prog, err := load.Load("", "repro/internal/backend", "repro/solero/rmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := Discover(prog)
+	rmap := 0
+	for _, s := range idx.Sites {
+		if s.Pkg.PkgPath == "repro/internal/backend" {
+			t.Errorf("forwarding shim discovered as a section at %v", prog.Fset.Position(s.Call.Pos()))
+		}
+		if s.Pkg.PkgPath == "repro/solero/rmap" {
+			rmap++
+		}
+	}
+	if rmap == 0 {
+		t.Fatal("no rmap sites discovered — the exclusion is eating client sections")
+	}
+}

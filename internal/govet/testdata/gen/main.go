@@ -17,7 +17,7 @@ import (
 
 func main() {
 	diags, err := govet.Run("", []string{"repro/internal/govet/testdata/src/fixes"},
-		[]*analysis.Analyzer{checks.Elide, checks.Guardedby})
+		[]*analysis.Analyzer{checks.Elide, checks.Guardedby, checks.Escape})
 	if err != nil {
 		panic(err)
 	}

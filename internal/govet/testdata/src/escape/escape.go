@@ -1,0 +1,178 @@
+// Package escape is golden testdata for the guarded-reference escape
+// analyzer: snapshot idioms that stay silent (append-copy, make+copy,
+// Clone, scalar out-params), the escape routes (captured variable,
+// global store, goroutine capture, channel send, section return), the
+// post-section stale-use witness, and the //solerovet:escapes and
+// //solerovet:ignore escape hatches.
+package escape
+
+import (
+	"repro/internal/core"
+	"repro/internal/jthread"
+)
+
+type node struct {
+	next *node
+	val  int64
+}
+
+type registry struct {
+	mu    *core.Lock
+	items []int64
+	nodes []*node
+	head  *node
+}
+
+func sink(ns []*node) { _ = ns }
+
+// cachedView is the global-store escape target.
+var cachedView []int64
+
+// count is the clean shape: a scalar out-param. Nothing reference-typed
+// leaves the section; nothing to say.
+func (r *registry) count(t *jthread.Thread) int64 {
+	var out int64
+	r.mu.ReadOnly(t, func() {
+		out = int64(len(r.items))
+	})
+	return out
+}
+
+// snapshotAppend copies with the append idiom: the captured slice owns a
+// fresh backing array, so handing it out is fine.
+func (r *registry) snapshotAppend(t *jthread.Thread) []int64 {
+	var out []int64
+	r.mu.ReadOnly(t, func() {
+		out = append([]int64(nil), r.items...)
+	})
+	return out
+}
+
+// snapshotCopy copies into section-owned memory via make+copy.
+func (r *registry) snapshotCopy(t *jthread.Thread) []int64 {
+	var out []int64
+	r.mu.ReadOnly(t, func() {
+		buf := make([]int64, len(r.items))
+		copy(buf, r.items)
+		out = buf
+	})
+	return out
+}
+
+// leakAndUse is the core hazard: the live slice header escapes via the
+// captured variable, and the caller dereferences it after validation —
+// where the lock protects nothing.
+func (r *registry) leakAndUse(t *jthread.Thread) int64 {
+	var view []int64
+	r.mu.ReadOnly(t, func() {
+		view = r.items // want `guarded reference registry\.items escapes the ReadOnly section \(assigned to captured variable view\)`
+	})
+	return view[0] // want `stale use of view: it still refers to registry\.items, which escaped the ReadOnly section at escape\.go:\d+`
+}
+
+// leakThenDrop escapes too, but the post-section re-binding to a fresh
+// copy clears the carrier: the escape is flagged, the use is not.
+func (r *registry) leakThenDrop(t *jthread.Thread) int64 {
+	var view []int64
+	r.mu.ReadOnly(t, func() {
+		view = r.items // want `guarded reference registry\.items escapes the ReadOnly section \(assigned to captured variable view\)`
+	})
+	view = append([]int64(nil), view...)
+	return view[0]
+}
+
+// lastNode drives the taint through a range variable: n holds pointers
+// drawn from the guarded container, and assigning one to a captured
+// variable carries it out.
+func (r *registry) lastNode(t *jthread.Thread) *node {
+	var last *node
+	r.mu.ReadOnly(t, func() {
+		for _, n := range r.nodes {
+			last = n // want `guarded reference registry\.nodes escapes the ReadOnly section \(assigned to captured variable last\)`
+		}
+	})
+	return last
+}
+
+// publish stores the live header into a package global: every later
+// reader of cachedView is a stale use the analyzer cannot even see.
+func (r *registry) publish(t *jthread.Thread) {
+	r.mu.ReadOnly(t, func() {
+		cachedView = r.items // want `guarded reference registry\.items escapes the ReadOnly section \(stored to global cachedView\)`
+	})
+}
+
+// spawn hands guarded state to a goroutine that outlives the validation
+// window by construction.
+func (r *registry) spawn(t *jthread.Thread) {
+	r.mu.ReadOnly(t, func() {
+		go func() {
+			sink(r.nodes) // want `guarded reference registry\.nodes escapes the ReadOnly section \(captured by a goroutine spawned in the section\)`
+		}()
+	})
+}
+
+// emit sends a guarded pointer to whoever is listening on ch.
+func (r *registry) emit(t *jthread.Thread, ch chan *node) {
+	r.mu.ReadOnly(t, func() {
+		ch <- r.head // want `guarded reference registry\.head escapes the ReadOnly section \(sent on a channel\)`
+	})
+}
+
+// first returns a guarded pointer out of a value-returning section.
+func (r *registry) first(t *jthread.Thread) *node {
+	return core.ReadOnlyValue(r.mu, t, func() *node {
+		return r.head // want `guarded reference registry\.head escapes the ReadOnly section \(returned from the section body\)`
+	})
+}
+
+// box has an explicit Clone: the whitelist trusts named copy methods.
+type box struct {
+	vals []int64
+}
+
+func (b *box) Clone() []int64 {
+	return append([]int64(nil), b.vals...)
+}
+
+type shelf struct {
+	mu  *core.Lock
+	box *box
+}
+
+func (s *shelf) cloned(t *jthread.Thread) []int64 {
+	var out []int64
+	s.mu.ReadOnly(t, func() {
+		out = s.box.Clone()
+	})
+	return out
+}
+
+// table documents its spans as immutable-after-publish: the escape is
+// real but intended, and the directive acknowledges it (stale uses are
+// suppressed along with it).
+type table struct {
+	mu *core.Lock
+	// spans is append-only; published headers are never mutated.
+	spans []int64
+}
+
+func (tb *table) spansRef(t *jthread.Thread) []int64 {
+	var out []int64
+	tb.mu.ReadOnly(t, func() {
+		//solerovet:escapes(table.spans)
+		out = tb.spans
+	})
+	return out
+}
+
+// bareRef uses the blunt hatch instead: //solerovet:ignore drops the
+// diagnostic at the driver.
+func (tb *table) bareRef(t *jthread.Thread) []int64 {
+	var out []int64
+	tb.mu.ReadOnly(t, func() {
+		//solerovet:ignore
+		out = tb.spans
+	})
+	return out
+}

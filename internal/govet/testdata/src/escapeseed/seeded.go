@@ -1,0 +1,44 @@
+// Package escapeseed is the seeded half of the escape differential: a
+// ReadOnly section that leaks the live backing array out through a
+// captured variable. The escape analyzer MUST flag registry.items here
+// (make escape-catch, static half), and the package's stress test MUST
+// abort under `go test -race` (dynamic half): the post-section stale
+// reads hit the same array a Sync writer mutates in place. The
+// snapshot-fixed twin lives in ../escapeseedfixed. It lives under
+// testdata so the module build never sees it.
+package escapeseed
+
+import (
+	"repro/internal/core"
+	"repro/internal/jthread"
+)
+
+type registry struct {
+	mu    *core.Lock
+	items []int64
+}
+
+func newRegistry(n int) *registry {
+	return &registry{mu: core.New(nil), items: make([]int64, n)}
+}
+
+// View leaks the live slice header out of the elided section — the
+// containment break the seqlock validation window cannot survive: after
+// validation the caller holds a reference writers mutate under them.
+func (r *registry) View(t *jthread.Thread) []int64 {
+	var view []int64
+	r.mu.ReadOnly(t, func() {
+		view = r.items
+	})
+	return view
+}
+
+// Bump mutates every element in place under the full lock protocol. The
+// lock is correct; it just cannot protect references that already left.
+func (r *registry) Bump(t *jthread.Thread) {
+	r.mu.Sync(t, func() {
+		for i := range r.items {
+			r.items[i]++
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package escapeseed
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/jthread"
+)
+
+// TestStaleReadRaces drives the seeded leak hard enough that `go test
+// -race` reliably aborts. The escape-catch harness runs this test
+// expecting FAILURE: a passing -race run means the seed rotted (or the
+// detector lost it), which breaks the static/dynamic differential.
+//
+// The section itself runs sequentially, before any writer starts:
+// speculative section reads are plain loads that race with Sync writers
+// by SOLERO's design, and that benign-by-construction race is not the
+// one under test. Only the post-section stale dereferences run
+// concurrently with the writer — the race the detector reports is
+// exactly the hazard the escape analyzer flags statically.
+func TestStaleReadRaces(t *testing.T) {
+	const iters = 2000
+	vm := jthread.NewVM()
+	main := vm.Attach("main")
+	r := newRegistry(64)
+
+	// The escape: the live backing array leaves the section.
+	view := r.View(main)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		th := vm.Attach("writer")
+		for i := 0; i < iters; i++ {
+			r.Bump(th)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		var sink int64
+		for i := 0; i < iters; i++ {
+			// Stale reads of the escaped reference: bare loads from the
+			// array Bump is mutating under the lock we no longer hold.
+			for _, v := range view {
+				sink += v
+			}
+		}
+		_ = sink
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,41 @@
+// Package escapeseedfixed is the snapshot-fixed twin of ../escapeseed:
+// the identical registry shape with the one-line fix the escape
+// analyzer's -fix suggests — the section copies the slice with the
+// append snapshot idiom instead of leaking the live header. The
+// escape-catch harness requires this package to pass both halves of the
+// differential: zero escape diagnostics AND a clean `go test -race` run
+// of the same stress schedule that aborts on the seeded twin.
+package escapeseedfixed
+
+import (
+	"repro/internal/core"
+	"repro/internal/jthread"
+)
+
+type registry struct {
+	mu    *core.Lock
+	items []int64
+}
+
+func newRegistry(n int) *registry {
+	return &registry{mu: core.New(nil), items: make([]int64, n)}
+}
+
+// View hands out a snapshot: the append copy owns a fresh backing
+// array, so nothing guarded leaves the section.
+func (r *registry) View(t *jthread.Thread) []int64 {
+	var view []int64
+	r.mu.ReadOnly(t, func() {
+		view = append([]int64(nil), r.items...)
+	})
+	return view
+}
+
+// Bump mutates every element in place under the full lock protocol.
+func (r *registry) Bump(t *jthread.Thread) {
+	r.mu.Sync(t, func() {
+		for i := range r.items {
+			r.items[i]++
+		}
+	})
+}

@@ -1,0 +1,44 @@
+package escapeseedfixed
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/jthread"
+)
+
+// TestSnapshotReadsClean runs the exact stress schedule that aborts on
+// the seeded twin: section first (sequential), then post-section reads
+// concurrent with an in-place Sync writer. Because View copies, the
+// reader touches only section-owned memory and `go test -race` MUST
+// pass — the positive control proving the snapshot idiom, not some test
+// restructuring, removes the hazard.
+func TestSnapshotReadsClean(t *testing.T) {
+	const iters = 2000
+	vm := jthread.NewVM()
+	main := vm.Attach("main")
+	r := newRegistry(64)
+
+	view := r.View(main)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		th := vm.Attach("writer")
+		for i := 0; i < iters; i++ {
+			r.Bump(th)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		var sink int64
+		for i := 0; i < iters; i++ {
+			for _, v := range view {
+				sink += v
+			}
+		}
+		_ = sink
+	}()
+	wg.Wait()
+}

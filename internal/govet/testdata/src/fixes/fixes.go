@@ -2,10 +2,12 @@
 // analyzer's two mechanical fixes — the Sync→ReadOnly rewrite for a
 // proven read-only closure and the //solerovet:readonly insertion for a
 // closure blocked only by un-analyzability — plus the guardedby
-// analyzer's //solerovet:guardedby insertion for an inferred guard,
-// applied against fixes.go must reproduce fixes.go.golden byte for
-// byte. TestFixesIdempotent then re-runs the analyzers over the golden:
-// a second -fix pass must produce no further edits.
+// analyzer's //solerovet:guardedby insertion for an inferred guard and
+// the escape analyzer's append-copy snapshot rewrite for a leaked
+// slice, applied together (the mixed-analyzer ordering case) against
+// fixes.go must reproduce fixes.go.golden byte for byte.
+// TestFixesIdempotent then re-runs the analyzers over the golden: a
+// second -fix pass must produce no further edits.
 package fixes
 
 import (
@@ -18,6 +20,7 @@ type table struct {
 	n    int64
 	hook func() int64
 	hits int64
+	vals []int64
 }
 
 // readSum is provably read-only: the fix renames Sync to ReadOnly.
@@ -60,4 +63,15 @@ func recordHit(tb *table, t *jthread.Thread) {
 // //solerovet:guardedby(mu) line above the field declaration.
 func peekHits(tb *table) int64 {
 	return tb.hits
+}
+
+// leakView lets the live slice header escape the elided section through
+// the captured variable: the fix wraps the right-hand side in the
+// append-copy snapshot idiom, so the section hands out memory it owns.
+func leakView(tb *table, t *jthread.Thread) []int64 {
+	var view []int64
+	tb.mu.ReadOnly(t, func() {
+		view = tb.vals
+	})
+	return view
 }

@@ -1,5 +1,5 @@
 // Facts interchange: serialize this analysis's verdicts to the
-// solero-facts/v2 schema, and pre-seed a classification from a facts file
+// solero-facts/v3 schema, and pre-seed a classification from a facts file
 // so proven blocks skip re-analysis entirely (`solerojit -facts`). The key
 // joining the two worlds is "Class.method#syncIndex" — a method's
 // synchronized blocks numbered in source order — which is also how the Go
